@@ -1,0 +1,114 @@
+//! # magis-baselines
+//!
+//! Reimplementations of the paper's comparison systems (§7.1) against
+//! the shared `magis-sim` measurement harness:
+//!
+//! * [`pytorch`] — the unoptimized anchor: program-order execution
+//!   with dead tensors freed immediately,
+//! * [`compilers`] — TVM-like and Torch-Inductor-like: basic memory
+//!   saving plus elementwise-fusion latency bonus,
+//! * [`xla`] — XLA-like greedy rematerialization,
+//! * [`dtr`] — DTR-like runtime eviction with the
+//!   `cost/(size·staleness)` heuristic,
+//! * [`pofo`] — POFO-like combined rematerialization + offloading on a
+//!   linearized chain,
+//! * [`microbatch`] — the micro-batching pre-pass of Fig. 12.
+//!
+//! Each baseline answers the same question as MAGIS: *given a memory
+//! budget, what latency can you achieve* — so Fig. 9/10/11 comparisons
+//! come from one interface.
+
+pub mod compilers;
+pub mod dtr;
+pub mod microbatch;
+pub mod pofo;
+pub mod pytorch;
+pub mod xla;
+
+use magis_graph::graph::Graph;
+use magis_sim::CostModel;
+
+/// Outcome of one baseline run at one memory budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineResult {
+    /// Achieved peak memory in bytes.
+    pub peak_bytes: u64,
+    /// Achieved end-to-end latency in seconds.
+    pub latency: f64,
+    /// Whether the budget was met (FAILURE markers in Fig. 10 are
+    /// `feasible == false`).
+    pub feasible: bool,
+}
+
+/// The baselines compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Unoptimized PyTorch anchor.
+    PyTorch,
+    /// POFO (Beaumont et al., NeurIPS'21): remat + offload DP on chains.
+    Pofo,
+    /// DTR (Kirisame et al., ICLR'21): runtime heuristic eviction.
+    Dtr,
+    /// XLA: greedy rematerialization.
+    Xla,
+    /// TVM / Relay: basic memory saving.
+    Tvm,
+    /// Torch-Inductor: basic memory saving + Triton fusion.
+    TorchInductor,
+}
+
+impl BaselineKind {
+    /// All compared baselines in the paper's legend order.
+    pub fn all() -> [BaselineKind; 5] {
+        [
+            BaselineKind::Pofo,
+            BaselineKind::Dtr,
+            BaselineKind::Xla,
+            BaselineKind::Tvm,
+            BaselineKind::TorchInductor,
+        ]
+    }
+
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::PyTorch => "PyTorch",
+            BaselineKind::Pofo => "POFO",
+            BaselineKind::Dtr => "DTR",
+            BaselineKind::Xla => "XLA",
+            BaselineKind::Tvm => "TVM",
+            BaselineKind::TorchInductor => "TI",
+        }
+    }
+
+    /// Runs the baseline on `g` under an optional memory budget.
+    pub fn run(&self, g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+        match self {
+            BaselineKind::PyTorch => pytorch::run(g, cm),
+            BaselineKind::Pofo => pofo::run(g, budget, cm),
+            BaselineKind::Dtr => dtr::run(g, budget, cm),
+            BaselineKind::Xla => xla::run(g, budget, cm),
+            BaselineKind::Tvm => compilers::run_tvm(g, budget, cm),
+            BaselineKind::TorchInductor => compilers::run_ti(g, budget, cm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_models::mlp::{mlp, MlpConfig};
+
+    #[test]
+    fn all_baselines_run_unconstrained() {
+        let tg = mlp(&MlpConfig::default());
+        let cm = CostModel::default();
+        let anchor = BaselineKind::PyTorch.run(&tg.graph, None, &cm);
+        assert!(anchor.feasible && anchor.peak_bytes > 0);
+        for b in BaselineKind::all() {
+            let r = b.run(&tg.graph, None, &cm);
+            assert!(r.feasible, "{} unconstrained must be feasible", b.label());
+            assert!(r.latency > 0.0);
+        }
+    }
+}

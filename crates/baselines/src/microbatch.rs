@@ -1,0 +1,78 @@
+//! Micro-batching pre-pass (Fig. 12 of the paper): "dividing the whole
+//! graph along the batch-dimension to simulate a simple F-Trans. The
+//! split sub-graph is fed to POFO, and execution latency is multiplied
+//! by the sub-graph count."
+//!
+//! As in the paper's setup, the model is rebuilt at `batch / factor`;
+//! gradient accumulation across micro-batches keeps one weight-grad
+//! buffer resident for the whole step, which is added to the peak.
+
+use crate::{pofo, BaselineResult};
+use magis_graph::grad::TrainingGraph;
+use magis_sim::CostModel;
+
+/// Runs POFO on a micro-batched rebuild of a workload.
+///
+/// `build(batch)` must construct the training graph at the given batch
+/// size; `full_batch` is the original size and `factor` the number of
+/// micro-batches (`full_batch % factor == 0` expected — the builder
+/// receives `full_batch / factor`).
+pub fn run_with_pofo(
+    build: impl Fn(u64) -> TrainingGraph,
+    full_batch: u64,
+    factor: u64,
+    budget: Option<u64>,
+    cm: &CostModel,
+) -> BaselineResult {
+    assert!(factor >= 1 && full_batch >= factor, "factor must divide the batch sensibly");
+    let micro = build((full_batch / factor).max(1));
+    // Gradient accumulation buffer: one gradient per weight, alive for
+    // the whole optimizer step.
+    let accum_bytes: u64 = micro
+        .weight_grads
+        .iter()
+        .map(|&(_, dw)| micro.graph.node(dw).size_bytes())
+        .sum();
+    let inner_budget = budget.map(|b| b.saturating_sub(accum_bytes));
+    let r = pofo::run(&micro.graph, inner_budget, cm);
+    BaselineResult {
+        peak_bytes: r.peak_bytes + accum_bytes,
+        latency: r.latency * factor as f64,
+        feasible: r.feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_models::mlp::{mlp, MlpConfig};
+
+    fn build(batch: u64) -> TrainingGraph {
+        // Activation-dominated regime (micro-batching cannot shrink
+        // weights or their gradient-accumulation buffer).
+        mlp(&MlpConfig { batch, ..MlpConfig::default() })
+    }
+
+    #[test]
+    fn microbatching_cuts_memory_multiplies_latency() {
+        let cm = CostModel::default();
+        let full = crate::pytorch::run(&build(1024).graph, &cm);
+        let m4 = run_with_pofo(build, 1024, 4, None, &cm);
+        assert!(m4.peak_bytes < full.peak_bytes, "{} < {}", m4.peak_bytes, full.peak_bytes);
+        // Four smaller passes are slower than one big pass (utilization).
+        assert!(m4.latency > full.latency);
+    }
+
+    #[test]
+    fn deeper_factors_reach_tighter_budgets() {
+        let cm = CostModel::default();
+        let full = crate::pytorch::run(&build(256).graph, &cm);
+        let budget = (full.peak_bytes as f64 * 0.35) as u64;
+        let m2 = run_with_pofo(build, 256, 2, Some(budget), &cm);
+        let m8 = run_with_pofo(build, 256, 8, Some(budget), &cm);
+        assert!(
+            m8.feasible || !m2.feasible,
+            "larger factor is at least as feasible: m2 {m2:?} m8 {m8:?}"
+        );
+    }
+}

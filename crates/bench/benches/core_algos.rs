@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the per-candidate hot paths: WL graph
+//! hashing (the largest single cost in the paper's Fig. 15 breakdown),
+//! reachability/narrow-waist computation, dominator trees, D-Graph
+//! construction, and F-Tree analysis (guided vs naïve — design knob
+//! D2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magis_core::dgraph::DimGraph;
+use magis_core::ftree::FTree;
+use magis_graph::algo::{graph_hash, topo_order, DomTree, Reachability};
+use magis_models::Workload;
+use magis_sim::memory_profile;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_core_algos(c: &mut Criterion) {
+    let tg = Workload::BertBase.build(0.25);
+    let g = &tg.graph;
+    println!("benching on BERT scale 0.25: {} nodes", g.len());
+
+    c.bench_function("wl_graph_hash", |b| b.iter(|| black_box(graph_hash(g))));
+    c.bench_function("reachability_bitsets", |b| {
+        b.iter(|| black_box(Reachability::compute(g)))
+    });
+    let all: BTreeSet<_> = g.node_ids().collect();
+    c.bench_function("dominator_tree", |b| {
+        b.iter(|| black_box(DomTree::compute(g, &all)))
+    });
+    c.bench_function("dim_graph_build", |b| b.iter(|| black_box(DimGraph::build(g))));
+
+    let hotspots = memory_profile(g, &topo_order(g)).hotspots;
+    let mut group = c.benchmark_group("ftree_construction");
+    group.sample_size(10);
+    group.bench_function("algorithm1_guided", |b| {
+        b.iter(|| black_box(FTree::build(g, &hotspots, 4)))
+    });
+    group.bench_function("naive_random", |b| {
+        b.iter(|| black_box(FTree::build_naive(g, 12, 7)))
+    });
+    group.finish();
+
+    c.bench_function("memory_profile", |b| {
+        let order = topo_order(g);
+        b.iter(|| black_box(memory_profile(g, &order)))
+    });
+}
+
+criterion_group!(benches, bench_core_algos);
+criterion_main!(benches);

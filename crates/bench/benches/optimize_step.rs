@@ -1,0 +1,62 @@
+//! Criterion benchmark of one optimizer step: candidate generation and
+//! full candidate evaluation (apply + incremental schedule + simulate)
+//! — the unit of search throughput — plus the hash-dedup ablation
+//! (design knob D5): how much evaluation work the Weisfeiler–Lehman
+//! filter saves per duplicate it catches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_core::rules::{self, RuleConfig};
+use magis_core::state::{EvalContext, MState};
+use magis_graph::algo::graph_hash;
+use magis_models::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_candidate_pipeline(c: &mut Criterion) {
+    let tg = Workload::UNet.build(0.3);
+    let ctx = EvalContext::default();
+    let mut state = MState::initial(tg.graph, &ctx);
+    state.analyze(4);
+    let cfg = RuleConfig::default();
+    let cands = rules::generate(&state, &cfg);
+    assert!(!cands.is_empty());
+
+    c.bench_function("generate_candidates", |b| {
+        b.iter(|| black_box(rules::generate(&state, &cfg)))
+    });
+    c.bench_function("apply_and_evaluate_candidate", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let t = &cands[i % cands.len()];
+            i += 1;
+            if let Ok(applied) = rules::apply(&state, t) {
+                let _ = black_box(MState::from_applied(applied, &state, &ctx));
+            }
+        })
+    });
+    c.bench_function("dedup_hash_of_eval_graph", |b| {
+        b.iter(|| black_box(graph_hash(&state.eval.graph)))
+    });
+}
+
+fn bench_search_budgeted(c: &mut Criterion) {
+    let tg = Workload::UNet.build(0.2);
+    let ctx = EvalContext::default();
+    let init = MState::initial(tg.graph.clone(), &ctx);
+    let mut group = c.benchmark_group("search_200ms_budget");
+    group.sample_size(10);
+    group.bench_function("min_memory", |b| {
+        b.iter(|| {
+            let cfg = OptimizerConfig::new(Objective::MinMemory {
+                lat_limit: init.eval.latency * 1.10,
+            })
+            .with_budget(Duration::from_millis(200));
+            black_box(optimize(tg.graph.clone(), &cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_pipeline, bench_search_budgeted);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the scheduling substrate: the memory-DP at
+//! several beam widths (design knob D6 of DESIGN.md), narrow-waist
+//! partitioning, and order stabilization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magis_models::random_dnn::{random_dnn, RandomDnnConfig};
+use magis_sched::{dp_schedule, full_schedule, stabilize_order, SchedConfig, SchedTask};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_dp_beam_widths(c: &mut Criterion) {
+    let g = random_dnn(&RandomDnnConfig { cells: 3, ..RandomDnnConfig::default() }, 7);
+    let task = SchedTask::whole_graph(&g);
+    let mut group = c.benchmark_group("dp_schedule_beam");
+    for width in [1usize, 8, 32, 64] {
+        let cfg = SchedConfig { beam_width: width, node_budget: 128 };
+        group.bench_with_input(BenchmarkId::from_parameter(width), &cfg, |b, cfg| {
+            b.iter(|| black_box(dp_schedule(&task, cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_schedule_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_schedule_nodes");
+    group.sample_size(20);
+    for cells in [2usize, 4, 8] {
+        let g = random_dnn(&RandomDnnConfig { cells, ..RandomDnnConfig::default() }, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(g.len()), &g, |b, g| {
+            b.iter(|| black_box(full_schedule(g, &SchedConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_and_stabilize(c: &mut Criterion) {
+    let g = random_dnn(&RandomDnnConfig { cells: 6, ..RandomDnnConfig::default() }, 3);
+    let all: BTreeSet<_> = g.node_ids().collect();
+    c.bench_function("narrow_waist_partition", |b| {
+        b.iter(|| black_box(magis_sched::partition(&g, &all)))
+    });
+    let order = magis_graph::algo::topo_order(&g);
+    let reversed: Vec<_> = order.iter().copied().rev().collect();
+    c.bench_function("stabilize_order_worst_case", |b| {
+        b.iter(|| black_box(stabilize_order(&g, &reversed)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dp_beam_widths,
+    bench_full_schedule_sizes,
+    bench_partition_and_stabilize
+);
+criterion_main!(benches);

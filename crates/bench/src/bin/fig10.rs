@@ -1,0 +1,43 @@
+//! Figure 10: latency overhead vs. unoptimized PyTorch under (a) 80%
+//! and (b) 40% peak-memory constraints (lower is better; "FAIL" marks
+//! baselines that cannot meet the constraint, the paper's FAILURE).
+
+use magis_baselines::BaselineKind;
+use magis_bench::{anchor, fmt_ratio, magis_min_latency, print_table, ExpOpts};
+use magis_models::Workload;
+use magis_sim::CostModel;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cm = CostModel::default();
+    for (panel, mem_frac) in [("a", 0.8), ("b", 0.4)] {
+        let mut rows = Vec::new();
+        for w in Workload::all() {
+            let tg = w.build(opts.scale);
+            let (base_peak, base_lat) = anchor(&tg.graph);
+            let budget = (base_peak as f64 * mem_frac) as u64;
+
+            let magis = magis_min_latency(&tg.graph, mem_frac, &opts);
+            let magis_over = magis
+                .pareto
+                .best_latency_under(budget)
+                .map(|l| l / base_lat - 1.0);
+
+            let mut row = vec![w.label().to_string(), fmt_ratio(magis_over)];
+            for b in BaselineKind::all() {
+                let r = b.run(&tg.graph, Some(budget), &cm);
+                let over = if r.feasible { Some(r.latency / base_lat - 1.0) } else { None };
+                row.push(fmt_ratio(over));
+            }
+            println!("  {} done", w.label());
+            rows.push(row);
+        }
+        let header = ["workload", "MAGIS", "POFO", "DTR", "XLA", "TVM", "TI"];
+        print_table(
+            &format!("Fig. 10({panel}): latency overhead @ memory ratio < {:.0}%", mem_frac * 100.0),
+            &header,
+            &rows,
+        );
+        opts.write_csv(&format!("fig10{panel}.csv"), &header, &rows);
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 11: latency/memory trade-off curves for ResNet-50, BERT,
+//! U-Net, and GPT-Neo. MAGIS's Pareto front comes from the search's
+//! observation set; baseline curves from a ladder of memory budgets.
+//! Points are `(memory_ratio, latency_overhead)`; below-zero overheads
+//! are the compiler baselines' fusion wins at loose budgets.
+
+use magis_baselines::BaselineKind;
+use magis_bench::{anchor, magis_min_latency, magis_min_memory, print_table, ExpOpts};
+use magis_core::pareto::ParetoSet;
+use magis_models::Workload;
+use magis_sim::CostModel;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cm = CostModel::default();
+    let budgets = [0.95, 0.85, 0.75, 0.65, 0.55, 0.45, 0.35, 0.25];
+    for w in [Workload::ResNet50, Workload::BertBase, Workload::UNet, Workload::GptNeo13B] {
+        let tg = w.build(opts.scale);
+        let (base_peak, base_lat) = anchor(&tg.graph);
+        let mut rows = Vec::new();
+
+        // MAGIS: merge the observation sets of several searches.
+        let mut all = ParetoSet::new();
+        for lat_factor in [1.02, 1.10, 1.30, 1.8] {
+            let res = magis_min_memory(&tg.graph, lat_factor, &opts);
+            for &(m, l) in res.pareto.points() {
+                all.insert(m, l);
+            }
+        }
+        for mem_factor in [0.6, 0.35] {
+            let res = magis_min_latency(&tg.graph, mem_factor, &opts);
+            for &(m, l) in res.pareto.points() {
+                all.insert(m, l);
+            }
+        }
+        for (m, l) in all.front() {
+            rows.push(vec![
+                "MAGIS".to_string(),
+                format!("{:.4}", m as f64 / base_peak as f64),
+                format!("{:.4}", l / base_lat - 1.0),
+            ]);
+        }
+
+        // Baselines: budget ladder.
+        for b in BaselineKind::all() {
+            let mut set = ParetoSet::new();
+            let unlimited = b.run(&tg.graph, None, &cm);
+            set.insert(unlimited.peak_bytes, unlimited.latency);
+            for &f in &budgets {
+                let r = b.run(&tg.graph, Some((base_peak as f64 * f) as u64), &cm);
+                if r.feasible {
+                    set.insert(r.peak_bytes, r.latency);
+                }
+            }
+            for (m, l) in set.front() {
+                rows.push(vec![
+                    b.label().to_string(),
+                    format!("{:.4}", m as f64 / base_peak as f64),
+                    format!("{:.4}", l / base_lat - 1.0),
+                ]);
+            }
+        }
+        let header = ["system", "mem_ratio", "lat_overhead"];
+        print_table(&format!("Fig. 11: Pareto points, {}", w.label()), &header, &rows);
+        let tag = w.label().split(' ').next().unwrap_or("w").to_lowercase().replace("+", "p");
+        opts.write_csv(&format!("fig11_{tag}.csv"), &header, &rows);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 12: MAGIS vs. POFO with a micro-batching pre-pass on ViT
+//! (batch 64, patch 16). Micro-batching (factors 32/16/8) simulates a
+//! whole-graph fission before POFO's chain planning; MAGIS coordinates
+//! fission and scheduling instead of fixing the factor up front.
+
+use magis_baselines::{microbatch, pofo, pytorch, BaselineKind};
+use magis_bench::{anchor, magis_min_latency, print_table, ExpOpts};
+use magis_core::pareto::ParetoSet;
+use magis_models::vit::{vit, VitConfig};
+use magis_sim::CostModel;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cm = CostModel::default();
+    let cfg = VitConfig::base().scaled(opts.scale);
+    let full_batch = cfg.batch;
+    let tg = vit(&cfg);
+    let (base_peak, base_lat) = anchor(&tg.graph);
+    println!(
+        "ViT (batch={full_batch}, scale={}): anchor peak {:.2} GiB, latency {:.1} ms",
+        opts.scale,
+        magis_bench::gib(base_peak),
+        base_lat * 1e3
+    );
+    let budgets = [0.9, 0.75, 0.6, 0.45, 0.3, 0.2];
+    let mut rows = Vec::new();
+
+    // MAGIS curve.
+    let mut set = ParetoSet::new();
+    for &f in &[0.7, 0.4] {
+        let res = magis_min_latency(&tg.graph, f, &opts);
+        for &(m, l) in res.pareto.points() {
+            set.insert(m, l);
+        }
+    }
+    for (m, l) in set.front() {
+        rows.push(vec![
+            "MAGIS".to_string(),
+            format!("{:.4}", m as f64 / base_peak as f64),
+            format!("{:.4}", l / base_lat - 1.0),
+        ]);
+    }
+
+    // Plain POFO.
+    let mut emit = |label: String, r: magis_baselines::BaselineResult| {
+        if r.feasible {
+            rows.push(vec![
+                label,
+                format!("{:.4}", r.peak_bytes as f64 / base_peak as f64),
+                format!("{:.4}", r.latency / base_lat - 1.0),
+            ]);
+        }
+    };
+    for &f in &budgets {
+        let b = (base_peak as f64 * f) as u64;
+        emit(BaselineKind::Pofo.label().to_string(), pofo::run(&tg.graph, Some(b), &cm));
+    }
+
+    // POFO with micro-batching factors (paper: 32, 16, 8 at batch 64;
+    // at other scales, the three largest proper divisors of the batch).
+    let mut factors: Vec<u64> = (2..=full_batch / 2).filter(|f| full_batch % f == 0).collect();
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    factors.truncate(3);
+    for factor in factors {
+        let build = |batch: u64| vit(&VitConfig { batch, ..cfg.clone() });
+        for &f in &budgets {
+            let b = (base_peak as f64 * f) as u64;
+            emit(
+                format!("POFO(factor={factor})"),
+                microbatch::run_with_pofo(build, full_batch, factor, Some(b), &cm),
+            );
+        }
+        // Also the unconstrained point of this factor.
+        emit(
+            format!("POFO(factor={factor})"),
+            microbatch::run_with_pofo(
+                |batch| vit(&VitConfig { batch, ..cfg.clone() }),
+                full_batch,
+                factor,
+                None,
+                &cm,
+            ),
+        );
+    }
+    let _ = pytorch::run(&tg.graph, &cm);
+    let header = ["system", "mem_ratio", "lat_overhead"];
+    print_table("Fig. 12: ViT — MAGIS vs POFO(+micro-batching)", &header, &rows);
+    opts.write_csv("fig12.csv", &header, &rows);
+}

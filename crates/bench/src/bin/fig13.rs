@@ -1,0 +1,79 @@
+//! Figure 13: heuristic ablation on the BERT workload. Five settings —
+//! naïve-fission (random fission candidates instead of Algorithm 1),
+//! naïve-sch-rule (no hot-spot filtering of remat/swap sites), and
+//! F-Tree max-level L ∈ {2, 4, 8} — under the four constraint modes of
+//! §7.2.1/§7.2.2. Curves (elapsed seconds → incumbent) go to CSV; the
+//! table shows each setting's best result within the budget.
+
+use magis_bench::{anchor, print_table, ExpOpts};
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_models::Workload;
+
+#[derive(Clone, Copy)]
+struct Setting {
+    name: &'static str,
+    naive_fission: bool,
+    hotspot_filter: bool,
+    max_level: usize,
+}
+
+const SETTINGS: [Setting; 5] = [
+    Setting { name: "naive-fission", naive_fission: true, hotspot_filter: true, max_level: 4 },
+    Setting { name: "naive-sch-rule", naive_fission: false, hotspot_filter: false, max_level: 4 },
+    Setting { name: "max-level=2", naive_fission: false, hotspot_filter: true, max_level: 2 },
+    Setting { name: "max-level=4", naive_fission: false, hotspot_filter: true, max_level: 4 },
+    Setting { name: "max-level=8", naive_fission: false, hotspot_filter: true, max_level: 8 },
+];
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let tg = Workload::BertBase.build(opts.scale);
+    let (base_peak, base_lat) = anchor(&tg.graph);
+    let panels: [(&str, Objective); 4] = [
+        ("lat<10%", Objective::MinMemory { lat_limit: base_lat * 1.10 }),
+        ("lat<5%", Objective::MinMemory { lat_limit: base_lat * 1.05 }),
+        ("mem<80%", Objective::MinLatency { mem_limit: (base_peak as f64 * 0.8) as u64 }),
+        ("mem<40%", Objective::MinLatency { mem_limit: (base_peak as f64 * 0.4) as u64 }),
+    ];
+    let mut rows = Vec::new();
+    let mut curves: Vec<Vec<String>> = Vec::new();
+    for (panel, objective) in panels {
+        let mut row = vec![panel.to_string()];
+        for s in SETTINGS {
+            let mut cfg = OptimizerConfig::new(objective).with_budget(opts.budget);
+            cfg.naive_fission = s.naive_fission;
+            cfg.rules.hotspot_filter = s.hotspot_filter;
+            cfg.max_level = s.max_level;
+            let res = optimize(tg.graph.clone(), &cfg);
+            let best = match objective {
+                Objective::MinMemory { .. } => {
+                    format!("{:.3}", res.best.eval.peak_bytes as f64 / base_peak as f64)
+                }
+                Objective::MinLatency { .. } => {
+                    format!("{:.3}", res.best.eval.latency / base_lat - 1.0)
+                }
+            };
+            row.push(best);
+            for p in &res.history {
+                curves.push(vec![
+                    panel.to_string(),
+                    s.name.to_string(),
+                    format!("{:.3}", p.elapsed),
+                    format!("{:.4}", p.peak_bytes as f64 / base_peak as f64),
+                    format!("{:.4}", p.latency / base_lat - 1.0),
+                ]);
+            }
+            println!("  {panel} / {} done", s.name);
+        }
+        rows.push(row);
+    }
+    let header =
+        ["constraint", "naive-fission", "naive-sch-rule", "max-level=2", "max-level=4", "max-level=8"];
+    print_table("Fig. 13: heuristic ablation on BERT (best within budget)", &header, &rows);
+    opts.write_csv("fig13.csv", &header, &rows);
+    opts.write_csv(
+        "fig13_curves.csv",
+        &["panel", "setting", "elapsed_s", "mem_ratio", "lat_overhead"],
+        &curves,
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 16: U-Net case study — execution-time / memory-usage curves
+//! for unoptimized PyTorch, MAGIS-1 (peak limited to 80% of PyTorch),
+//! and MAGIS-2 (limited to 60%). The paper highlights the
+//! forward-rise/backward-fall profile, MAGIS-1's lower plateau, and
+//! MAGIS-2's dual peaks from a whole-graph fission.
+
+use magis_bench::{anchor, gib, magis_min_latency, print_table, ExpOpts};
+use magis_models::Workload;
+use magis_sim::{memory_timeline, CostModel};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cm = CostModel::default();
+    let tg = Workload::UNet.build(opts.scale);
+    let (base_peak, base_lat) = anchor(&tg.graph);
+
+    let mut curves: Vec<Vec<String>> = Vec::new();
+    let mut summary = Vec::new();
+    let mut emit = |name: &str, g: &magis_graph::Graph, order: &[magis_graph::NodeId]| {
+        let tl = memory_timeline(g, order, &cm);
+        let peak = tl.iter().map(|&(_, m)| m).max().unwrap_or(0);
+        let end = tl.last().map(|&(t, _)| t).unwrap_or(0.0);
+        for &(t, m) in &tl {
+            curves.push(vec![
+                name.to_string(),
+                format!("{:.4}", t * 1e3),
+                format!("{:.4}", gib(m)),
+            ]);
+        }
+        summary.push(vec![
+            name.to_string(),
+            format!("{:.3}", gib(peak)),
+            format!("{:.3}", peak as f64 / base_peak as f64),
+            format!("{:.2}", end * 1e3),
+            format!("{:.3}", end / base_lat),
+        ]);
+    };
+
+    // PyTorch anchor.
+    let order = magis_baselines::pytorch::program_order(&tg.graph);
+    emit("PyTorch", &tg.graph, &order);
+
+    // MAGIS-1 / MAGIS-2.
+    for (name, frac) in [("MAGIS-1", 0.8), ("MAGIS-2", 0.6)] {
+        let res = magis_min_latency(&tg.graph, frac, &opts);
+        emit(name, &res.best.eval.graph, &res.best.eval.order);
+        println!("  {name} done");
+    }
+
+    print_table(
+        "Fig. 16: U-Net case study",
+        &["config", "peak GiB", "mem ratio", "makespan ms", "lat ratio"],
+        &summary,
+    );
+    opts.write_csv("fig16_summary.csv", &["config", "peak_gib", "mem_ratio", "makespan_ms", "lat_ratio"], &summary);
+    opts.write_csv("fig16_timeline.csv", &["config", "time_ms", "mem_gib"], &curves);
+}

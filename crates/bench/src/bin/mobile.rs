@@ -1,0 +1,57 @@
+//! Extension experiment E2: the paper's §1 motivation includes DNN
+//! deployment on mobile devices ("a few tens of GB … many background
+//! applications may reside in memory"). This binary contrasts the
+//! memory/latency trade-off MAGIS finds on the RTX-3090-class profile
+//! vs. a mobile-class profile for the same (scaled) workload: the
+//! mobile device's slower link makes swapping relatively costlier, so
+//! the optimizer leans further on fission and re-materialization.
+
+use magis_bench::{print_table, ExpOpts};
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_core::state::{EvalContext, MState};
+use magis_graph::op::OpKind;
+use magis_models::Workload;
+use magis_sim::{CostModel, DeviceSpec};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let tg = Workload::BertBase.build(opts.scale.min(0.35));
+    let mut rows = Vec::new();
+    for device in [DeviceSpec::rtx3090(), DeviceSpec::mobile()] {
+        let name = device.name;
+        let ctx = EvalContext { cost: CostModel::new(device), ..EvalContext::default() };
+        let init = MState::initial(tg.graph.clone(), &ctx);
+        let mut cfg = OptimizerConfig::new(Objective::MinMemory {
+            lat_limit: init.eval.latency * 1.10,
+        })
+        .with_budget(opts.budget);
+        cfg.ctx = ctx;
+        let res = optimize(tg.graph.clone(), &cfg);
+        let best = &res.best;
+        let swaps = best
+            .base
+            .node_ids()
+            .filter(|&v| matches!(best.base.node(v).op, OpKind::Load))
+            .count();
+        let remats = best
+            .base
+            .node_ids()
+            .filter(|&v| best.base.node(v).name == "remat")
+            .count();
+        let fissions = best.ftree.enabled_order().len();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", init.eval.latency * 1e3),
+            format!("{:.3}", best.eval.peak_bytes as f64 / init.eval.peak_bytes as f64),
+            format!("{:+.1}%", 100.0 * (best.eval.latency / init.eval.latency - 1.0)),
+            swaps.to_string(),
+            remats.to_string(),
+            fissions.to_string(),
+        ]);
+        println!("  {name} done");
+    }
+    let header =
+        ["device", "anchor ms", "mem ratio", "lat overhead", "swaps", "remats", "fissions"];
+    print_table("E2: device-profile comparison, BERT @ <10% latency overhead", &header, &rows);
+    opts.write_csv("mobile.csv", &header, &rows);
+}

@@ -1,0 +1,43 @@
+//! Table 2: workloads for evaluation — plus the graph statistics our
+//! reproduction derives from them (node counts, parameter/activation
+//! footprints, anchor peak memory and latency on the simulated
+//! RTX 3090).
+
+use magis_bench::{anchor, gib, print_table, ExpOpts};
+use magis_models::Workload;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!("Table 2 (scale = {}):", opts.scale);
+    let mut rows = Vec::new();
+    for w in Workload::all() {
+        let tg = w.build(opts.scale);
+        let (peak, lat) = anchor(&tg.graph);
+        let params: u64 = tg
+            .graph
+            .node_ids()
+            .filter(|&v| tg.graph.node(v).op.is_weight_input())
+            .map(|v| tg.graph.node(v).size_bytes())
+            .sum();
+        rows.push(vec![
+            w.label().to_string(),
+            w.batch().to_string(),
+            w.config_note().to_string(),
+            w.dtype().to_string(),
+            tg.graph.len().to_string(),
+            format!("{:.2}", gib(params)),
+            format!("{:.2}", gib(peak)),
+            format!("{:.1}", lat * 1e3),
+        ]);
+    }
+    print_table(
+        "Table 2: workloads",
+        &["name", "batch", "config", "dtype", "nodes", "params GiB", "peak GiB", "latency ms"],
+        &rows,
+    );
+    opts.write_csv(
+        "table2.csv",
+        &["name", "batch", "config", "dtype", "nodes", "params_gib", "peak_gib", "latency_ms"],
+        &rows,
+    );
+}

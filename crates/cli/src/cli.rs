@@ -1,0 +1,305 @@
+//! Argument parsing and subcommand dispatch for the `magis` binary.
+//! Hand-rolled (no third-party argument parser): flags are
+//! `--name value` pairs after a subcommand.
+
+use magis_baselines::BaselineKind;
+use magis_core::codegen::generate_pytorch;
+use magis_core::fission::apply_full;
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_core::state::{EvalContext, MState};
+use magis_graph::graph::Graph;
+use magis_graph::io::{to_dot, to_text, DotOptions};
+use magis_models::Workload;
+use magis_sim::CostModel;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+magis — MAGIS memory optimizer (ASPLOS'24 reproduction)
+
+USAGE:
+  magis list
+  magis inspect  --workload NAME [--scale F]
+  magis optimize --workload NAME [--scale F] [--mode memory|latency]
+                 [--limit F] [--budget-ms N] [--emit py|dot|text] [--out FILE]
+  magis baseline --workload NAME --system pofo|dtr|xla|tvm|ti
+                 [--scale F] [--budget-ratio F]
+
+WORKLOADS: resnet50 bert vit unet unetpp gpt-neo btlm
+
+MODES (optimize):
+  memory   minimize peak memory; --limit is the allowed latency factor
+           relative to unoptimized (default 1.10)
+  latency  minimize latency; --limit is the allowed memory fraction of
+           the unoptimized peak (default 0.8)
+";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments (prints usage, exit code 2).
+    Usage(String),
+    /// Execution failure (exit code 1).
+    Runtime(String),
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::Usage(format!("expected a flag, got '{}'", args[i])))?;
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
+        out.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn workload(flags: &HashMap<String, String>) -> Result<Workload, CliError> {
+    let name = flags
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    match name.to_lowercase().as_str() {
+        "resnet50" | "resnet" => Ok(Workload::ResNet50),
+        "bert" => Ok(Workload::BertBase),
+        "vit" => Ok(Workload::VitBase),
+        "unet" => Ok(Workload::UNet),
+        "unetpp" | "unet++" => Ok(Workload::UNetPP),
+        "gpt-neo" | "gptneo" | "gpt" => Ok(Workload::GptNeo13B),
+        "btlm" => Ok(Workload::Btlm3B),
+        other => Err(CliError::Usage(format!("unknown workload '{other}'"))),
+    }
+}
+
+fn f64_flag(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'"))),
+    }
+}
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// Entry point, separated from `main` for testability.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage("missing subcommand".into()));
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("workload      batch  dtype  config");
+            for w in Workload::all() {
+                println!(
+                    "{:12}  {:>5}  {:>5}  {}",
+                    w.label(),
+                    w.batch(),
+                    w.dtype().to_string(),
+                    w.config_note()
+                );
+            }
+            Ok(())
+        }
+        "inspect" => inspect(&parse_flags(rest)?),
+        "optimize" => cmd_optimize(&parse_flags(rest)?),
+        "baseline" => cmd_baseline(&parse_flags(rest)?),
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn inspect(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let w = workload(flags)?;
+    let scale = f64_flag(flags, "scale", 0.5)?;
+    let tg = w.build(scale);
+    let g = &tg.graph;
+    let ctx = EvalContext::default();
+    let state = MState::initial(g.clone(), &ctx);
+    let params: u64 = g
+        .node_ids()
+        .filter(|&v| g.node(v).op.is_weight_input())
+        .map(|v| g.node(v).size_bytes())
+        .sum();
+    println!("{} @ scale {scale}", w.label());
+    println!("  nodes:       {}", g.len());
+    println!("  parameters:  {:.3} GiB", gib(params));
+    println!("  peak memory: {:.3} GiB (program order)", gib(state.eval.peak_bytes));
+    println!("  latency:     {:.2} ms (simulated {})", state.eval.latency * 1e3, "rtx3090");
+    println!("  hot-spots:   {}", state.eval.hotspots_base.len());
+    Ok(())
+}
+
+fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let w = workload(flags)?;
+    let scale = f64_flag(flags, "scale", 0.5)?;
+    let budget = f64_flag(flags, "budget-ms", 15_000.0)?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("memory");
+    let tg = w.build(scale);
+    let ctx = EvalContext::default();
+    let init = MState::initial(tg.graph.clone(), &ctx);
+    let objective = match mode {
+        "memory" => Objective::MinMemory {
+            lat_limit: init.eval.latency * f64_flag(flags, "limit", 1.10)?,
+        },
+        "latency" => Objective::MinLatency {
+            mem_limit: (init.eval.peak_bytes as f64 * f64_flag(flags, "limit", 0.8)?) as u64,
+        },
+        other => return Err(CliError::Usage(format!("unknown mode '{other}'"))),
+    };
+    eprintln!(
+        "{}: {} nodes, baseline {:.3} GiB / {:.2} ms; optimizing ({mode})…",
+        w.label(),
+        tg.graph.len(),
+        gib(init.eval.peak_bytes),
+        init.eval.latency * 1e3
+    );
+    let cfg = OptimizerConfig::new(objective)
+        .with_budget(Duration::from_millis(budget as u64));
+    let res = optimize(tg.graph, &cfg);
+    let best = &res.best;
+    eprintln!(
+        "best: {:.3} GiB ({:.1}%), {:.2} ms ({:+.1}%); {} candidates evaluated",
+        gib(best.eval.peak_bytes),
+        100.0 * best.eval.peak_bytes as f64 / init.eval.peak_bytes as f64,
+        best.eval.latency * 1e3,
+        100.0 * (best.eval.latency / init.eval.latency - 1.0),
+        res.stats.evaluated
+    );
+    if let Some(emit) = flags.get("emit") {
+        let text = render(best, emit)?;
+        match flags.get("out") {
+            Some(path) => std::fs::write(path, text)
+                .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
+            None => println!("{text}"),
+        }
+    }
+    Ok(())
+}
+
+fn render(best: &MState, emit: &str) -> Result<String, CliError> {
+    match emit {
+        "dot" => Ok(to_dot(&best.eval.graph, &DotOptions::default())),
+        "text" => Ok(to_text(&best.eval.graph)),
+        "py" => {
+            // Materialize fission, then schedule and emit.
+            let mut g: Graph = best.base.clone();
+            for i in best.ftree.enabled_order() {
+                g = apply_full(&g, &best.ftree.node(i).spec)
+                    .map_err(|e| CliError::Runtime(format!("materializing fission: {e}")))?;
+            }
+            let order = magis_sched::full_schedule(&g, &Default::default());
+            let order = magis_sched::place_swaps(&g, &order, &CostModel::default());
+            generate_pytorch(&g, &order).map_err(|e| CliError::Runtime(e.to_string()))
+        }
+        other => Err(CliError::Usage(format!("unknown --emit format '{other}'"))),
+    }
+}
+
+fn cmd_baseline(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let w = workload(flags)?;
+    let scale = f64_flag(flags, "scale", 0.5)?;
+    let system = flags
+        .get("system")
+        .ok_or_else(|| CliError::Usage("--system is required".into()))?;
+    let kind = match system.to_lowercase().as_str() {
+        "pofo" => BaselineKind::Pofo,
+        "dtr" => BaselineKind::Dtr,
+        "xla" => BaselineKind::Xla,
+        "tvm" => BaselineKind::Tvm,
+        "ti" | "torch-inductor" => BaselineKind::TorchInductor,
+        other => return Err(CliError::Usage(format!("unknown system '{other}'"))),
+    };
+    let tg = w.build(scale);
+    let cm = CostModel::default();
+    let anchor = magis_baselines::pytorch::run(&tg.graph, &cm);
+    let ratio = f64_flag(flags, "budget-ratio", 0.8)?;
+    let r = kind.run(&tg.graph, Some((anchor.peak_bytes as f64 * ratio) as u64), &cm);
+    println!(
+        "{} on {} @ {:.0}% budget: peak {:.3} GiB ({:.1}%), latency {:+.1}%, {}",
+        kind.label(),
+        w.label(),
+        ratio * 100.0,
+        gib(r.peak_bytes),
+        100.0 * r.peak_bytes as f64 / anchor.peak_bytes as f64,
+        100.0 * (r.latency / anchor.latency - 1.0),
+        if r.feasible { "feasible" } else { "FAILED to meet budget" }
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn list_runs() {
+        run(&s(&["list"])).unwrap();
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&s(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&s(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&s(&["inspect"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&s(&["inspect", "--workload", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--scale", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn inspect_runs_small() {
+        run(&s(&["inspect", "--workload", "unet", "--scale", "0.1"])).unwrap();
+    }
+
+    #[test]
+    fn baseline_runs_small() {
+        run(&s(&[
+            "baseline",
+            "--workload",
+            "bert",
+            "--system",
+            "dtr",
+            "--scale",
+            "0.1",
+            "--budget-ratio",
+            "0.8",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn optimize_memory_small_budget() {
+        run(&s(&[
+            "optimize",
+            "--workload",
+            "unet",
+            "--scale",
+            "0.1",
+            "--budget-ms",
+            "400",
+            "--emit",
+            "text",
+            "--out",
+            "/tmp/magis_cli_test.txt",
+        ]))
+        .unwrap();
+        let t = std::fs::read_to_string("/tmp/magis_cli_test.txt").unwrap();
+        assert!(t.contains("conv2d"));
+    }
+}

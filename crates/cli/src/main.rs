@@ -1,0 +1,30 @@
+//! `magis` — command-line front end for the MAGIS reproduction.
+//!
+//! ```text
+//! magis optimize --workload unet --scale 0.5 --mode memory --limit 1.10 \
+//!                --budget-ms 30000 [--emit py|dot|text] [--out FILE]
+//! magis baseline --workload bert --system dtr --budget-ratio 0.6
+//! magis inspect  --workload vit --scale 0.3        # graph statistics
+//! magis list                                        # available workloads
+//! ```
+
+use cli::{run, CliError};
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", cli::USAGE);
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! The Fission Hierarchy Tree (F-Tree, §4.3) and its mutation rules
+//! (§5.1, Fig. 7).
+//!
+//! Each tree node records a fission candidate `f = (S, D, n)`. `n = 1`
+//! means *disabled* (a candidate); `n > 1` means the region is split
+//! into `n` sequentially executed parts. Candidates are constructed by
+//! Algorithm 1: dominator-tree regions ranked by "memory heat" —
+//! the total size of memory hot-spots they dominate — minus the size of
+//! the inputs that must stay resident, stratified into `L` score
+//! intervals so the tree offers both coarse and fine fission choices.
+
+use crate::dgraph::{component_dims, DimGraph};
+use crate::fission::FissionSpec;
+use magis_graph::algo::dominator::DomTree;
+use magis_graph::graph::{Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One node of the F-Tree.
+#[derive(Debug, Clone)]
+pub struct FTreeNode {
+    /// The fission candidate; `spec.parts == 1` means disabled.
+    pub spec: FissionSpec,
+    /// Parent index in the tree (None: root candidate).
+    pub parent: Option<usize>,
+    /// Child indices (regions strictly nested inside this one).
+    pub children: Vec<usize>,
+    /// Score interval the candidate came from (1 ..= L), for diagnostics.
+    pub level: usize,
+}
+
+impl FTreeNode {
+    /// Whether this node's fission is currently applied.
+    pub fn enabled(&self) -> bool {
+        self.spec.parts > 1
+    }
+}
+
+/// The F-Tree: a forest of nested fission candidates.
+#[derive(Debug, Clone, Default)]
+pub struct FTree {
+    nodes: Vec<FTreeNode>,
+}
+
+/// Restricts a component to the nodes reachable from its "dominant"
+/// entry — the entry node with the largest reachable set within the
+/// component. Returns `None` when the component has no entry (cannot
+/// happen for DAG-induced sets, defensively handled).
+fn dominant_entry_region(
+    g: &Graph,
+    comp: &BTreeSet<NodeId>,
+) -> Option<BTreeSet<NodeId>> {
+    let entries: Vec<NodeId> = comp
+        .iter()
+        .copied()
+        .filter(|&v| g.pre_all(v).iter().all(|p| !comp.contains(p)))
+        .collect();
+    let reach = |e: NodeId| -> BTreeSet<NodeId> {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut stack = vec![e];
+        while let Some(v) = stack.pop() {
+            if seen.insert(v) {
+                for s in g.suc(v) {
+                    if comp.contains(&s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        seen
+    };
+    entries.into_iter().map(reach).max_by_key(BTreeSet::len)
+}
+
+/// A mutation of one F-Tree node (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FTreeMutation {
+    /// Enable a disabled leaf, or a parent of an enabled node that has
+    /// no enabled ancestors (Fig. 7 (a)). Sets `n = 2`.
+    Enable(usize),
+    /// Disable an enabled node without enabled ancestors and enable its
+    /// parent (Fig. 7 (b)).
+    Lift(usize),
+    /// Disable an enabled node with no enabled descendants (Fig. 7 (c)).
+    Disable(usize),
+    /// Increase an enabled node's `n` to the next divisor of the split
+    /// dimension length (Fig. 7 (d)).
+    Mutate(usize),
+}
+
+impl FTree {
+    /// Builds the F-Tree for `g` with hot-spots `h` and max-level `l`
+    /// (Algorithm 1).
+    pub fn build(g: &Graph, hotspots: &BTreeSet<NodeId>, l: usize) -> Self {
+        let dg = DimGraph::build(g);
+        let mut candidates: Vec<(BTreeSet<NodeId>, BTreeMap<NodeId, i32>, usize)> = Vec::new();
+        for comp in dg.components() {
+            // G' := sub-graph of G induced from the component's nodes.
+            let comp_nodes: BTreeSet<NodeId> = comp.iter().map(|&(v, _)| v).collect();
+            if comp_nodes.len() < 2 {
+                continue;
+            }
+            // §2.1: "the dominator tree we use here usually takes the
+            // input tensor as the entry" — pick the entry whose
+            // reachable set inside the component is largest (the batch
+            // input, in training graphs) and ignore secondary entries
+            // (labels, mid-graph joins), which would otherwise pull
+            // every post-loss node up to the virtual root.
+            let comp_nodes = match dominant_entry_region(g, &comp_nodes) {
+                Some(r) => r,
+                None => comp_nodes,
+            };
+            if comp_nodes.len() < 2 {
+                continue;
+            }
+            let t = DomTree::compute(g, &comp_nodes);
+            // Scores per Eq. (3)/(4) with n = 2.
+            let sizes = |v: NodeId| g.node(v).size_bytes() as f64;
+            let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
+            for v in t.nodes() {
+                let region = t.descendants(v);
+                if region.is_empty() {
+                    continue;
+                }
+                let heat: f64 = region
+                    .iter()
+                    .filter(|w| hotspots.contains(w))
+                    .map(|&w| sizes(w))
+                    .sum();
+                let inputs: f64 = g
+                    .set_inputs(&region)
+                    .iter()
+                    .filter(|u| !hotspots.contains(u))
+                    .map(|&u| sizes(u))
+                    .sum();
+                scores.insert(v, 0.5 * heat - inputs);
+            }
+            let smax = scores.values().copied().fold(f64::MIN, f64::max);
+            if smax <= 0.0 {
+                continue;
+            }
+            // Stratify into L intervals; in each interval keep the
+            // dominator-tree-deepest nodes (no descendant in the same
+            // interval).
+            for i in 1..=l {
+                let lo = i as f64 / l as f64;
+                let hi = (i + 1) as f64 / l as f64;
+                let v_i: BTreeSet<NodeId> = scores
+                    .iter()
+                    .filter(|(_, &s)| {
+                        let ns = s / smax;
+                        ns >= lo && (ns < hi || (i == l && ns <= 1.0))
+                    })
+                    .map(|(&v, _)| v)
+                    .collect();
+                for &vdom in &v_i {
+                    if t.descendants(vdom).iter().any(|d| v_i.contains(d)) {
+                        continue;
+                    }
+                    let s = t.descendants(vdom);
+                    if s.is_empty() {
+                        continue;
+                    }
+                    let Some(dims) = component_dims(&comp, &s) else { continue };
+                    let spec = FissionSpec { set: s.clone(), dims, parts: 1 };
+                    // "if f is valid": structural validation with the
+                    // minimum useful part count.
+                    let mut probe = spec.clone();
+                    probe.parts = 2;
+                    if probe.validate(g).is_ok() {
+                        candidates.push((s, spec.dims, i));
+                    }
+                }
+            }
+        }
+        Self::assemble(candidates)
+    }
+
+    /// Builds a *naïve* F-Tree (ablation §7.2.5 "naïve-fission"):
+    /// random valid sub-graphs and dimensions, ignoring dominator and
+    /// hot-spot analysis.
+    pub fn build_naive(g: &Graph, count: usize, seed: u64) -> Self {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dg = DimGraph::build(g);
+        let comps = dg.components();
+        if comps.is_empty() {
+            return FTree::default();
+        }
+        let order = magis_graph::algo::topo_order(g);
+        let mut candidates = Vec::new();
+        let mut tries = 0;
+        while candidates.len() < count && tries < count * 40 {
+            tries += 1;
+            let comp = &comps[rng.gen_range(0..comps.len())];
+            let comp_nodes: Vec<NodeId> = {
+                let s: BTreeSet<NodeId> = comp.iter().map(|&(v, _)| v).collect();
+                order.iter().copied().filter(|v| s.contains(v)).collect()
+            };
+            if comp_nodes.len() < 2 {
+                continue;
+            }
+            // Random contiguous run of the component's topo order.
+            let len = rng.gen_range(1..=comp_nodes.len().min(12));
+            let start = rng.gen_range(0..=comp_nodes.len() - len);
+            let set: BTreeSet<NodeId> =
+                comp_nodes[start..start + len].iter().copied().collect();
+            let Some(dims) = component_dims(comp, &set) else { continue };
+            let mut probe = FissionSpec { set: set.clone(), dims: dims.clone(), parts: 2 };
+            if probe.validate(g).is_ok() {
+                probe.parts = 1;
+                candidates.push((set, dims, 1));
+            }
+        }
+        Self::assemble(candidates)
+    }
+
+    /// Assembles a forest from candidate regions by containment. Dom
+    /// regions from one tree are either nested or disjoint; cross-
+    /// component duplicates are deduplicated by node set.
+    fn assemble(mut candidates: Vec<(BTreeSet<NodeId>, BTreeMap<NodeId, i32>, usize)>) -> Self {
+        // Dedup by set, keep first (lowest interval).
+        candidates.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        candidates.dedup_by(|a, b| a.0 == b.0);
+        let mut tree = FTree { nodes: Vec::new() };
+        for (set, dims, level) in candidates {
+            // Parent: the smallest existing node strictly containing set.
+            let mut parent: Option<usize> = None;
+            for (i, n) in tree.nodes.iter().enumerate() {
+                if n.spec.set.len() > set.len() && set.is_subset(&n.spec.set) {
+                    match parent {
+                        Some(p) if tree.nodes[p].spec.set.len() <= n.spec.set.len() => {}
+                        _ => parent = Some(i),
+                    }
+                }
+            }
+            let idx = tree.nodes.len();
+            tree.nodes.push(FTreeNode {
+                spec: FissionSpec { set, dims, parts: 1 },
+                parent,
+                children: Vec::new(),
+                level,
+            });
+            if let Some(p) = parent {
+                tree.nodes[p].children.push(idx);
+            }
+        }
+        tree
+    }
+
+    /// Number of tree nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, i: usize) -> &FTreeNode {
+        &self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[FTreeNode] {
+        &self.nodes
+    }
+
+    /// Enabled node indices, parents before children (application
+    /// order for overlays).
+    pub fn enabled_order(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.nodes[i].enabled()).collect();
+        out.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i].spec.set.len()));
+        out
+    }
+
+    fn has_enabled_ancestor(&self, i: usize) -> bool {
+        let mut cur = self.nodes[i].parent;
+        while let Some(p) = cur {
+            if self.nodes[p].enabled() {
+                return true;
+            }
+            cur = self.nodes[p].parent;
+        }
+        false
+    }
+
+    fn has_enabled_descendant(&self, i: usize) -> bool {
+        self.nodes[i]
+            .children
+            .iter()
+            .any(|&c| self.nodes[c].enabled() || self.has_enabled_descendant(c))
+    }
+
+    /// Whether every graph node of `set` avoids *partially* overlapping
+    /// any fission region (transformations must not span region
+    /// boundaries, §3).
+    pub fn allows_transform(&self, set: &BTreeSet<NodeId>) -> bool {
+        for n in &self.nodes {
+            if !n.enabled() {
+                continue;
+            }
+            let inter = n.spec.set.intersection(set).count();
+            if inter != 0 && inter != set.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Legal mutations of the current tree (the rule generator of §5.1).
+    pub fn legal_mutations(&self, g: &Graph) -> Vec<FTreeMutation> {
+        let mut out = Vec::new();
+        for i in 0..self.nodes.len() {
+            let n = &self.nodes[i];
+            if n.enabled() {
+                if !self.has_enabled_ancestor(i) {
+                    if let Some(p) = n.parent {
+                        if !self.nodes[p].enabled() {
+                            out.push(FTreeMutation::Lift(i));
+                        }
+                    }
+                }
+                if !self.has_enabled_descendant(i) {
+                    out.push(FTreeMutation::Disable(i));
+                }
+                if self.next_parts(g, i).is_some() {
+                    out.push(FTreeMutation::Mutate(i));
+                }
+            } else {
+                let leaf = n.children.is_empty();
+                let parent_of_enabled_chain = n.children.iter().any(|&c| self.nodes[c].enabled())
+                    && !self.has_enabled_ancestor(i);
+                if (leaf && !self.has_enabled_ancestor(i) || parent_of_enabled_chain)
+                    && self.mutated(g, i, 2).validate(g).is_ok()
+                {
+                    out.push(FTreeMutation::Enable(i));
+                }
+            }
+        }
+        out
+    }
+
+    /// The smallest valid part count greater than the node's current
+    /// one: the next divisor of the minimum split-dimension extent.
+    fn next_parts(&self, g: &Graph, i: usize) -> Option<u64> {
+        let n = &self.nodes[i];
+        let extent = n
+            .spec
+            .dims
+            .iter()
+            .filter(|&(_, &d)| d > 0)
+            .map(|(&v, &d)| {
+                // Extents are taken from the *base* graph (specs refer
+                // to un-overlaid shapes).
+                g.node(v).meta.shape.dim((d - 1) as usize)
+            })
+            .min()?;
+        ((n.spec.parts + 1)..=extent).find(|k| extent % k == 0)
+    }
+
+    fn mutated(&self, _g: &Graph, i: usize, parts: u64) -> FissionSpec {
+        let mut spec = self.nodes[i].spec.clone();
+        spec.parts = parts;
+        spec
+    }
+
+    /// Rebuilds the candidate tree for an updated graph while
+    /// preserving currently enabled regions (M-Analyzer refresh,
+    /// Algorithm 3 line 13): enabled regions whose node set survives
+    /// keep their part counts; enabled regions that no longer appear as
+    /// candidates are carried over verbatim so an in-flight fission is
+    /// never silently dropped.
+    pub fn refreshed(&self, g: &Graph, hotspots: &BTreeSet<NodeId>, l: usize) -> FTree {
+        let mut t = FTree::build(g, hotspots, l);
+        for old in self.nodes.iter().filter(|n| n.enabled()) {
+            if let Some(pos) = t.nodes.iter().position(|n| n.spec.set == old.spec.set) {
+                t.nodes[pos].spec.parts = old.spec.parts;
+            } else if old.spec.validate(g).is_ok() {
+                // Re-insert as a candidate, then hook containment.
+                let idx = t.nodes.len();
+                let mut parent: Option<usize> = None;
+                for (i, n) in t.nodes.iter().enumerate() {
+                    if n.spec.set.len() > old.spec.set.len()
+                        && old.spec.set.is_subset(&n.spec.set)
+                        && parent.map_or(true, |p| t.nodes[p].spec.set.len() > n.spec.set.len())
+                    {
+                        parent = Some(i);
+                    }
+                }
+                t.nodes.push(FTreeNode {
+                    spec: old.spec.clone(),
+                    parent,
+                    children: Vec::new(),
+                    level: old.level,
+                });
+                if let Some(p) = parent {
+                    t.nodes[p].children.push(idx);
+                }
+            }
+        }
+        t
+    }
+
+    /// Applies a mutation, returning the changed tree and the graph
+    /// region affected (for incremental scheduling).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the mutation is not currently legal.
+    pub fn apply(&self, g: &Graph, m: FTreeMutation) -> Result<(FTree, BTreeSet<NodeId>), String> {
+        if !self.legal_mutations(g).contains(&m) {
+            return Err(format!("illegal F-Tree mutation {m:?}"));
+        }
+        let mut t = self.clone();
+        let region = match m {
+            FTreeMutation::Enable(i) => {
+                t.nodes[i].spec.parts = 2;
+                t.nodes[i].spec.set.clone()
+            }
+            FTreeMutation::Lift(i) => {
+                let p = t.nodes[i].parent.expect("lift requires a parent");
+                t.nodes[i].spec.parts = 1;
+                t.nodes[p].spec.parts = 2;
+                t.nodes[p].spec.set.clone()
+            }
+            FTreeMutation::Disable(i) => {
+                t.nodes[i].spec.parts = 1;
+                t.nodes[i].spec.set.clone()
+            }
+            FTreeMutation::Mutate(i) => {
+                let next = t.next_parts(g, i).expect("legal mutate has next parts");
+                t.nodes[i].spec.parts = next;
+                t.nodes[i].spec.set.clone()
+            }
+        };
+        Ok((t, region))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_graph::algo::topo_order;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::tensor::DType;
+    use magis_sim::memory_profile;
+
+    /// Deep MLP whose activations dominate memory.
+    fn mlp(depth: usize) -> Graph {
+        let mut b = GraphBuilder::new(DType::F32);
+        let mut cur = b.input([256, 64], "x");
+        for i in 0..depth {
+            let w = b.weight([64, 64], &format!("w{i}"));
+            let h = b.matmul(cur, w);
+            cur = b.relu(h);
+        }
+        b.finish()
+    }
+
+    fn hotspots(g: &Graph) -> BTreeSet<NodeId> {
+        memory_profile(g, &topo_order(g)).hotspots
+    }
+
+    #[test]
+    fn build_finds_candidates_on_mlp() {
+        let g = mlp(6);
+        let h = hotspots(&g);
+        let t = FTree::build(&g, &h, 4);
+        assert!(!t.is_empty(), "MLP must yield fission candidates");
+        for n in t.nodes() {
+            assert_eq!(n.spec.parts, 1, "initial tree is disabled");
+            let mut probe = n.spec.clone();
+            probe.parts = 2;
+            probe.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_nesting_by_containment() {
+        let g = mlp(8);
+        let t = FTree::build(&g, &hotspots(&g), 4);
+        for (i, n) in t.nodes().iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(n.spec.set.is_subset(&t.node(p).spec.set));
+                assert!(t.node(p).children.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn enable_disable_cycle() {
+        let g = mlp(6);
+        let t = FTree::build(&g, &hotspots(&g), 4);
+        let muts = t.legal_mutations(&g);
+        let enable = muts
+            .iter()
+            .find(|m| matches!(m, FTreeMutation::Enable(_)))
+            .copied()
+            .expect("some enable available");
+        let (t2, region) = t.apply(&g, enable).unwrap();
+        assert!(!region.is_empty());
+        assert_eq!(t2.enabled_order().len(), 1);
+        // The enabled node can now be disabled or mutated.
+        let muts2 = t2.legal_mutations(&g);
+        assert!(muts2.iter().any(|m| matches!(m, FTreeMutation::Disable(_))));
+        let disable = muts2
+            .iter()
+            .find(|m| matches!(m, FTreeMutation::Disable(_)))
+            .copied()
+            .unwrap();
+        let (t3, _) = t2.apply(&g, disable).unwrap();
+        assert!(t3.enabled_order().is_empty());
+    }
+
+    #[test]
+    fn mutate_increases_to_next_divisor() {
+        let g = mlp(6);
+        let t = FTree::build(&g, &hotspots(&g), 4);
+        let enable = t
+            .legal_mutations(&g)
+            .into_iter()
+            .find(|m| matches!(m, FTreeMutation::Enable(_)))
+            .unwrap();
+        let (t2, _) = t.apply(&g, enable).unwrap();
+        let i = t2.enabled_order()[0];
+        assert_eq!(t2.node(i).spec.parts, 2);
+        if let Some(FTreeMutation::Mutate(j)) = t2
+            .legal_mutations(&g)
+            .into_iter()
+            .find(|m| matches!(m, FTreeMutation::Mutate(_)))
+        {
+            let (t3, _) = t2.apply(&g, FTreeMutation::Mutate(j)).unwrap();
+            // Batch extent 256: next divisor after 2 is 4.
+            assert_eq!(t3.node(j).spec.parts, 4);
+        }
+    }
+
+    #[test]
+    fn illegal_mutations_rejected() {
+        let g = mlp(4);
+        let t = FTree::build(&g, &hotspots(&g), 4);
+        // Disabling a disabled node is illegal.
+        assert!(t.apply(&g, FTreeMutation::Disable(0)).is_err());
+    }
+
+    #[test]
+    fn allows_transform_respects_boundaries() {
+        let g = mlp(6);
+        let t = FTree::build(&g, &hotspots(&g), 4);
+        let enable = t
+            .legal_mutations(&g)
+            .into_iter()
+            .find(|m| matches!(m, FTreeMutation::Enable(_)))
+            .unwrap();
+        let (t2, region) = t.apply(&g, enable).unwrap();
+        // A set fully inside is fine; one straddling the boundary is not.
+        let inside: BTreeSet<NodeId> = region.iter().take(1).copied().collect();
+        assert!(t2.allows_transform(&inside));
+        let outside_node = g.node_ids().find(|v| !region.contains(v)).unwrap();
+        let straddle: BTreeSet<NodeId> =
+            [*region.iter().next().unwrap(), outside_node].into_iter().collect();
+        assert!(!t2.allows_transform(&straddle));
+    }
+
+    #[test]
+    fn naive_tree_builds_valid_candidates() {
+        let g = mlp(6);
+        let t = FTree::build_naive(&g, 8, 42);
+        for n in t.nodes() {
+            let mut probe = n.spec.clone();
+            probe.parts = 2;
+            probe.validate(&g).unwrap();
+        }
+    }
+}

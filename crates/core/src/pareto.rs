@@ -1,0 +1,97 @@
+//! Pareto-front bookkeeping for the dual-objective (memory, latency)
+//! optimization (Fig. 11 of the paper).
+
+/// A `(peak_bytes, latency_seconds)` observation.
+pub type Point = (u64, f64);
+
+/// Collects observations and exposes their Pareto front.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoSet {
+    points: Vec<Point>,
+}
+
+impl ParetoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ParetoSet::default()
+    }
+
+    /// Records an observation.
+    pub fn insert(&mut self, mem: u64, latency: f64) {
+        self.points.push((mem, latency));
+    }
+
+    /// All recorded observations.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The Pareto-optimal subset, sorted by memory ascending (latency
+    /// then descends). A point survives if no other point is at least
+    /// as good in both objectives and better in one.
+    pub fn front(&self) -> Vec<Point> {
+        pareto_front(&self.points)
+    }
+
+    /// Minimum latency among points with `mem <= limit`, if any.
+    pub fn best_latency_under(&self, limit: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|&&(m, _)| m <= limit)
+            .map(|&(_, l)| l)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Minimum memory among points with `latency <= limit`, if any.
+    pub fn best_memory_under(&self, lat_limit: f64) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|&&(_, l)| l <= lat_limit)
+            .map(|&(m, _)| m)
+            .min()
+    }
+}
+
+/// Computes the Pareto front of `(memory, latency)` points.
+pub fn pareto_front(points: &[Point]) -> Vec<Point> {
+    let mut sorted: Vec<Point> = points.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut front: Vec<Point> = Vec::new();
+    let mut best_lat = f64::INFINITY;
+    for p in sorted {
+        if p.1 < best_lat {
+            best_lat = p.1;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_filters_dominated() {
+        let pts = vec![(100, 1.0), (50, 2.0), (80, 1.5), (90, 1.6), (50, 3.0)];
+        let f = pareto_front(&pts);
+        assert_eq!(f, vec![(50, 2.0), (80, 1.5), (100, 1.0)]);
+    }
+
+    #[test]
+    fn best_under_constraints() {
+        let mut s = ParetoSet::new();
+        s.insert(100, 1.0);
+        s.insert(50, 2.0);
+        s.insert(80, 1.5);
+        assert_eq!(s.best_latency_under(85), Some(1.5));
+        assert_eq!(s.best_latency_under(10), None);
+        assert_eq!(s.best_memory_under(1.7), Some(80));
+    }
+
+    #[test]
+    fn duplicates_and_single() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(5, 1.0), (5, 1.0)]), vec![(5, 1.0)]);
+    }
+}

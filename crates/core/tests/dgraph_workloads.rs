@@ -1,0 +1,70 @@
+//! D-Graph structure across the real workloads: every Table 2 network
+//! must expose a batch-dimension component spanning a large fraction
+//! of its nodes (the precondition for the paper's headline fissions),
+//! and the F-Tree must find candidates on each.
+
+use magis_core::dgraph::DimGraph;
+use magis_core::state::{EvalContext, MState};
+use magis_models::Workload;
+use std::collections::BTreeSet;
+
+fn batch_component_fraction(w: Workload, scale: f64) -> f64 {
+    let tg = w.build(scale);
+    let g = &tg.graph;
+    let dg = DimGraph::build(g);
+    // The batch input's dim-1 component.
+    let x = g
+        .node_ids()
+        .find(|&v| {
+            g.node(v).op.is_input()
+                && !g.node(v).op.is_weight_input()
+                && g.node(v).meta.shape.rank() >= 2
+        })
+        .expect("batch input");
+    let comps = dg.components();
+    let batch = comps.iter().find(|c| c.contains(&(x, 1)));
+    let nodes: BTreeSet<_> = match batch {
+        Some(c) => c.iter().map(|&(v, _)| v).collect(),
+        None => BTreeSet::new(),
+    };
+    nodes.len() as f64 / g.len() as f64
+}
+
+#[test]
+fn batch_dimension_spans_transformers() {
+    for w in [Workload::BertBase, Workload::GptNeo13B] {
+        let frac = batch_component_fraction(w, 0.15);
+        assert!(frac > 0.3, "{}: batch component spans {frac:.2}", w.label());
+    }
+}
+
+#[test]
+fn batch_dimension_spans_cnns() {
+    for w in [Workload::UNet, Workload::ResNet50] {
+        let frac = batch_component_fraction(w, 0.15);
+        assert!(frac > 0.3, "{}: batch component spans {frac:.2}", w.label());
+    }
+}
+
+#[test]
+fn ftree_finds_candidates_on_every_workload() {
+    for w in Workload::all() {
+        let tg = w.build(0.12);
+        let ctx = EvalContext::default();
+        let mut s = MState::initial(tg.graph, &ctx);
+        s.analyze(4);
+        assert!(
+            !s.ftree.is_empty(),
+            "{}: F-Tree must offer fission candidates",
+            w.label()
+        );
+        // Every candidate must be probe-valid at n = 2.
+        for n in s.ftree.nodes() {
+            let mut probe = n.spec.clone();
+            probe.parts = 2;
+            probe
+                .validate(&s.base)
+                .unwrap_or_else(|e| panic!("{}: invalid candidate: {e}", w.label()));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Weakly connected components of node subsets.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Splits `set` into weakly connected components of the induced
+/// sub-graph (edges with both endpoints inside `set`, direction
+/// ignored). Components are returned in ascending order of their
+/// smallest node id; each component is sorted.
+pub fn weakly_connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<BTreeSet<NodeId>> {
+    let mut remaining: BTreeSet<NodeId> = set.clone();
+    let mut components = Vec::new();
+    while let Some(&seed) = remaining.iter().next() {
+        let mut comp = BTreeSet::new();
+        let mut stack = vec![seed];
+        remaining.remove(&seed);
+        while let Some(v) = stack.pop() {
+            comp.insert(v);
+            for u in g.pre_all(v).into_iter().chain(g.suc(v)) {
+                if remaining.remove(&u) {
+                    stack.push(u);
+                }
+            }
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// Whether the sub-graph induced by `set` is weakly connected
+/// (constraint (1) of F-Trans validity, §4.2).
+pub fn is_weakly_connected(g: &Graph, set: &BTreeSet<NodeId>) -> bool {
+    if set.is_empty() {
+        return false;
+    }
+    weakly_connected_components(g, set).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{InputKind, OpKind, UnaryKind};
+    use crate::tensor::{DType, TensorMeta};
+
+    fn meta() -> TensorMeta {
+        TensorMeta::new([2], DType::F32)
+    }
+
+    #[test]
+    fn two_chains_two_components() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let y = g.add_input(InputKind::Activation, meta(), "y");
+        let b = g.add(OpKind::Unary(UnaryKind::Relu), &[y]).unwrap();
+        let all: BTreeSet<NodeId> = g.node_ids().collect();
+        let comps = weakly_connected_components(&g, &all);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], [x, a].into_iter().collect());
+        assert_eq!(comps[1], [y, b].into_iter().collect());
+        assert!(!is_weakly_connected(&g, &all));
+        assert!(is_weakly_connected(&g, &comps[0]));
+    }
+
+    #[test]
+    fn induced_edges_only() {
+        // x -> a -> b: the subset {x, b} is disconnected because `a` is
+        // outside it.
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let set: BTreeSet<NodeId> = [x, b].into_iter().collect();
+        assert_eq!(weakly_connected_components(&g, &set).len(), 2);
+    }
+
+    #[test]
+    fn empty_set_not_connected() {
+        let g = Graph::new();
+        assert!(!is_weakly_connected(&g, &BTreeSet::new()));
+    }
+}

@@ -1,0 +1,267 @@
+//! Dominator trees over (sub-)graphs (§2.1 of the paper).
+//!
+//! A virtual root is added above all entry nodes of the requested node
+//! set, so multi-input DNN graphs (input tensor, labels, many weights)
+//! are handled uniformly. Implemented with the Cooper–Harvey–Kennedy
+//! iterative algorithm over a reverse-postorder (any topological order
+//! of a DAG).
+
+use super::topo::topo_order_of;
+use crate::graph::{Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dominator tree `T(G')` of an induced sub-graph.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each node; `None` means the virtual root.
+    idom: BTreeMap<NodeId, Option<NodeId>>,
+    /// Children lists of the tree (inverse of `idom`).
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Nodes directly below the virtual root.
+    roots: Vec<NodeId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of the sub-graph of `g` induced by
+    /// `set` (only edges with both endpoints in `set` are considered).
+    ///
+    /// Entry nodes (no predecessor inside `set`) hang off the virtual
+    /// root.
+    pub fn compute(g: &Graph, set: &BTreeSet<NodeId>) -> Self {
+        let order = topo_order_of(g, set); // RPO of a DAG
+        let mut rpo_pos: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (i, &v) in order.iter().enumerate() {
+            rpo_pos.insert(v, i);
+        }
+        // Dense arrays over RPO positions; usize::MAX is "virtual root",
+        // usize::MAX-1 is "undefined".
+        const ROOT: usize = usize::MAX;
+        const UNDEF: usize = usize::MAX - 1;
+        let n = order.len();
+        let mut idom = vec![UNDEF; n];
+
+        let preds: Vec<Vec<usize>> = order
+            .iter()
+            .map(|&v| {
+                g.pre_all(v)
+                    .into_iter()
+                    .filter_map(|p| rpo_pos.get(&p).copied())
+                    .collect()
+            })
+            .collect();
+
+        let intersect = |idom: &[usize], mut a: usize, mut b: usize| -> usize {
+            loop {
+                if a == b {
+                    return a;
+                }
+                if a == ROOT || b == ROOT {
+                    return ROOT;
+                }
+                while a > b {
+                    a = idom[a];
+                    if a == ROOT {
+                        return ROOT;
+                    }
+                }
+                while b > a {
+                    b = idom[b];
+                    if b == ROOT {
+                        return ROOT;
+                    }
+                }
+            }
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut new_idom = UNDEF;
+                if preds[i].is_empty() {
+                    new_idom = ROOT;
+                } else {
+                    for &p in &preds[i] {
+                        if idom[p] == UNDEF {
+                            continue;
+                        }
+                        new_idom = if new_idom == UNDEF { p } else { intersect(&idom, new_idom, p) };
+                    }
+                    if new_idom == UNDEF {
+                        new_idom = ROOT;
+                    }
+                }
+                if idom[i] != new_idom {
+                    idom[i] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut idom_map = BTreeMap::new();
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for (i, &v) in order.iter().enumerate() {
+            children.entry(v).or_default();
+            if idom[i] == ROOT {
+                idom_map.insert(v, None);
+                roots.push(v);
+            } else {
+                let parent = order[idom[i]];
+                idom_map.insert(v, Some(parent));
+                children.entry(parent).or_default().push(v);
+            }
+        }
+        DomTree { idom: idom_map, children, roots }
+    }
+
+    /// Immediate dominator of `v`; `None` if `v` hangs off the virtual
+    /// root (or is not in the tree).
+    pub fn idom(&self, v: NodeId) -> Option<NodeId> {
+        self.idom.get(&v).copied().flatten()
+    }
+
+    /// Children of `v` in the tree (`T.suc(v)`).
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.children.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes whose immediate dominator is the virtual root.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// All nodes in the tree.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.idom.keys().copied()
+    }
+
+    /// Strict descendants of `v` in the dominator tree (`T.des(v)`):
+    /// every node dominated by `v`, excluding `v` itself.
+    pub fn descendants(&self, v: NodeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<NodeId> = self.children(v).to_vec();
+        while let Some(u) = stack.pop() {
+            if out.insert(u) {
+                stack.extend_from_slice(self.children(u));
+            }
+        }
+        out
+    }
+
+    /// Descendants of `v` including `v` (the full dominated region).
+    pub fn dominated_region(&self, v: NodeId) -> BTreeSet<NodeId> {
+        let mut s = self.descendants(v);
+        s.insert(v);
+        s
+    }
+
+    /// Whether `u` dominates `v` (reflexive).
+    pub fn dominates(&self, u: NodeId, v: NodeId) -> bool {
+        let mut cur = Some(v);
+        while let Some(c) = cur {
+            if c == u {
+                return true;
+            }
+            cur = self.idom(c);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
+    use crate::tensor::{DType, TensorMeta};
+
+    fn meta() -> TensorMeta {
+        TensorMeta::new([2, 2], DType::F32)
+    }
+
+    fn all(g: &Graph) -> BTreeSet<NodeId> {
+        g.node_ids().collect()
+    }
+
+    #[test]
+    fn chain_dominators() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let t = DomTree::compute(&g, &all(&g));
+        assert_eq!(t.idom(x), None);
+        assert_eq!(t.idom(a), Some(x));
+        assert_eq!(t.idom(b), Some(a));
+        assert!(t.dominates(x, b));
+        assert_eq!(t.descendants(x), [a, b].into_iter().collect());
+    }
+
+    #[test]
+    fn diamond_joins_at_fork() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Gelu), &[x]).unwrap();
+        let c = g.add(OpKind::Binary(BinaryKind::Add), &[a, b]).unwrap();
+        let t = DomTree::compute(&g, &all(&g));
+        // c's immediate dominator is x, not a or b.
+        assert_eq!(t.idom(c), Some(x));
+        assert!(t.dominates(x, c));
+        assert!(!t.dominates(a, c));
+    }
+
+    #[test]
+    fn multiple_entries_use_virtual_root() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let w = g.add_input(InputKind::Weight, meta(), "w");
+        let y = g.add(OpKind::Binary(BinaryKind::Mul), &[x, w]).unwrap();
+        let t = DomTree::compute(&g, &all(&g));
+        assert_eq!(t.idom(x), None);
+        assert_eq!(t.idom(w), None);
+        // y joins two entries: dominated only by the virtual root.
+        assert_eq!(t.idom(y), None);
+        assert_eq!(t.roots().len(), 3);
+    }
+
+    #[test]
+    fn subgraph_restriction() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let c = g.add(OpKind::Unary(UnaryKind::Relu), &[b]).unwrap();
+        // Restrict to {b, c}: b becomes an entry.
+        let set: BTreeSet<NodeId> = [b, c].into_iter().collect();
+        let t = DomTree::compute(&g, &set);
+        assert_eq!(t.idom(b), None);
+        assert_eq!(t.idom(c), Some(b));
+        assert!(t.idom.get(&a).is_none());
+    }
+
+    #[test]
+    fn paper_fig6_style_nesting() {
+        // A small version of Fig. 6: a chain of residual blocks. Each
+        // block head dominates its block body; the entry dominates all.
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let mut cur = x;
+        let mut heads = Vec::new();
+        for _ in 0..3 {
+            let h = g.add(OpKind::Unary(UnaryKind::Relu), &[cur]).unwrap();
+            let l = g.add(OpKind::Unary(UnaryKind::Gelu), &[h]).unwrap();
+            let r = g.add(OpKind::Unary(UnaryKind::Tanh), &[h]).unwrap();
+            let j = g.add(OpKind::Binary(BinaryKind::Add), &[l, r]).unwrap();
+            heads.push(h);
+            cur = j;
+        }
+        let t = DomTree::compute(&g, &all(&g));
+        for (i, &h) in heads.iter().enumerate() {
+            assert!(t.dominates(x, h));
+            for &h2 in &heads[i + 1..] {
+                assert!(t.dominates(h, h2), "earlier head dominates later blocks");
+            }
+        }
+    }
+}

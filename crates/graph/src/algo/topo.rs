@@ -1,0 +1,155 @@
+//! Topological orders over computation graphs and node subsets.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::{BTreeSet, BinaryHeap};
+use std::cmp::Reverse;
+
+/// Deterministic topological order of all live nodes (Kahn's algorithm
+/// with a min-id tie-break).
+///
+/// If the graph has a cycle the returned order is shorter than
+/// [`Graph::len`]; [`Graph::validate`] relies on this.
+pub fn topo_order(g: &Graph) -> Vec<NodeId> {
+    let mut indeg = vec![0usize; g.capacity()];
+    for v in g.node_ids() {
+        let n = g.node(v);
+        indeg[v.index()] = n.inputs().len() + n.keepalive().len();
+    }
+    let mut heap: BinaryHeap<Reverse<NodeId>> = g
+        .node_ids()
+        .filter(|v| indeg[v.index()] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(g.len());
+    while let Some(Reverse(v)) = heap.pop() {
+        order.push(v);
+        for s in g.suc(v) {
+            // `suc` deduplicates; account for multiplicity explicitly.
+            let n = g.node(s);
+            let mult = n.inputs().iter().filter(|&&x| x == v).count()
+                + n.keepalive().iter().filter(|&&x| x == v).count();
+            indeg[s.index()] -= mult;
+            if indeg[s.index()] == 0 {
+                heap.push(Reverse(s));
+            }
+        }
+    }
+    order
+}
+
+/// Topological order of the sub-graph induced by `set` (edges with both
+/// endpoints in `set`).
+pub fn topo_order_of(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    let mut indeg = vec![0usize; g.capacity()];
+    for &v in set {
+        indeg[v.index()] = g
+            .node(v)
+            .inputs()
+            .iter()
+            .chain(g.node(v).keepalive())
+            .filter(|p| set.contains(p))
+            .count();
+    }
+    let mut heap: BinaryHeap<Reverse<NodeId>> = set
+        .iter()
+        .copied()
+        .filter(|v| indeg[v.index()] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(set.len());
+    while let Some(Reverse(v)) = heap.pop() {
+        order.push(v);
+        for s in g.suc(v) {
+            if !set.contains(&s) {
+                continue;
+            }
+            let n = g.node(s);
+            let mult = n.inputs().iter().filter(|&&x| x == v).count()
+                + n.keepalive().iter().filter(|&&x| x == v).count();
+            indeg[s.index()] -= mult;
+            if indeg[s.index()] == 0 {
+                heap.push(Reverse(s));
+            }
+        }
+    }
+    order
+}
+
+/// Checks that `order` is a valid topological order of all of `g`'s
+/// live nodes: a permutation where every edge points forward.
+pub fn is_topo_order(g: &Graph, order: &[NodeId]) -> bool {
+    if order.len() != g.len() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.capacity()];
+    for (i, &v) in order.iter().enumerate() {
+        if !g.contains(v) || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    for v in g.node_ids() {
+        let n = g.node(v);
+        for p in n.inputs().iter().chain(n.keepalive()) {
+            if pos[p.index()] >= pos[v.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
+    use crate::tensor::{DType, TensorMeta};
+
+    fn meta() -> TensorMeta {
+        TensorMeta::new([2, 2], DType::F32)
+    }
+
+    #[test]
+    fn diamond_order_valid() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Gelu), &[x]).unwrap();
+        let c = g.add(OpKind::Binary(BinaryKind::Add), &[a, b]).unwrap();
+        let order = topo_order(&g);
+        assert!(is_topo_order(&g, &order));
+        assert_eq!(order[0], x);
+        assert_eq!(order[3], c);
+    }
+
+    #[test]
+    fn subset_order() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Gelu), &[a]).unwrap();
+        let set: BTreeSet<NodeId> = [a, b].into_iter().collect();
+        let order = topo_order_of(&g, &set);
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn duplicate_edge_multiplicity() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let sq = g.add(OpKind::Binary(BinaryKind::Mul), &[x, x]).unwrap();
+        let order = topo_order(&g);
+        assert_eq!(order, vec![x, sq]);
+        assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn bad_orders_rejected() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        assert!(!is_topo_order(&g, &[a, x]));
+        assert!(!is_topo_order(&g, &[x]));
+        assert!(!is_topo_order(&g, &[x, x]));
+    }
+}

@@ -1,0 +1,296 @@
+//! Ergonomic construction of computation graphs.
+//!
+//! [`GraphBuilder`] wraps a [`Graph`] with one method per operator and
+//! panics on shape errors — model definitions are static, so a shape
+//! error is a bug in the model code, not a runtime condition.
+//!
+//! ```
+//! use magis_graph::builder::GraphBuilder;
+//! use magis_graph::tensor::DType;
+//!
+//! let mut b = GraphBuilder::new(DType::F32);
+//! let x = b.input([32, 128], "x");
+//! let w = b.weight([128, 64], "w");
+//! let h = b.matmul(x, w);
+//! let y = b.relu(h);
+//! let g = b.finish();
+//! assert_eq!(g.node(y).meta.shape.dims(), &[32, 64]);
+//! ```
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{
+    BinaryKind, Conv2dAttrs, InputKind, MergeKind, OpKind, Pool2dAttrs, PoolKind, ReduceKind,
+    UnaryKind,
+};
+use crate::tensor::{DType, Shape, TensorMeta};
+
+/// Builds computation graphs operator by operator.
+///
+/// All activation/weight tensors share the builder's default [`DType`];
+/// integer tensors (ids, labels) use [`DType::I32`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    g: Graph,
+    dtype: DType,
+}
+
+impl GraphBuilder {
+    /// Creates a builder whose float tensors use `dtype`.
+    pub fn new(dtype: DType) -> Self {
+        GraphBuilder { g: Graph::new(), dtype }
+    }
+
+    /// Consumes the builder, returning the graph.
+    pub fn finish(self) -> Graph {
+        self.g
+    }
+
+    /// Borrows the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The builder's default element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    fn add(&mut self, op: OpKind, inputs: &[NodeId]) -> NodeId {
+        match self.g.add(op.clone(), inputs) {
+            Ok(id) => id,
+            Err(e) => {
+                let shapes: Vec<String> = inputs
+                    .iter()
+                    .map(|&i| self.g.node(i).meta.to_string())
+                    .collect();
+                panic!("graph builder: {op} on {shapes:?}: {e}")
+            }
+        }
+    }
+
+    /// Adds an activation input.
+    pub fn input(&mut self, dims: impl Into<Shape>, name: &str) -> NodeId {
+        self.g
+            .add_input(InputKind::Activation, TensorMeta::new(dims, self.dtype), name)
+    }
+
+    /// Adds an integer activation input (token ids).
+    pub fn input_ids(&mut self, dims: impl Into<Shape>, name: &str) -> NodeId {
+        self.g
+            .add_input(InputKind::Activation, TensorMeta::new(dims, DType::I32), name)
+    }
+
+    /// Adds a trainable weight input.
+    pub fn weight(&mut self, dims: impl Into<Shape>, name: &str) -> NodeId {
+        self.g.add_input(InputKind::Weight, TensorMeta::new(dims, self.dtype), name)
+    }
+
+    /// Adds an integer label input.
+    pub fn label(&mut self, dims: impl Into<Shape>, name: &str) -> NodeId {
+        self.g.add_input(InputKind::Label, TensorMeta::new(dims, DType::I32), name)
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.add(OpKind::MatMul { transpose_a: false, transpose_b: false }, &[a, b])
+    }
+
+    /// `op(a) @ op(b)` with explicit transposes.
+    pub fn matmul_t(&mut self, a: NodeId, b: NodeId, ta: bool, tb: bool) -> NodeId {
+        self.add(OpKind::MatMul { transpose_a: ta, transpose_b: tb }, &[a, b])
+    }
+
+    /// Batched matrix multiply.
+    pub fn batch_matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.add(OpKind::BatchMatMul { transpose_a: false, transpose_b: false }, &[a, b])
+    }
+
+    /// Batched matrix multiply with transposes (`q @ kᵀ` patterns).
+    pub fn batch_matmul_t(&mut self, a: NodeId, b: NodeId, ta: bool, tb: bool) -> NodeId {
+        self.add(OpKind::BatchMatMul { transpose_a: ta, transpose_b: tb }, &[a, b])
+    }
+
+    /// 2-D convolution.
+    pub fn conv2d(&mut self, x: NodeId, w: NodeId, attrs: Conv2dAttrs) -> NodeId {
+        self.add(OpKind::Conv2d(attrs), &[x, w])
+    }
+
+    /// Max pooling with square window `k`, stride `k`.
+    pub fn max_pool(&mut self, x: NodeId, k: u64) -> NodeId {
+        self.add(OpKind::Pool2d(Pool2dAttrs::square(PoolKind::Max, k)), &[x])
+    }
+
+    /// Average pooling with square window `k`, stride `k`.
+    pub fn avg_pool(&mut self, x: NodeId, k: u64) -> NodeId {
+        self.add(OpKind::Pool2d(Pool2dAttrs::square(PoolKind::Avg, k)), &[x])
+    }
+
+    /// Nearest-neighbour upsampling.
+    pub fn upsample(&mut self, x: NodeId, scale: u64) -> NodeId {
+        self.add(OpKind::Upsample2d { scale }, &[x])
+    }
+
+    /// Elementwise unary helpers.
+    pub fn unary(&mut self, k: UnaryKind, x: NodeId) -> NodeId {
+        self.add(OpKind::Unary(k), &[x])
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        self.unary(UnaryKind::Relu, x)
+    }
+
+    /// GELU.
+    pub fn gelu(&mut self, x: NodeId) -> NodeId {
+        self.unary(UnaryKind::Gelu, x)
+    }
+
+    /// Sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        self.unary(UnaryKind::Sigmoid, x)
+    }
+
+    /// Dropout (modelled as elementwise work).
+    pub fn dropout(&mut self, x: NodeId) -> NodeId {
+        self.unary(UnaryKind::Dropout, x)
+    }
+
+    /// Elementwise binary helpers.
+    pub fn binary(&mut self, k: BinaryKind, a: NodeId, b: NodeId) -> NodeId {
+        self.add(OpKind::Binary(k), &[a, b])
+    }
+
+    /// `a + b` (broadcasting).
+    pub fn add_op(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinaryKind::Add, a, b)
+    }
+
+    /// `a * b` (broadcasting).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinaryKind::Mul, a, b)
+    }
+
+    /// Reduction.
+    pub fn reduce(&mut self, kind: ReduceKind, x: NodeId, axes: &[usize]) -> NodeId {
+        self.add(OpKind::Reduce { kind, axes: axes.to_vec(), keep_dims: false }, &[x])
+    }
+
+    /// Softmax over `axis`.
+    pub fn softmax(&mut self, x: NodeId, axis: usize) -> NodeId {
+        self.add(OpKind::Softmax { axis }, &[x])
+    }
+
+    /// Layer normalization over the last axis.
+    pub fn layer_norm(&mut self, x: NodeId) -> NodeId {
+        let axis = self.g.node(x).meta.shape.rank() - 1;
+        self.add(OpKind::LayerNorm { axis }, &[x])
+    }
+
+    /// Embedding lookup.
+    pub fn embedding(&mut self, table: NodeId, ids: NodeId) -> NodeId {
+        self.add(OpKind::Embedding, &[table, ids])
+    }
+
+    /// Mean cross-entropy loss.
+    pub fn cross_entropy(&mut self, logits: NodeId, labels: NodeId) -> NodeId {
+        self.add(OpKind::CrossEntropy, &[logits, labels])
+    }
+
+    /// Dimension permutation.
+    pub fn transpose(&mut self, x: NodeId, perm: &[usize]) -> NodeId {
+        self.add(OpKind::Transpose { perm: perm.to_vec() }, &[x])
+    }
+
+    /// Reshape (alias).
+    pub fn reshape(&mut self, x: NodeId, dims: impl Into<Shape>) -> NodeId {
+        self.add(OpKind::Reshape { shape: dims.into() }, &[x])
+    }
+
+    /// Contiguous slice along `axis`.
+    pub fn slice(&mut self, x: NodeId, axis: usize, start: u64, len: u64) -> NodeId {
+        self.add(OpKind::Slice { axis, start, len }, &[x])
+    }
+
+    /// Concatenation along `axis`.
+    pub fn concat(&mut self, xs: &[NodeId], axis: usize) -> NodeId {
+        self.add(OpKind::Concat { axis }, xs)
+    }
+
+    /// Fission-overlay merge (used by tests of the overlay machinery).
+    pub fn merge(&mut self, x: NodeId, kind: MergeKind, axis: usize, parts: u64) -> NodeId {
+        self.add(OpKind::Merge { kind, axis, parts }, &[x])
+    }
+
+    /// Scale-and-shift (affine normalization tail): `x * gamma + beta`
+    /// with per-channel parameters broadcast along trailing dims.
+    pub fn scale_shift(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let scaled = self.mul(x, gamma);
+        self.add_op(scaled, beta)
+    }
+
+    /// Applies `relu(conv(x, w))` — the ubiquitous CNN building block.
+    pub fn conv_relu(&mut self, x: NodeId, w: NodeId, attrs: Conv2dAttrs) -> NodeId {
+        let c = self.conv2d(x, w, attrs);
+        self.relu(c)
+    }
+
+    /// Names the most recently relevant node (sugar over [`Graph::set_name`]).
+    pub fn name(&mut self, id: NodeId, name: &str) -> NodeId {
+        self.g.set_name(id, name);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_builds() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([32, 784], "x");
+        let w1 = b.weight([784, 256], "w1");
+        let w2 = b.weight([256, 10], "w2");
+        let h = b.matmul(x, w1);
+        let h = b.relu(h);
+        let logits = b.matmul(h, w2);
+        let y = b.label([32], "labels");
+        let loss = b.cross_entropy(logits, y);
+        let g = b.finish();
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.node(loss).meta.shape.rank(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "graph builder")]
+    fn shape_error_panics_with_context() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([32, 784], "x");
+        let w = b.weight([100, 10], "w");
+        let _ = b.matmul(x, w);
+    }
+
+    #[test]
+    fn attention_shapes() {
+        // Single-head attention block on [b, t, c].
+        let (bsz, t, c) = (4, 16, 32);
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([bsz * t, c], "x");
+        let wq = b.weight([c, c], "wq");
+        let wk = b.weight([c, c], "wk");
+        let wv = b.weight([c, c], "wv");
+        let q = b.matmul(x, wq);
+        let k = b.matmul(x, wk);
+        let v = b.matmul(x, wv);
+        let q = b.reshape(q, [bsz, t, c]);
+        let k = b.reshape(k, [bsz, t, c]);
+        let v = b.reshape(v, [bsz, t, c]);
+        let scores = b.batch_matmul_t(q, k, false, true);
+        assert_eq!(b.graph().node(scores).meta.shape.dims(), &[bsz, t, t]);
+        let p = b.softmax(scores, 2);
+        let out = b.batch_matmul(p, v);
+        assert_eq!(b.graph().node(out).meta.shape.dims(), &[bsz, t, c]);
+        b.finish().validate().unwrap();
+    }
+}

@@ -1,0 +1,615 @@
+//! Training-graph construction: appends a backward pass (and optional
+//! SGD update) to a forward graph.
+//!
+//! The paper's evaluation (§7.1) optimizes *training* graphs, whose
+//! memory pressure comes from activations saved in the forward pass and
+//! consumed in the backward pass — exactly the long-lifetime tensors
+//! that re-materialization, swapping, and fission target. This module
+//! reproduces that structure: every forward activation used by a
+//! gradient rule gains a consumer late in the graph, stretching its
+//! lifetime across the whole step.
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::{BinaryKind, OpKind, ReduceKind, UnaryGradKind, UnaryKind};
+use crate::tensor::Shape;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Options for [`append_backward`].
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Append a fused `SgdUpdate` per weight so gradients are consumed
+    /// in-graph (their lifetimes end at the update, as in real training).
+    pub sgd_update: bool,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { sgd_update: true }
+    }
+}
+
+/// Result of backward construction.
+#[derive(Debug, Clone)]
+pub struct TrainingGraph {
+    /// The combined forward + backward graph.
+    pub graph: Graph,
+    /// The loss node.
+    pub loss: NodeId,
+    /// `(weight, gradient)` pairs, in weight creation order.
+    pub weight_grads: Vec<(NodeId, NodeId)>,
+}
+
+/// Errors from backward construction.
+#[derive(Debug)]
+pub enum GradError {
+    /// The designated loss is not a `CrossEntropy` node.
+    LossNotCrossEntropy(NodeId),
+    /// A forward operator has no gradient rule.
+    NoRule(&'static str),
+    /// Underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for GradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradError::LossNotCrossEntropy(id) => {
+                write!(f, "loss node {id} must be a cross_entropy op")
+            }
+            GradError::NoRule(op) => write!(f, "no gradient rule for operator {op}"),
+            GradError::Graph(e) => write!(f, "graph error during backward: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GradError {}
+
+impl From<GraphError> for GradError {
+    fn from(e: GraphError) -> Self {
+        GradError::Graph(e)
+    }
+}
+
+/// Appends the backward pass of `loss` to `g`.
+///
+/// `loss` must be a [`OpKind::CrossEntropy`] node (all modelled
+/// workloads end in one). Gradients flow to every float ancestor of the
+/// loss; weight gradients are returned and, when
+/// [`TrainOptions::sgd_update`] is set, consumed by fused updates.
+///
+/// # Errors
+///
+/// Returns [`GradError`] when the loss is not a cross-entropy node or a
+/// forward operator lacks a gradient rule.
+pub fn append_backward(
+    mut g: Graph,
+    loss: NodeId,
+    opts: &TrainOptions,
+) -> Result<TrainingGraph, GradError> {
+    if !matches!(g.node(loss).op, OpKind::CrossEntropy) {
+        return Err(GradError::LossNotCrossEntropy(loss));
+    }
+    let order = crate::algo::topo::topo_order(&g);
+    // Nodes needing a gradient: float ancestors of the loss.
+    let mut need: BTreeSet<NodeId> = BTreeSet::new();
+    need.insert(loss);
+    for &v in order.iter().rev() {
+        if g.suc(v).iter().any(|s| need.contains(s)) && g.node(v).meta.dtype.is_float() {
+            need.insert(v);
+        }
+    }
+
+    // Accumulated gradient contributions per forward node.
+    let mut contrib: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut grads: HashMap<NodeId, NodeId> = HashMap::new();
+
+    // Seed: d(logits) from the fused cross-entropy backward.
+    let (logits, labels) = {
+        let ins = g.pre(loss);
+        (ins[0], ins[1])
+    };
+    let dlogits = g.add(OpKind::CrossEntropyGrad, &[logits, labels])?;
+    contrib.entry(logits).or_default().push(dlogits);
+
+    let forward_nodes: Vec<NodeId> = order.into_iter().rev().collect();
+    for v in forward_nodes {
+        if v == loss || !need.contains(&v) {
+            continue;
+        }
+        let parts = match contrib.remove(&v) {
+            Some(p) if !p.is_empty() => p,
+            _ => continue, // no gradient path reaches v (e.g. dead branch)
+        };
+        let mut gy = parts[0];
+        for &p in &parts[1..] {
+            gy = g.add(OpKind::Binary(BinaryKind::Add), &[gy, p])?;
+        }
+        grads.insert(v, gy);
+        if g.node(v).op.is_input() {
+            continue;
+        }
+        backprop_one(&mut g, v, gy, &need, &mut contrib)?;
+    }
+
+    let mut weight_grads = Vec::new();
+    for v in g.node_ids().collect::<Vec<_>>() {
+        if g.node(v).op.is_weight_input() {
+            if let Some(&dv) = grads.get(&v) {
+                weight_grads.push((v, dv));
+            }
+        }
+    }
+    if opts.sgd_update {
+        for &(w, dw) in &weight_grads {
+            let upd = g.add(OpKind::SgdUpdate, &[w, dw])?;
+            g.set_name(upd, "sgd");
+        }
+    }
+    Ok(TrainingGraph { graph: g, loss, weight_grads })
+}
+
+/// Emits the vector-Jacobian product of one forward node, pushing
+/// gradient contributions onto its inputs.
+fn backprop_one(
+    g: &mut Graph,
+    v: NodeId,
+    gy: NodeId,
+    need: &BTreeSet<NodeId>,
+    contrib: &mut HashMap<NodeId, Vec<NodeId>>,
+) -> Result<(), GradError> {
+    let op = g.node(v).op.clone();
+    let inputs: Vec<NodeId> = g.pre(v).to_vec();
+    let mut push = |g: &mut Graph, input: NodeId, grad: NodeId| {
+        debug_assert_eq!(
+            g.node(input).meta.shape,
+            g.node(grad).meta.shape,
+            "gradient shape must match input shape"
+        );
+        contrib.entry(input).or_default().push(grad);
+    };
+    match op {
+        OpKind::MatMul { transpose_a: ta, transpose_b: tb } => {
+            let (a, b) = (inputs[0], inputs[1]);
+            if need.contains(&a) {
+                let da = match (ta, tb) {
+                    (false, false) => mm(g, gy, b, false, true)?,
+                    (false, true) => mm(g, gy, b, false, false)?,
+                    (true, false) => mm(g, b, gy, false, true)?,
+                    (true, true) => mm(g, b, gy, true, true)?,
+                };
+                push(g, a, da);
+            }
+            if need.contains(&b) {
+                let db = match (ta, tb) {
+                    (false, false) => mm(g, a, gy, true, false)?,
+                    (false, true) => mm(g, gy, a, true, false)?,
+                    (true, false) => mm(g, a, gy, false, false)?,
+                    (true, true) => mm(g, gy, a, true, true)?,
+                };
+                push(g, b, db);
+            }
+        }
+        OpKind::BatchMatMul { transpose_a: ta, transpose_b: tb } => {
+            let (a, b) = (inputs[0], inputs[1]);
+            if need.contains(&a) {
+                let da = match (ta, tb) {
+                    (false, false) => bmm(g, gy, b, false, true)?,
+                    (false, true) => bmm(g, gy, b, false, false)?,
+                    (true, false) => bmm(g, b, gy, false, true)?,
+                    (true, true) => bmm(g, b, gy, true, true)?,
+                };
+                push(g, a, da);
+            }
+            if need.contains(&b) {
+                let db = match (ta, tb) {
+                    (false, false) => bmm(g, a, gy, true, false)?,
+                    (false, true) => bmm(g, gy, a, true, false)?,
+                    (true, false) => bmm(g, a, gy, false, false)?,
+                    (true, true) => bmm(g, gy, a, true, true)?,
+                };
+                push(g, b, db);
+            }
+        }
+        OpKind::Conv2d(attrs) => {
+            let (x, w) = (inputs[0], inputs[1]);
+            if need.contains(&x) {
+                let meta = g.node(x).meta.clone();
+                let dx = g.add_with_meta(OpKind::Conv2dGradInput(attrs), &[gy, w], meta)?;
+                push(g, x, dx);
+            }
+            if need.contains(&w) {
+                let meta = g.node(w).meta.clone();
+                let dw = g.add_with_meta(OpKind::Conv2dGradWeight(attrs), &[x, gy], meta)?;
+                push(g, w, dw);
+            }
+        }
+        OpKind::Pool2d(attrs) => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let dx = g.add(OpKind::Pool2dGrad(attrs), &[x, gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Upsample2d { scale } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let dx = g.add(OpKind::Upsample2dGrad { scale }, &[gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Unary(k) => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let dx = match k {
+                    UnaryKind::Relu => g.add(OpKind::UnaryGrad(UnaryGradKind::Relu), &[x, gy])?,
+                    UnaryKind::Gelu => g.add(OpKind::UnaryGrad(UnaryGradKind::Gelu), &[x, gy])?,
+                    UnaryKind::Tanh => g.add(OpKind::UnaryGrad(UnaryGradKind::Tanh), &[x, gy])?,
+                    UnaryKind::Sigmoid => {
+                        g.add(OpKind::UnaryGrad(UnaryGradKind::Sigmoid), &[x, gy])?
+                    }
+                    UnaryKind::Dropout => {
+                        g.add(OpKind::UnaryGrad(UnaryGradKind::Dropout), &[x, gy])?
+                    }
+                    // exp' = exp(x) = y; cost-equivalent elementwise product.
+                    UnaryKind::Exp => g.add(OpKind::Binary(BinaryKind::Mul), &[gy, v])?,
+                    // sqrt' = 1/(2·sqrt(x)); constant folded into the div.
+                    UnaryKind::Sqrt => g.add(OpKind::Binary(BinaryKind::Div), &[gy, v])?,
+                    UnaryKind::Neg => g.add(OpKind::Unary(UnaryKind::Neg), &[gy])?,
+                };
+                push(g, x, dx);
+            }
+        }
+        OpKind::Binary(k) => {
+            let (a, b) = (inputs[0], inputs[1]);
+            match k {
+                BinaryKind::Add | BinaryKind::Max => {
+                    // Max uses the subgradient mask; cost-equivalent to Add.
+                    if need.contains(&a) {
+                        let da = reduce_to_shape(g, gy, &g.node(a).meta.shape.clone())?;
+                        push(g, a, da);
+                    }
+                    if need.contains(&b) {
+                        let db = reduce_to_shape(g, gy, &g.node(b).meta.shape.clone())?;
+                        push(g, b, db);
+                    }
+                }
+                BinaryKind::Sub => {
+                    if need.contains(&a) {
+                        let da = reduce_to_shape(g, gy, &g.node(a).meta.shape.clone())?;
+                        push(g, a, da);
+                    }
+                    if need.contains(&b) {
+                        let neg = g.add(OpKind::Unary(UnaryKind::Neg), &[gy])?;
+                        let db = reduce_to_shape(g, neg, &g.node(b).meta.shape.clone())?;
+                        push(g, b, db);
+                    }
+                }
+                BinaryKind::Mul => {
+                    if need.contains(&a) {
+                        let t = g.add(OpKind::Binary(BinaryKind::Mul), &[gy, b])?;
+                        let da = reduce_to_shape(g, t, &g.node(a).meta.shape.clone())?;
+                        push(g, a, da);
+                    }
+                    if need.contains(&b) {
+                        let t = g.add(OpKind::Binary(BinaryKind::Mul), &[gy, a])?;
+                        let db = reduce_to_shape(g, t, &g.node(b).meta.shape.clone())?;
+                        push(g, b, db);
+                    }
+                }
+                BinaryKind::Div => {
+                    if need.contains(&a) {
+                        let t = g.add(OpKind::Binary(BinaryKind::Div), &[gy, b])?;
+                        let da = reduce_to_shape(g, t, &g.node(a).meta.shape.clone())?;
+                        push(g, a, da);
+                    }
+                    if need.contains(&b) {
+                        // d/db (a/b) = −y/b · gy; the sign is folded.
+                        let t = g.add(OpKind::Binary(BinaryKind::Mul), &[gy, v])?;
+                        let t = g.add(OpKind::Binary(BinaryKind::Div), &[t, b])?;
+                        let db = reduce_to_shape(g, t, &g.node(b).meta.shape.clone())?;
+                        push(g, b, db);
+                    }
+                }
+            }
+        }
+        OpKind::Reduce { axes, keep_dims, .. } => {
+            // Sum: broadcast; Mean: broadcast with folded 1/n; Max: mask
+            // folded. All cost-equivalent to a broadcast.
+            let x = inputs[0];
+            if need.contains(&x) {
+                let x_shape = g.node(x).meta.shape.clone();
+                let mut cur = gy;
+                if !keep_dims {
+                    let mut kd: Vec<u64> = x_shape.dims().to_vec();
+                    for &a in &axes {
+                        kd[a] = 1;
+                    }
+                    cur = g.add(OpKind::Reshape { shape: Shape::new(kd) }, &[cur])?;
+                }
+                let dx = g.add(OpKind::Broadcast { shape: x_shape }, &[cur])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Broadcast { .. } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let dx = reduce_to_shape(g, gy, &g.node(x).meta.shape.clone())?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Softmax { axis } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let dx = g.add(OpKind::SoftmaxGrad { axis }, &[v, gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::LayerNorm { axis } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let dx = g.add(OpKind::LayerNormGrad { axis }, &[x, gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Embedding => {
+            let (table, ids) = (inputs[0], inputs[1]);
+            if need.contains(&table) {
+                let vocab = g.node(table).meta.shape.dim(0);
+                let meta = g.node(table).meta.clone();
+                let dt = g.add_with_meta(OpKind::EmbeddingGrad { vocab }, &[ids, gy], meta)?;
+                push(g, table, dt);
+            }
+        }
+        OpKind::Transpose { perm } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let mut inv = vec![0usize; perm.len()];
+                for (j, &p) in perm.iter().enumerate() {
+                    inv[p] = j;
+                }
+                let dx = g.add(OpKind::Transpose { perm: inv }, &[gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Reshape { .. } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let shape = g.node(x).meta.shape.clone();
+                let dx = g.add(OpKind::Reshape { shape }, &[gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Slice { axis, start, len } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let d = g.node(x).meta.shape.dim(axis);
+                let dx =
+                    g.add(OpKind::Pad { axis, before: start, after: d - start - len }, &[gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Pad { axis, before, .. } => {
+            let x = inputs[0];
+            if need.contains(&x) {
+                let len = g.node(x).meta.shape.dim(axis);
+                let dx = g.add(OpKind::Slice { axis, start: before, len }, &[gy])?;
+                push(g, x, dx);
+            }
+        }
+        OpKind::Concat { axis } => {
+            let mut offset = 0u64;
+            for x in inputs {
+                let len = g.node(x).meta.shape.dim(axis);
+                if need.contains(&x) {
+                    let dx = g.add(OpKind::Slice { axis, start: offset, len }, &[gy])?;
+                    push(g, x, dx);
+                }
+                offset += len;
+            }
+        }
+        OpKind::Input(_) => {}
+        other => return Err(GradError::NoRule(other.name())),
+    }
+    Ok(())
+}
+
+fn mm(g: &mut Graph, a: NodeId, b: NodeId, ta: bool, tb: bool) -> Result<NodeId, GraphError> {
+    g.add(OpKind::MatMul { transpose_a: ta, transpose_b: tb }, &[a, b])
+}
+
+fn bmm(g: &mut Graph, a: NodeId, b: NodeId, ta: bool, tb: bool) -> Result<NodeId, GraphError> {
+    g.add(OpKind::BatchMatMul { transpose_a: ta, transpose_b: tb }, &[a, b])
+}
+
+/// Reduces `gy` over broadcast axes so it matches `target` (gradient of
+/// a broadcasting operand), then reshapes to exactly `target`.
+fn reduce_to_shape(g: &mut Graph, gy: NodeId, target: &Shape) -> Result<NodeId, GraphError> {
+    let src = g.node(gy).meta.shape.clone();
+    if &src == target {
+        return Ok(gy);
+    }
+    let sr = src.rank();
+    let tr = target.rank();
+    let mut axes: Vec<usize> = (0..sr - tr).collect();
+    for i in 0..tr {
+        let j = i + sr - tr;
+        if target.dim(i) == 1 && src.dim(j) != 1 {
+            axes.push(j);
+        }
+    }
+    let red = g.add(
+        OpKind::Reduce { kind: ReduceKind::Sum, axes, keep_dims: false },
+        &[gy],
+    )?;
+    if g.node(red).meta.shape == *target {
+        Ok(red)
+    } else {
+        g.add(OpKind::Reshape { shape: target.clone() }, &[red])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::tensor::DType;
+
+    fn mlp() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([32, 784], "x");
+        let w1 = b.weight([784, 256], "w1");
+        let w2 = b.weight([256, 10], "w2");
+        let h = b.matmul(x, w1);
+        let h = b.relu(h);
+        let logits = b.matmul(h, w2);
+        let y = b.label([32], "labels");
+        let loss = b.cross_entropy(logits, y);
+        (b.finish(), loss, w1, w2)
+    }
+
+    #[test]
+    fn mlp_backward_builds() {
+        let (g, loss, w1, w2) = mlp();
+        let tg = append_backward(g, loss, &TrainOptions::default()).unwrap();
+        tg.graph.validate().unwrap();
+        assert_eq!(tg.weight_grads.len(), 2);
+        // Every weight gradient matches its weight's shape.
+        for &(w, dw) in &tg.weight_grads {
+            assert_eq!(tg.graph.node(w).meta.shape, tg.graph.node(dw).meta.shape);
+        }
+        assert!(tg.weight_grads.iter().any(|&(w, _)| w == w1));
+        assert!(tg.weight_grads.iter().any(|&(w, _)| w == w2));
+    }
+
+    #[test]
+    fn backward_lengthens_activation_lifetimes() {
+        // The forward activation h = relu(..) must gain a backward user.
+        let (g, loss, _, _) = mlp();
+        let pre = g.len();
+        let tg = append_backward(g, loss, &TrainOptions::default()).unwrap();
+        assert!(tg.graph.len() > pre, "backward adds nodes");
+        // Find the relu node and check it has >1 user now.
+        let relu = tg
+            .graph
+            .node_ids()
+            .find(|&v| matches!(tg.graph.node(v).op, OpKind::Unary(UnaryKind::Relu)))
+            .unwrap();
+        assert!(tg.graph.use_count(relu) >= 2);
+    }
+
+    #[test]
+    fn sgd_consumes_gradients() {
+        let (g, loss, _, _) = mlp();
+        let tg = append_backward(g, loss, &TrainOptions { sgd_update: true }).unwrap();
+        for &(_, dw) in &tg.weight_grads {
+            assert!(tg.graph.use_count(dw) >= 1, "gradient consumed by update");
+        }
+        let no_sgd = {
+            let (g, loss, _, _) = mlp();
+            append_backward(g, loss, &TrainOptions { sgd_update: false }).unwrap()
+        };
+        assert!(no_sgd.graph.len() < tg.graph.len());
+    }
+
+    #[test]
+    fn loss_must_be_cross_entropy() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([4, 4], "x");
+        let r = b.relu(x);
+        let g = b.finish();
+        assert!(matches!(
+            append_backward(g, r, &TrainOptions::default()),
+            Err(GradError::LossNotCrossEntropy(_))
+        ));
+    }
+
+    #[test]
+    fn conv_net_backward() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([8, 3, 32, 32], "x");
+        let w1 = b.weight([16, 3, 3, 3], "w1");
+        let c = b.conv_relu(x, w1, crate::op::Conv2dAttrs::same(1));
+        let p = b.max_pool(c, 2);
+        let flat = b.reshape(p, [8, 16 * 16 * 16]);
+        let wf = b.weight([16 * 16 * 16, 10], "wf");
+        let logits = b.matmul(flat, wf);
+        let y = b.label([8], "y");
+        let loss = b.cross_entropy(logits, y);
+        let tg = append_backward(b.finish(), loss, &TrainOptions::default()).unwrap();
+        tg.graph.validate().unwrap();
+        assert_eq!(tg.weight_grads.len(), 2);
+        for &(w, dw) in &tg.weight_grads {
+            assert_eq!(tg.graph.node(w).meta.shape, tg.graph.node(dw).meta.shape);
+        }
+    }
+
+    #[test]
+    fn attention_backward_with_transposed_bmm() {
+        let (bsz, t, c) = (2, 8, 16);
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([bsz * t, c], "x");
+        let wq = b.weight([c, c], "wq");
+        let wk = b.weight([c, c], "wk");
+        let wv = b.weight([c, c], "wv");
+        let wo = b.weight([c, 4], "wo");
+        let q = b.matmul(x, wq);
+        let k = b.matmul(x, wk);
+        let v = b.matmul(x, wv);
+        let q3 = b.reshape(q, [bsz, t, c]);
+        let k3 = b.reshape(k, [bsz, t, c]);
+        let v3 = b.reshape(v, [bsz, t, c]);
+        let scores = b.batch_matmul_t(q3, k3, false, true);
+        let p = b.softmax(scores, 2);
+        let o = b.batch_matmul(p, v3);
+        let o2 = b.reshape(o, [bsz * t, c]);
+        let pooled = b.reduce(ReduceKind::Mean, o2, &[0]);
+        let pooled = b.reshape(pooled, [1, c]);
+        let logits = b.matmul(pooled, wo);
+        let y = b.label([1], "y");
+        let loss = b.cross_entropy(logits, y);
+        let tg = append_backward(b.finish(), loss, &TrainOptions::default()).unwrap();
+        tg.graph.validate().unwrap();
+        assert_eq!(tg.weight_grads.len(), 4);
+        for &(w, dw) in &tg.weight_grads {
+            assert_eq!(tg.graph.node(w).meta.shape, tg.graph.node(dw).meta.shape);
+        }
+    }
+
+    #[test]
+    fn slice_concat_gradients() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([4, 8], "x");
+        let w = b.weight([8, 8], "w");
+        let h = b.matmul(x, w);
+        let l = b.slice(h, 1, 0, 4);
+        let r = b.slice(h, 1, 4, 4);
+        let joined = b.concat(&[l, r], 1);
+        let wl = b.weight([8, 3], "wl");
+        let logits = b.matmul(joined, wl);
+        let y = b.label([4], "y");
+        let loss = b.cross_entropy(logits, y);
+        let tg = append_backward(b.finish(), loss, &TrainOptions::default()).unwrap();
+        tg.graph.validate().unwrap();
+        assert_eq!(tg.weight_grads.len(), 2);
+    }
+
+    #[test]
+    fn embedding_gradient_shape() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let table = b.weight([100, 16], "emb");
+        let ids = b.input_ids([4, 6], "ids");
+        let e = b.embedding(table, ids);
+        let flat = b.reshape(e, [24, 16]);
+        let w = b.weight([16, 5], "w");
+        let logits = b.matmul(flat, w);
+        let y = b.label([24], "y");
+        let loss = b.cross_entropy(logits, y);
+        let tg = append_backward(b.finish(), loss, &TrainOptions::default()).unwrap();
+        tg.graph.validate().unwrap();
+        let (_, dt) = tg.weight_grads.iter().find(|&&(w, _)| w == table).copied().unwrap();
+        assert_eq!(tg.graph.node(dt).meta.shape.dims(), &[100, 16]);
+    }
+
+    use crate::op::ReduceKind;
+}

@@ -1,0 +1,641 @@
+//! The computation graph: a DAG of operators over tensors.
+//!
+//! Nodes live in an arena with tombstoned removal so that [`NodeId`]s
+//! stay stable across the graph rewrites the optimizer performs
+//! (re-materialization adds nodes, de-re-materialization removes them,
+//! fission overlays both). Cloning a [`Graph`] is cheap enough to copy
+//! per search state.
+
+use crate::op::{InputKind, OpError, OpKind};
+use crate::tensor::TensorMeta;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Stable identifier of a node within one [`Graph`] (and its clones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Arena slot of the node; dense enough for bitsets sized by
+    /// [`Graph::capacity`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from an arena slot (for deserialization/tests).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node of the computation graph: one operator plus its output tensor.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator.
+    pub op: OpKind,
+    /// Metadata of the single output tensor.
+    pub meta: TensorMeta,
+    /// Optional human-readable label.
+    pub name: String,
+    /// Ordered data inputs (duplicates allowed, e.g. `x * x`).
+    inputs: Vec<NodeId>,
+    /// Extra lifetime/ordering dependencies that carry no data. Used by
+    /// the fission overlay: a region input must stay resident until the
+    /// region's merge node runs even though no tensor flows on the edge.
+    keepalive: Vec<NodeId>,
+    /// Reverse edges (data + keepalive), with multiplicity.
+    succs: Vec<NodeId>,
+    /// Sequential-repeat multiplier for the cost model: a node inside an
+    /// `n`-way fission region executes `n` times (once per part).
+    pub cost_repeat: u64,
+    /// If set, the output buffer is allocated when the referenced node
+    /// executes rather than when this node does. Used for fission merge
+    /// outputs, which accumulate across parts (alive for the whole
+    /// region), cf. Fig. 2 (d)/(e) of the paper.
+    pub alloc_with: Option<NodeId>,
+}
+
+impl Node {
+    /// Ordered data inputs.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Keepalive-only dependencies.
+    #[inline]
+    pub fn keepalive(&self) -> &[NodeId] {
+        &self.keepalive
+    }
+
+    /// Successors with multiplicity (data and keepalive uses).
+    #[inline]
+    pub fn succs(&self) -> &[NodeId] {
+        &self.succs
+    }
+
+    /// Output tensor size in bytes (`|v|` in the paper).
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.meta.size_bytes()
+    }
+}
+
+/// Errors from graph construction and rewriting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Shape inference failed.
+    Op(OpError),
+    /// A referenced node id is absent (removed or foreign).
+    MissingNode(NodeId),
+    /// Removal requested for a node that still has users.
+    HasUsers(NodeId, usize),
+    /// The graph contains a cycle (validation only; construction cannot
+    /// create cycles because edges always point to existing nodes).
+    Cycle,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Op(e) => write!(f, "operator error: {e}"),
+            GraphError::MissingNode(id) => write!(f, "missing node {id}"),
+            GraphError::HasUsers(id, n) => write!(f, "node {id} still has {n} users"),
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Op(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OpError> for GraphError {
+    fn from(e: OpError) -> Self {
+        GraphError::Op(e)
+    }
+}
+
+/// A DNN computation graph (`G` in the paper; see Table 1 for the
+/// notation this API mirrors).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Option<Node>>,
+    alive: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of live nodes (`|V(G)|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Arena capacity: one greater than the largest `NodeId::index` ever
+    /// allocated. Size bitsets with this.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` refers to a live node.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).is_some_and(Option::is_some)
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live node of this graph.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.index()].as_ref().expect("live node")
+    }
+
+    /// Mutably borrows a node (op/meta/name only; use the rewiring
+    /// methods to change edges).
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id.index()].as_mut().expect("live node")
+    }
+
+    /// Iterates live node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+    }
+
+    /// Adds a graph input node with explicit tensor metadata.
+    pub fn add_input(&mut self, kind: InputKind, meta: TensorMeta, name: &str) -> NodeId {
+        self.push(Node {
+            op: OpKind::Input(kind),
+            meta,
+            name: name.to_string(),
+            inputs: Vec::new(),
+            keepalive: Vec::new(),
+            succs: Vec::new(),
+            cost_repeat: 1,
+            alloc_with: None,
+        })
+    }
+
+    /// Adds an operator node, inferring its output metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input id is dead or shape inference fails.
+    pub fn add(&mut self, op: OpKind, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        let metas = self.collect_metas(inputs)?;
+        let meta = op.infer(&metas)?;
+        Ok(self.add_unchecked(op, inputs, meta))
+    }
+
+    /// Adds an operator node with explicit output metadata (used where
+    /// inference is ambiguous, e.g. `Conv2dGradWeight` kernel sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input id is dead.
+    pub fn add_with_meta(
+        &mut self,
+        op: OpKind,
+        inputs: &[NodeId],
+        meta: TensorMeta,
+    ) -> Result<NodeId, GraphError> {
+        self.collect_metas(inputs)?;
+        Ok(self.add_unchecked(op, inputs, meta))
+    }
+
+    fn collect_metas(&self, inputs: &[NodeId]) -> Result<Vec<TensorMeta>, GraphError> {
+        inputs
+            .iter()
+            .map(|&i| {
+                if self.contains(i) {
+                    Ok(self.node(i).meta.clone())
+                } else {
+                    Err(GraphError::MissingNode(i))
+                }
+            })
+            .collect()
+    }
+
+    fn add_unchecked(&mut self, op: OpKind, inputs: &[NodeId], meta: TensorMeta) -> NodeId {
+        let id = self.push(Node {
+            op,
+            meta,
+            name: String::new(),
+            inputs: inputs.to_vec(),
+            keepalive: Vec::new(),
+            succs: Vec::new(),
+            cost_repeat: 1,
+            alloc_with: None,
+        });
+        for &i in inputs {
+            self.node_mut(i).succs.push(id);
+        }
+        id
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.alive += 1;
+        id
+    }
+
+    /// Sets a node's display name (builder sugar).
+    pub fn set_name(&mut self, id: NodeId, name: &str) {
+        self.node_mut(id).name = name.to_string();
+    }
+
+    /// Overwrites a node's output metadata. Used by the fission overlay
+    /// to scale the shapes of a split region's representative part —
+    /// downstream consumers must be scaled consistently by the caller.
+    pub fn set_meta(&mut self, id: NodeId, meta: TensorMeta) {
+        self.node_mut(id).meta = meta;
+    }
+
+    /// Sets the fission cost-repeat multiplier of a node.
+    pub fn set_cost_repeat(&mut self, id: NodeId, repeat: u64) {
+        assert!(repeat >= 1, "cost repeat must be at least 1");
+        self.node_mut(id).cost_repeat = repeat;
+    }
+
+    /// Anchors a node's output allocation to another node's execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is not a live node.
+    pub fn set_alloc_with(&mut self, id: NodeId, anchor: NodeId) {
+        assert!(self.contains(anchor), "alloc anchor must be live");
+        self.node_mut(id).alloc_with = Some(anchor);
+    }
+
+    /// Adds a keepalive (lifetime/ordering-only) edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is dead.
+    pub fn add_keepalive(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        if !self.contains(from) {
+            return Err(GraphError::MissingNode(from));
+        }
+        if !self.contains(to) {
+            return Err(GraphError::MissingNode(to));
+        }
+        self.node_mut(to).keepalive.push(from);
+        self.node_mut(from).succs.push(to);
+        Ok(())
+    }
+
+    /// Data predecessors of `v` with multiplicity (`G.pre(v)` as a list).
+    #[inline]
+    pub fn pre(&self, v: NodeId) -> &[NodeId] {
+        self.node(v).inputs()
+    }
+
+    /// All predecessors of `v` (data + keepalive), deduplicated and sorted.
+    pub fn pre_all(&self, v: NodeId) -> Vec<NodeId> {
+        let n = self.node(v);
+        let mut set: BTreeSet<NodeId> = n.inputs.iter().copied().collect();
+        set.extend(n.keepalive.iter().copied());
+        set.into_iter().collect()
+    }
+
+    /// Successors of `v` (`G.suc(v)`), deduplicated and sorted.
+    pub fn suc(&self, v: NodeId) -> Vec<NodeId> {
+        let set: BTreeSet<NodeId> = self.node(v).succs.iter().copied().collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of uses of `v`'s output (with multiplicity).
+    #[inline]
+    pub fn use_count(&self, v: NodeId) -> usize {
+        self.node(v).succs.len()
+    }
+
+    /// Graph inputs (`inps(G)`): nodes without predecessors.
+    pub fn graph_inputs(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&v| self.node(v).inputs.is_empty() && self.node(v).keepalive.is_empty())
+            .collect()
+    }
+
+    /// Graph outputs (`outs(G)`): nodes without successors.
+    pub fn graph_outputs(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.node(v).succs.is_empty()).collect()
+    }
+
+    /// `G.inps(S)`: nodes outside `S` consumed by `S`.
+    pub fn set_inputs(&self, s: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for &v in s {
+            for p in self.pre_all(v) {
+                if !s.contains(&p) {
+                    out.insert(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// `G.outs(S)`: nodes of `S` whose output is used outside `S` (or is
+    /// a graph output).
+    pub fn set_outputs(&self, s: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for &v in s {
+            let succs = self.suc(v);
+            if succs.is_empty() || succs.iter().any(|u| !s.contains(u)) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Replaces every use of `old` as an input of `user` with `new`
+    /// (data and keepalive edges), maintaining reverse edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` does not actually use `old`, or ids are dead.
+    pub fn replace_input(&mut self, user: NodeId, old: NodeId, new: NodeId) {
+        assert!(self.contains(new), "replacement node must be live");
+        let mut replaced = 0usize;
+        {
+            let u = self.node_mut(user);
+            for slot in u.inputs.iter_mut().chain(u.keepalive.iter_mut()) {
+                if *slot == old {
+                    *slot = new;
+                    replaced += 1;
+                }
+            }
+        }
+        assert!(replaced > 0, "{user} does not use {old}");
+        // Fix reverse edges: remove `replaced` occurrences of `user`
+        // from old.succs, add them to new.succs.
+        let old_succs = &mut self.node_mut(old).succs;
+        let mut to_remove = replaced;
+        old_succs.retain(|&s| {
+            if s == user && to_remove > 0 {
+                to_remove -= 1;
+                false
+            } else {
+                true
+            }
+        });
+        for _ in 0..replaced {
+            self.node_mut(new).succs.push(user);
+        }
+    }
+
+    /// Redirects *all* uses of `old` to `new`. `old` keeps its own inputs
+    /// and can then be removed with [`Graph::remove`].
+    pub fn redirect_uses(&mut self, old: NodeId, new: NodeId) {
+        let users: Vec<NodeId> = self.suc(old);
+        for user in users {
+            if user != new {
+                self.replace_input(user, old, new);
+            }
+        }
+    }
+
+    /// Removes a node that has no remaining users.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::HasUsers`] if the node still has successors,
+    /// or [`GraphError::MissingNode`] if already removed.
+    pub fn remove(&mut self, id: NodeId) -> Result<(), GraphError> {
+        if !self.contains(id) {
+            return Err(GraphError::MissingNode(id));
+        }
+        let users = self.node(id).succs.len();
+        if users > 0 {
+            return Err(GraphError::HasUsers(id, users));
+        }
+        let node = self.nodes[id.index()].take().expect("checked live");
+        self.alive -= 1;
+        for p in node.inputs.iter().chain(node.keepalive.iter()) {
+            if let Some(pn) = self.nodes[p.index()].as_mut() {
+                if let Some(pos) = pn.succs.iter().position(|&s| s == id) {
+                    pn.succs.swap_remove(pos);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes of all live node outputs (a loose upper bound used by
+    /// heuristics; aliases excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.node_ids()
+            .filter(|&v| !self.node(v).op.is_alias())
+            .map(|v| self.node(v).size_bytes())
+            .sum()
+    }
+
+    /// Validates structural invariants: edge symmetry, acyclicity, shape
+    /// consistency. Used by tests and debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        // Edge symmetry.
+        for v in self.node_ids() {
+            let n = self.node(v);
+            for p in n.inputs.iter().chain(n.keepalive.iter()) {
+                if !self.contains(*p) {
+                    return Err(GraphError::MissingNode(*p));
+                }
+                let fwd = n.inputs.iter().filter(|&&x| x == *p).count()
+                    + n.keepalive.iter().filter(|&&x| x == *p).count();
+                let rev = self.node(*p).succs.iter().filter(|&&x| x == v).count();
+                if fwd > rev {
+                    return Err(GraphError::MissingNode(v));
+                }
+            }
+            // Shape consistency (data inputs only).
+            if !n.op.is_input() {
+                let metas: Vec<TensorMeta> =
+                    n.inputs.iter().map(|&i| self.node(i).meta.clone()).collect();
+                if let Ok(meta) = n.op.infer(&metas) {
+                    // `add_with_meta` nodes may deliberately differ only
+                    // where inference is ambiguous (conv grad kernels).
+                    if meta.shape.rank() == n.meta.shape.rank()
+                        && !matches!(
+                            n.op,
+                            OpKind::Conv2dGradWeight(_)
+                                | OpKind::Conv2dGradInput(_)
+                                | OpKind::EmbeddingGrad { .. }
+                        )
+                        && meta != n.meta
+                    {
+                        return Err(GraphError::Op(OpError::BadAttr("stored meta mismatch")));
+                    }
+                }
+            }
+        }
+        // Acyclicity via Kahn.
+        if crate::algo::topo::topo_order(self).len() != self.len() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, UnaryKind};
+    use crate::tensor::DType;
+
+    fn meta(dims: &[u64]) -> TensorMeta {
+        TensorMeta::new(dims, DType::F32)
+    }
+
+    fn diamond() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(&[4, 4]), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = g.add(OpKind::Unary(UnaryKind::Gelu), &[x]).unwrap();
+        let c = g.add(OpKind::Binary(BinaryKind::Add), &[a, b]).unwrap();
+        (g, x, a, b, c)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, x, a, b, c) = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.pre(c), &[a, b]);
+        assert_eq!(g.suc(x), vec![a, b]);
+        assert_eq!(g.graph_inputs(), vec![x]);
+        assert_eq!(g.graph_outputs(), vec![c]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn set_inputs_outputs() {
+        let (g, x, a, b, c) = diamond();
+        let s: BTreeSet<NodeId> = [a, b].into_iter().collect();
+        assert_eq!(g.set_inputs(&s), [x].into_iter().collect());
+        assert_eq!(g.set_outputs(&s), [a, b].into_iter().collect());
+        let s: BTreeSet<NodeId> = [a, b, c].into_iter().collect();
+        assert_eq!(g.set_outputs(&s), [c].into_iter().collect());
+    }
+
+    #[test]
+    fn duplicate_inputs_tracked() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(&[2]), "x");
+        let sq = g.add(OpKind::Binary(BinaryKind::Mul), &[x, x]).unwrap();
+        assert_eq!(g.use_count(x), 2);
+        assert_eq!(g.suc(x), vec![sq]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_input_rewires() {
+        let (mut g, x, a, b, c) = diamond();
+        let a2 = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        g.replace_input(c, a, a2);
+        assert_eq!(g.pre(c), &[a2, b]);
+        assert_eq!(g.use_count(a), 0);
+        assert_eq!(g.suc(a2), vec![c]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_requires_no_users() {
+        let (mut g, _x, a, _b, c) = diamond();
+        assert!(matches!(g.remove(a), Err(GraphError::HasUsers(_, 1))));
+        g.remove(c).unwrap();
+        g.remove(a).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(!g.contains(a));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn redirect_uses_moves_all() {
+        let (mut g, x, a, _b, c) = diamond();
+        let a2 = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        g.redirect_uses(a, a2);
+        assert_eq!(g.use_count(a), 0);
+        assert!(g.pre(c).contains(&a2));
+        g.remove(a).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn keepalive_edges() {
+        let (mut g, x, _a, _b, c) = diamond();
+        g.add_keepalive(x, c).unwrap();
+        assert!(g.pre_all(c).contains(&x));
+        assert_eq!(g.node(c).keepalive(), &[x]);
+        assert_eq!(g.use_count(x), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn shape_inference_on_add() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(&[4, 8]), "x");
+        let w = g.add_input(InputKind::Weight, meta(&[8, 16]), "w");
+        let y = g
+            .add(OpKind::MatMul { transpose_a: false, transpose_b: false }, &[x, w])
+            .unwrap();
+        assert_eq!(g.node(y).meta.shape.dims(), &[4, 16]);
+        // Mismatched inner dim rejected.
+        let bad = g.add(OpKind::MatMul { transpose_a: false, transpose_b: false }, &[x, x]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn dead_input_rejected() {
+        let mut g = Graph::new();
+        let x = g.add_input(InputKind::Activation, meta(&[2]), "x");
+        let y = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        g.remove(y).unwrap();
+        assert!(matches!(
+            g.add(OpKind::Unary(UnaryKind::Relu), &[y]),
+            Err(GraphError::MissingNode(_))
+        ));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let (g, _x, a, _b, _c) = diamond();
+        let mut g2 = g.clone();
+        g2.set_name(a, "renamed");
+        assert_eq!(g.node(a).name, "");
+        assert_eq!(g2.node(a).name, "renamed");
+    }
+}

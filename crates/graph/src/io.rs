@@ -1,0 +1,166 @@
+//! Graph export: Graphviz DOT (for docs/debugging) and a compact
+//! deterministic text listing (for diffing optimizer decisions in
+//! tests and bug reports).
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Include tensor shapes in node labels.
+    pub shapes: bool,
+    /// Include byte sizes in node labels.
+    pub sizes: bool,
+    /// Highlight these nodes (e.g. a fission region or hot-spots).
+    pub highlight: Vec<NodeId>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { shapes: true, sizes: false, highlight: Vec::new() }
+    }
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Data edges are solid; keepalive (lifetime-only) edges are dashed.
+/// Weight/label inputs are boxes, activations ellipses; highlighted
+/// nodes are filled.
+pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::from("digraph magis {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    for v in g.node_ids() {
+        let n = g.node(v);
+        let mut label = if n.name.is_empty() {
+            format!("{v}\\n{}", n.op.name())
+        } else {
+            format!("{}\\n{}", n.name, n.op.name())
+        };
+        if opts.shapes {
+            let _ = write!(label, "\\n{}", n.meta.shape);
+        }
+        if opts.sizes {
+            let _ = write!(label, "\\n{}B", n.size_bytes());
+        }
+        if n.cost_repeat > 1 {
+            let _ = write!(label, "\\nx{}", n.cost_repeat);
+        }
+        let shape = if n.op.is_input() { "box" } else { "ellipse" };
+        let fill = if opts.highlight.contains(&v) {
+            ", style=filled, fillcolor=lightgoldenrod"
+        } else if n.op.is_swap() {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {v} [label=\"{label}\", shape={shape}{fill}];");
+    }
+    for v in g.node_ids() {
+        let n = g.node(v);
+        for &p in n.inputs() {
+            let _ = writeln!(out, "  {p} -> {v};");
+        }
+        for &p in n.keepalive() {
+            let _ = writeln!(out, "  {p} -> {v} [style=dashed, color=gray];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A deterministic one-line-per-node listing, topologically ordered —
+/// stable under node-id renaming, so two isomorphic graphs produce the
+/// same text (useful in tests and for diffing optimizer output).
+pub fn to_text(g: &Graph) -> String {
+    let order = crate::algo::topo_order(g);
+    let mut rank = vec![usize::MAX; g.capacity()];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v.index()] = i;
+    }
+    let mut out = String::new();
+    for (i, &v) in order.iter().enumerate() {
+        let n = g.node(v);
+        let ins: Vec<String> =
+            n.inputs().iter().map(|p| format!("%{}", rank[p.index()])).collect();
+        let _ = write!(out, "%{i} = {}({})", n.op.name(), ins.join(", "));
+        let _ = write!(out, " : {}", n.meta);
+        if n.cost_repeat > 1 {
+            let _ = write!(out, " x{}", n.cost_repeat);
+        }
+        if !n.keepalive().is_empty() {
+            let ka: Vec<String> =
+                n.keepalive().iter().map(|p| format!("%{}", rank[p.index()])).collect();
+            let _ = write!(out, " keepalive[{}]", ka.join(", "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::tensor::DType;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([4, 8], "x");
+        let w = b.weight([8, 8], "w");
+        let h = b.matmul(x, w);
+        let _ = b.relu(h);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("matmul"));
+        assert!(dot.contains("shape=box"), "weights boxed");
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_highlight_and_sizes() {
+        let g = sample();
+        let h = g.node_ids().nth(2).unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions { sizes: true, highlight: vec![h], ..DotOptions::default() },
+        );
+        assert!(dot.contains("lightgoldenrod"));
+        assert!(dot.contains("B\""));
+    }
+
+    #[test]
+    fn text_listing_is_rename_stable() {
+        let a = sample();
+        // Build the same graph with an extra, removed node so the ids
+        // differ.
+        let mut bld = GraphBuilder::new(DType::F32);
+        let x = bld.input([4, 8], "x");
+        let extra = bld.relu(x);
+        let w = bld.weight([8, 8], "w");
+        let h = bld.matmul(x, w);
+        let _ = bld.relu(h);
+        let mut b = bld.finish();
+        b.remove(extra).unwrap();
+        // Names differ in id-space but the listing matches.
+        assert_eq!(to_text(&a), to_text(&b));
+        assert!(to_text(&a).contains("%2 = matmul(%0, %1) : f32[4, 8]"));
+    }
+
+    #[test]
+    fn text_shows_repeats_and_keepalive() {
+        let mut g = sample();
+        let ids: Vec<_> = g.node_ids().collect();
+        g.set_cost_repeat(ids[2], 4);
+        g.add_keepalive(ids[0], ids[3]).unwrap();
+        let t = to_text(&g);
+        assert!(t.contains("x4"));
+        assert!(t.contains("keepalive[%0]"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Tensor metadata: element types and shapes.
+//!
+//! MAGIS never materializes tensor *data*; every quantity the optimizer
+//! reasons about (memory footprints, FLOPs, dimension graphs) is derived
+//! from shapes and element types, which live here.
+
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// Matches the data types used in the paper's evaluation (§7.1): `bf16`
+/// for the large language models and `tf32` for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DType {
+    /// IEEE 754 half precision (2 bytes).
+    F16,
+    /// bfloat16 (2 bytes).
+    BF16,
+    /// NVIDIA TF32: stored as 4-byte floats, computed with reduced mantissa.
+    TF32,
+    /// IEEE 754 single precision (4 bytes).
+    #[default]
+    F32,
+    /// 32-bit signed integer (token ids, labels).
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean / mask (1 byte).
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::TF32 | DType::F32 | DType::I32 => 4,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::BF16 | DType::TF32 | DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::TF32 => "tf32",
+            DType::F32 => "f32",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The shape of a tensor: a list of dimension extents.
+///
+/// A scalar is represented by the empty shape. Extents are strictly
+/// positive; zero-sized tensors do not occur in the workloads we model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Shape(Vec<u64>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(dims: impl Into<Vec<u64>>) -> Self {
+        let dims = dims.into();
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape extents must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// The scalar shape (rank 0).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions (`s_v` in the paper's notation).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Extent of dimension `i`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<u64> {
+        self.0.get(i).copied()
+    }
+
+    /// All extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn num_elements(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// Returns a copy with dimension `i` replaced by `extent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `extent == 0`.
+    pub fn with_dim(&self, i: usize, extent: u64) -> Shape {
+        assert!(extent > 0, "shape extents must be positive");
+        let mut dims = self.0.clone();
+        dims[i] = extent;
+        Shape(dims)
+    }
+
+    /// Returns a copy with dimension `axis` divided by `n`, rounding up.
+    ///
+    /// Used by fission to compute the representative-part shape. A
+    /// non-divisible split keeps the ceiling so memory/latency estimates
+    /// stay conservative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range or `n == 0`.
+    pub fn split_dim(&self, axis: usize, n: u64) -> Shape {
+        assert!(n > 0, "fission factor must be positive");
+        let d = self.0[axis];
+        self.with_dim(axis, d.div_ceil(n).max(1))
+    }
+}
+
+impl From<Vec<u64>> for Shape {
+    fn from(dims: Vec<u64>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[u64]> for Shape {
+    fn from(dims: &[u64]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for Shape {
+    fn from(dims: [u64; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Full tensor metadata: shape plus element type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TensorMeta {
+    /// Dimension extents.
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorMeta {
+    /// Creates tensor metadata.
+    pub fn new(shape: impl Into<Shape>, dtype: DType) -> Self {
+        TensorMeta { shape: shape.into(), dtype }
+    }
+
+    /// Size of the tensor in bytes (`size(v)` / `|v|` in the paper).
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.shape.num_elements() * self.dtype.size_bytes()
+    }
+}
+
+impl fmt::Display for TensorMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dtype, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::TF32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+        assert!(DType::BF16.is_float());
+        assert!(!DType::I32.is_float());
+    }
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+        assert_eq!(s.get(5), None);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.to_string(), "[2, 3, 4]");
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = Shape::from([2, 0]);
+    }
+
+    #[test]
+    fn split_dim_rounds_up() {
+        let s = Shape::from([10, 7]);
+        assert_eq!(s.split_dim(1, 2), Shape::from([10, 4]));
+        assert_eq!(s.split_dim(0, 3), Shape::from([4, 7]));
+        // Splitting more ways than the extent clamps to 1.
+        assert_eq!(s.split_dim(1, 100), Shape::from([10, 1]));
+    }
+
+    #[test]
+    fn tensor_meta_size() {
+        let t = TensorMeta::new([32, 128, 768], DType::TF32);
+        assert_eq!(t.size_bytes(), 32 * 128 * 768 * 4);
+        assert_eq!(t.to_string(), "tf32[32, 128, 768]");
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let s = Shape::from([4, 5]);
+        assert_eq!(s.with_dim(0, 9), Shape::from([9, 5]));
+    }
+}

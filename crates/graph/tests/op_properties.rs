@@ -1,0 +1,149 @@
+//! Property tests of the operator layer: shape-inference algebra and
+//! the structural soundness of dimension links (every link must target
+//! a real output dim or reduce axis — the D-Graph builder relies on
+//! this).
+
+use magis_graph::op::{
+    broadcast, BinaryKind, Conv2dAttrs, DimLink, OpKind, Pool2dAttrs, PoolKind, ReduceKind,
+    UnaryKind,
+};
+use magis_graph::tensor::{DType, Shape, TensorMeta};
+use proptest::prelude::*;
+
+fn dims(max_rank: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..32, 1..=max_rank)
+}
+
+fn t(d: &[u64]) -> TensorMeta {
+    TensorMeta::new(d, DType::F32)
+}
+
+/// Checks that every dim link of `op` on `inputs` targets a legal
+/// output dim / reduce axis.
+fn links_in_bounds(op: &OpKind, inputs: &[TensorMeta]) {
+    let Ok(out) = op.infer(inputs) else { return };
+    let links = op.input_dim_links(inputs, &out);
+    assert_eq!(links.len(), inputs.len());
+    for (slot, ls) in links.iter().enumerate() {
+        assert_eq!(ls.len(), inputs[slot].shape.rank(), "one link per input dim");
+        for l in ls {
+            match *l {
+                DimLink::Spatial(j) => assert!(j < out.shape.rank(), "{op}: spatial {j}"),
+                DimLink::Windowed { dim, .. } => assert!(dim < out.shape.rank()),
+                DimLink::Reduce(r) => {
+                    assert!(r < op.num_reduce_axes(), "{op}: reduce {r}")
+                }
+                DimLink::Unlinked => {}
+            }
+        }
+    }
+    // Splittability mask has one entry per output dim.
+    assert_eq!(op.splittable_output_dims(&out).len(), out.shape.rank());
+}
+
+proptest! {
+    #[test]
+    fn matmul_shapes_and_links(m in 1u64..64, k in 1u64..64, n in 1u64..64,
+                               ta in any::<bool>(), tb in any::<bool>()) {
+        let a = if ta { t(&[k, m]) } else { t(&[m, k]) };
+        let b = if tb { t(&[n, k]) } else { t(&[k, n]) };
+        let op = OpKind::MatMul { transpose_a: ta, transpose_b: tb };
+        let out = op.infer(&[a.clone(), b.clone()]).unwrap();
+        prop_assert_eq!(out.shape.dims(), &[m, n]);
+        links_in_bounds(&op, &[a, b]);
+    }
+
+    #[test]
+    fn broadcast_is_commutative_and_idempotent(a in dims(4), b in dims(4)) {
+        let (sa, sb) = (Shape::new(a), Shape::new(b));
+        let ab = broadcast(&sa, &sb);
+        let ba = broadcast(&sb, &sa);
+        prop_assert_eq!(ab.clone(), ba);
+        if let Some(r) = ab {
+            let again_a = broadcast(&r, &sa);
+            let again_b = broadcast(&r, &sb);
+            prop_assert_eq!(again_a.as_ref(), Some(&r));
+            prop_assert_eq!(again_b.as_ref(), Some(&r));
+        }
+    }
+
+    #[test]
+    fn elementwise_links_are_identity(d in dims(4), kind in prop::sample::select(vec![
+        UnaryKind::Relu, UnaryKind::Gelu, UnaryKind::Tanh, UnaryKind::Exp,
+    ])) {
+        let x = t(&d);
+        let op = OpKind::Unary(kind);
+        let out = op.infer(std::slice::from_ref(&x)).unwrap();
+        prop_assert_eq!(&out.shape, &x.shape);
+        let links = op.input_dim_links(std::slice::from_ref(&x), &out);
+        for (i, l) in links[0].iter().enumerate() {
+            prop_assert_eq!(*l, DimLink::Spatial(i));
+        }
+        links_in_bounds(&op, std::slice::from_ref(&x));
+    }
+
+    #[test]
+    fn transpose_is_involutive(d in dims(4)) {
+        let x = t(&d);
+        let r = x.shape.rank();
+        let perm: Vec<usize> = (0..r).rev().collect();
+        let op = OpKind::Transpose { perm: perm.clone() };
+        let y = op.infer(std::slice::from_ref(&x)).unwrap();
+        let back = OpKind::Transpose { perm }.infer(std::slice::from_ref(&y)).unwrap();
+        prop_assert_eq!(&back.shape, &x.shape);
+        links_in_bounds(&op, std::slice::from_ref(&x));
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(d in dims(3), cut in 1u64..16) {
+        let x = t(&d);
+        let axis = x.shape.rank() - 1;
+        let extent = x.shape.dim(axis);
+        prop_assume!(extent >= 2);
+        let cut = cut.min(extent - 1);
+        let l = OpKind::Slice { axis, start: 0, len: cut }
+            .infer(std::slice::from_ref(&x)).unwrap();
+        let r = OpKind::Slice { axis, start: cut, len: extent - cut }
+            .infer(std::slice::from_ref(&x)).unwrap();
+        let cat = OpKind::Concat { axis }.infer(&[l, r]).unwrap();
+        prop_assert_eq!(cat.shape, x.shape);
+    }
+
+    #[test]
+    fn reduce_then_broadcast_restores_shape(d in dims(4), axis_seed in 0usize..4) {
+        let x = t(&d);
+        let axis = axis_seed % x.shape.rank();
+        let red = OpKind::Reduce { kind: ReduceKind::Sum, axes: vec![axis], keep_dims: true };
+        let y = red.infer(std::slice::from_ref(&x)).unwrap();
+        let back = OpKind::Broadcast { shape: x.shape.clone() }
+            .infer(std::slice::from_ref(&y)).unwrap();
+        prop_assert_eq!(&back.shape, &x.shape);
+        links_in_bounds(&red, std::slice::from_ref(&x));
+    }
+
+    #[test]
+    fn conv_pool_links_sound(n in 1u64..8, c in 1u64..16, hw_half in 4u64..32,
+                             o in 1u64..16, k in prop::sample::select(vec![1u64, 3, 5]),
+                             stride in 1u64..3) {
+        let hw = hw_half * 2;
+        prop_assume!(hw + 2 * (k / 2) >= k);
+        let x = t(&[n, c, hw, hw]);
+        let w = t(&[o, c, k, k]);
+        let conv = OpKind::Conv2d(Conv2dAttrs { stride: (stride, stride), padding: (k / 2, k / 2) });
+        links_in_bounds(&conv, &[x.clone(), w]);
+        let pool = OpKind::Pool2d(Pool2dAttrs::square(PoolKind::Max, 2));
+        links_in_bounds(&pool, &[x.clone()]);
+        let bin = OpKind::Binary(BinaryKind::Mul);
+        links_in_bounds(&bin, &[x.clone(), x]);
+    }
+
+    #[test]
+    fn windowed_halo_matches_kernel(k in prop::sample::select(vec![1u64, 3, 5, 7])) {
+        let x = t(&[2, 4, 32, 32]);
+        let w = t(&[4, 4, k, k]);
+        let conv = OpKind::Conv2d(Conv2dAttrs::same(k / 2));
+        let out = conv.infer(&[x.clone(), w.clone()]).unwrap();
+        let links = conv.input_dim_links(&[x, w], &out);
+        prop_assert_eq!(links[0][2], DimLink::Windowed { dim: 2, halo: k - 1 });
+    }
+}

@@ -1,0 +1,121 @@
+//! BERT-base (Devlin et al., NAACL'19): "classic transformer network
+//! with linear inter-cell connection and complicated intra-cell
+//! structure" (§7.1 of the paper).
+
+use crate::configs::scaled;
+use crate::transformer::{embed_tokens, encoder_layer, layer_norm_affine, LayerDims};
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::tensor::DType;
+
+/// BERT configuration.
+#[derive(Debug, Clone)]
+pub struct BertConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Encoder layers.
+    pub layers: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Classification classes (sequence-level head).
+    pub classes: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl BertConfig {
+    /// BERT-base at the Table 2 setting: batch 32, sequence 512.
+    pub fn base() -> Self {
+        BertConfig {
+            batch: 32,
+            seq: 512,
+            hidden: 768,
+            layers: 12,
+            heads: 12,
+            vocab: 30522,
+            classes: 2,
+            dtype: DType::TF32,
+        }
+    }
+
+    /// Proportionally shrinks the model.
+    pub fn scaled(mut self, s: f64) -> Self {
+        if s >= 1.0 {
+            return self;
+        }
+        self.heads = scaled(self.heads, s.sqrt(), 2);
+        self.hidden = scaled(self.hidden, s.sqrt(), self.heads * 4);
+        self.seq = scaled(self.seq, s.sqrt(), 16);
+        self.batch = scaled(self.batch, s.sqrt(), 4);
+        self.layers = scaled(self.layers, s, 1);
+        self.vocab = scaled(self.vocab, s, 64);
+        self
+    }
+}
+
+/// Builds the BERT training graph (sequence classification head).
+pub fn bert(cfg: &BertConfig) -> TrainingGraph {
+    let d = LayerDims {
+        batch: cfg.batch,
+        seq: cfg.seq,
+        hidden: cfg.hidden,
+        heads: cfg.heads,
+        ffn_mult: 4,
+    };
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let ids = b.input_ids([cfg.batch, cfg.seq], "ids");
+    let mut h = embed_tokens(&mut b, ids, &d, cfg.vocab, "emb");
+    h = layer_norm_affine(&mut b, h, cfg.hidden, "emb.ln");
+    for l in 0..cfg.layers {
+        h = encoder_layer(&mut b, h, &d, &format!("layer{l}"));
+    }
+    let h = layer_norm_affine(&mut b, h, cfg.hidden, "final.ln");
+    // Pool the first token of each sequence: reshape + slice (views).
+    let h3 = b.reshape(h, [cfg.batch, cfg.seq, cfg.hidden]);
+    let cls = b.slice(h3, 1, 0, 1);
+    let pooled = b.reshape(cls, [cfg.batch, cfg.hidden]);
+    let wp = b.weight([cfg.hidden, cfg.hidden], "pooler.w");
+    let pooled = b.matmul(pooled, wp);
+    let pooled = b.unary(magis_graph::op::UnaryKind::Tanh, pooled);
+    let wc = b.weight([cfg.hidden, cfg.classes], "cls.w");
+    let logits = b.matmul(pooled, wc);
+    let y = b.label([cfg.batch], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("bert backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bert_builds() {
+        let cfg = BertConfig::base().scaled(0.05);
+        let tg = bert(&cfg);
+        tg.graph.validate().unwrap();
+        assert!(tg.graph.len() > 100);
+        assert!(!tg.weight_grads.is_empty());
+    }
+
+    #[test]
+    fn full_bert_structure() {
+        let tg = bert(&BertConfig::base());
+        // 12 layers x 6 matmuls + embedding head + pooler + classifier.
+        let matmuls = tg
+            .graph
+            .node_ids()
+            .filter(|&v| {
+                matches!(tg.graph.node(v).op, magis_graph::OpKind::MatMul { .. })
+                    && v.index() < 1_000_000
+            })
+            .count();
+        assert!(matmuls >= 12 * 6 + 2, "forward+backward matmuls: {matmuls}");
+        tg.graph.validate().unwrap();
+    }
+}

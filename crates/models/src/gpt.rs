@@ -1,0 +1,119 @@
+//! GPT-style decoder language models: GPT-Neo-1.3B (Black et al.) and
+//! BTLM-3B (Dey et al.) at the Table 2 settings — "much larger weights
+//! and deeper structures compared with classic transformer networks",
+//! trained in bf16.
+//!
+//! GPT-Neo alternates local/global attention and BTLM uses ALiBi and
+//! muP scaling; both change attention *values*, not tensor shapes or
+//! kernel costs, so the shared encoder layer models them faithfully
+//! for memory/latency purposes.
+
+use crate::configs::scaled;
+use crate::transformer::{embed_tokens, encoder_layer, layer_norm_affine, LayerDims};
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::tensor::DType;
+
+/// Decoder LM configuration.
+#[derive(Debug, Clone)]
+pub struct GptConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Decoder layers.
+    pub layers: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl GptConfig {
+    /// GPT-Neo-1.3B at Table 2: batch 32, sequence 512.
+    pub fn gpt_neo_1_3b() -> Self {
+        GptConfig {
+            batch: 32,
+            seq: 512,
+            hidden: 2048,
+            layers: 24,
+            heads: 16,
+            vocab: 50257,
+            dtype: DType::BF16,
+        }
+    }
+
+    /// BTLM-3B at Table 2: batch 32, sequence 512.
+    pub fn btlm_3b() -> Self {
+        GptConfig {
+            batch: 32,
+            seq: 512,
+            hidden: 2560,
+            layers: 32,
+            heads: 20,
+            vocab: 50257,
+            dtype: DType::BF16,
+        }
+    }
+
+    /// Proportionally shrinks the model.
+    pub fn scaled(mut self, s: f64) -> Self {
+        if s >= 1.0 {
+            return self;
+        }
+        self.heads = scaled(self.heads, s.sqrt(), 2);
+        self.hidden = scaled(self.hidden, s.sqrt(), self.heads * 4);
+        self.seq = scaled(self.seq, s.sqrt(), 16);
+        self.batch = scaled(self.batch, s.sqrt(), 4);
+        self.layers = scaled(self.layers, s, 1);
+        self.vocab = scaled(self.vocab, s, 64);
+        self
+    }
+}
+
+/// Builds the LM training graph (causal LM loss over all positions).
+pub fn gpt(cfg: &GptConfig) -> TrainingGraph {
+    let d = LayerDims {
+        batch: cfg.batch,
+        seq: cfg.seq,
+        hidden: cfg.hidden,
+        heads: cfg.heads,
+        ffn_mult: 4,
+    };
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let ids = b.input_ids([cfg.batch, cfg.seq], "ids");
+    let mut h = embed_tokens(&mut b, ids, &d, cfg.vocab, "emb");
+    for l in 0..cfg.layers {
+        h = encoder_layer(&mut b, h, &d, &format!("layer{l}"));
+    }
+    let h = layer_norm_affine(&mut b, h, cfg.hidden, "final.ln");
+    let w_lm = b.weight([cfg.hidden, cfg.vocab], "lm_head.w");
+    let logits = b.matmul(h, w_lm); // [B·T, V] — the famously huge tensor
+    let y = b.label([cfg.batch * cfg.seq], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("gpt backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_gpt_builds() {
+        let cfg = GptConfig::gpt_neo_1_3b().scaled(0.03);
+        let tg = gpt(&cfg);
+        tg.graph.validate().unwrap();
+        assert!(tg.graph.len() > 100);
+    }
+
+    #[test]
+    fn btlm_is_larger_than_gpt_neo() {
+        let a = GptConfig::gpt_neo_1_3b();
+        let b = GptConfig::btlm_3b();
+        assert!(b.hidden > a.hidden && b.layers > a.layers);
+    }
+}

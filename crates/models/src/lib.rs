@@ -1,0 +1,30 @@
+//! # magis-models
+//!
+//! From-scratch computation-graph builders for the paper's evaluation
+//! workloads (Table 2): ResNet-50, BERT-base, ViT-base, U-Net,
+//! U-Net++, GPT-Neo-1.3B, BTLM-3B — all as *training* graphs
+//! (forward + backward + SGD update) — plus random NASNet-like DNNs
+//! for the incremental-scheduling study (§7.3) and a small MLP for
+//! quickstarts.
+//!
+//! ```
+//! use magis_models::Workload;
+//!
+//! // A heavily scaled-down BERT for quick experiments.
+//! let tg = Workload::BertBase.build(0.05);
+//! assert!(tg.graph.len() > 100);
+//! ```
+
+pub mod bert;
+pub mod configs;
+pub mod gpt;
+pub mod mlp;
+pub mod random_dnn;
+pub mod resnet;
+pub mod transformer;
+pub mod unet;
+pub mod unetpp;
+pub mod vit;
+
+pub use configs::Workload;
+pub use random_dnn::{random_dnn, RandomDnnConfig};

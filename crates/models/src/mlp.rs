@@ -1,0 +1,59 @@
+//! A small MLP training workload for quickstarts, tests, and
+//! motivating examples.
+
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::tensor::DType;
+
+/// MLP configuration.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Input features.
+    pub input: u64,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Hidden layers.
+    pub layers: u64,
+    /// Classes.
+    pub classes: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig { batch: 256, input: 784, hidden: 512, layers: 6, classes: 10, dtype: DType::F32 }
+    }
+}
+
+/// Builds the MLP training graph.
+pub fn mlp(cfg: &MlpConfig) -> TrainingGraph {
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let mut cur = b.input([cfg.batch, cfg.input], "x");
+    let mut width = cfg.input;
+    for i in 0..cfg.layers {
+        let w = b.weight([width, cfg.hidden], &format!("w{i}"));
+        let h = b.matmul(cur, w);
+        cur = b.gelu(h);
+        width = cfg.hidden;
+    }
+    let wl = b.weight([width, cfg.classes], "w_out");
+    let logits = b.matmul(cur, wl);
+    let y = b.label([cfg.batch], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("mlp backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mlp_builds() {
+        let tg = mlp(&MlpConfig::default());
+        tg.graph.validate().unwrap();
+        assert_eq!(tg.weight_grads.len(), 7);
+    }
+}

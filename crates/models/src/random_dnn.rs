@@ -1,0 +1,152 @@
+//! Randomly generated NASNet-like DNNs (Zoph et al., CVPR'18), used by
+//! the incremental-vs-full scheduling experiment (§7.3 of the paper:
+//! "10 randomly generated DNNs with structures resembling NASNet").
+//!
+//! Each cell samples `blocks` binary combinations of previously
+//! produced states; unconsumed block outputs are concatenated and
+//! reduced back to the cell width with a 1×1 convolution — the NASNet
+//! cell discipline. Shapes stay constant so every op pair is
+//! composable.
+
+use magis_graph::builder::GraphBuilder;
+use magis_graph::graph::{Graph, NodeId};
+use magis_graph::op::Conv2dAttrs;
+use magis_graph::tensor::DType;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-DNN generation parameters.
+#[derive(Debug, Clone)]
+pub struct RandomDnnConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Channels inside cells.
+    pub channels: u64,
+    /// Spatial side.
+    pub hw: u64,
+    /// Number of cells.
+    pub cells: usize,
+    /// Blocks per cell.
+    pub blocks: usize,
+}
+
+impl Default for RandomDnnConfig {
+    fn default() -> Self {
+        RandomDnnConfig { batch: 8, channels: 32, hw: 32, cells: 6, blocks: 5 }
+    }
+}
+
+/// Generates a random NASNet-like inference graph.
+pub fn random_dnn(cfg: &RandomDnnConfig, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(DType::F32);
+    let x = b.input([cfg.batch, cfg.channels, cfg.hw, cfg.hw], "x");
+    let mut cell_in = x;
+    let mut prev_cell = x;
+    for ci in 0..cfg.cells {
+        let (out, _) = cell(&mut b, &mut rng, cell_in, prev_cell, cfg, ci);
+        prev_cell = cell_in;
+        cell_in = out;
+    }
+    b.finish()
+}
+
+fn unary_op(b: &mut GraphBuilder, rng: &mut SmallRng, t: NodeId, c: u64, tag: &str) -> NodeId {
+    match rng.gen_range(0..4) {
+        0 => {
+            let w = b.weight([c, c, 3, 3], &format!("{tag}.c3"));
+            b.conv_relu(t, w, Conv2dAttrs::same(1))
+        }
+        1 => {
+            let w = b.weight([c, c, 1, 1], &format!("{tag}.c1"));
+            b.conv_relu(t, w, Conv2dAttrs { stride: (1, 1), padding: (0, 0) })
+        }
+        2 => b.relu(t),
+        _ => b.gelu(t),
+    }
+}
+
+fn cell(
+    b: &mut GraphBuilder,
+    rng: &mut SmallRng,
+    input: NodeId,
+    prev: NodeId,
+    cfg: &RandomDnnConfig,
+    ci: usize,
+) -> (NodeId, usize) {
+    let c = cfg.channels;
+    let mut states = vec![input, prev];
+    let mut used = vec![false; 2 + cfg.blocks];
+    for bi in 0..cfg.blocks {
+        let i1 = rng.gen_range(0..states.len());
+        let i2 = rng.gen_range(0..states.len());
+        used[i1] = true;
+        used[i2] = true;
+        let a = unary_op(b, rng, states[i1], c, &format!("c{ci}.b{bi}.l"));
+        let d = unary_op(b, rng, states[i2], c, &format!("c{ci}.b{bi}.r"));
+        let comb = b.add_op(a, d);
+        states.push(comb);
+    }
+    // Concatenate unconsumed states, reduce back to `c` channels.
+    let loose: Vec<NodeId> = states
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !used[i])
+        .map(|(_, &s)| s)
+        .collect();
+    let (cat, cin) = if loose.len() > 1 {
+        (b.concat(&loose, 1), c * loose.len() as u64)
+    } else {
+        (loose[0], c)
+    };
+    let w = b.weight([c, cin, 1, 1], &format!("c{ci}.out"));
+    let out = b.conv_relu(cat, w, Conv2dAttrs { stride: (1, 1), padding: (0, 0) });
+    (out, loose.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDnnConfig::default();
+        let a = random_dnn(&cfg, 1);
+        let b = random_dnn(&cfg, 1);
+        let c = random_dnn(&cfg, 2);
+        assert_eq!(magis_graph::algo::graph_hash(&a), magis_graph::algo::graph_hash(&b));
+        assert_ne!(magis_graph::algo::graph_hash(&a), magis_graph::algo::graph_hash(&c));
+    }
+
+    #[test]
+    fn graphs_validate_across_seeds() {
+        let cfg = RandomDnnConfig::default();
+        for seed in 0..10 {
+            let g = random_dnn(&cfg, seed);
+            g.validate().unwrap();
+            assert!(g.len() > 40, "seed {seed}: {} nodes", g.len());
+        }
+    }
+
+    #[test]
+    fn has_sibling_convs_for_taso_rounds() {
+        // Fig. 14 applies TASO rounds to these graphs: mergeable
+        // sibling convolutions must exist with reasonable probability.
+        let cfg = RandomDnnConfig { cells: 8, ..RandomDnnConfig::default() };
+        let mut found = false;
+        for seed in 0..5 {
+            let g = random_dnn(&cfg, seed);
+            for x in g.node_ids() {
+                let conv_children = g
+                    .suc(x)
+                    .into_iter()
+                    .filter(|&v| matches!(g.node(v).op, magis_graph::OpKind::Conv2d(_)))
+                    .count();
+                if conv_children >= 2 {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "sibling convolutions appear in random cells");
+    }
+}

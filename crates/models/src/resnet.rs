@@ -1,0 +1,170 @@
+//! ResNet-50 (He et al., CVPR'16): the paper's "classic CNN
+//! classification network, with linear inter-cell connection and simple
+//! intra-cell structure".
+//!
+//! Batch normalization is modelled as per-channel scale-and-shift
+//! (elementwise ops over `[C,1,1]` parameters): the running-statistics
+//! bookkeeping is irrelevant to memory/latency structure, while the
+//! parameter tensors, activations, and their gradients are preserved.
+
+use crate::configs::scaled;
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::graph::NodeId;
+use magis_graph::op::Conv2dAttrs;
+use magis_graph::tensor::DType;
+
+/// ResNet-50 configuration.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Input image side (square).
+    pub image: u64,
+    /// Stem width (64 in the paper's model).
+    pub width: u64,
+    /// Bottleneck blocks per stage (`[3, 4, 6, 3]` for ResNet-50).
+    pub stages: [u64; 4],
+    /// Classes.
+    pub classes: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl ResNetConfig {
+    /// Table 2 setting: batch 64, image 224.
+    pub fn paper() -> Self {
+        ResNetConfig {
+            batch: 64,
+            image: 224,
+            width: 64,
+            stages: [3, 4, 6, 3],
+            classes: 1000,
+            dtype: DType::TF32,
+        }
+    }
+
+    /// Proportionally shrinks width, image, and depth.
+    pub fn scaled(mut self, s: f64) -> Self {
+        if s >= 1.0 {
+            return self;
+        }
+        self.width = scaled(self.width, s.sqrt(), 8);
+        self.image = scaled(self.image, s.sqrt(), 32);
+        self.batch = scaled(self.batch, s.sqrt(), 4);
+        for st in &mut self.stages {
+            *st = scaled(*st, s, 1);
+        }
+        self.classes = scaled(self.classes, s, 10);
+        self
+    }
+}
+
+/// Per-channel scale + shift (batch-norm stand-in).
+fn bn(b: &mut GraphBuilder, x: NodeId, c: u64, tag: &str) -> NodeId {
+    let gamma = b.weight([c, 1, 1], &format!("{tag}.g"));
+    let beta = b.weight([c, 1, 1], &format!("{tag}.b"));
+    b.scale_shift(x, gamma, beta)
+}
+
+fn conv_bn(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    cin: u64,
+    cout: u64,
+    k: u64,
+    stride: u64,
+    tag: &str,
+) -> NodeId {
+    let w = b.weight([cout, cin, k, k], &format!("{tag}.w"));
+    let attrs = Conv2dAttrs { stride: (stride, stride), padding: (k / 2, k / 2) };
+    let c = b.conv2d(x, w, attrs);
+    bn(b, c, cout, tag)
+}
+
+/// One bottleneck block: 1×1 down, 3×3, 1×1 up, residual add.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    cin: u64,
+    cmid: u64,
+    stride: u64,
+    tag: &str,
+) -> NodeId {
+    let cout = cmid * 4;
+    let h = conv_bn(b, x, cin, cmid, 1, stride, &format!("{tag}.a"));
+    let h = b.relu(h);
+    let h = conv_bn(b, h, cmid, cmid, 3, 1, &format!("{tag}.b"));
+    let h = b.relu(h);
+    let h = conv_bn(b, h, cmid, cout, 1, 1, &format!("{tag}.c"));
+    let shortcut = if cin != cout || stride != 1 {
+        conv_bn(b, x, cin, cout, 1, stride, &format!("{tag}.sc"))
+    } else {
+        x
+    };
+    let s = b.add_op(h, shortcut);
+    b.relu(s)
+}
+
+/// Builds the ResNet-50 training graph.
+pub fn resnet50(cfg: &ResNetConfig) -> TrainingGraph {
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let x = b.input([cfg.batch, 3, cfg.image, cfg.image], "image");
+    // Stem: 7x7/2 conv + 3x3/2 pool.
+    let h = conv_bn(&mut b, x, 3, cfg.width, 7, 2, "stem");
+    let h = b.relu(h);
+    let mut h = b.max_pool(h, 2);
+    let mut cin = cfg.width;
+    for (si, &blocks) in cfg.stages.iter().enumerate() {
+        let cmid = cfg.width << si;
+        for bi in 0..blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            h = bottleneck(&mut b, h, cin, cmid, stride, &format!("s{si}.b{bi}"));
+            cin = cmid * 4;
+        }
+    }
+    // Global average pool + classifier.
+    let hw = b.graph().node(h).meta.shape.dim(2);
+    let pooled = b.avg_pool(h, hw);
+    let flat = b.reshape(pooled, [cfg.batch, cin]);
+    let wfc = b.weight([cin, cfg.classes], "fc.w");
+    let logits = b.matmul(flat, wfc);
+    let y = b.label([cfg.batch], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("resnet backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_resnet_builds_and_validates() {
+        let cfg = ResNetConfig::paper().scaled(0.05);
+        let tg = resnet50(&cfg);
+        tg.graph.validate().unwrap();
+        assert!(tg.graph.len() > 150, "got {} nodes", tg.graph.len());
+        assert!(!tg.weight_grads.is_empty());
+    }
+
+    #[test]
+    fn full_resnet50_structure() {
+        let cfg = ResNetConfig::paper();
+        let tg = resnet50(&cfg);
+        // 16 bottlenecks x 3 convs + shortcuts + stem + fc: ~54 convs.
+        let convs = tg
+            .graph
+            .node_ids()
+            .filter(|&v| matches!(tg.graph.node(v).op, magis_graph::OpKind::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 16 * 3 + 4 + 1, "ResNet-50 conv count");
+        tg.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn stage_downsampling_shapes() {
+        let cfg = ResNetConfig { batch: 2, image: 64, ..ResNetConfig::paper() };
+        let tg = resnet50(&cfg);
+        tg.graph.validate().unwrap();
+    }
+}

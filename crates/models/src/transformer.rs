@@ -1,0 +1,131 @@
+//! Shared transformer building blocks: multi-head attention encoder
+//! layers (Vaswani et al., NeurIPS'17), used by BERT, ViT, GPT-Neo and
+//! BTLM builders. Matches the structure of Fig. 4 of the paper: Q/K/V
+//! projections as separate matmuls (so TASO's A-Trans can merge them),
+//! batched attention matmuls, softmax over key positions.
+
+use magis_graph::builder::GraphBuilder;
+use magis_graph::graph::NodeId;
+
+/// Dimensions of one encoder/decoder layer.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerDims {
+    /// Batch size.
+    pub batch: u64,
+    /// Sequence length (tokens or patches).
+    pub seq: u64,
+    /// Hidden width `C`.
+    pub hidden: u64,
+    /// Attention heads `H` (`C % H == 0`).
+    pub heads: u64,
+    /// FFN expansion factor (4 in all modelled networks).
+    pub ffn_mult: u64,
+}
+
+impl LayerDims {
+    /// Head dimension `C / H`.
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+}
+
+/// Layer norm with learned scale and shift over the trailing axis.
+pub fn layer_norm_affine(b: &mut GraphBuilder, x: NodeId, c: u64, tag: &str) -> NodeId {
+    let n = b.layer_norm(x);
+    let gamma = b.weight([c], &format!("{tag}.g"));
+    let beta = b.weight([c], &format!("{tag}.b"));
+    b.scale_shift(n, gamma, beta)
+}
+
+/// One pre-activation transformer layer over `x: [B·T, C]`.
+///
+/// Causal masking (decoder layers) changes values, not shapes or
+/// costs, so one builder serves both directions.
+pub fn encoder_layer(b: &mut GraphBuilder, x: NodeId, d: &LayerDims, tag: &str) -> NodeId {
+    let (bt, c) = (d.batch * d.seq, d.hidden);
+    assert_eq!(c % d.heads, 0, "hidden must divide into heads");
+    let hd = d.head_dim();
+
+    // --- Multi-head attention ---------------------------------------
+    let ln1 = layer_norm_affine(b, x, c, &format!("{tag}.ln1"));
+    let wq = b.weight([c, c], &format!("{tag}.wq"));
+    let wk = b.weight([c, c], &format!("{tag}.wk"));
+    let wv = b.weight([c, c], &format!("{tag}.wv"));
+    let q = b.matmul(ln1, wq);
+    let k = b.matmul(ln1, wk);
+    let v = b.matmul(ln1, wv);
+    let to_heads = |b: &mut GraphBuilder, t: NodeId| {
+        let r = b.reshape(t, [d.batch, d.seq, d.heads, hd]);
+        b.transpose(r, &[0, 2, 1, 3]) // [B, H, T, hd]
+    };
+    let qh = to_heads(b, q);
+    let kh = to_heads(b, k);
+    let vh = to_heads(b, v);
+    let scores = b.batch_matmul_t(qh, kh, false, true); // [B, H, T, T]
+    let probs = b.softmax(scores, 3);
+    let probs = b.dropout(probs);
+    let ctx = b.batch_matmul(probs, vh); // [B, H, T, hd]
+    let ctx = b.transpose(ctx, &[0, 2, 1, 3]);
+    let ctx = b.reshape(ctx, [bt, c]);
+    let wo = b.weight([c, c], &format!("{tag}.wo"));
+    let proj = b.matmul(ctx, wo);
+    let res1 = b.add_op(x, proj);
+
+    // --- Feed-forward -------------------------------------------------
+    let ln2 = layer_norm_affine(b, res1, c, &format!("{tag}.ln2"));
+    let w1 = b.weight([c, c * d.ffn_mult], &format!("{tag}.ffn1"));
+    let w2 = b.weight([c * d.ffn_mult, c], &format!("{tag}.ffn2"));
+    let h = b.matmul(ln2, w1);
+    let h = b.gelu(h);
+    let h = b.matmul(h, w2);
+    b.add_op(res1, h)
+}
+
+/// Token + learned position embeddings producing `[B·T, C]`.
+pub fn embed_tokens(
+    b: &mut GraphBuilder,
+    ids: NodeId,
+    d: &LayerDims,
+    vocab: u64,
+    tag: &str,
+) -> NodeId {
+    let table = b.weight([vocab, d.hidden], &format!("{tag}.tok"));
+    let emb = b.embedding(table, ids); // [B, T, C]
+    let pos = b.weight([d.seq, d.hidden], &format!("{tag}.pos"));
+    let e = b.add_op(emb, pos);
+    b.reshape(e, [d.batch * d.seq, d.hidden])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_graph::tensor::DType;
+
+    #[test]
+    fn encoder_layer_shapes() {
+        let d = LayerDims { batch: 2, seq: 16, hidden: 64, heads: 4, ffn_mult: 4 };
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([d.batch * d.seq, d.hidden], "x");
+        let y = encoder_layer(&mut b, x, &d, "l0");
+        assert_eq!(b.graph().node(y).meta.shape.dims(), &[32, 64]);
+        b.finish().validate().unwrap();
+    }
+
+    #[test]
+    fn embeddings_shape() {
+        let d = LayerDims { batch: 2, seq: 8, hidden: 32, heads: 4, ffn_mult: 4 };
+        let mut b = GraphBuilder::new(DType::F32);
+        let ids = b.input_ids([d.batch, d.seq], "ids");
+        let e = embed_tokens(&mut b, ids, &d, 100, "emb");
+        assert_eq!(b.graph().node(e).meta.shape.dims(), &[16, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into heads")]
+    fn indivisible_heads_rejected() {
+        let d = LayerDims { batch: 1, seq: 4, hidden: 30, heads: 4, ffn_mult: 4 };
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([4, 30], "x");
+        let _ = encoder_layer(&mut b, x, &d, "l0");
+    }
+}

@@ -1,0 +1,134 @@
+//! U-Net (Ronneberger et al., MICCAI'15): "image segmentation network
+//! with long skip-connections … complicated inter-cell connections and
+//! simple intra-cell structure" — the workload class where the paper
+//! reports MAGIS's largest wins (§7.2.1).
+//!
+//! The long encoder→decoder skip connections are exactly the
+//! long-lifetime tensors of Fig. 2's motivation.
+
+use crate::configs::scaled;
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::graph::NodeId;
+use magis_graph::op::Conv2dAttrs;
+use magis_graph::tensor::DType;
+
+/// U-Net configuration.
+#[derive(Debug, Clone)]
+pub struct UNetConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Image side.
+    pub image: u64,
+    /// Stem width (doubles per level).
+    pub width: u64,
+    /// Encoder/decoder depth (4 in the original).
+    pub depth: u64,
+    /// Segmentation classes.
+    pub classes: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl UNetConfig {
+    /// Table 2: batch 32, image 256.
+    pub fn paper() -> Self {
+        UNetConfig { batch: 32, image: 256, width: 64, depth: 4, classes: 8, dtype: DType::TF32 }
+    }
+
+    /// Proportionally shrinks the model.
+    pub fn scaled(mut self, s: f64) -> Self {
+        if s >= 1.0 {
+            return self;
+        }
+        self.width = scaled(self.width, s.sqrt(), 8);
+        self.image = scaled(self.image, s.sqrt(), 1 << (self.depth + 1));
+        self.batch = scaled(self.batch, s.sqrt(), 4);
+        self
+    }
+}
+
+/// Two 3×3 conv+relu layers (the U-Net double conv).
+pub(crate) fn double_conv(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    cin: u64,
+    cout: u64,
+    tag: &str,
+) -> NodeId {
+    let w1 = b.weight([cout, cin, 3, 3], &format!("{tag}.w1"));
+    let h = b.conv_relu(x, w1, Conv2dAttrs::same(1));
+    let w2 = b.weight([cout, cout, 3, 3], &format!("{tag}.w2"));
+    b.conv_relu(h, w2, Conv2dAttrs::same(1))
+}
+
+/// Builds the U-Net training graph.
+pub fn unet(cfg: &UNetConfig) -> TrainingGraph {
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let x = b.input([cfg.batch, 3, cfg.image, cfg.image], "image");
+    // Encoder.
+    let mut skips: Vec<(NodeId, u64)> = Vec::new();
+    let mut h = double_conv(&mut b, x, 3, cfg.width, "enc0");
+    let mut c = cfg.width;
+    for l in 1..=cfg.depth {
+        skips.push((h, c));
+        let p = b.max_pool(h, 2);
+        h = double_conv(&mut b, p, c, c * 2, &format!("enc{l}"));
+        c *= 2;
+    }
+    // Decoder with skip concatenation.
+    for l in (0..cfg.depth).rev() {
+        let up = b.upsample(h, 2);
+        let (skip, sc) = skips.pop().expect("skip per level");
+        let cat = b.concat(&[up, skip], 1);
+        h = double_conv(&mut b, cat, c + sc, c / 2, &format!("dec{l}"));
+        c /= 2;
+    }
+    // 1×1 head + per-pixel cross-entropy.
+    let wh = b.weight([cfg.classes, c, 1, 1], "head.w");
+    let logits4 = b.conv2d(h, wh, Conv2dAttrs { stride: (1, 1), padding: (0, 0) });
+    let n_pix = cfg.batch * cfg.image * cfg.image;
+    let perm = b.transpose(logits4, &[0, 2, 3, 1]); // [B, H, W, K]
+    let logits = b.reshape(perm, [n_pix, cfg.classes]);
+    let y = b.label([n_pix], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("unet backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_unet_builds() {
+        let cfg = UNetConfig::paper().scaled(0.1);
+        let tg = unet(&cfg);
+        tg.graph.validate().unwrap();
+        assert!(tg.graph.len() > 100);
+    }
+
+    #[test]
+    fn skip_connections_create_long_lifetimes() {
+        // The first encoder output must be consumed by the last decoder
+        // level: a user far away in any topological order.
+        let cfg = UNetConfig { batch: 2, image: 64, width: 8, depth: 3, classes: 4, dtype: DType::F32 };
+        let tg = unet(&cfg);
+        let order = magis_graph::algo::topo_order(&tg.graph);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let max_gap = tg
+            .graph
+            .node_ids()
+            .map(|v| {
+                tg.graph
+                    .suc(v)
+                    .iter()
+                    .map(|s| pos[s].saturating_sub(pos[&v]))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap();
+        assert!(max_gap > tg.graph.len() / 4, "long skip lifetime: gap {max_gap}");
+    }
+}

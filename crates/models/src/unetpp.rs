@@ -1,0 +1,130 @@
+//! U-Net++ (Zhou et al., DLMIA'18): nested, densely connected skip
+//! pathways — "even more complex than U-Net" (§7.1). Node `X[i][j]`
+//! receives the upsampled `X[i+1][j-1]` concatenated with all previous
+//! same-level features `X[i][0..j]`.
+
+use crate::configs::scaled;
+use crate::unet::double_conv;
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::graph::NodeId;
+use magis_graph::op::Conv2dAttrs;
+use magis_graph::tensor::DType;
+
+/// U-Net++ configuration.
+#[derive(Debug, Clone)]
+pub struct UNetPPConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Image side.
+    pub image: u64,
+    /// Stem width.
+    pub width: u64,
+    /// Pyramid depth (levels; 4 gives the standard 5-row grid).
+    pub depth: u64,
+    /// Segmentation classes.
+    pub classes: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl UNetPPConfig {
+    /// Table 2: batch 16, image 256.
+    pub fn paper() -> Self {
+        UNetPPConfig { batch: 16, image: 256, width: 64, depth: 4, classes: 8, dtype: DType::TF32 }
+    }
+
+    /// Proportionally shrinks the model.
+    pub fn scaled(mut self, s: f64) -> Self {
+        if s >= 1.0 {
+            return self;
+        }
+        self.width = scaled(self.width, s.sqrt(), 8);
+        self.image = scaled(self.image, s.sqrt(), 1 << (self.depth + 1));
+        self.batch = scaled(self.batch, s.sqrt(), 4);
+        self
+    }
+}
+
+/// Builds the U-Net++ training graph.
+pub fn unetpp(cfg: &UNetPPConfig) -> TrainingGraph {
+    let depth = cfg.depth as usize;
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let x = b.input([cfg.batch, 3, cfg.image, cfg.image], "image");
+    let ch = |i: usize| cfg.width << i;
+
+    // grid[i][j] = X^{i,j} feature and its channel count.
+    let mut grid: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); depth + 1];
+
+    // Backbone column j = 0.
+    let mut h = double_conv(&mut b, x, 3, ch(0), "x0_0");
+    grid[0].push((h, ch(0)));
+    for i in 1..=depth {
+        let p = b.max_pool(h, 2);
+        h = double_conv(&mut b, p, ch(i - 1), ch(i), &format!("x{i}_0"));
+        grid[i].push((h, ch(i)));
+    }
+
+    // Nested columns j = 1..=depth at levels i = 0..=depth-j.
+    for j in 1..=depth {
+        for i in 0..=depth - j {
+            let (below, cb) = grid[i + 1][j - 1];
+            let up = b.upsample(below, 2);
+            let mut cat_inputs = vec![up];
+            let mut cin = cb;
+            for &(prev, cp) in &grid[i][0..j] {
+                cat_inputs.push(prev);
+                cin += cp;
+            }
+            let cat = b.concat(&cat_inputs, 1);
+            let out = double_conv(&mut b, cat, cin, ch(i), &format!("x{i}_{j}"));
+            grid[i].push((out, ch(i)));
+        }
+    }
+
+    // Head over the last top-row node.
+    let (top, c) = *grid[0].last().expect("top row populated");
+    let wh = b.weight([cfg.classes, c, 1, 1], "head.w");
+    let logits4 = b.conv2d(top, wh, Conv2dAttrs { stride: (1, 1), padding: (0, 0) });
+    let n_pix = cfg.batch * cfg.image * cfg.image;
+    let perm = b.transpose(logits4, &[0, 2, 3, 1]);
+    let logits = b.reshape(perm, [n_pix, cfg.classes]);
+    let y = b.label([n_pix], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("unet++ backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_unetpp_builds() {
+        let cfg = UNetPPConfig::paper().scaled(0.1);
+        let tg = unetpp(&cfg);
+        tg.graph.validate().unwrap();
+        assert!(tg.graph.len() > 150);
+    }
+
+    #[test]
+    fn denser_than_unet() {
+        // Same dims: U-Net++ has strictly more nodes than U-Net.
+        let upp = UNetPPConfig {
+            batch: 2,
+            image: 64,
+            width: 8,
+            depth: 3,
+            classes: 4,
+            dtype: DType::F32,
+        };
+        let un = crate::unet::UNetConfig {
+            batch: 2,
+            image: 64,
+            width: 8,
+            depth: 3,
+            classes: 4,
+            dtype: DType::F32,
+        };
+        assert!(unetpp(&upp).graph.len() > crate::unet::unet(&un).graph.len());
+    }
+}

@@ -1,0 +1,121 @@
+//! ViT-base (Dosovitskiy et al., ICLR'21): patch-embedding convolution
+//! followed by a transformer encoder; Table 2 setting image 224,
+//! patch 16, batch 64.
+
+use crate::configs::scaled;
+use crate::transformer::{encoder_layer, layer_norm_affine, LayerDims};
+use magis_graph::builder::GraphBuilder;
+use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};
+use magis_graph::op::{Conv2dAttrs, ReduceKind};
+use magis_graph::tensor::DType;
+
+/// ViT configuration.
+#[derive(Debug, Clone)]
+pub struct VitConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Image side.
+    pub image: u64,
+    /// Patch side.
+    pub patch: u64,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Encoder layers.
+    pub layers: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Classes.
+    pub classes: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl VitConfig {
+    /// ViT-base at Table 2: batch 64, image 224, patch 16.
+    pub fn base() -> Self {
+        VitConfig {
+            batch: 64,
+            image: 224,
+            patch: 16,
+            hidden: 768,
+            layers: 12,
+            heads: 12,
+            classes: 1000,
+            dtype: DType::TF32,
+        }
+    }
+
+    /// Proportionally shrinks the model (patch size kept).
+    pub fn scaled(mut self, s: f64) -> Self {
+        if s >= 1.0 {
+            return self;
+        }
+        self.heads = scaled(self.heads, s.sqrt(), 2);
+        self.hidden = scaled(self.hidden, s.sqrt(), self.heads * 4);
+        self.image = scaled(self.image, s.sqrt(), self.patch * 2);
+        self.batch = scaled(self.batch, s.sqrt(), 4);
+        self.layers = scaled(self.layers, s, 1);
+        self.classes = scaled(self.classes, s, 10);
+        self
+    }
+
+    /// Tokens per image.
+    pub fn seq(&self) -> u64 {
+        let side = self.image / self.patch;
+        side * side
+    }
+}
+
+/// Builds the ViT training graph.
+pub fn vit(cfg: &VitConfig) -> TrainingGraph {
+    let seq = cfg.seq();
+    let d = LayerDims {
+        batch: cfg.batch,
+        seq,
+        hidden: cfg.hidden,
+        heads: cfg.heads,
+        ffn_mult: 4,
+    };
+    let mut b = GraphBuilder::new(cfg.dtype);
+    let x = b.input([cfg.batch, 3, cfg.image, cfg.image], "image");
+    // Patch embedding: stride-p, kernel-p convolution.
+    let wp = b.weight([cfg.hidden, 3, cfg.patch, cfg.patch], "patch.w");
+    let attrs = Conv2dAttrs { stride: (cfg.patch, cfg.patch), padding: (0, 0) };
+    let patches = b.conv2d(x, wp, attrs); // [B, C, s, s]
+    let side = cfg.image / cfg.patch;
+    let seqed = b.reshape(patches, [cfg.batch, cfg.hidden, side * side]);
+    let tokens = b.transpose(seqed, &[0, 2, 1]); // [B, T, C]
+    let pos = b.weight([seq, cfg.hidden], "pos");
+    let tokens = b.add_op(tokens, pos);
+    let mut h = b.reshape(tokens, [cfg.batch * seq, cfg.hidden]);
+    for l in 0..cfg.layers {
+        h = encoder_layer(&mut b, h, &d, &format!("layer{l}"));
+    }
+    let h = layer_norm_affine(&mut b, h, cfg.hidden, "final.ln");
+    // Mean-pool tokens, classify.
+    let h3 = b.reshape(h, [cfg.batch, seq, cfg.hidden]);
+    let pooled = b.reduce(ReduceKind::Mean, h3, &[1]); // [B, C]
+    let wc = b.weight([cfg.hidden, cfg.classes], "head.w");
+    let logits = b.matmul(pooled, wc);
+    let y = b.label([cfg.batch], "labels");
+    let loss = b.cross_entropy(logits, y);
+    append_backward(b.finish(), loss, &TrainOptions::default()).expect("vit backward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_vit_builds() {
+        let cfg = VitConfig::base().scaled(0.05);
+        let tg = vit(&cfg);
+        tg.graph.validate().unwrap();
+        assert!(tg.graph.len() > 100);
+    }
+
+    #[test]
+    fn seq_from_patches() {
+        assert_eq!(VitConfig::base().seq(), 196);
+    }
+}

@@ -1,0 +1,76 @@
+//! Model-fidelity checks: at scale 1.0 the builders must reproduce the
+//! published parameter counts of the real networks (within the
+//! tolerance our simplifications allow — no biases, norm params as
+//! scale/shift pairs).
+
+use magis_models::Workload;
+
+fn param_count(w: Workload) -> f64 {
+    let tg = w.build(1.0);
+    let bytes_per = w.dtype().size_bytes();
+    let total: u64 = tg
+        .graph
+        .node_ids()
+        .filter(|&v| tg.graph.node(v).op.is_weight_input())
+        .map(|v| tg.graph.node(v).size_bytes())
+        .sum();
+    total as f64 / bytes_per as f64
+}
+
+fn assert_close(name: &str, got: f64, published: f64, tol: f64) {
+    let ratio = got / published;
+    assert!(
+        (1.0 - tol..=1.0 + tol).contains(&ratio),
+        "{name}: {got:.2e} params vs published {published:.2e} (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn resnet50_parameter_count() {
+    // Published: 25.6M.
+    assert_close("ResNet-50", param_count(Workload::ResNet50), 25.6e6, 0.15);
+}
+
+#[test]
+fn bert_base_parameter_count() {
+    // Published: 110M including embeddings.
+    assert_close("BERT-base", param_count(Workload::BertBase), 110e6, 0.15);
+}
+
+#[test]
+fn vit_base_parameter_count() {
+    // Published: 86M.
+    assert_close("ViT-base", param_count(Workload::VitBase), 86e6, 0.15);
+}
+
+#[test]
+fn gpt_neo_parameter_count() {
+    // Published: 1.3B.
+    assert_close("GPT-Neo-1.3B", param_count(Workload::GptNeo13B), 1.3e9, 0.2);
+}
+
+#[test]
+fn btlm_parameter_count() {
+    // Published: 2.6B ("3B" marketing rounds up; 2.6e9 actual).
+    assert_close("BTLM-3B", param_count(Workload::Btlm3B), 2.6e9, 0.2);
+}
+
+#[test]
+fn every_workload_builds_at_three_scales() {
+    for w in Workload::all() {
+        for scale in [0.1, 0.4, 1.0] {
+            let tg = w.build(scale);
+            tg.graph.validate().unwrap_or_else(|e| panic!("{} @ {scale}: {e}", w.label()));
+            assert!(!tg.weight_grads.is_empty(), "{} has trainable weights", w.label());
+            // Every weight has a same-shaped gradient.
+            for &(wt, dw) in &tg.weight_grads {
+                assert_eq!(
+                    tg.graph.node(wt).meta.shape,
+                    tg.graph.node(dw).meta.shape,
+                    "{} weight/grad shape",
+                    w.label()
+                );
+            }
+        }
+    }
+}

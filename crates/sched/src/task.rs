@@ -1,0 +1,240 @@
+//! Scheduling tasks: a node subset prepared for memory-aware ordering.
+//!
+//! A [`SchedTask`] compiles the lifetime semantics of
+//! [`magis_sim::memory`] (storage roots, aliases, anchored allocations,
+//! host-resident `Store` outputs, boundary tensors) into dense local
+//! index space so the DP/beam schedulers can evaluate memory deltas in
+//! O(degree) per transition.
+
+use magis_graph::algo::topo::topo_order_of;
+use magis_graph::graph::{Graph, NodeId};
+use magis_sim::memory::{device_bytes, storage_root};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A storage root relevant to a scheduling window.
+#[derive(Debug, Clone)]
+pub struct RootInfo {
+    /// Bytes owned by the root's storage.
+    pub bytes: u64,
+    /// Local indices of window nodes that must execute before the root
+    /// can be freed (readers of the storage, through aliases).
+    pub users: Vec<usize>,
+    /// Whether the root can be freed inside this window (no users
+    /// outside it and it is not a terminal output).
+    pub freeable: bool,
+    /// Local index of the node whose execution allocates the root
+    /// (`None`: already resident at window start — counted in `base`).
+    pub alloc_at: Option<usize>,
+}
+
+/// A prepared scheduling problem over a subset of graph nodes.
+#[derive(Debug, Clone)]
+pub struct SchedTask<'g> {
+    g: &'g Graph,
+    /// Window nodes in local-index order.
+    pub nodes: Vec<NodeId>,
+    /// Local predecessors (dependencies inside the window, deduplicated).
+    pub preds: Vec<Vec<usize>>,
+    /// Local successors.
+    pub succs: Vec<Vec<usize>>,
+    /// Storage roots touched by the window.
+    pub roots: Vec<RootInfo>,
+    /// For each local node: indices into `roots` this node allocates.
+    pub allocs: Vec<Vec<usize>>,
+    /// For each local node: indices into `roots` this node uses (its
+    /// execution may complete the root's user set and free it).
+    pub uses: Vec<Vec<usize>>,
+    /// Bytes resident for the whole window (boundary inputs).
+    pub base: u64,
+}
+
+impl<'g> SchedTask<'g> {
+    /// Prepares a scheduling task over all live nodes of `g`.
+    pub fn whole_graph(g: &'g Graph) -> Self {
+        let set: BTreeSet<NodeId> = g.node_ids().collect();
+        Self::subset(g, &set)
+    }
+
+    /// Prepares a scheduling task over `set ⊆ V(g)`.
+    ///
+    /// Boundary tensors produced outside `set` but read inside it are
+    /// charged to `base` for the window's duration; tensors with
+    /// readers outside `set` are never freed inside the window.
+    pub fn subset(g: &'g Graph, set: &BTreeSet<NodeId>) -> Self {
+        let nodes: Vec<NodeId> = set.iter().copied().collect();
+        let mut local: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            local.insert(v, i);
+        }
+        let n = nodes.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (i, &v) in nodes.iter().enumerate() {
+            let mut ps: Vec<usize> =
+                g.pre_all(v).into_iter().filter_map(|p| local.get(&p).copied()).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            for &p in &ps {
+                succs[p].push(i);
+            }
+            preds[i] = ps;
+        }
+
+        // Gather relevant storage roots: roots of window nodes plus
+        // roots read by window nodes.
+        let mut root_ids: BTreeSet<NodeId> = BTreeSet::new();
+        for &v in &nodes {
+            root_ids.insert(storage_root(g, v));
+            for p in g.pre_all(v) {
+                root_ids.insert(storage_root(g, p));
+            }
+        }
+
+        let mut roots = Vec::new();
+        let mut allocs = vec![Vec::new(); n];
+        let mut uses = vec![Vec::new(); n];
+        let mut base = 0u64;
+        for rid in root_ids {
+            let bytes = device_bytes(g, rid);
+            if bytes == 0 {
+                continue;
+            }
+            // Users of the root's storage: successors of the root and of
+            // every alias chained onto it. Aliases themselves also count
+            // as (trivial) readers.
+            let mut user_nodes: BTreeSet<NodeId> = BTreeSet::new();
+            let mut alias_stack = vec![rid];
+            while let Some(a) = alias_stack.pop() {
+                for s in g.suc(a) {
+                    user_nodes.insert(s);
+                    if g.node(s).op.is_alias() && storage_root(g, s) == rid {
+                        alias_stack.push(s);
+                    }
+                }
+            }
+            let terminal = user_nodes.is_empty();
+            let mut users: Vec<usize> = Vec::new();
+            let mut outside_user = false;
+            for u in &user_nodes {
+                match local.get(u) {
+                    Some(&i) => users.push(i),
+                    None => outside_user = true,
+                }
+            }
+            let freeable = !terminal && !outside_user;
+            // Allocation point.
+            let anchor = g.node(rid).alloc_with.unwrap_or(rid);
+            let alloc_at = if g.node(rid).op.is_input() {
+                None // inputs resident from the start
+            } else {
+                local.get(&anchor).copied()
+            };
+            if alloc_at.is_none() {
+                base += bytes;
+            }
+            let idx = roots.len();
+            roots.push(RootInfo { bytes, users: users.clone(), freeable, alloc_at });
+            if let Some(a) = alloc_at {
+                allocs[a].push(idx);
+            }
+            for &u in &users {
+                uses[u].push(idx);
+            }
+        }
+        SchedTask { g, nodes, preds, succs, roots, allocs, uses, base }
+    }
+
+    /// Number of window nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// A valid (deterministic) topological order of the window, in
+    /// local indices — the fallback schedule.
+    pub fn default_order(&self) -> Vec<usize> {
+        let set: BTreeSet<NodeId> = self.nodes.iter().copied().collect();
+        let order = topo_order_of(self.g, &set);
+        let local: BTreeMap<NodeId, usize> =
+            self.nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        order.into_iter().map(|v| local[&v]).collect()
+    }
+
+    /// Translates local indices back to node ids.
+    pub fn to_node_ids(&self, order: &[usize]) -> Vec<NodeId> {
+        order.iter().map(|&i| self.nodes[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::tensor::DType;
+
+    const KB: u64 = 1024;
+
+    #[test]
+    fn whole_graph_task_roots() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([256], "x");
+        let a = b.relu(x);
+        let _y = b.relu(a);
+        let g = b.finish();
+        let t = SchedTask::whole_graph(&g);
+        assert_eq!(t.len(), 3);
+        // x is an input: contributes to base; a and y allocate on exec.
+        assert_eq!(t.base, KB);
+        assert_eq!(t.roots.iter().filter(|r| r.alloc_at.is_some()).count(), 2);
+        // a is freeable (its only user is in the window); y is terminal.
+        let a_root = t.roots.iter().find(|r| r.alloc_at == Some(1)).unwrap();
+        assert!(a_root.freeable);
+        let y_root = t.roots.iter().find(|r| r.alloc_at == Some(2)).unwrap();
+        assert!(!y_root.freeable);
+    }
+
+    #[test]
+    fn subset_boundary_semantics() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([256], "x");
+        let a = b.relu(x);
+        let c = b.relu(a);
+        let d = b.relu(c);
+        let g = b.finish();
+        // Window {c, d}: a is a boundary input -> base; c freeable, d not.
+        let set: BTreeSet<NodeId> = [c, d].into_iter().collect();
+        let t = SchedTask::subset(&g, &set);
+        assert_eq!(t.base, KB, "boundary tensor a");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.preds[1], vec![0], "d depends on c locally");
+        let _ = (x, a);
+    }
+
+    #[test]
+    fn alias_users_attach_to_root() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([256], "x");
+        let a = b.relu(x);
+        let r = b.reshape(a, [16, 16]);
+        let y = b.relu(r);
+        let g = b.finish();
+        let t = SchedTask::whole_graph(&g);
+        // Root `a`: users include the alias r and the reader y.
+        let a_root = t
+            .roots
+            .iter()
+            .find(|ri| ri.alloc_at.is_some() && ri.bytes == KB && ri.freeable)
+            .unwrap();
+        assert_eq!(a_root.users.len(), 2);
+        let _ = y;
+    }
+}

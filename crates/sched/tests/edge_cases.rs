@@ -1,0 +1,86 @@
+//! Edge cases of the scheduling stack: degenerate windows, anchored
+//! allocations, boundary tensors, and keepalive ordering.
+
+use magis_graph::builder::GraphBuilder;
+use magis_graph::graph::NodeId;
+use magis_graph::op::MergeKind;
+use magis_graph::tensor::DType;
+use magis_sched::{dp_schedule, full_schedule, SchedConfig, SchedTask};
+use magis_sim::memory_profile;
+use std::collections::BTreeSet;
+
+#[test]
+fn single_node_window() {
+    let mut b = GraphBuilder::new(DType::F32);
+    let x = b.input([4], "x");
+    let a = b.relu(x);
+    let g = b.finish();
+    let set: BTreeSet<NodeId> = [a].into_iter().collect();
+    let task = SchedTask::subset(&g, &set);
+    let res = dp_schedule(&task, &SchedConfig::default());
+    assert_eq!(task.to_node_ids(&res.order), vec![a]);
+}
+
+#[test]
+fn window_with_anchored_allocation() {
+    // A Merge anchored at the region head must charge its bytes from
+    // the anchor's execution in the DP, matching the profiler.
+    let mut b = GraphBuilder::new(DType::F32);
+    let x = b.input([256], "x");
+    let a = b.relu(x);
+    let m = b.merge(a, MergeKind::Concat, 0, 4);
+    let mut g = b.finish();
+    g.set_alloc_with(m, a);
+    let task = SchedTask::whole_graph(&g);
+    let res = dp_schedule(&task, &SchedConfig::default());
+    let ids = task.to_node_ids(&res.order);
+    let prof = memory_profile(&g, &ids);
+    assert_eq!(res.peak, prof.peak_bytes, "DP accounting matches profiler");
+}
+
+#[test]
+fn keepalive_constrains_order() {
+    let mut b = GraphBuilder::new(DType::F32);
+    let x = b.input([4], "x");
+    let a = b.relu(x);
+    let c = b.gelu(x);
+    let g = {
+        let mut g = b.finish();
+        // c must run after a even though no data flows.
+        g.add_keepalive(a, c).unwrap();
+        g
+    };
+    let order = full_schedule(&g, &SchedConfig::default());
+    let pa = order.iter().position(|&v| v == a).unwrap();
+    let pc = order.iter().position(|&v| v == c).unwrap();
+    assert!(pa < pc, "keepalive respected");
+}
+
+#[test]
+fn outside_users_pin_window_tensors() {
+    // A window tensor read from outside must never be freed inside.
+    let mut b = GraphBuilder::new(DType::F32);
+    let x = b.input([1024], "x");
+    let a = b.relu(x);
+    let inner = b.gelu(a);
+    let _outside = b.tanh_like(inner);
+    let g = b.finish();
+    let set: BTreeSet<NodeId> = [a, inner].into_iter().collect();
+    let task = SchedTask::subset(&g, &set);
+    // `inner` has an outside user: not freeable.
+    let pinned = task
+        .roots
+        .iter()
+        .filter(|r| !r.freeable && r.alloc_at.is_some())
+        .count();
+    assert!(pinned >= 1, "window outputs pinned");
+}
+
+trait TanhLike {
+    fn tanh_like(&mut self, x: NodeId) -> NodeId;
+}
+impl TanhLike for GraphBuilder {
+    fn tanh_like(&mut self, x: NodeId) -> NodeId {
+        self.unary(magis_graph::op::UnaryKind::Tanh, x)
+    }
+}

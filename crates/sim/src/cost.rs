@@ -1,0 +1,173 @@
+//! Analytic operator cost model.
+//!
+//! Substitutes for the paper's profiled kernel latencies: a roofline
+//! estimate `max(compute, bandwidth)` with a utilization penalty for
+//! small kernels plus a fixed launch overhead. Relative behaviour — the
+//! only thing the paper's experiments depend on — is preserved:
+//!
+//! * fission splits kernels into smaller, worse-utilized ones and
+//!   re-reads shared operands per part (latency ↑),
+//! * aggregation does the opposite,
+//! * swap traffic costs PCIe time but can overlap compute,
+//! * re-materialization re-pays exactly the producer's compute time.
+
+use crate::device::DeviceSpec;
+use magis_graph::graph::{Graph, NodeId};
+use magis_graph::op::OpKind;
+use magis_graph::tensor::TensorMeta;
+
+/// Per-op-class efficiency relative to peak (cuBLAS/cuDNN-style).
+fn class_efficiency(op: &OpKind) -> f64 {
+    match op {
+        OpKind::MatMul { .. } => 0.90,
+        OpKind::BatchMatMul { .. } => 0.85,
+        OpKind::Conv2d(_) | OpKind::Conv2dGradInput(_) | OpKind::Conv2dGradWeight(_) => 0.80,
+        OpKind::Softmax { .. }
+        | OpKind::SoftmaxGrad { .. }
+        | OpKind::LayerNorm { .. }
+        | OpKind::LayerNormGrad { .. } => 0.70,
+        _ => 0.75,
+    }
+}
+
+/// The analytic cost model over a fixed [`DeviceSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    device: DeviceSpec,
+}
+
+impl CostModel {
+    /// Creates a cost model for `device`.
+    pub fn new(device: DeviceSpec) -> Self {
+        CostModel { device }
+    }
+
+    /// The device this model targets.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Latency in seconds of one execution of `op` on the given shapes
+    /// (no fission repeat applied).
+    pub fn op_latency(&self, op: &OpKind, inputs: &[TensorMeta], output: &TensorMeta) -> f64 {
+        match op {
+            // In-place SGD is an alias for memory purposes but has real
+            // kernel cost; other aliases (reshape/slice views) are free.
+            _ if op.is_input() || (op.is_alias() && !matches!(op, OpKind::SgdUpdate)) => 0.0,
+            OpKind::Store | OpKind::Load => self.device.xfer_time(output.size_bytes()),
+            _ => {
+                let flops = op.flops(inputs, output);
+                let bytes = op.bytes_accessed(inputs, output) as f64;
+                let util = self.device.utilization(flops) * class_efficiency(op);
+                let compute = if flops > 0.0 { flops / (self.device.peak_flops * util) } else { 0.0 };
+                let memory = bytes / self.device.mem_bandwidth;
+                self.device.launch_overhead + compute.max(memory)
+            }
+        }
+    }
+
+    /// Latency of a graph node including its fission `cost_repeat`
+    /// multiplier (`cost(v)` in the paper's notation).
+    pub fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        let n = g.node(v);
+        let inputs: Vec<TensorMeta> =
+            n.inputs().iter().map(|&i| g.node(i).meta.clone()).collect();
+        self.op_latency(&n.op, &inputs, &n.meta) * n.cost_repeat as f64
+    }
+
+    /// `cost(G) ≈ Σ_v cost(v)` (§2.1), ignoring swap overlap. Use
+    /// [`crate::exec::simulate_latency`] for the overlap-aware figure.
+    pub fn graph_latency(&self, g: &Graph) -> f64 {
+        g.node_ids().map(|v| self.node_latency(g, v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::tensor::DType;
+
+    fn meta(d: &[u64]) -> TensorMeta {
+        TensorMeta::new(d, DType::F32)
+    }
+
+    #[test]
+    fn bigger_matmul_costs_more() {
+        let m = CostModel::default();
+        let op = OpKind::MatMul { transpose_a: false, transpose_b: false };
+        let small = {
+            let i = [meta(&[64, 64]), meta(&[64, 64])];
+            let o = op.infer(&i).unwrap();
+            m.op_latency(&op, &i, &o)
+        };
+        let big = {
+            let i = [meta(&[1024, 1024]), meta(&[1024, 1024])];
+            let o = op.infer(&i).unwrap();
+            m.op_latency(&op, &i, &o)
+        };
+        assert!(big > small * 5.0, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn fission_increases_total_latency() {
+        // One [1024,1024]x[1024,1024] matmul vs 4 sequential quarter
+        // matmuls along m: the split version must be slower per the
+        // utilization/locality penalty, but less than 4x slower.
+        let m = CostModel::default();
+        let op = OpKind::MatMul { transpose_a: false, transpose_b: false };
+        let i_full = [meta(&[1024, 1024]), meta(&[1024, 1024])];
+        let o_full = op.infer(&i_full).unwrap();
+        let full = m.op_latency(&op, &i_full, &o_full);
+        let i_part = [meta(&[256, 1024]), meta(&[1024, 1024])];
+        let o_part = op.infer(&i_part).unwrap();
+        let split = 4.0 * m.op_latency(&op, &i_part, &o_part);
+        assert!(split > full * 1.01, "split {split} vs full {full}");
+        assert!(split < full * 4.0);
+    }
+
+    #[test]
+    fn swap_cost_is_transfer_bound() {
+        let m = CostModel::default();
+        let x = meta(&[1024, 1024]); // 4 MiB
+        let t = m.op_latency(&OpKind::Store, &[x.clone()], &x);
+        let expected = m.device().xfer_time(x.size_bytes());
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_is_bandwidth_bound() {
+        let m = CostModel::default();
+        let x = meta(&[4096, 4096]);
+        let op = OpKind::Unary(magis_graph::op::UnaryKind::Relu);
+        let t = m.op_latency(&op, &[x.clone()], &x);
+        let bw_time = (2 * x.size_bytes()) as f64 / m.device().mem_bandwidth;
+        assert!(t >= bw_time && t < bw_time * 1.5);
+    }
+
+    #[test]
+    fn graph_latency_sums_nodes() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([128, 128], "x");
+        let w = b.weight([128, 128], "w");
+        let h = b.matmul(x, w);
+        let _ = b.relu(h);
+        let g = b.finish();
+        let m = CostModel::default();
+        let sum: f64 = g.node_ids().map(|v| m.node_latency(&g, v)).sum();
+        assert!((m.graph_latency(&g) - sum).abs() < 1e-15);
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn cost_repeat_multiplies() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([128, 128], "x");
+        let r = b.relu(x);
+        let mut g = b.finish();
+        let m = CostModel::default();
+        let one = m.node_latency(&g, r);
+        g.set_cost_repeat(r, 3);
+        assert!((m.node_latency(&g, r) - 3.0 * one).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,110 @@
+//! Device specifications for the analytic performance model.
+//!
+//! The paper's testbed is an NVIDIA GeForce RTX 3090 with swap traffic
+//! over PCIe to host memory (§7.1); [`DeviceSpec::rtx3090`] encodes
+//! published numbers for that card. A mobile-class profile is included
+//! for the paper's motivation about on-device inference (§1).
+
+/// An accelerator profile consumed by the cost model and simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Peak floating-point throughput in FLOP/s (for the evaluated
+    /// precision: TF32/BF16 tensor-core rates).
+    pub peak_flops: f64,
+    /// Device memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Host↔device transfer bandwidth in bytes/s (PCIe; used by
+    /// `Store`/`Load` swap operators).
+    pub xfer_bandwidth: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// FLOPs at which a kernel reaches 50% of peak utilization. Smaller
+    /// kernels utilize the device worse — this is what makes fission
+    /// trade latency for memory (§2.3: "decreased hardware utilization").
+    pub half_util_flops: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation platform: GeForce RTX 3090.
+    ///
+    /// 35.6 TFLOP/s TF32 tensor throughput, 936 GB/s GDDR6X, PCIe 4.0
+    /// x16 (~25 GB/s effective), 24 GB capacity.
+    pub fn rtx3090() -> Self {
+        DeviceSpec {
+            name: "rtx3090",
+            peak_flops: 35.6e12,
+            mem_bandwidth: 936e9,
+            xfer_bandwidth: 25e9,
+            mem_capacity: 24 * (1 << 30),
+            launch_overhead: 5e-6,
+            half_util_flops: 2.0e8,
+        }
+    }
+
+    /// A mobile-class profile (Snapdragon-888-like CPU+NPU envelope).
+    pub fn mobile() -> Self {
+        DeviceSpec {
+            name: "mobile",
+            peak_flops: 1.5e12,
+            mem_bandwidth: 51.2e9,
+            xfer_bandwidth: 8e9,
+            mem_capacity: 8 * (1 << 30),
+            launch_overhead: 20e-6,
+            half_util_flops: 2.0e7,
+        }
+    }
+
+    /// Utilization factor in `(0, 1]` for a kernel of `flops` work:
+    /// `w / (w + half_util_flops)` — saturating for large kernels,
+    /// linear for tiny ones.
+    pub fn utilization(&self, flops: f64) -> f64 {
+        if flops <= 0.0 {
+            return 1.0;
+        }
+        flops / (flops + self.half_util_flops)
+    }
+
+    /// Time to move `bytes` across the host link (one direction).
+    pub fn xfer_time(&self, bytes: u64) -> f64 {
+        self.launch_overhead + bytes as f64 / self.xfer_bandwidth
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::rtx3090()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_monotone_and_bounded() {
+        let d = DeviceSpec::rtx3090();
+        let small = d.utilization(1e6);
+        let mid = d.utilization(2e8);
+        let big = d.utilization(1e12);
+        assert!(small < mid && mid < big);
+        assert!(big <= 1.0);
+        assert!((mid - 0.5).abs() < 1e-9, "half-util point is 50%");
+    }
+
+    #[test]
+    fn xfer_time_scales_with_bytes() {
+        let d = DeviceSpec::rtx3090();
+        let t1 = d.xfer_time(1 << 20);
+        let t2 = d.xfer_time(1 << 30);
+        assert!(t2 > t1 * 100.0);
+    }
+
+    #[test]
+    fn profiles_differ() {
+        assert!(DeviceSpec::mobile().peak_flops < DeviceSpec::rtx3090().peak_flops);
+    }
+}

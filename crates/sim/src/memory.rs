@@ -1,0 +1,285 @@
+//! Memory profiling of a scheduled graph: tensor lifetimes, per-step
+//! active memory, peak usage, and memory hot-spots (§2.1 of the paper).
+//!
+//! Semantics mirror the paper's definitions with three practical
+//! extensions needed by the optimizer:
+//!
+//! * **graph inputs** (weights, batch data) are resident from step 0 —
+//!   re-ordering cannot cheat by deferring a weight "execution";
+//! * **aliases** ([`OpKind::Reshape`]) share their input's storage and
+//!   extend its lifetime instead of allocating;
+//! * **swapped tensors**: a [`OpKind::Store`] output lives in host
+//!   memory (0 device bytes); the matching [`OpKind::Load`] allocates a
+//!   fresh device tensor;
+//! * a node with [`alloc_with`](magis_graph::graph::Node::alloc_with)
+//!   allocates when its anchor runs — fission merge outputs accumulate
+//!   across sequential parts and must be counted for the whole region
+//!   (Fig. 2 (d)/(e)).
+
+use magis_graph::graph::{Graph, NodeId};
+use magis_graph::op::OpKind;
+use std::collections::BTreeSet;
+
+/// Result of [`memory_profile`].
+#[derive(Debug, Clone)]
+pub struct MemoryProfile {
+    /// Peak device memory in bytes (`M_peak`).
+    pub peak_bytes: u64,
+    /// Active device memory during each schedule step (`M_i`).
+    pub step_bytes: Vec<u64>,
+    /// Memory hot-spots `H`: storage roots alive at some peak step.
+    pub hotspots: BTreeSet<NodeId>,
+}
+
+impl MemoryProfile {
+    /// Steps at which the peak is reached.
+    pub fn peak_steps(&self) -> Vec<usize> {
+        self.step_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == self.peak_bytes)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Resolves the storage root of a node: follows alias (reshape) chains
+/// to the tensor that actually owns memory.
+pub fn storage_root(g: &Graph, mut v: NodeId) -> NodeId {
+    while g.node(v).op.is_alias() {
+        v = g.pre(v)[0];
+    }
+    v
+}
+
+/// Device bytes owned by a node's output storage (0 for aliases and
+/// host-resident `Store` outputs).
+pub fn device_bytes(g: &Graph, v: NodeId) -> u64 {
+    let n = g.node(v);
+    if n.op.is_alias() || matches!(n.op, OpKind::Store) {
+        0
+    } else {
+        n.size_bytes()
+    }
+}
+
+/// Computes the memory profile of `g` executed in `order`.
+///
+/// `order` must be a topological order over all live nodes of `g`
+/// (checked in debug builds).
+///
+/// # Panics
+///
+/// Panics if `order` has the wrong length or references dead nodes.
+pub fn memory_profile(g: &Graph, order: &[NodeId]) -> MemoryProfile {
+    assert_eq!(order.len(), g.len(), "schedule must cover the graph");
+    debug_assert!(magis_graph::algo::is_topo_order(g, order), "schedule must be topological");
+    let steps = order.len();
+    if steps == 0 {
+        return MemoryProfile { peak_bytes: 0, step_bytes: Vec::new(), hotspots: BTreeSet::new() };
+    }
+    let mut pos = vec![usize::MAX; g.capacity()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+
+    // Per-root lifetime [alloc, free] in step indices (inclusive).
+    let cap = g.capacity();
+    let mut alloc = vec![usize::MAX; cap];
+    let mut free = vec![0usize; cap];
+    let mut sized = vec![0u64; cap];
+
+    for &v in order {
+        let root = storage_root(g, v);
+        let r = root.index();
+        let bytes = device_bytes(g, root);
+        if bytes == 0 {
+            continue;
+        }
+        sized[r] = bytes;
+        // Allocation: inputs are resident from step 0; anchored nodes
+        // allocate at their anchor; everything else at its own step.
+        let own_alloc = if g.node(root).op.is_input() {
+            0
+        } else if let Some(anchor) = g.node(root).alloc_with {
+            pos[anchor.index()].min(pos[r])
+        } else {
+            pos[r]
+        };
+        alloc[r] = alloc[r].min(own_alloc.min(pos[v.index()]));
+        // Uses of `v` pin the root's storage.
+        let mut last = pos[v.index()];
+        for s in g.suc(v) {
+            last = last.max(pos[s.index()]);
+        }
+        // Terminal tensors (graph outputs) stay live to the end.
+        if g.node(v).succs().is_empty() {
+            last = steps - 1;
+        }
+        free[r] = free[r].max(last);
+    }
+
+    // Sweep.
+    let mut delta = vec![0i64; steps + 1];
+    for r in 0..cap {
+        if alloc[r] != usize::MAX {
+            delta[alloc[r]] += sized[r] as i64;
+            delta[free[r] + 1] -= sized[r] as i64;
+        }
+    }
+    let mut step_bytes = Vec::with_capacity(steps);
+    let mut cur: i64 = 0;
+    for d in delta.iter().take(steps) {
+        cur += d;
+        step_bytes.push(cur as u64);
+    }
+    let peak_bytes = step_bytes.iter().copied().max().unwrap_or(0);
+
+    let mut hotspots = BTreeSet::new();
+    for (i, &m) in step_bytes.iter().enumerate() {
+        if m == peak_bytes {
+            for r in 0..cap {
+                if alloc[r] != usize::MAX && alloc[r] <= i && i <= free[r] {
+                    hotspots.insert(NodeId::from_index(r));
+                }
+            }
+        }
+    }
+    MemoryProfile { peak_bytes, step_bytes, hotspots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_graph::algo::topo_order;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::op::{InputKind, MergeKind, UnaryKind};
+    use magis_graph::tensor::{DType, TensorMeta};
+
+    const KB: u64 = 1024;
+
+    /// Chain x -> a -> b -> c of [256] f32 tensors (1 KiB each).
+    fn chain(len: usize) -> Graph {
+        let mut b = GraphBuilder::new(DType::F32);
+        let mut cur = b.input([256], "x");
+        for _ in 0..len {
+            cur = b.relu(cur);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn chain_peak_is_two_tensors() {
+        let g = chain(3);
+        let order = topo_order(&g);
+        let p = memory_profile(&g, &order);
+        // During each relu: its input + its output = 2 KiB... except the
+        // final tensor is terminal (lives to the end), which still gives
+        // a 2 KiB peak.
+        assert_eq!(p.peak_bytes, 2 * KB);
+    }
+
+    #[test]
+    fn fanout_keeps_tensor_alive() {
+        // x feeds a and b; c = a + b. During c: a, b, c (x freed after b).
+        let mut bld = GraphBuilder::new(DType::F32);
+        let x = bld.input([256], "x");
+        let a = bld.relu(x);
+        let b2 = bld.gelu(x);
+        let c = bld.add_op(a, b2);
+        let g = bld.finish();
+        let order = vec![x, a, b2, c];
+        let p = memory_profile(&g, &order);
+        // Step of b2: x, a, b2 alive = 3 KiB; step of c: a, b2, c = 3 KiB.
+        assert_eq!(p.peak_bytes, 3 * KB);
+        assert!(p.hotspots.len() >= 3);
+    }
+
+    #[test]
+    fn inputs_resident_from_start() {
+        // A weight used only by the last op still occupies memory at
+        // step 0.
+        let mut bld = GraphBuilder::new(DType::F32);
+        let x = bld.input([256], "x");
+        let w = bld.weight([256], "w");
+        let a = bld.relu(x);
+        let b2 = bld.relu(a);
+        let y = bld.mul(b2, w);
+        let g = bld.finish();
+        let order = vec![x, a, b2, w, y];
+        let p = memory_profile(&g, &order);
+        // Step 0 (x runs): x + w resident.
+        assert_eq!(p.step_bytes[0], 2 * KB);
+    }
+
+    #[test]
+    fn alias_extends_input_lifetime_without_alloc() {
+        let mut bld = GraphBuilder::new(DType::F32);
+        let x = bld.input([256], "x");
+        let a = bld.relu(x);
+        let r = bld.reshape(a, [16, 16]);
+        let y = bld.relu(r);
+        let g = bld.finish();
+        let order = vec![x, a, r, y];
+        let p = memory_profile(&g, &order);
+        // At y: a's storage (via alias r) + y = 2 KiB; reshape adds none.
+        assert_eq!(p.step_bytes[3], 2 * KB);
+        assert_eq!(p.peak_bytes, 2 * KB);
+    }
+
+    #[test]
+    fn store_frees_device_memory_until_load() {
+        let mut g = Graph::new();
+        let meta = TensorMeta::new([256], DType::F32);
+        let x = g.add_input(InputKind::Activation, meta.clone(), "x");
+        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let st = g.add(OpKind::Store, &[a]).unwrap();
+        // Long stretch of unrelated work.
+        let b1 = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b2 = g.add(OpKind::Unary(UnaryKind::Relu), &[b1]).unwrap();
+        let ld = g.add(OpKind::Load, &[st]).unwrap();
+        let c = g.add(OpKind::Binary(magis_graph::op::BinaryKind::Add), &[b2, ld]).unwrap();
+        let order = vec![x, a, st, b1, b2, ld, c];
+        let p = memory_profile(&g, &order);
+        // During b2 (step 4): device holds b1 and b2 — `a` was stored
+        // out after step 2 and not yet loaded, x freed after b1: 2 KiB.
+        assert_eq!(p.step_bytes[4], 2 * KB);
+        use magis_graph::graph::Graph;
+        use magis_graph::op::OpKind;
+        let _ = c;
+    }
+
+    #[test]
+    fn alloc_with_anchor_counts_early() {
+        // Merge output anchored at the region head is alive from there.
+        let mut bld = GraphBuilder::new(DType::F32);
+        let x = bld.input([256], "x");
+        let a = bld.relu(x); // region head (the representative part)
+        let m = bld.merge(a, MergeKind::Concat, 0, 4);
+        let mut g = bld.finish();
+        g.set_alloc_with(m, a);
+        let order = vec![x, a, m];
+        let p = memory_profile(&g, &order);
+        // During a (step 1): x (1K) + a (1K) + merge output (4K) = 6 KiB.
+        assert_eq!(p.step_bytes[1], 6 * KB);
+    }
+
+    #[test]
+    fn hotspots_at_peak_only() {
+        let g = chain(5);
+        let order = topo_order(&g);
+        let p = memory_profile(&g, &order);
+        for &h in &p.hotspots {
+            assert!(g.contains(h));
+        }
+        assert!(!p.hotspots.is_empty());
+        assert_eq!(p.step_bytes.len(), g.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule must cover")]
+    fn wrong_length_schedule_panics() {
+        let g = chain(2);
+        memory_profile(&g, &[]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Operator performance cache (§6.2: "a simulator with an operator
+//! performance cache").
+//!
+//! The optimizer evaluates thousands of candidate graphs; most share
+//! operator signatures (op kind + input shapes), so per-op latencies
+//! are memoized here. On the paper's system the cache stores *measured*
+//! kernel times; in this reproduction it fronts the analytic
+//! [`CostModel`], which plays the role of the profiler.
+
+use crate::cost::CostModel;
+use magis_graph::graph::{Graph, NodeId};
+use magis_graph::tensor::TensorMeta;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Memoizing wrapper over a [`CostModel`].
+#[derive(Debug, Default)]
+pub struct PerfCache {
+    model: CostModel,
+    cache: RefCell<HashMap<u64, f64>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl PerfCache {
+    /// Creates a cache fronting `model`.
+    pub fn new(model: CostModel) -> Self {
+        PerfCache { model, cache: RefCell::new(HashMap::new()), hits: Cell::new(0), misses: Cell::new(0) }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    fn signature(g: &Graph, v: NodeId) -> u64 {
+        let mut h = DefaultHasher::new();
+        let n = g.node(v);
+        n.op.hash(&mut h);
+        for &i in n.inputs() {
+            g.node(i).meta.hash(&mut h);
+        }
+        n.meta.hash(&mut h);
+        h.finish()
+    }
+
+    /// Latency of one execution of node `v` (no repeat), memoized by
+    /// operator signature.
+    pub fn op_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        let sig = Self::signature(g, v);
+        if let Some(&t) = self.cache.borrow().get(&sig) {
+            self.hits.set(self.hits.get() + 1);
+            return t;
+        }
+        self.misses.set(self.misses.get() + 1);
+        let n = g.node(v);
+        let inputs: Vec<TensorMeta> =
+            n.inputs().iter().map(|&i| g.node(i).meta.clone()).collect();
+        let t = self.model.op_latency(&n.op, &inputs, &n.meta);
+        self.cache.borrow_mut().insert(sig, t);
+        t
+    }
+
+    /// Node latency including the fission repeat multiplier.
+    pub fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        self.op_latency(g, v) * g.node(v).cost_repeat as f64
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Number of distinct signatures cached.
+    pub fn len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::tensor::DType;
+
+    #[test]
+    fn caches_by_signature() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([64, 64], "x");
+        let a = b.relu(x);
+        let c = b.relu(a); // same signature as `a`
+        let d = b.gelu(c); // different
+        let g = b.finish();
+        let pc = PerfCache::new(CostModel::default());
+        let t1 = pc.op_latency(&g, a);
+        let t2 = pc.op_latency(&g, c);
+        let _ = pc.op_latency(&g, d);
+        assert_eq!(t1, t2);
+        let (hits, misses) = pc.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+        assert_eq!(pc.len(), 2);
+    }
+
+    #[test]
+    fn matches_cost_model() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([128, 128], "x");
+        let w = b.weight([128, 128], "w");
+        let y = b.matmul(x, w);
+        let g = b.finish();
+        let cm = CostModel::default();
+        let pc = PerfCache::new(cm.clone());
+        assert_eq!(pc.node_latency(&g, y), cm.node_latency(&g, y));
+    }
+}

@@ -1,0 +1,56 @@
+//! Fit an LLM training step under a device memory cap — the paper's
+//! headline scenario (§7.1: GPT-Neo and BTLM OOM on the RTX 3090
+//! without optimization).
+//!
+//! We scale GPT-Neo so its unoptimized step *just* exceeds a synthetic
+//! device budget, then ask MAGIS for the fastest plan that fits, and
+//! compare with what the baselines manage at the same budget.
+//!
+//! ```sh
+//! cargo run --release --example fit_llm_on_device
+//! ```
+
+use magis::baselines::BaselineKind;
+use magis::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let tg = Workload::GptNeo13B.build(0.35);
+    let cm = CostModel::default();
+    let ctx = EvalContext::default();
+    let anchor = MState::initial(tg.graph.clone(), &ctx);
+    // A synthetic "card" with 70% of the unoptimized footprint.
+    let budget = (anchor.eval.peak_bytes as f64 * 0.70) as u64;
+    println!(
+        "GPT-Neo (scaled): {} nodes, unoptimized {:.2} GiB, {:.0} ms/step",
+        tg.graph.len(),
+        anchor.eval.peak_bytes as f64 / (1 << 30) as f64,
+        anchor.eval.latency * 1e3
+    );
+    println!("device budget: {:.2} GiB\n", budget as f64 / (1 << 30) as f64);
+
+    let cfg = OptimizerConfig::new(Objective::MinLatency { mem_limit: budget })
+        .with_budget(Duration::from_secs(10));
+    let res = optimize(tg.graph.clone(), &cfg);
+    let fits = res.best.eval.peak_bytes <= budget;
+    println!(
+        "MAGIS : {:.2} GiB ({}), latency {:+.1}% vs anchor",
+        res.best.eval.peak_bytes as f64 / (1 << 30) as f64,
+        if fits { "fits" } else { "over budget" },
+        100.0 * (res.best.eval.latency / anchor.eval.latency - 1.0)
+    );
+
+    for b in BaselineKind::all() {
+        let r = b.run(&tg.graph, Some(budget), &cm);
+        if r.feasible {
+            println!(
+                "{:6}: {:.2} GiB (fits), latency {:+.1}%",
+                b.label(),
+                r.peak_bytes as f64 / (1 << 30) as f64,
+                100.0 * (r.latency / anchor.eval.latency - 1.0)
+            );
+        } else {
+            println!("{:6}: cannot meet the budget", b.label());
+        }
+    }
+}

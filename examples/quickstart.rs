@@ -1,0 +1,52 @@
+//! Quickstart: optimize the memory of a small training graph.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use magis::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // 1. Build a training workload (forward + backward + SGD).
+    let tg = magis::models::mlp::mlp(&magis::models::mlp::MlpConfig {
+        batch: 1024,
+        hidden: 1024,
+        layers: 8,
+        ..Default::default()
+    });
+    println!("graph: {} nodes", tg.graph.len());
+
+    // 2. The unoptimized anchor.
+    let ctx = EvalContext::default();
+    let before = MState::initial(tg.graph.clone(), &ctx);
+    println!(
+        "before: peak {:6.1} MiB, latency {:6.2} ms",
+        before.eval.peak_bytes as f64 / (1 << 20) as f64,
+        before.eval.latency * 1e3
+    );
+
+    // 3. Minimize peak memory, allowing 10% extra latency.
+    let cfg = OptimizerConfig::new(Objective::MinMemory {
+        lat_limit: before.eval.latency * 1.10,
+    })
+    .with_budget(Duration::from_secs(5));
+    let result = optimize(tg.graph, &cfg);
+
+    let after = &result.best;
+    println!(
+        "after:  peak {:6.1} MiB, latency {:6.2} ms  ({} states evaluated)",
+        after.eval.peak_bytes as f64 / (1 << 20) as f64,
+        after.eval.latency * 1e3,
+        result.stats.evaluated
+    );
+    println!(
+        "memory ratio {:.1}%, latency overhead {:+.1}%",
+        100.0 * after.eval.peak_bytes as f64 / before.eval.peak_bytes as f64,
+        100.0 * (after.eval.latency / before.eval.latency - 1.0)
+    );
+    println!(
+        "fission regions enabled: {}",
+        after.ftree.enabled_order().len()
+    );
+}

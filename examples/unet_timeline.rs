@@ -1,0 +1,70 @@
+//! U-Net memory-over-time case study (the paper's Fig. 16), rendered
+//! as ASCII timelines: the forward rise / backward fall of the anchor,
+//! MAGIS-1's flattened plateau, and MAGIS-2's deeper cut.
+//!
+//! ```sh
+//! cargo run --release --example unet_timeline
+//! ```
+
+use magis::prelude::*;
+use magis::sim::memory_timeline;
+use std::time::Duration;
+
+fn sparkline(series: &[(f64, u64)], cols: usize, peak: u64) -> String {
+    const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let t_end = series.last().map(|&(t, _)| t).unwrap_or(1.0).max(1e-12);
+    let mut cells = vec![0u64; cols];
+    for &(t, m) in series {
+        let c = ((t / t_end) * (cols - 1) as f64) as usize;
+        cells[c] = cells[c].max(m);
+    }
+    // Forward-fill gaps.
+    let mut last = 0;
+    cells
+        .iter()
+        .map(|&m| {
+            let m = if m == 0 { last } else { m };
+            last = m;
+            let i = ((m as f64 / peak as f64) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[i.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    let tg = Workload::UNet.build(0.35);
+    let cm = CostModel::default();
+    let ctx = EvalContext::default();
+    let anchor = MState::initial(tg.graph.clone(), &ctx);
+    let base_peak = anchor.eval.peak_bytes;
+    let base_lat = anchor.eval.latency;
+    println!(
+        "U-Net training, {} nodes; anchor peak {:.2} GiB, {:.1} ms\n",
+        tg.graph.len(),
+        base_peak as f64 / (1 << 30) as f64,
+        base_lat * 1e3
+    );
+
+    let mut show = |name: &str, g: &Graph, order: &[NodeId]| {
+        let tl = memory_timeline(g, order, &cm);
+        let peak = tl.iter().map(|&(_, m)| m).max().unwrap_or(1);
+        let end = tl.last().map(|&(t, _)| t).unwrap_or(0.0);
+        println!(
+            "{name:8} |{}| peak {:4.0}% time {:4.0}%",
+            sparkline(&tl, 64, base_peak),
+            100.0 * peak as f64 / base_peak as f64,
+            100.0 * end / base_lat
+        );
+    };
+    show("PyTorch", &anchor.eval.graph, &anchor.eval.order);
+
+    for (name, frac) in [("MAGIS-1", 0.8), ("MAGIS-2", 0.6)] {
+        let cfg = OptimizerConfig::new(Objective::MinLatency {
+            mem_limit: (base_peak as f64 * frac) as u64,
+        })
+        .with_budget(Duration::from_secs(8));
+        let res = optimize(tg.graph.clone(), &cfg);
+        show(name, &res.best.eval.graph, &res.best.eval.order);
+    }
+    println!("\n(each column: max memory within that slice of the run)");
+}
