@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, and the thread-count
+# determinism suite (run both single-threaded and with the default
+# test-runner parallelism, since the optimizer spawns its own workers
+# either way).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace --release
+run cargo test --workspace -q
+run cargo clippy --workspace --all-targets -- -D warnings
+
+# The determinism harness must hold regardless of how the test runner
+# itself schedules tests.
+run env RUST_TEST_THREADS=1 cargo test -q --test parallel_search
+run cargo test -q --test parallel_search
+
+echo
+echo "CI gate passed."

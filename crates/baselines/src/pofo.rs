@@ -157,7 +157,7 @@ pub fn run(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
         }
         applied += 1;
         // Re-measure every few applications (profiles are cheap).
-        if applied % 4 == 0 || applied < 4 {
+        if applied.is_multiple_of(4) || applied < 4 {
             let order = place_swaps(&g2, &stabilize_order(&g2, &desired), cm);
             let ev = magis_sim::evaluate(&g2, &order, cm);
             if ev.peak_bytes <= b {

@@ -4,7 +4,8 @@
 //! construction, and F-Tree analysis (guided vs naïve — design knob
 //! D2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use magis_util::bench::Criterion;
+use magis_util::{criterion_group, criterion_main};
 use magis_core::dgraph::DimGraph;
 use magis_core::ftree::FTree;
 use magis_graph::algo::{graph_hash, topo_order, DomTree, Reachability};

@@ -2,7 +2,8 @@
 //! D1; the timing half of Fig. 14): after one transformation, how much
 //! cheaper is rescheduling just the narrow-waist-bounded window?
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magis_util::bench::{BenchmarkId, Criterion};
+use magis_util::{criterion_group, criterion_main};
 use magis_core::rules::{self, RuleConfig, Transform};
 use magis_core::state::{EvalContext, MState};
 use magis_models::random_dnn::{random_dnn, RandomDnnConfig};

@@ -4,7 +4,8 @@
 //! (design knob D5): how much evaluation work the Weisfeiler–Lehman
 //! filter saves per duplicate it catches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use magis_util::bench::Criterion;
+use magis_util::{criterion_group, criterion_main};
 use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
 use magis_core::rules::{self, RuleConfig};
 use magis_core::state::{EvalContext, MState};

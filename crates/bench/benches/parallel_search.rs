@@ -1,0 +1,43 @@
+//! Serial vs parallel candidate evaluation in the M-Optimizer.
+//!
+//! Runs a fixed, eval-capped search over a transformer workload at
+//! several thread counts. Results are identical by construction (the
+//! determinism contract); only the wall-clock changes. On a 1-core
+//! container the thread counts tie — the comparison is meaningful on
+//! multi-core hosts.
+
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_core::state::{EvalContext, MState};
+use magis_models::Workload;
+use magis_util::bench::{black_box, BenchmarkId, Criterion};
+use magis_util::{criterion_group, criterion_main};
+use std::time::Duration;
+
+fn bench_parallel_search(c: &mut Criterion) {
+    let tg = Workload::BertBase.build(0.1);
+    let init = MState::initial(tg.graph.clone(), &EvalContext::default());
+    let objective = Objective::MinMemory { lat_limit: init.eval.latency * 1.10 };
+    println!(
+        "benching on BERT scale 0.1: {} nodes, {} hardware thread(s)",
+        tg.graph.len(),
+        magis_util::parallel::available_threads()
+    );
+
+    let mut group = c.benchmark_group("optimize_capped_search");
+    group.sample_size(5);
+    for threads in [1usize, 2, 4] {
+        let cfg = OptimizerConfig::new(objective)
+            .with_budget(Duration::from_secs(3600))
+            .with_max_evals(40)
+            .with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(optimize(tg.graph.clone(), cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_search);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! several beam widths (design knob D6 of DESIGN.md), narrow-waist
 //! partitioning, and order stabilization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magis_util::bench::{BenchmarkId, Criterion};
+use magis_util::{criterion_group, criterion_main};
 use magis_models::random_dnn::{random_dnn, RandomDnnConfig};
 use magis_sched::{dp_schedule, full_schedule, stabilize_order, SchedConfig, SchedTask};
 use std::collections::BTreeSet;

@@ -58,7 +58,7 @@ fn main() {
 
     // POFO with micro-batching factors (paper: 32, 16, 8 at batch 64;
     // at other scales, the three largest proper divisors of the batch).
-    let mut factors: Vec<u64> = (2..=full_batch / 2).filter(|f| full_batch % f == 0).collect();
+    let mut factors: Vec<u64> = (2..=full_batch / 2).filter(|f| full_batch.is_multiple_of(*f)).collect();
     factors.sort_unstable_by(|a, b| b.cmp(a));
     factors.truncate(3);
     for factor in factors {

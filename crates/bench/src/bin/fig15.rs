@@ -12,7 +12,7 @@ use magis_models::Workload;
 fn main() {
     let mut opts = ExpOpts::from_args();
     // The paper uses 1 minute here (vs 3 elsewhere): keep the ratio.
-    opts.budget = opts.budget / 3;
+    opts.budget /= 3;
     let tg = Workload::VitBase.build(opts.scale);
     let (_, base_lat) = anchor(&tg.graph);
     let cfg = OptimizerConfig::new(Objective::MinMemory { lat_limit: base_lat * 1.10 })

@@ -22,7 +22,8 @@ USAGE:
   magis list
   magis inspect  --workload NAME [--scale F]
   magis optimize --workload NAME [--scale F] [--mode memory|latency]
-                 [--limit F] [--budget-ms N] [--emit py|dot|text] [--out FILE]
+                 [--limit F] [--budget-ms N] [--threads N]
+                 [--emit py|dot|text] [--out FILE]
   magis baseline --workload NAME --system pofo|dtr|xla|tvm|ti
                  [--scale F] [--budget-ratio F]
 
@@ -33,6 +34,10 @@ MODES (optimize):
            relative to unoptimized (default 1.10)
   latency  minimize latency; --limit is the allowed memory fraction of
            the unoptimized peak (default 0.8)
+
+OPTIONS (optimize):
+  --threads N   candidate-evaluation worker threads (default: all
+                cores; 1 = serial). Results are identical for every N.
 ";
 
 /// CLI failure modes.
@@ -85,6 +90,19 @@ fn f64_flag(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<
     }
 }
 
+fn usize_flag(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got '{v}'"))),
+    }
+}
+
 fn gib(bytes: u64) -> f64 {
     bytes as f64 / (1u64 << 30) as f64
 }
@@ -131,7 +149,7 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), CliError> {
     println!("  nodes:       {}", g.len());
     println!("  parameters:  {:.3} GiB", gib(params));
     println!("  peak memory: {:.3} GiB (program order)", gib(state.eval.peak_bytes));
-    println!("  latency:     {:.2} ms (simulated {})", state.eval.latency * 1e3, "rtx3090");
+    println!("  latency:     {:.2} ms (simulated rtx3090)", state.eval.latency * 1e3);
     println!("  hot-spots:   {}", state.eval.hotspots_base.len());
     Ok(())
 }
@@ -160,17 +178,20 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), CliError> {
         gib(init.eval.peak_bytes),
         init.eval.latency * 1e3
     );
+    let threads = usize_flag(flags, "threads", magis_util::parallel::available_threads())?;
     let cfg = OptimizerConfig::new(objective)
-        .with_budget(Duration::from_millis(budget as u64));
+        .with_budget(Duration::from_millis(budget as u64))
+        .with_threads(threads);
     let res = optimize(tg.graph, &cfg);
     let best = &res.best;
     eprintln!(
-        "best: {:.3} GiB ({:.1}%), {:.2} ms ({:+.1}%); {} candidates evaluated",
+        "best: {:.3} GiB ({:.1}%), {:.2} ms ({:+.1}%); {} candidates evaluated on {} thread(s)",
         gib(best.eval.peak_bytes),
         100.0 * best.eval.peak_bytes as f64 / init.eval.peak_bytes as f64,
         best.eval.latency * 1e3,
         100.0 * (best.eval.latency / init.eval.latency - 1.0),
-        res.stats.evaluated
+        res.stats.evaluated,
+        res.stats.threads
     );
     if let Some(emit) = flags.get("emit") {
         let text = render(best, emit)?;
@@ -260,6 +281,10 @@ mod tests {
             run(&s(&["optimize", "--workload", "unet", "--scale", "abc"])),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--threads", "two"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -293,6 +318,8 @@ mod tests {
             "0.1",
             "--budget-ms",
             "400",
+            "--threads",
+            "2",
             "--emit",
             "text",
             "--out",

@@ -179,8 +179,7 @@ impl FTree {
     /// random valid sub-graphs and dimensions, ignoring dominator and
     /// hot-spot analysis.
     pub fn build_naive(g: &Graph, count: usize, seed: u64) -> Self {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use magis_util::rng::{Rng, SeedableRng, SmallRng};
         let mut rng = SmallRng::seed_from_u64(seed);
         let dg = DimGraph::build(g);
         let comps = dg.components();
@@ -385,7 +384,7 @@ impl FTree {
                 for (i, n) in t.nodes.iter().enumerate() {
                     if n.spec.set.len() > old.spec.set.len()
                         && old.spec.set.is_subset(&n.spec.set)
-                        && parent.map_or(true, |p| t.nodes[p].spec.set.len() > n.spec.set.len())
+                        && parent.is_none_or(|p| t.nodes[p].spec.set.len() > n.spec.set.len())
                     {
                         parent = Some(i);
                     }

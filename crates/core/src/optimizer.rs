@@ -10,14 +10,29 @@
 //! a relaxed dominance test (`δ = 1.1`) decides which children remain
 //! on the queue. Per-phase wall-clock accounting reproduces the
 //! optimization-time breakdown of Fig. 15.
+//!
+//! # Parallel candidate evaluation
+//!
+//! Each expansion generates all candidate transforms, sorts them by
+//! [`Transform::sort_key`], evaluates the batch (apply → incremental
+//! reschedule → simulate → hash) across up to
+//! [`OptimizerConfig::threads`] scoped threads, then merges the
+//! results back **in candidate order**: queue pushes, incumbent
+//! updates, sequence numbers, and the `max_evals` cap are all applied
+//! single-threaded at the merge. The search trajectory is therefore a
+//! pure function of the input — `threads = 1` and `threads = N`
+//! produce identical results (given a wall-clock budget generous
+//! enough that neither run times out mid-batch).
 
 use crate::pareto::ParetoSet;
-use crate::rules::{self, RuleConfig};
+use crate::rules::{self, RuleConfig, Transform};
 use crate::state::{EvalContext, MState};
 use magis_graph::algo::graph_hash;
 use magis_graph::graph::Graph;
+use magis_util::parallel;
+use magis_util::sync::ShardedSet;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 /// Optimization objective.
@@ -92,6 +107,11 @@ pub struct OptimizerConfig {
     pub naive_fission: bool,
     /// Random seed for the naïve-fission ablation.
     pub seed: u64,
+    /// Worker threads for candidate evaluation. `1` evaluates inline
+    /// (no threads spawned); the default is the machine's available
+    /// parallelism. Results are identical for every value — see the
+    /// module docs.
+    pub threads: usize,
 }
 
 impl OptimizerConfig {
@@ -107,6 +127,7 @@ impl OptimizerConfig {
             ctx: EvalContext::default(),
             naive_fission: false,
             seed: 0x5eed,
+            threads: parallel::available_threads(),
         }
     }
 
@@ -121,19 +142,34 @@ impl OptimizerConfig {
         self.max_evals = max_evals;
         self
     }
+
+    /// Sets the evaluation worker-thread count (0 is treated as 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 /// Per-phase time accounting (Fig. 15).
 #[derive(Debug, Clone, Default)]
 pub struct OptimizerStats {
-    /// Time spent applying transformations.
+    /// Time spent applying transformations. With `threads > 1` this is
+    /// CPU time summed over workers, not wall-clock.
     pub trans_time: Duration,
     /// Time spent (incremental) scheduling + simulating. The paper
     /// separates "Sched." and "Simul."; our evaluation fuses them, so
-    /// the split is attributed by sub-phase below.
+    /// the split is attributed by sub-phase below. CPU time summed
+    /// over workers.
     pub sched_sim_time: Duration,
-    /// Time spent hashing/filtering duplicate graphs.
+    /// Time spent hashing/filtering duplicate graphs. CPU time summed
+    /// over workers.
     pub hash_time: Duration,
+    /// Wall-clock time spent inside candidate-evaluation fan-outs
+    /// (compare against `trans_time + sched_sim_time + hash_time` to
+    /// see the parallel speed-up).
+    pub eval_wall_time: Duration,
+    /// Worker threads the search was configured with.
+    pub threads: usize,
     /// States popped from the queue.
     pub expanded: usize,
     /// Candidate transforms generated.
@@ -197,10 +233,66 @@ impl Ord for QueueEntry {
     }
 }
 
+/// The outcome of evaluating one candidate transform. Produced by
+/// workers (possibly out of order), consumed by the merge strictly in
+/// candidate order.
+enum CandOutcome {
+    /// The wall-clock budget expired (or the serial eval cap was hit)
+    /// before this candidate ran. The merge discards everything from
+    /// the first such marker on, keeping the consumed prefix
+    /// contiguous.
+    Skipped,
+    /// Apply or evaluation failed; the candidate is dropped.
+    Failed { trans: Duration, sched_sim: Duration },
+    /// A fully evaluated, hashed child state (boxed: this variant is
+    /// ~20× the size of the others).
+    Evaluated {
+        child: Box<MState>,
+        hash: u64,
+        trans: Duration,
+        sched_sim: Duration,
+        hash_t: Duration,
+    },
+}
+
+/// Apply → incremental reschedule + simulate → hash, with per-phase
+/// CPU-time attribution. Pure w.r.t. shared search state, so it is
+/// safe to run concurrently for independent candidates.
+fn evaluate_candidate(state: &MState, t: &Transform, ctx: &EvalContext) -> CandOutcome {
+    let t0 = Instant::now();
+    let applied = match rules::apply(state, t) {
+        Ok(a) => a,
+        Err(_) => return CandOutcome::Failed { trans: t0.elapsed(), sched_sim: Duration::ZERO },
+    };
+    let trans = t0.elapsed();
+
+    let t0 = Instant::now();
+    let child = match MState::from_applied(applied, state, ctx) {
+        Ok(c) => c,
+        Err(_) => return CandOutcome::Failed { trans, sched_sim: t0.elapsed() },
+    };
+    let sched_sim = t0.elapsed();
+
+    let t0 = Instant::now();
+    let hash = graph_hash(&child.eval.graph);
+    CandOutcome::Evaluated { child: Box::new(child), hash, trans, sched_sim, hash_t: t0.elapsed() }
+}
+
+// The fan-out shares states and the evaluation context across scoped
+// threads; keep the core search types thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MState>();
+    assert_send_sync::<EvalContext>();
+    assert_send_sync::<OptimizerConfig>();
+    assert_send_sync::<Transform>();
+};
+
 /// Runs Algorithm 3 on `g`.
 pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
     let start = Instant::now();
-    let mut stats = OptimizerStats::default();
+    let threads = cfg.threads.max(1);
+    let mut stats = OptimizerStats { threads, ..OptimizerStats::default() };
     let mut pareto = ParetoSet::new();
     let mut history = Vec::new();
 
@@ -214,7 +306,9 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
     });
 
     let mut best = init.clone();
-    let mut seen: HashSet<u64> = HashSet::new();
+    // Written only between fan-outs (at pops), read-only during a
+    // batch; sharded so workers could share it without contention.
+    let seen = ShardedSet::default();
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     let mut seq = 0usize;
     queue.push(QueueEntry {
@@ -241,55 +335,95 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
         }
 
         let t0 = Instant::now();
-        let candidates = rules::generate(&state, &cfg.rules);
+        let mut candidates = rules::generate(&state, &cfg.rules);
+        // Fix the batch order before the fan-out: the merge below
+        // consumes results in this order, making the trajectory
+        // independent of thread count and generation order.
+        candidates.sort_by_key(Transform::sort_key);
         stats.trans_time += t0.elapsed();
         stats.candidates += candidates.len();
 
-        for t in &candidates {
-            if start.elapsed() > cfg.budget || stats.evaluated >= cfg.max_evals {
-                break;
-            }
-            let t0 = Instant::now();
-            let applied = match rules::apply(&state, t) {
-                Ok(a) => a,
-                Err(_) => continue,
-            };
-            stats.trans_time += t0.elapsed();
+        // How many evaluations may still be merged under `max_evals`.
+        let remaining = cfg.max_evals - stats.evaluated;
 
-            let t0 = Instant::now();
-            let child = match MState::from_applied(applied, &state, &cfg.ctx) {
-                Ok(c) => c,
-                Err(_) => continue,
-            };
-            stats.sched_sim_time += t0.elapsed();
-            stats.evaluated += 1;
-
-            // Cheap duplicate pre-filter before pushing.
-            let t0 = Instant::now();
-            let ch = graph_hash(&child.eval.graph);
-            stats.hash_time += t0.elapsed();
-            if seen.contains(&ch) {
-                stats.filtered += 1;
-                continue;
+        let t_wall = Instant::now();
+        let outcomes: Vec<CandOutcome> = if threads > 1 {
+            parallel::par_map(threads, &candidates, |_, t| {
+                if start.elapsed() > cfg.budget {
+                    CandOutcome::Skipped
+                } else {
+                    evaluate_candidate(&state, t, &cfg.ctx)
+                }
+            })
+        } else {
+            // Inline path: identical semantics, but the eval cap can
+            // stop work early instead of discarding results at merge.
+            let mut out = Vec::with_capacity(candidates.len());
+            let mut done = 0usize;
+            for t in &candidates {
+                if start.elapsed() > cfg.budget || done >= remaining {
+                    out.push(CandOutcome::Skipped);
+                    break;
+                }
+                let o = evaluate_candidate(&state, t, &cfg.ctx);
+                if matches!(o, CandOutcome::Evaluated { .. }) {
+                    done += 1;
+                }
+                out.push(o);
             }
+            out
+        };
+        stats.eval_wall_time += t_wall.elapsed();
 
-            let cost = child.cost();
-            pareto.insert(cost.0, cost.1);
-            if cfg.objective.better_than(cost, best.cost(), 1.0) {
-                best = child.clone();
-                history.push(ProgressPoint {
-                    elapsed: start.elapsed().as_secs_f64(),
-                    peak_bytes: cost.0,
-                    latency: cost.1,
-                });
-            }
-            if cfg.objective.better_than(cost, best.cost(), cfg.delta) {
-                seq += 1;
-                queue.push(QueueEntry {
-                    key: cfg.objective.key(cost.0, cost.1),
-                    seq,
-                    state: child,
-                });
+        // Deterministic merge: consume outcomes in candidate order on
+        // this thread only. Sequence numbers, incumbent updates, and
+        // the eval cap all happen here.
+        let mut merged = 0usize;
+        for o in outcomes {
+            match o {
+                CandOutcome::Skipped => break,
+                CandOutcome::Failed { trans, sched_sim } => {
+                    stats.trans_time += trans;
+                    stats.sched_sim_time += sched_sim;
+                }
+                CandOutcome::Evaluated { child, hash, trans, sched_sim, hash_t } => {
+                    stats.trans_time += trans;
+                    stats.sched_sim_time += sched_sim;
+                    stats.hash_time += hash_t;
+                    if merged >= remaining {
+                        // Workers may over-evaluate past the cap; the
+                        // merge discards the excess so the result
+                        // matches `threads == 1` exactly.
+                        break;
+                    }
+                    merged += 1;
+                    stats.evaluated += 1;
+
+                    // Cheap duplicate pre-filter before pushing.
+                    if seen.contains(hash) {
+                        stats.filtered += 1;
+                        continue;
+                    }
+
+                    let cost = child.cost();
+                    pareto.insert(cost.0, cost.1);
+                    if cfg.objective.better_than(cost, best.cost(), 1.0) {
+                        best = (*child).clone();
+                        history.push(ProgressPoint {
+                            elapsed: start.elapsed().as_secs_f64(),
+                            peak_bytes: cost.0,
+                            latency: cost.1,
+                        });
+                    }
+                    if cfg.objective.better_than(cost, best.cost(), cfg.delta) {
+                        seq += 1;
+                        queue.push(QueueEntry {
+                            key: cfg.objective.key(cost.0, cost.1),
+                            seq,
+                            state: *child,
+                        });
+                    }
+                }
             }
         }
         if start.elapsed() > cfg.budget {

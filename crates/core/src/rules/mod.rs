@@ -34,6 +34,33 @@ pub enum Transform {
     Taso(TasoTransform),
 }
 
+impl Transform {
+    /// A total order on transforms: `(rule family, id, id)`. The
+    /// parallel optimizer sorts each candidate batch by this key before
+    /// fanning out, so the merge order — and therefore the search
+    /// trajectory — is independent of generation order and thread
+    /// count.
+    pub fn sort_key(&self) -> (u8, u64, u64) {
+        match self {
+            Transform::FTree(FTreeMutation::Enable(i)) => (0, *i as u64, 0),
+            Transform::FTree(FTreeMutation::Lift(i)) => (1, *i as u64, 0),
+            Transform::FTree(FTreeMutation::Disable(i)) => (2, *i as u64, 0),
+            Transform::FTree(FTreeMutation::Mutate(i)) => (3, *i as u64, 0),
+            Transform::Remat { producer, user } => (4, producer.index() as u64, user.index() as u64),
+            Transform::DeRemat { keep, drop } => (5, keep.index() as u64, drop.index() as u64),
+            Transform::Swap { producer, user } => (6, producer.index() as u64, user.index() as u64),
+            Transform::DeSwap { load } => (7, load.index() as u64, 0),
+            Transform::Taso(TasoTransform::MergeMatmuls { a, b }) => {
+                (8, a.index() as u64, b.index() as u64)
+            }
+            Transform::Taso(TasoTransform::MergeConvs { a, b }) => {
+                (9, a.index() as u64, b.index() as u64)
+            }
+            Transform::Taso(TasoTransform::RotateAdd { top }) => (10, top.index() as u64, 0),
+        }
+    }
+}
+
 impl fmt::Display for Transform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

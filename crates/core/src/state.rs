@@ -376,7 +376,7 @@ mod tests {
             .hotspots_base
             .iter()
             .copied()
-            .find(|&v| s.base.suc(v).len() >= 1 && !s.base.node(v).op.is_input())
+            .find(|&v| !s.base.suc(v).is_empty() && !s.base.node(v).op.is_input())
             .unwrap();
         let user = s.base.suc(target)[0];
         let applied =

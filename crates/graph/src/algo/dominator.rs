@@ -237,7 +237,7 @@ mod tests {
         let t = DomTree::compute(&g, &set);
         assert_eq!(t.idom(b), None);
         assert_eq!(t.idom(c), Some(b));
-        assert!(t.idom.get(&a).is_none());
+        assert!(!t.idom.contains_key(&a));
     }
 
     #[test]

@@ -588,7 +588,7 @@ impl OpKind {
                 if dy.shape.rank() != 4 {
                     return Err(OpError::Rank("upsample2d_grad", dy.shape.rank()));
                 }
-                if dy.shape.dim(2) % scale != 0 || dy.shape.dim(3) % scale != 0 {
+                if !dy.shape.dim(2).is_multiple_of(*scale) || !dy.shape.dim(3).is_multiple_of(*scale) {
                     return Err(OpError::DimMismatch("upsample2d_grad", dy.shape.dim(2), *scale));
                 }
                 Ok(TensorMeta::new(
@@ -1114,43 +1114,38 @@ impl OpKind {
             OpKind::Softmax { axis }
             | OpKind::SoftmaxGrad { axis }
             | OpKind::LayerNorm { axis }
-            | OpKind::LayerNormGrad { axis } => {
-                if *axis < r {
+            | OpKind::LayerNormGrad { axis }
+                if *axis < r => {
                     ok[*axis] = false;
                 }
-            }
             // Extension E1 (the paper's footnote-2 future work): H/W
             // axes of stride-1 convolutions and non-overlapping pools
             // are splittable with halo accounting; strided windows and
             // kernel dimensions are not.
-            OpKind::Conv2d(c) | OpKind::Conv2dGradInput(c) => {
-                if r == 4 {
+            OpKind::Conv2d(c) | OpKind::Conv2dGradInput(c)
+                if r == 4 => {
                     ok[2] = c.stride.0 == 1;
                     ok[3] = c.stride.1 == 1;
                 }
-            }
-            OpKind::Pool2d(p) | OpKind::Pool2dGrad(p) => {
-                if r == 4 {
+            OpKind::Pool2d(p) | OpKind::Pool2dGrad(p)
+                if r == 4 => {
                     ok[2] = p.stride == p.kernel;
                     ok[3] = p.stride == p.kernel;
                 }
-            }
             OpKind::Upsample2d { .. } | OpKind::Upsample2dGrad { .. } => {}
-            OpKind::Conv2dGradWeight(_) => {
-                if r == 4 {
+            OpKind::Conv2dGradWeight(_)
+                if r == 4 => {
                     ok[2] = false; // kernel dims
                     ok[3] = false;
                 }
-            }
             OpKind::Slice { axis, .. }
             | OpKind::Pad { axis, .. }
             | OpKind::Concat { axis }
             | OpKind::PartSlice { axis, .. }
-            | OpKind::Merge { axis, .. } => {
-                if *axis < r {
+            | OpKind::Merge { axis, .. }
+                if *axis < r => {
                     ok[*axis] = false;
                 }
-            }
             OpKind::CrossEntropyGrad => {
                 ok[1] = false; // class axis participates in the softmax
             }
@@ -1198,11 +1193,11 @@ fn same_dim(op: &'static str, a: u64, b: u64) -> Result<(), OpError> {
 /// NumPy-style broadcast of two shapes; `None` when incompatible.
 pub fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
     let r = a.rank().max(b.rank());
-    let mut dims = vec![0u64; r];
+    let mut dims = Vec::with_capacity(r);
     for i in 0..r {
         let da = if i + a.rank() >= r { a.dim(i + a.rank() - r) } else { 1 };
         let db = if i + b.rank() >= r { b.dim(i + b.rank() - r) } else { 1 };
-        dims[i] = if da == db {
+        dims.push(if da == db {
             da
         } else if da == 1 {
             db
@@ -1210,7 +1205,7 @@ pub fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
             da
         } else {
             return None;
-        };
+        });
     }
     Some(Shape::new(dims))
 }
@@ -1230,13 +1225,13 @@ pub fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
 fn reshape_links(from: &Shape, to: &Shape) -> Vec<DimLink> {
     let mut links = vec![DimLink::Unlinked; from.rank()];
     let mut pre_from: u64 = 1;
-    for i in 0..from.rank() {
+    for (i, link) in links.iter_mut().enumerate() {
         let df = from.dim(i);
         let mut pre_to: u64 = 1;
         for j in 0..to.rank() {
             let dt = to.dim(j);
-            if pre_from == pre_to && df > 1 && dt > 1 && (df % dt == 0 || dt % df == 0) {
-                links[i] = DimLink::Spatial(j);
+            if pre_from == pre_to && df > 1 && dt > 1 && (df.is_multiple_of(dt) || dt.is_multiple_of(df)) {
+                *link = DimLink::Spatial(j);
                 break;
             }
             pre_to *= dt;
@@ -1373,7 +1368,7 @@ mod tests {
         let part = ps.infer(&[t(&[32, 768])]).unwrap();
         assert_eq!(part.shape, Shape::from([8, 768]));
         let mg = OpKind::Merge { kind: MergeKind::Concat, axis: 0, parts: 4 };
-        let out = mg.infer(&[part.clone()]).unwrap();
+        let out = mg.infer(std::slice::from_ref(&part)).unwrap();
         assert_eq!(out.shape, Shape::from([32, 768]));
         let mg = OpKind::Merge { kind: MergeKind::Sum, axis: 0, parts: 4 };
         let out = mg.infer(&[part]).unwrap();
@@ -1491,8 +1486,8 @@ mod tests {
     #[test]
     fn swap_ops_preserve_meta() {
         let x = t(&[8, 8]);
-        assert_eq!(OpKind::Store.infer(&[x.clone()]).unwrap(), x);
-        assert_eq!(OpKind::Load.infer(&[x.clone()]).unwrap(), x);
+        assert_eq!(OpKind::Store.infer(std::slice::from_ref(&x)).unwrap(), x);
+        assert_eq!(OpKind::Load.infer(std::slice::from_ref(&x)).unwrap(), x);
         assert!(OpKind::Store.is_swap());
     }
 

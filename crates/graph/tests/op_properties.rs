@@ -8,7 +8,7 @@ use magis_graph::op::{
     UnaryKind,
 };
 use magis_graph::tensor::{DType, Shape, TensorMeta};
-use proptest::prelude::*;
+use magis_util::prop::prelude::*;
 
 fn dims(max_rank: usize) -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(1u64..32, 1..=max_rank)
@@ -132,7 +132,7 @@ proptest! {
         let conv = OpKind::Conv2d(Conv2dAttrs { stride: (stride, stride), padding: (k / 2, k / 2) });
         links_in_bounds(&conv, &[x.clone(), w]);
         let pool = OpKind::Pool2d(Pool2dAttrs::square(PoolKind::Max, 2));
-        links_in_bounds(&pool, &[x.clone()]);
+        links_in_bounds(&pool, std::slice::from_ref(&x));
         let bin = OpKind::Binary(BinaryKind::Mul);
         links_in_bounds(&bin, &[x.clone(), x]);
     }

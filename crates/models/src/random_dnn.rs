@@ -12,8 +12,7 @@ use magis_graph::builder::GraphBuilder;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::Conv2dAttrs;
 use magis_graph::tensor::DType;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use magis_util::rng::{Rng, SeedableRng, SmallRng};
 
 /// Random-DNN generation parameters.
 #[derive(Debug, Clone)]

@@ -59,10 +59,10 @@ pub fn unetpp(cfg: &UNetPPConfig) -> TrainingGraph {
     // Backbone column j = 0.
     let mut h = double_conv(&mut b, x, 3, ch(0), "x0_0");
     grid[0].push((h, ch(0)));
-    for i in 1..=depth {
+    for (i, row) in grid.iter_mut().enumerate().skip(1) {
         let p = b.max_pool(h, 2);
         h = double_conv(&mut b, p, ch(i - 1), ch(i), &format!("x{i}_0"));
-        grid[i].push((h, ch(i)));
+        row.push((h, ch(i)));
     }
 
     // Nested columns j = 1..=depth at levels i = 0..=depth-j.

@@ -11,7 +11,7 @@
 //! D6 in DESIGN.md).
 
 use crate::task::SchedTask;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tuning for the DP/beam scheduler.
 #[derive(Debug, Clone)]
@@ -92,7 +92,11 @@ pub fn dp_schedule(task: &SchedTask<'_>, cfg: &SchedConfig) -> DpResult {
     let mut level: Vec<State> = vec![init];
     let mut expanded = 0usize;
     for _ in 0..n {
-        let mut next: HashMap<Vec<u64>, State> = HashMap::with_capacity(level.len() * 2);
+        // Keyed by the executed bitset. A BTreeMap (not HashMap) so
+        // that level iteration order — and therefore beam truncation
+        // and final tie-breaks among equal-(peak, mem) states — is
+        // deterministic across runs, processes, and thread counts.
+        let mut next: BTreeMap<Vec<u64>, State> = BTreeMap::new();
         for st in &level {
             for v in 0..n {
                 if st.indeg[v] != 0 || st.contains(v) {
@@ -230,8 +234,7 @@ mod tests {
 
     #[test]
     fn dp_matches_profiler_on_random_small_graphs() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use magis_util::rng::{Rng, SeedableRng, SmallRng};
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..20 {
             let mut b = GraphBuilder::new(DType::F32);

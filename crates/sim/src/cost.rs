@@ -130,7 +130,7 @@ mod tests {
     fn swap_cost_is_transfer_bound() {
         let m = CostModel::default();
         let x = meta(&[1024, 1024]); // 4 MiB
-        let t = m.op_latency(&OpKind::Store, &[x.clone()], &x);
+        let t = m.op_latency(&OpKind::Store, std::slice::from_ref(&x), &x);
         let expected = m.device().xfer_time(x.size_bytes());
         assert!((t - expected).abs() < 1e-12);
     }
@@ -140,7 +140,7 @@ mod tests {
         let m = CostModel::default();
         let x = meta(&[4096, 4096]);
         let op = OpKind::Unary(magis_graph::op::UnaryKind::Relu);
-        let t = m.op_latency(&op, &[x.clone()], &x);
+        let t = m.op_latency(&op, std::slice::from_ref(&x), &x);
         let bw_time = (2 * x.size_bytes()) as f64 / m.device().mem_bandwidth;
         assert!(t >= bw_time && t < bw_time * 1.5);
     }

@@ -10,24 +10,34 @@
 use crate::cost::CostModel;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::tensor::TensorMeta;
-use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Memoizing wrapper over a [`CostModel`].
+///
+/// The cache is `Sync` (interior mutability via a mutex plus atomic
+/// counters) so one instance can be shared by the parallel optimizer's
+/// evaluation workers.
 #[derive(Debug, Default)]
 pub struct PerfCache {
     model: CostModel,
-    cache: RefCell<HashMap<u64, f64>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    cache: Mutex<HashMap<u64, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl PerfCache {
     /// Creates a cache fronting `model`.
     pub fn new(model: CostModel) -> Self {
-        PerfCache { model, cache: RefCell::new(HashMap::new()), hits: Cell::new(0), misses: Cell::new(0) }
+        PerfCache {
+            model,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// The underlying cost model.
@@ -50,16 +60,16 @@ impl PerfCache {
     /// operator signature.
     pub fn op_latency(&self, g: &Graph, v: NodeId) -> f64 {
         let sig = Self::signature(g, v);
-        if let Some(&t) = self.cache.borrow().get(&sig) {
-            self.hits.set(self.hits.get() + 1);
+        if let Some(&t) = self.cache.lock().unwrap().get(&sig) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return t;
         }
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let n = g.node(v);
         let inputs: Vec<TensorMeta> =
             n.inputs().iter().map(|&i| g.node(i).meta.clone()).collect();
         let t = self.model.op_latency(&n.op, &inputs, &n.meta);
-        self.cache.borrow_mut().insert(sig, t);
+        self.cache.lock().unwrap().insert(sig, t);
         t
     }
 
@@ -70,17 +80,17 @@ impl PerfCache {
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.get(), self.misses.get())
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 
     /// Number of distinct signatures cached.
     pub fn len(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().unwrap().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.borrow().is_empty()
+        self.cache.lock().unwrap().is_empty()
     }
 }
 
@@ -107,6 +117,31 @@ mod tests {
         assert_eq!(hits, 1);
         assert_eq!(misses, 2);
         assert_eq!(pc.len(), 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PerfCache>();
+
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([64, 64], "x");
+        let a = b.relu(x);
+        let g = b.finish();
+        let pc = PerfCache::new(CostModel::default());
+        let expect = pc.op_latency(&g, a);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        assert_eq!(pc.op_latency(&g, a), expect);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = pc.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 400);
     }
 
     #[test]

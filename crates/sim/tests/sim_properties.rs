@@ -5,7 +5,7 @@ use magis_graph::builder::GraphBuilder;
 use magis_graph::op::{Conv2dAttrs, OpKind};
 use magis_graph::tensor::{DType, TensorMeta};
 use magis_sim::{memory_profile, CostModel, DeviceSpec};
-use proptest::prelude::*;
+use magis_util::prop::prelude::*;
 
 proptest! {
     /// Bigger matmuls never get cheaper.

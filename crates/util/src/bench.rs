@@ -1,0 +1,216 @@
+//! A miniature benchmark harness with a `criterion`-flavoured surface
+//! (`Criterion`, `bench_function`, benchmark groups, the
+//! [`criterion_group!`]/[`criterion_main!`] macros).
+//!
+//! Measurement model: each benchmark first runs a calibration pass to
+//! estimate the per-iteration cost, then runs `sample_size` samples of
+//! a batch sized to fill the per-sample time budget, and reports the
+//! minimum, median, and mean per-iteration time. No statistics beyond
+//! that — the workspace uses benches for A/B comparisons (serial vs
+//! parallel, incremental vs full), where medians are plenty.
+//!
+//! Environment knobs: `MAGIS_BENCH_MS` (per-sample budget,
+//! default 60 ms), `MAGIS_BENCH_SAMPLES` (default sample count, 10).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times per sample to fill the
+    /// sample budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: single run, then size batches to the budget.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.sample_budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        self.batch = per_sample;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: env_u64("MAGIS_BENCH_SAMPLES", 10) as usize,
+            sample_budget: Duration::from_millis(env_u64("MAGIS_BENCH_MS", 60)),
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_count: usize,
+    sample_budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+        sample_count: sample_count.max(2),
+        sample_budget,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples — closure never called iter)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{name:<44} min {:>11}  median {:>11}  mean {:>11}  ({} iter/sample)",
+        fmt_dur(min),
+        fmt_dur(median),
+        fmt_dur(mean),
+        b.batch,
+    );
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_count, self.sample_budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_count: self.sample_count,
+            sample_budget: self.sample_budget,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    sample_count: usize,
+    sample_budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n;
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("  {name}"), self.sample_count, self.sample_budget, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("  {}", id.0), self.sample_count, self.sample_budget, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing only; kept for criterion parity).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_samples() {
+        let mut c = Criterion { sample_count: 3, sample_budget: Duration::from_micros(200) };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

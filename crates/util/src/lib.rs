@@ -1,0 +1,25 @@
+//! # magis-util
+//!
+//! Zero-dependency utilities shared across the MAGIS workspace. The
+//! build environment is fully offline (no crates.io access), so the
+//! small slices of `rand`, `proptest`, and `criterion` the workspace
+//! used are reimplemented here, alongside the concurrency primitives
+//! the parallel M-Optimizer needs:
+//!
+//! * [`rng`] — a SplitMix64-based [`rng::SmallRng`] with the familiar
+//!   `seed_from_u64` / `gen_range` / `gen_bool` surface,
+//! * [`prop`] — a miniature property-testing harness (the
+//!   [`proptest!`] macro family) with range/select/vec strategies,
+//! * [`bench`] — a miniature benchmark harness (the
+//!   [`criterion_group!`]/[`criterion_main!`] macro family),
+//! * [`parallel`] — deterministic scoped-thread fan-out
+//!   ([`parallel::par_map`]) used by the parallel candidate-evaluation
+//!   layer of the optimizer,
+//! * [`sync`] — a sharded concurrent hash-set ([`sync::ShardedSet`])
+//!   for the optimizer's Weisfeiler–Lehman dedup filter.
+
+pub mod bench;
+pub mod parallel;
+pub mod prop;
+pub mod rng;
+pub mod sync;

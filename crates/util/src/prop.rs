@@ -1,0 +1,351 @@
+//! A miniature property-testing harness with a `proptest`-flavoured
+//! surface: the [`proptest!`] macro runs each property over many
+//! seeded random cases, with `x in strategy` bindings, `prop_assert!`/
+//! `prop_assert_eq!` failure reporting, and `prop_assume!` filtering.
+//!
+//! Differences from the real `proptest` (which this offline workspace
+//! cannot fetch): no shrinking — failures report the case seed instead,
+//! and re-running is deterministic — and the strategy combinator
+//! surface is only what the workspace uses: integer/float ranges,
+//! [`sample::select`], [`collection::vec`], and [`any`] for `bool`.
+
+use crate::rng::{SampleRange, SeedableRng, SmallRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-property configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; the simulator-heavy
+        // properties in this workspace want something lighter. The
+        // PROPTEST_CASES variable is honoured like upstream.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(24);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        self.clone().sample(rng)
+    }
+}
+
+/// Values with a canonical "any" strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Strategy over the full domain of `T` (`any::<bool>()` etc.).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy drawing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{SmallRng, Strategy};
+    use crate::rng::Rng;
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            assert!(!self.0.is_empty(), "select over an empty list");
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Strategy choosing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use crate::rng::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec`]. Conversions exist only for
+    /// `usize` ranges, so untyped literals like `1..=4` infer `usize`
+    /// (mirroring proptest's `SizeRange`).
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of strategy-drawn elements.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `elem`-drawn values with length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+}
+
+/// Drives one property over `cfg.cases` seeded cases. Each case uses
+/// an independent deterministic seed derived from the property name
+/// and case index, so failures are reproducible without shrinking.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first case whose
+/// closure returns `Err`.
+pub fn run_cases<F>(cfg: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), String>,
+{
+    let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    for i in 0..cfg.cases {
+        let seed = name_hash ^ (0x5eed_0000_0000_0000 | i as u64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Err(msg) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```
+/// use magis_util::prop::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     // In a test module this would carry `#[test]`.
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$crate::prop::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::prop::run_cases($cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::prop::Strategy::generate(&($strat), __rng);)*
+                let __out: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __out
+            });
+        }
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __l, __r,
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), __l, __r,
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// One-stop imports for property-test files
+/// (`use magis_util::prop::prelude::*;`).
+pub mod prelude {
+    pub use super::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_bound(x in 10u64..20, y in 1usize..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn select_and_vec(k in prop::sample::select(vec![2u64, 4, 8]),
+                          v in prop::collection::vec(0u64..5, 1..=4)) {
+            prop_assert!(k == 2 || k == 4 || k == 8);
+            prop_assert!((1..=4).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 5, "element {e} out of range");
+            }
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_seed() {
+        super::run_cases(ProptestConfig::with_cases(5), "always_fails", |_| {
+            Err("nope".into())
+        });
+    }
+}

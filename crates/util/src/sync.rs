@@ -1,0 +1,92 @@
+//! A sharded concurrent hash-set of `u64` digests.
+//!
+//! The optimizer's duplicate filter (Weisfeiler–Lehman graph hashes)
+//! is read by every evaluation worker and written only at the
+//! deterministic merge. Sharding by the low bits of the (already
+//! uniform) digest keeps lock contention negligible without an
+//! external concurrent-map dependency.
+
+use std::collections::HashSet;
+use std::sync::RwLock;
+
+/// A concurrent set of 64-bit digests, sharded over `RwLock`s.
+#[derive(Debug)]
+pub struct ShardedSet {
+    shards: Vec<RwLock<HashSet<u64>>>,
+    mask: u64,
+}
+
+impl ShardedSet {
+    /// Creates a set with `shards` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedSet {
+            shards: std::iter::repeat_with(|| RwLock::new(HashSet::new())).take(n).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    fn shard(&self, h: u64) -> &RwLock<HashSet<u64>> {
+        // Digests are uniform; the low bits pick the shard directly.
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Whether `h` is present.
+    pub fn contains(&self, h: u64) -> bool {
+        self.shard(h).read().expect("shard lock poisoned").contains(&h)
+    }
+
+    /// Inserts `h`; returns `true` if it was new.
+    pub fn insert(&self, h: u64) -> bool {
+        self.shard(h).write().expect("shard lock poisoned").insert(h)
+    }
+
+    /// Total number of digests stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("shard lock poisoned").len()).sum()
+    }
+
+    /// Whether no digest is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ShardedSet {
+    fn default() -> Self {
+        ShardedSet::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let s = ShardedSet::new(8);
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(42));
+        assert!(!s.contains(43));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_land() {
+        let s = ShardedSet::new(16);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        s.insert(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 4000);
+        assert!(s.contains(3999));
+    }
+}

@@ -69,7 +69,7 @@ fn main() {
         base.latency * 1e3
     );
     let mut tree = state.ftree.clone();
-    let mut step = |tree: &FTree, label: &str| {
+    let step = |tree: &FTree, label: &str| {
         let overlaid = build_overlay_graph(&g, tree).expect("valid overlay");
         let ev = evaluate(&overlaid, &topo_order(&overlaid), &cm);
         println!(

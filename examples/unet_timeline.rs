@@ -45,7 +45,7 @@ fn main() {
         base_lat * 1e3
     );
 
-    let mut show = |name: &str, g: &Graph, order: &[NodeId]| {
+    let show = |name: &str, g: &Graph, order: &[NodeId]| {
         let tl = memory_timeline(g, order, &cm);
         let peak = tl.iter().map(|&(_, m)| m).max().unwrap_or(1);
         let end = tl.last().map(|&(t, _)| t).unwrap_or(0.0);

@@ -8,7 +8,7 @@ use magis::core::dgraph::{component_dims, DimGraph};
 use magis::core::fission::{apply_full, apply_overlay, FissionSpec};
 use magis::prelude::*;
 use magis_graph::algo::{topo_order, weakly_connected_components};
-use proptest::prelude::*;
+use magis_util::prop::prelude::*;
 use std::collections::BTreeSet;
 
 /// Builds a small training MLP with proptest-chosen dimensions.

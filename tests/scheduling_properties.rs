@@ -11,7 +11,7 @@ use magis::sched::{full_schedule, incremental_schedule, IntervalParams, SchedCon
 use magis::sim::memory_profile;
 use magis_graph::algo::{is_topo_order, topo_order};
 use magis_models::random_dnn::{random_dnn, RandomDnnConfig};
-use proptest::prelude::*;
+use magis_util::prop::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
