@@ -21,5 +21,27 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run env RUST_TEST_THREADS=1 cargo test -q --test parallel_search
 run cargo test -q --test parallel_search
 
+# The fault-injection suite likewise: injected-fault trajectories are
+# part of the determinism contract (fault keys derive from expansion
+# number + candidate index, never thread identity).
+run env RUST_TEST_THREADS=1 cargo test -q --test fault_injection
+run env RUST_TEST_THREADS=4 cargo test -q --test fault_injection
+run cargo test -q --test checkpoint_resume
+run cargo test -q --test robustness_properties
+
+# Crash-recovery smoke: hard-kill a checkpointing CLI search mid-budget,
+# then resume it to completion from the survived checkpoint.
+CKPT="$(mktemp -d)/unet.ckpt"
+echo
+echo "==> kill/resume smoke (checkpoint at $CKPT)"
+# Run the built binary directly: killing `cargo run` would orphan the
+# search process and leave it racing the resume step below.
+timeout -s KILL 4 ./target/release/magis optimize \
+    --workload unet --scale 0.2 --mode memory --budget-ms 60000 \
+    --checkpoint "$CKPT" --checkpoint-every 4 || true
+test -f "$CKPT" || { echo "no checkpoint survived the kill"; exit 1; }
+run ./target/release/magis optimize --resume "$CKPT" --budget-ms 3000
+rm -rf "$(dirname "$CKPT")"
+
 echo
 echo "CI gate passed."

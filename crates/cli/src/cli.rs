@@ -3,15 +3,20 @@
 //! `--name value` pairs after a subcommand.
 
 use magis_baselines::BaselineKind;
+use magis_core::checkpoint::SearchCheckpoint;
 use magis_core::codegen::generate_pytorch;
 use magis_core::fission::apply_full;
-use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_core::optimizer::{
+    self, try_optimize, CheckpointPolicy, Objective, OptimizeResult, OptimizerConfig,
+    ParanoiaLevel,
+};
 use magis_core::state::{EvalContext, MState};
 use magis_graph::graph::Graph;
 use magis_graph::io::{to_dot, to_text, DotOptions};
 use magis_models::Workload;
 use magis_sim::CostModel;
 use std::collections::HashMap;
+use std::path::Path;
 use std::time::Duration;
 
 /// Usage text printed on argument errors.
@@ -23,7 +28,11 @@ USAGE:
   magis inspect  --workload NAME [--scale F]
   magis optimize --workload NAME [--scale F] [--mode memory|latency]
                  [--limit F] [--budget-ms N] [--threads N]
+                 [--paranoia off|incumbent|all]
+                 [--checkpoint FILE] [--checkpoint-every N]
                  [--emit py|dot|text] [--out FILE]
+  magis optimize --resume FILE [--mode memory|latency] [--limit F]
+                 [--budget-ms N] [--threads N] [...]
   magis baseline --workload NAME --system pofo|dtr|xla|tvm|ti
                  [--scale F] [--budget-ratio F]
 
@@ -36,8 +45,18 @@ MODES (optimize):
            the unoptimized peak (default 0.8)
 
 OPTIONS (optimize):
-  --threads N   candidate-evaluation worker threads (default: all
-                cores; 1 = serial). Results are identical for every N.
+  --threads N     candidate-evaluation worker threads (default: all
+                  cores; 1 = serial). Results are identical for every N.
+  --paranoia L    invariant enforcement: off | incumbent (default) |
+                  all. `incumbent` re-validates graph, schedule, and
+                  memory accounting before accepting a new incumbent;
+                  `all` validates every evaluated candidate.
+  --checkpoint F  write a search checkpoint to F every
+                  --checkpoint-every evaluations (default 64) and at
+                  search end. Written atomically (temp + rename).
+  --resume F      continue a search from checkpoint F. Budget, thread
+                  count, mode, and limit come from the command line,
+                  not the checkpoint; the workload flag is not needed.
 ";
 
 /// CLI failure modes.
@@ -154,45 +173,84 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let w = workload(flags)?;
-    let scale = f64_flag(flags, "scale", 0.5)?;
+/// Builds the objective from `--mode`/`--limit` relative to the
+/// unoptimized seed cost `(peak_bytes, latency)`.
+fn objective_for(
+    flags: &HashMap<String, String>,
+    mode: &str,
+    seed_cost: (u64, f64),
+) -> Result<Objective, CliError> {
+    match mode {
+        "memory" => Ok(Objective::MinMemory {
+            lat_limit: seed_cost.1 * f64_flag(flags, "limit", 1.10)?,
+        }),
+        "latency" => Ok(Objective::MinLatency {
+            mem_limit: (seed_cost.0 as f64 * f64_flag(flags, "limit", 0.8)?) as u64,
+        }),
+        other => Err(CliError::Usage(format!("unknown mode '{other}'"))),
+    }
+}
+
+/// Shared `optimize` config knobs: budget, threads, paranoia,
+/// checkpointing.
+fn search_config(
+    flags: &HashMap<String, String>,
+    objective: Objective,
+) -> Result<OptimizerConfig, CliError> {
     let budget = f64_flag(flags, "budget-ms", 15_000.0)?;
-    let mode = flags.get("mode").map(String::as_str).unwrap_or("memory");
-    let tg = w.build(scale);
-    let ctx = EvalContext::default();
-    let init = MState::initial(tg.graph.clone(), &ctx);
-    let objective = match mode {
-        "memory" => Objective::MinMemory {
-            lat_limit: init.eval.latency * f64_flag(flags, "limit", 1.10)?,
-        },
-        "latency" => Objective::MinLatency {
-            mem_limit: (init.eval.peak_bytes as f64 * f64_flag(flags, "limit", 0.8)?) as u64,
-        },
-        other => return Err(CliError::Usage(format!("unknown mode '{other}'"))),
-    };
-    eprintln!(
-        "{}: {} nodes, baseline {:.3} GiB / {:.2} ms; optimizing ({mode})…",
-        w.label(),
-        tg.graph.len(),
-        gib(init.eval.peak_bytes),
-        init.eval.latency * 1e3
-    );
     let threads = usize_flag(flags, "threads", magis_util::parallel::available_threads())?;
-    let cfg = OptimizerConfig::new(objective)
+    let paranoia = match flags.get("paranoia") {
+        None => ParanoiaLevel::default(),
+        Some(v) => ParanoiaLevel::parse(v).ok_or_else(|| {
+            CliError::Usage(format!("--paranoia expects off|incumbent|all, got '{v}'"))
+        })?,
+    };
+    let mut cfg = OptimizerConfig::new(objective)
         .with_budget(Duration::from_millis(budget as u64))
-        .with_threads(threads);
-    let res = optimize(tg.graph, &cfg);
+        .with_threads(threads)
+        .with_paranoia(paranoia);
+    if let Some(path) = flags.get("checkpoint") {
+        let every = usize_flag(flags, "checkpoint-every", 64)?;
+        cfg = cfg.with_checkpoint(CheckpointPolicy::new(path).with_every(every));
+    }
+    Ok(cfg)
+}
+
+/// Prints the result summary and handles `--emit`/`--out`.
+fn report_result(
+    flags: &HashMap<String, String>,
+    seed_cost: (u64, f64),
+    res: &OptimizeResult,
+) -> Result<(), CliError> {
     let best = &res.best;
+    let s = &res.stats;
     eprintln!(
         "best: {:.3} GiB ({:.1}%), {:.2} ms ({:+.1}%); {} candidates evaluated on {} thread(s)",
         gib(best.eval.peak_bytes),
-        100.0 * best.eval.peak_bytes as f64 / init.eval.peak_bytes as f64,
+        100.0 * best.eval.peak_bytes as f64 / seed_cost.0 as f64,
         best.eval.latency * 1e3,
-        100.0 * (best.eval.latency / init.eval.latency - 1.0),
-        res.stats.evaluated,
-        res.stats.threads
+        100.0 * (best.eval.latency / seed_cost.1 - 1.0),
+        s.evaluated,
+        s.threads
     );
+    eprintln!("stop: {} after {} expansions", s.stop_reason, s.expanded);
+    if s.panicked + s.cost_rejections + s.invariant_rejections + s.quarantined_candidates > 0 {
+        eprintln!(
+            "hardening: {} panics sandboxed, {} cost rejections, {} invariant rejections, \
+             {} candidates quarantined (families: {:?})",
+            s.panicked,
+            s.cost_rejections,
+            s.invariant_rejections,
+            s.quarantined_candidates,
+            s.quarantined_families
+        );
+    }
+    if s.checkpoints_written + s.checkpoint_failures > 0 {
+        eprintln!(
+            "checkpoint: {} written, {} failed",
+            s.checkpoints_written, s.checkpoint_failures
+        );
+    }
     if let Some(emit) = flags.get("emit") {
         let text = render(best, emit)?;
         match flags.get("out") {
@@ -202,6 +260,48 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("memory");
+
+    // Resume path: everything about the search state comes from the
+    // checkpoint; everything about *how to keep searching* (budget,
+    // threads, mode, limit, paranoia) comes from the command line.
+    if let Some(path) = flags.get("resume") {
+        let ckpt = SearchCheckpoint::read_from(Path::new(path))
+            .map_err(|e| CliError::Runtime(format!("loading checkpoint: {e}")))?;
+        let objective = objective_for(flags, mode, ckpt.seed_cost)?;
+        let cfg = search_config(flags, objective)?;
+        eprintln!(
+            "resuming from {path}: incumbent {:.3} GiB / {:.2} ms after {} evaluations",
+            gib(ckpt.best_cost.0),
+            ckpt.best_cost.1 * 1e3,
+            ckpt.counters.evaluated
+        );
+        let res = optimizer::resume(&ckpt, &cfg)
+            .map_err(|e| CliError::Runtime(format!("resuming: {e}")))?;
+        return report_result(flags, ckpt.seed_cost, &res);
+    }
+
+    let w = workload(flags)?;
+    let scale = f64_flag(flags, "scale", 0.5)?;
+    let tg = w.build(scale);
+    let ctx = EvalContext::default();
+    let init = MState::try_initial(tg.graph.clone(), &ctx)
+        .map_err(|e| CliError::Runtime(format!("evaluating the seed graph: {e}")))?;
+    let objective = objective_for(flags, mode, init.cost())?;
+    eprintln!(
+        "{}: {} nodes, baseline {:.3} GiB / {:.2} ms; optimizing ({mode})…",
+        w.label(),
+        tg.graph.len(),
+        gib(init.eval.peak_bytes),
+        init.eval.latency * 1e3
+    );
+    let cfg = search_config(flags, objective)?;
+    let res = try_optimize(tg.graph, &cfg)
+        .map_err(|e| CliError::Runtime(format!("optimizing: {e}")))?;
+    report_result(flags, init.cost(), &res)
 }
 
 fn render(best: &MState, emit: &str) -> Result<String, CliError> {
@@ -306,6 +406,29 @@ mod tests {
             "0.8",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn optimize_checkpoint_then_resume() {
+        let ckpt = "/tmp/magis_cli_ckpt_test.ckpt";
+        let _ = std::fs::remove_file(ckpt);
+        run(&s(&[
+            "optimize", "--workload", "unet", "--scale", "0.1", "--budget-ms", "600",
+            "--threads", "2", "--checkpoint", ckpt, "--checkpoint-every", "8",
+        ]))
+        .unwrap();
+        assert!(Path::new(ckpt).exists(), "final checkpoint written");
+        run(&s(&["optimize", "--resume", ckpt, "--budget-ms", "200", "--threads", "2"]))
+            .unwrap();
+        let _ = std::fs::remove_file(ckpt);
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--paranoia", "bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["optimize", "--resume", "/nonexistent/path.ckpt"])),
+            Err(CliError::Runtime(_))
+        ));
     }
 
     #[test]

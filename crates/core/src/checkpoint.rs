@@ -1,0 +1,692 @@
+//! Search checkpoint/resume: periodic serialization of the
+//! M-Optimizer's state so a killed search can restart from its last
+//! incumbent instead of from the seed graph.
+//!
+//! Format: a versioned, line-oriented text file with no external
+//! dependencies (the repo is fully offline). Floating-point values are
+//! stored as bit patterns (`f64::to_bits` in hex) so a checkpoint
+//! round-trip is bit-exact and resume preserves determinism. The
+//! incumbent is stored as **two** graph records plus the exact
+//! schedule: its base graph and the overlaid (fission-applied) graph
+//! that was actually simulated. On resume the stored schedule is
+//! re-simulated rather than re-scheduled — re-scheduling could land on
+//! a different (worse) evaluation than the one that won incumbency.
+//!
+//! The optimizer's configuration (objective, budget, thread count,
+//! rule set) is deliberately **not** stored: the resuming caller's
+//! config is authoritative, so a checkpoint can be resumed under a
+//! different budget or thread count without surgery.
+
+use crate::ftree::{FTree, FTreeNode};
+use crate::fission::FissionSpec;
+use crate::state::{EvalContext, EvalError, MState};
+use magis_graph::graph::NodeId;
+use magis_graph::io::{self, RecordError};
+use magis_sched::{validate_schedule, ScheduleError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const CKPT_HEADER: &str = "magis-checkpoint v1";
+const CKPT_FOOTER: &str = "ckpt-end";
+
+/// Why loading or restoring a checkpoint failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (path kept in the message).
+    Io(String),
+    /// A malformed line in the checkpoint body.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// The embedded graph record failed to parse or validate.
+    Record(RecordError),
+    /// The stored schedule is not a valid schedule of the stored graph.
+    Schedule(ScheduleError),
+    /// Re-simulating the stored incumbent failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O: {msg}"),
+            CheckpointError::Parse { line, msg } => {
+                write!(f, "checkpoint line {line}: {msg}")
+            }
+            CheckpointError::Record(e) => write!(f, "checkpoint graph record: {e}"),
+            CheckpointError::Schedule(e) => write!(f, "checkpoint schedule: {e}"),
+            CheckpointError::Eval(e) => write!(f, "checkpoint re-evaluation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<RecordError> for CheckpointError {
+    fn from(e: RecordError) -> Self {
+        CheckpointError::Record(e)
+    }
+}
+
+impl From<ScheduleError> for CheckpointError {
+    fn from(e: ScheduleError) -> Self {
+        CheckpointError::Schedule(e)
+    }
+}
+
+impl From<EvalError> for CheckpointError {
+    fn from(e: EvalError) -> Self {
+        CheckpointError::Eval(e)
+    }
+}
+
+/// Search-progress counters carried across a resume so stats stay
+/// cumulative over the whole (interrupted) search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// States expanded.
+    pub expanded: u64,
+    /// Candidates evaluated.
+    pub evaluated: u64,
+    /// Candidates generated.
+    pub candidates: u64,
+    /// Candidates filtered as duplicates.
+    pub filtered: u64,
+    /// Candidate evaluations that panicked (sandboxed).
+    pub panicked: u64,
+    /// Candidates rejected for defective costs.
+    pub cost_rejections: u64,
+    /// Candidates rejected by invariant enforcement.
+    pub invariant_rejections: u64,
+    /// Candidates skipped because their rule family was quarantined.
+    pub quarantined_candidates: u64,
+}
+
+/// A serializable snapshot of the M-Optimizer's search state.
+#[derive(Debug, Clone)]
+pub struct SearchCheckpoint {
+    /// RNG seed of the search (naïve-fission ablation determinism).
+    pub rng_seed: u64,
+    /// `(peak_bytes, latency)` of the unoptimized seed state.
+    pub seed_cost: (u64, f64),
+    /// `(peak_bytes, latency)` of the incumbent at checkpoint time.
+    pub best_cost: (u64, f64),
+    /// Cumulative progress counters.
+    pub counters: CheckpointCounters,
+    /// Pareto frontier points `(peak_bytes, latency)`.
+    pub pareto: Vec<(u64, f64)>,
+    /// Graph hashes already explored (includes the incumbent's own).
+    pub seen: Vec<u64>,
+    /// Quarantine strikes per rule family (`Transform::sort_key().0`).
+    pub quarantine: Vec<(u8, u32)>,
+    /// The incumbent's schedule as arena indices into the eval graph.
+    pub best_order: Vec<usize>,
+    /// The incumbent's F-Tree nodes.
+    pub ftree_nodes: Vec<FTreeNode>,
+    /// Graph record of the incumbent's base graph.
+    pub base_record: String,
+    /// Graph record of the incumbent's overlaid (simulated) graph.
+    pub eval_record: String,
+}
+
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_u64(tok: &str, line: usize, what: &str) -> Result<u64, CheckpointError> {
+    tok.parse::<u64>().map_err(|_| CheckpointError::Parse {
+        line,
+        msg: format!("bad {what} '{tok}'"),
+    })
+}
+
+fn parse_usize(tok: &str, line: usize, what: &str) -> Result<usize, CheckpointError> {
+    tok.parse::<usize>().map_err(|_| CheckpointError::Parse {
+        line,
+        msg: format!("bad {what} '{tok}'"),
+    })
+}
+
+fn parse_f64_hex(tok: &str, line: usize, what: &str) -> Result<f64, CheckpointError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError::Parse { line, msg: format!("bad {what} bits '{tok}'") })
+}
+
+fn parse_hex_u64(tok: &str, line: usize, what: &str) -> Result<u64, CheckpointError> {
+    u64::from_str_radix(tok, 16).map_err(|_| CheckpointError::Parse {
+        line,
+        msg: format!("bad {what} '{tok}'"),
+    })
+}
+
+/// `+`-joined list of usizes; `-` for empty.
+fn join_plus<I: IntoIterator<Item = usize>>(it: I) -> String {
+    let parts: Vec<String> = it.into_iter().map(|v| v.to_string()).collect();
+    if parts.is_empty() { "-".to_string() } else { parts.join("+") }
+}
+
+fn parse_plus(tok: &str, line: usize, what: &str) -> Result<Vec<usize>, CheckpointError> {
+    if tok == "-" {
+        return Ok(Vec::new());
+    }
+    tok.split('+').map(|t| parse_usize(t, line, what)).collect()
+}
+
+impl SearchCheckpoint {
+    /// Captures the serializable parts of an incumbent state. Search
+    /// bookkeeping (pareto, seen, quarantine, counters) is filled in by
+    /// the optimizer.
+    pub fn snapshot_state(best: &MState) -> (Vec<usize>, Vec<FTreeNode>, String, String) {
+        let order: Vec<usize> = best.eval.order.iter().map(|v| v.index()).collect();
+        let nodes: Vec<FTreeNode> = best.ftree.nodes().to_vec();
+        (order, nodes, io::to_record(&best.base), io::to_record(&best.eval.graph))
+    }
+
+    /// Serializes the checkpoint to its text form.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CKPT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("rng {:016x}\n", self.rng_seed));
+        out.push_str(&format!(
+            "seed_cost {} {}\n",
+            self.seed_cost.0,
+            f64_hex(self.seed_cost.1)
+        ));
+        out.push_str(&format!(
+            "best_cost {} {}\n",
+            self.best_cost.0,
+            f64_hex(self.best_cost.1)
+        ));
+        let c = &self.counters;
+        out.push_str(&format!(
+            "counters {} {} {} {} {} {} {} {}\n",
+            c.expanded,
+            c.evaluated,
+            c.candidates,
+            c.filtered,
+            c.panicked,
+            c.cost_rejections,
+            c.invariant_rejections,
+            c.quarantined_candidates
+        ));
+        out.push_str(&format!("pareto {}\n", self.pareto.len()));
+        for &(m, l) in &self.pareto {
+            out.push_str(&format!("p {m} {}\n", f64_hex(l)));
+        }
+        out.push_str(&format!("seen {}\n", self.seen.len()));
+        for chunk in self.seen.chunks(16) {
+            out.push('s');
+            for h in chunk {
+                out.push_str(&format!(" {h:016x}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("quarantine {}\n", self.quarantine.len()));
+        for &(fam, strikes) in &self.quarantine {
+            out.push_str(&format!("q {fam} {strikes}\n"));
+        }
+        out.push_str(&format!("order {}\n", self.best_order.len()));
+        for chunk in self.best_order.chunks(16) {
+            out.push('o');
+            for i in chunk {
+                out.push_str(&format!(" {i}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("ftree {}\n", self.ftree_nodes.len()));
+        for n in &self.ftree_nodes {
+            let parent = match n.parent {
+                Some(p) => p.to_string(),
+                None => "-".to_string(),
+            };
+            let dims = if n.spec.dims.is_empty() {
+                "-".to_string()
+            } else {
+                n.spec
+                    .dims
+                    .iter()
+                    .map(|(v, d)| format!("{}:{}", v.index(), d))
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            out.push_str(&format!(
+                "f {parent} {} {} ch={} set={} dims={dims}\n",
+                n.level,
+                n.spec.parts,
+                join_plus(n.children.iter().copied()),
+                join_plus(n.spec.set.iter().map(|v| v.index())),
+            ));
+        }
+        for (tag, rec) in [("base-graph", &self.base_record), ("eval-graph", &self.eval_record)] {
+            let nlines = rec.lines().count();
+            out.push_str(&format!("{tag} {nlines}\n"));
+            out.push_str(rec);
+            if !rec.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out.push_str(CKPT_FOOTER);
+        out.push('\n');
+        out
+    }
+
+    /// Parses a checkpoint from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] on any structural defect:
+    /// version mismatch, truncation, malformed lines, bad counts.
+    pub fn decode(text: &str) -> Result<SearchCheckpoint, CheckpointError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut ln = 0usize; // index into `lines`; 1-based in errors
+        let next = |lines: &Vec<&str>, ln: &mut usize| -> Result<String, CheckpointError> {
+            let i = *ln;
+            if i >= lines.len() {
+                return Err(CheckpointError::Parse {
+                    line: i + 1,
+                    msg: "unexpected end of checkpoint".to_string(),
+                });
+            }
+            *ln = i + 1;
+            Ok(lines[i].to_string())
+        };
+
+        let header = next(&lines, &mut ln)?;
+        if header.trim() != CKPT_HEADER {
+            return Err(CheckpointError::Parse {
+                line: 1,
+                msg: format!("bad header '{header}' (expected '{CKPT_HEADER}')"),
+            });
+        }
+
+        let expect_kv = |line: String,
+                         ln: usize,
+                         key: &str,
+                         arity: usize|
+         -> Result<Vec<String>, CheckpointError> {
+            let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            if toks.len() != arity + 1 || toks[0] != key {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("expected '{key}' with {arity} fields, got '{line}'"),
+                });
+            }
+            Ok(toks[1..].to_vec())
+        };
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "rng", 1)?;
+        let rng_seed = parse_hex_u64(&t[0], ln, "rng seed")?;
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "seed_cost", 2)?;
+        let seed_cost = (parse_u64(&t[0], ln, "seed peak")?, parse_f64_hex(&t[1], ln, "seed latency")?);
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "best_cost", 2)?;
+        let best_cost = (parse_u64(&t[0], ln, "best peak")?, parse_f64_hex(&t[1], ln, "best latency")?);
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "counters", 8)?;
+        let counters = CheckpointCounters {
+            expanded: parse_u64(&t[0], ln, "expanded")?,
+            evaluated: parse_u64(&t[1], ln, "evaluated")?,
+            candidates: parse_u64(&t[2], ln, "candidates")?,
+            filtered: parse_u64(&t[3], ln, "filtered")?,
+            panicked: parse_u64(&t[4], ln, "panicked")?,
+            cost_rejections: parse_u64(&t[5], ln, "cost_rejections")?,
+            invariant_rejections: parse_u64(&t[6], ln, "invariant_rejections")?,
+            quarantined_candidates: parse_u64(&t[7], ln, "quarantined_candidates")?,
+        };
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "pareto", 1)?;
+        let np = parse_usize(&t[0], ln, "pareto count")?;
+        let mut pareto = Vec::with_capacity(np);
+        for _ in 0..np {
+            let t = expect_kv(next(&lines, &mut ln)?, ln, "p", 2)?;
+            pareto.push((parse_u64(&t[0], ln, "pareto peak")?, parse_f64_hex(&t[1], ln, "pareto latency")?));
+        }
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "seen", 1)?;
+        let ns = parse_usize(&t[0], ln, "seen count")?;
+        let mut seen = Vec::with_capacity(ns);
+        while seen.len() < ns {
+            let line = next(&lines, &mut ln)?;
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("s") {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("expected 's' hash line, got '{line}'"),
+                });
+            }
+            for tok in toks {
+                seen.push(parse_hex_u64(tok, ln, "seen hash")?);
+            }
+            if seen.len() > ns {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("more seen hashes than declared ({ns})"),
+                });
+            }
+        }
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "quarantine", 1)?;
+        let nq = parse_usize(&t[0], ln, "quarantine count")?;
+        let mut quarantine = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            let t = expect_kv(next(&lines, &mut ln)?, ln, "q", 2)?;
+            let fam = parse_u64(&t[0], ln, "family")?;
+            if fam > u8::MAX as u64 {
+                return Err(CheckpointError::Parse { line: ln, msg: format!("family {fam} out of range") });
+            }
+            let strikes = parse_u64(&t[1], ln, "strikes")?;
+            quarantine.push((fam as u8, strikes.min(u32::MAX as u64) as u32));
+        }
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "order", 1)?;
+        let no = parse_usize(&t[0], ln, "order count")?;
+        let mut best_order = Vec::with_capacity(no);
+        while best_order.len() < no {
+            let line = next(&lines, &mut ln)?;
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("o") {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("expected 'o' order line, got '{line}'"),
+                });
+            }
+            for tok in toks {
+                best_order.push(parse_usize(tok, ln, "order index")?);
+            }
+            if best_order.len() > no {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("more order entries than declared ({no})"),
+                });
+            }
+        }
+
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "ftree", 1)?;
+        let nf = parse_usize(&t[0], ln, "ftree count")?;
+        let mut ftree_nodes = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let line = next(&lines, &mut ln)?;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 7 || toks[0] != "f" {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("expected 'f' node line with 6 fields, got '{line}'"),
+                });
+            }
+            let parent = if toks[1] == "-" {
+                None
+            } else {
+                Some(parse_usize(toks[1], ln, "parent")?)
+            };
+            let level = parse_usize(toks[2], ln, "level")?;
+            let parts = parse_u64(toks[3], ln, "parts")?;
+            let ch = toks[4].strip_prefix("ch=").ok_or_else(|| CheckpointError::Parse {
+                line: ln,
+                msg: format!("expected ch= field, got '{}'", toks[4]),
+            })?;
+            let children = parse_plus(ch, ln, "child index")?;
+            let set_tok = toks[5].strip_prefix("set=").ok_or_else(|| CheckpointError::Parse {
+                line: ln,
+                msg: format!("expected set= field, got '{}'", toks[5]),
+            })?;
+            let set: BTreeSet<NodeId> = parse_plus(set_tok, ln, "set node")?
+                .into_iter()
+                .map(NodeId::from_index)
+                .collect();
+            let dims_tok = toks[6].strip_prefix("dims=").ok_or_else(|| CheckpointError::Parse {
+                line: ln,
+                msg: format!("expected dims= field, got '{}'", toks[6]),
+            })?;
+            let mut dims: BTreeMap<NodeId, i32> = BTreeMap::new();
+            if dims_tok != "-" {
+                for pair in dims_tok.split('+') {
+                    let (v, d) = pair.split_once(':').ok_or_else(|| CheckpointError::Parse {
+                        line: ln,
+                        msg: format!("bad dims pair '{pair}'"),
+                    })?;
+                    let v = parse_usize(v, ln, "dims node")?;
+                    let d: i32 = d.parse().map_err(|_| CheckpointError::Parse {
+                        line: ln,
+                        msg: format!("bad dims value '{d}'"),
+                    })?;
+                    dims.insert(NodeId::from_index(v), d);
+                }
+            }
+            ftree_nodes.push(FTreeNode {
+                spec: FissionSpec { set, dims, parts },
+                parent,
+                children,
+                level,
+            });
+        }
+        // Parent/children indices must stay inside the forest.
+        for (i, n) in ftree_nodes.iter().enumerate() {
+            let bad = n.parent.iter().chain(n.children.iter()).find(|&&j| j >= nf);
+            if let Some(&j) = bad {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    msg: format!("ftree node {i} references out-of-range node {j}"),
+                });
+            }
+        }
+
+        let read_graph = |tag: &str,
+                              lines: &Vec<&str>,
+                              ln: &mut usize|
+         -> Result<String, CheckpointError> {
+            let line = next(lines, ln)?;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 2 || toks[0] != tag {
+                return Err(CheckpointError::Parse {
+                    line: *ln,
+                    msg: format!("expected '{tag} <lines>', got '{line}'"),
+                });
+            }
+            let n = parse_usize(toks[1], *ln, "graph line count")?;
+            let mut rec = String::new();
+            for _ in 0..n {
+                rec.push_str(&next(lines, ln)?);
+                rec.push('\n');
+            }
+            Ok(rec)
+        };
+        let base_record = read_graph("base-graph", &lines, &mut ln)?;
+        let eval_record = read_graph("eval-graph", &lines, &mut ln)?;
+
+        let footer = next(&lines, &mut ln)?;
+        if footer.trim() != CKPT_FOOTER {
+            return Err(CheckpointError::Parse {
+                line: ln,
+                msg: format!("expected footer '{CKPT_FOOTER}', got '{footer}'"),
+            });
+        }
+
+        Ok(SearchCheckpoint {
+            rng_seed,
+            seed_cost,
+            best_cost,
+            counters,
+            pareto,
+            seen,
+            quarantine,
+            best_order,
+            ftree_nodes,
+            base_record,
+            eval_record,
+        })
+    }
+
+    /// Writes the checkpoint to `path` via a temp-file + rename so a
+    /// crash mid-write never leaves a torn checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn write_to(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.encode())
+            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, path)
+            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))
+    }
+
+    /// Reads and parses a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for I/O failures or any structural defect.
+    pub fn read_from(path: &Path) -> Result<SearchCheckpoint, CheckpointError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Self::decode(&text)
+    }
+
+    /// Rebuilds the incumbent [`MState`] from the stored parts: both
+    /// graph records are restored and re-validated, the stored schedule
+    /// is checked against the eval graph (topological order, exactly-
+    /// once coverage), and the schedule is re-simulated under `ctx` to
+    /// reproduce the evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Any corruption — dangling edges, a schedule that no longer
+    /// topo-sorts the graph, defective re-simulated costs — surfaces
+    /// as a typed [`CheckpointError`].
+    pub fn restore_state(&self, ctx: &EvalContext) -> Result<MState, CheckpointError> {
+        let base = io::from_record(&self.base_record)?;
+        let eval_graph = io::from_record(&self.eval_record)?;
+        for (i, n) in self.ftree_nodes.iter().enumerate() {
+            if let Some(&v) = n.spec.set.iter().find(|v| !base.contains(**v)) {
+                return Err(CheckpointError::Parse {
+                    line: 0,
+                    msg: format!("ftree node {i} references node {v} absent from the base graph"),
+                });
+            }
+        }
+        let order: Vec<NodeId> =
+            self.best_order.iter().map(|&i| NodeId::from_index(i)).collect();
+        validate_schedule(&eval_graph, &order)?;
+        let ftree = FTree::from_nodes(self.ftree_nodes.clone());
+        Ok(MState::resume(base, ftree, eval_graph, order, ctx)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EvalContext;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::tensor::DType;
+
+    fn small_state() -> MState {
+        let mut b = GraphBuilder::new(DType::F32);
+        let mut cur = b.input([128, 64], "x");
+        for i in 0..4 {
+            let w = b.weight([64, 64], &format!("w{i}"));
+            let h = b.matmul(cur, w);
+            cur = b.relu(h);
+        }
+        MState::initial(b.finish(), &EvalContext::default())
+    }
+
+    fn checkpoint_of(s: &MState) -> SearchCheckpoint {
+        let (best_order, ftree_nodes, base_record, eval_record) =
+            SearchCheckpoint::snapshot_state(s);
+        SearchCheckpoint {
+            rng_seed: 0x5eed,
+            seed_cost: s.cost(),
+            best_cost: s.cost(),
+            counters: CheckpointCounters { expanded: 3, evaluated: 17, ..Default::default() },
+            pareto: vec![s.cost(), (s.cost().0 / 2, s.cost().1 * 2.0)],
+            seen: vec![1, 2, 0xdeadbeef],
+            quarantine: vec![(4, 2)],
+            best_order,
+            ftree_nodes,
+            base_record,
+            eval_record,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let s = small_state();
+        let c = checkpoint_of(&s);
+        let text = c.encode();
+        let d = SearchCheckpoint::decode(&text).unwrap();
+        assert_eq!(d.rng_seed, c.rng_seed);
+        assert_eq!(d.seed_cost.0, c.seed_cost.0);
+        assert_eq!(d.seed_cost.1.to_bits(), c.seed_cost.1.to_bits());
+        assert_eq!(d.best_cost.1.to_bits(), c.best_cost.1.to_bits());
+        assert_eq!(d.counters, c.counters);
+        assert_eq!(d.pareto.len(), c.pareto.len());
+        assert_eq!(d.seen, c.seen);
+        assert_eq!(d.quarantine, c.quarantine);
+        assert_eq!(d.best_order, c.best_order);
+        assert_eq!(d.base_record, c.base_record);
+        assert_eq!(d.eval_record, c.eval_record);
+        // Re-encoding the decoded checkpoint is byte-identical.
+        assert_eq!(d.encode(), text);
+    }
+
+    #[test]
+    fn restore_reproduces_evaluation() {
+        let ctx = EvalContext::default();
+        let s = small_state();
+        let c = checkpoint_of(&s);
+        let r = SearchCheckpoint::decode(&c.encode()).unwrap();
+        let restored = r.restore_state(&ctx).unwrap();
+        assert_eq!(restored.eval.latency.to_bits(), s.eval.latency.to_bits());
+        assert_eq!(restored.eval.peak_bytes, s.eval.peak_bytes);
+        assert_eq!(restored.eval.order, s.eval.order);
+        assert!(restored.tree_stale, "resume must re-analyze the F-Tree");
+        restored.base.validate().unwrap();
+        restored.eval.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let s = small_state();
+        let text = checkpoint_of(&s).encode();
+        // Bad header.
+        assert!(SearchCheckpoint::decode(&text.replacen("v1", "v9", 1)).is_err());
+        // Truncation (drop the footer and graph tail).
+        let cut = &text[..text.len() / 2];
+        assert!(SearchCheckpoint::decode(cut).is_err());
+        // Corrupt a counters field.
+        let bad = text.replacen("counters 3", "counters x", 1);
+        assert!(SearchCheckpoint::decode(&bad).is_err());
+        // A schedule index out of range is caught at restore.
+        let mut c = checkpoint_of(&s);
+        c.best_order[0] = 9999;
+        let err = SearchCheckpoint::decode(&c.encode()).unwrap().restore_state(&EvalContext::default());
+        assert!(err.is_err());
+        // A duplicated schedule entry is caught at restore.
+        let mut c = checkpoint_of(&s);
+        c.best_order[0] = c.best_order[1];
+        assert!(SearchCheckpoint::decode(&c.encode())
+            .unwrap()
+            .restore_state(&EvalContext::default())
+            .is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = small_state();
+        let c = checkpoint_of(&s);
+        let dir = std::env::temp_dir().join("magis-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.ckpt");
+        c.write_to(&path).unwrap();
+        let r = SearchCheckpoint::read_from(&path).unwrap();
+        assert_eq!(r.encode(), c.encode());
+        std::fs::remove_file(&path).ok();
+    }
+}

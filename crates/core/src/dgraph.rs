@@ -66,6 +66,8 @@ impl DimGraph {
                         DimLink::Unlinked => continue,
                     };
                     if adj.contains_key(&uv) && adj.contains_key(&vv) {
+                        // Unwrap audit: both keys checked present on
+                        // the line above.
                         adj.get_mut(&uv).expect("vertex").insert(vv);
                         adj.get_mut(&vv).expect("vertex").insert(uv);
                     }

@@ -299,6 +299,10 @@ pub fn apply_overlay(g: &mut Graph, spec: &FissionSpec) -> Result<OverlayInfo, F
         return Err(FissionError::TrivialParts);
     }
     spec.validate(g)?;
+    // Unwrap audit: `validate` has proven every region node and every
+    // region input live and well-formed, so the `expect`s on graph
+    // edits below (add / add_with_meta / add_keepalive / remove)
+    // cannot fire for a validated spec.
     let n = spec.parts;
     let slice_axes = spec.input_slice_axes(g)?;
     let halo = spec.region_halo(g);
@@ -390,6 +394,8 @@ pub fn apply_full(g: &Graph, spec: &FissionSpec) -> Result<Graph, FissionError> 
         return Err(FissionError::TrivialParts);
     }
     spec.validate(g)?;
+    // Unwrap audit: as in `apply_overlay`, the validated spec makes
+    // the graph-edit `expect`s below unreachable.
     let n = spec.parts;
     let slice_axes = spec.input_slice_axes(g)?;
     let outputs = spec.outputs(g);

@@ -175,6 +175,14 @@ impl FTree {
         Self::assemble(candidates)
     }
 
+    /// Reassembles an F-Tree from externally stored nodes (checkpoint
+    /// resume). The caller is responsible for index validity
+    /// (`parent`/`children` in range); specs are re-validated against
+    /// the base graph the next time the tree is applied or refreshed.
+    pub fn from_nodes(nodes: Vec<FTreeNode>) -> Self {
+        FTree { nodes }
+    }
+
     /// Builds a *naïve* F-Tree (ablation §7.2.5 "naïve-fission"):
     /// random valid sub-graphs and dimensions, ignoring dominator and
     /// hot-spot analysis.
@@ -420,6 +428,10 @@ impl FTree {
                 t.nodes[i].spec.set.clone()
             }
             FTreeMutation::Lift(i) => {
+                // Unwrap audit: `legal_mutations` only emits Lift for
+                // nodes with a parent, and Mutate for nodes whose
+                // split dimension has a next divisor; `apply` is only
+                // called with mutations from that set.
                 let p = t.nodes[i].parent.expect("lift requires a parent");
                 t.nodes[i].spec.parts = 1;
                 t.nodes[p].spec.parts = 2;

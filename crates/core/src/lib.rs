@@ -36,6 +36,7 @@
 //! assert!(res.best.eval.peak_bytes > 0);
 //! ```
 
+pub mod checkpoint;
 pub mod codegen;
 pub mod dgraph;
 pub mod fission;
@@ -45,9 +46,11 @@ pub mod pareto;
 pub mod rules;
 pub mod state;
 
+pub use checkpoint::{CheckpointCounters, CheckpointError, SearchCheckpoint};
 pub use fission::FissionSpec;
 pub use ftree::{FTree, FTreeMutation};
 pub use optimizer::{
-    optimize, optimize_latency, optimize_memory, Objective, OptimizeResult, OptimizerConfig,
+    optimize, optimize_latency, optimize_memory, resume, try_optimize, CheckpointPolicy,
+    Objective, OptimizeResult, OptimizerConfig, ParanoiaLevel, StopReason,
 };
-pub use state::{EvalContext, MState};
+pub use state::{EvalContext, EvalError, MState};

@@ -18,21 +18,55 @@
 //! reschedule → simulate → hash) across up to
 //! [`OptimizerConfig::threads`] scoped threads, then merges the
 //! results back **in candidate order**: queue pushes, incumbent
-//! updates, sequence numbers, and the `max_evals` cap are all applied
-//! single-threaded at the merge. The search trajectory is therefore a
-//! pure function of the input — `threads = 1` and `threads = N`
-//! produce identical results (given a wall-clock budget generous
-//! enough that neither run times out mid-batch).
+//! updates, sequence numbers, quarantine strikes, and the `max_evals`
+//! cap are all applied single-threaded at the merge. The search
+//! trajectory is therefore a pure function of the input — `threads =
+//! 1` and `threads = N` produce identical results (given a wall-clock
+//! budget generous enough that neither run times out mid-batch).
+//!
+//! # Hardening
+//!
+//! The search is designed to survive defective rewrite rules and cost
+//! models rather than trusting them:
+//!
+//! * **Sandboxed evaluation** — every candidate runs under
+//!   [`std::panic::catch_unwind`]; a panic quarantines the candidate
+//!   (counted in [`OptimizerStats::panicked`]) and, after
+//!   [`OptimizerConfig::quarantine_threshold`] strikes, the whole rule
+//!   family stops being generated.
+//! * **Cost validation** — every evaluated child's latency is checked
+//!   for NaN / infinity / negativity (always on; rejects are counted
+//!   in [`OptimizerStats::cost_rejections`]).
+//! * **Invariant enforcement** — gated by [`ParanoiaLevel`]: graph
+//!   validity, schedule validity (topological, exactly-once), and
+//!   memory-accounting conservation are re-checked for every would-be
+//!   incumbent (`Incumbent`, the default) or every candidate (`All`).
+//! * **Fault injection** — an optional seeded
+//!   [`magis_util::fault::FaultPlan`] deterministically injects
+//!   panics, NaN/negative costs, and corrupted rewrites, keyed on
+//!   `(expansion, candidate)` so injections are identical across
+//!   thread counts.
+//! * **Checkpoint/resume** — an optional [`CheckpointPolicy`]
+//!   periodically serializes the search (incumbent, frontier,
+//!   seen-set, quarantine, counters) through
+//!   [`crate::checkpoint::SearchCheckpoint`]; [`resume`] continues a
+//!   killed search from its last checkpoint.
 
+use crate::checkpoint::{CheckpointCounters, CheckpointError, SearchCheckpoint};
 use crate::pareto::ParetoSet;
 use crate::rules::{self, RuleConfig, Transform};
-use crate::state::{EvalContext, MState};
+use crate::state::{EvalContext, EvalError, MState};
 use magis_graph::algo::graph_hash;
 use magis_graph::graph::Graph;
+use magis_sched::validate_schedule;
+use magis_sim::memory_profile_checked;
+use magis_util::fault::{FaultPlan, FaultSite};
 use magis_util::parallel;
 use magis_util::sync::ShardedSet;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Optimization objective.
@@ -83,6 +117,127 @@ impl Objective {
     }
 }
 
+/// How much invariant re-checking the search performs on evaluated
+/// candidates (see the module docs' *Hardening* section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParanoiaLevel {
+    /// Trust the rewrite/scheduling machinery; only the always-on cost
+    /// validation runs.
+    Off,
+    /// Re-validate graph, schedule, and memory accounting for every
+    /// candidate that would become the incumbent (the default: O(1)
+    /// validations per incumbent improvement).
+    #[default]
+    Incumbent,
+    /// Re-validate every evaluated candidate, in the worker (most
+    /// expensive, catches corruption before it reaches the queue).
+    All,
+}
+
+impl ParanoiaLevel {
+    /// Parses the CLI spelling (`off` / `incumbent` / `all`).
+    pub fn parse(s: &str) -> Option<ParanoiaLevel> {
+        match s {
+            "off" => Some(ParanoiaLevel::Off),
+            "incumbent" => Some(ParanoiaLevel::Incumbent),
+            "all" => Some(ParanoiaLevel::All),
+            _ => None,
+        }
+    }
+}
+
+/// Why the search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// The priority queue ran dry: every reachable state within the
+    /// relaxed-dominance frontier was explored.
+    #[default]
+    QueueExhausted,
+    /// The wall-clock budget expired.
+    BudgetExpired,
+    /// The `max_evals` cap was reached.
+    EvalCapReached,
+    /// The queue ran dry *because* rule families were quarantined:
+    /// faults (injected or real) shut down enough of the rule
+    /// vocabulary that the search could no longer expand.
+    FaultStorm,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::QueueExhausted => write!(f, "queue-exhausted"),
+            StopReason::BudgetExpired => write!(f, "budget-expired"),
+            StopReason::EvalCapReached => write!(f, "eval-cap-reached"),
+            StopReason::FaultStorm => write!(f, "fault-storm"),
+        }
+    }
+}
+
+/// Periodic checkpointing policy.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Where to write the checkpoint (atomically, via temp + rename).
+    pub path: PathBuf,
+    /// Write after every this many candidate evaluations (default 64).
+    pub every_evals: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `path` every 64 evaluations.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy { path: path.into(), every_evals: 64 }
+    }
+
+    /// Replaces the evaluation interval (0 is treated as 1).
+    pub fn with_every(mut self, every_evals: usize) -> Self {
+        self.every_evals = every_evals.max(1);
+        self
+    }
+}
+
+/// Strike accounting for rule families (`Transform::sort_key().0`):
+/// a family that panics or corrupts state `threshold` times stops
+/// being generated for the rest of the search.
+#[derive(Debug, Clone, Default)]
+struct Quarantine {
+    threshold: u32,
+    strikes: BTreeMap<u8, u32>,
+}
+
+impl Quarantine {
+    fn new(threshold: u32) -> Self {
+        Quarantine { threshold, strikes: BTreeMap::new() }
+    }
+
+    fn load(&mut self, entries: &[(u8, u32)]) {
+        for &(fam, n) in entries {
+            self.strikes.insert(fam, n);
+        }
+    }
+
+    fn strike(&mut self, family: u8) {
+        *self.strikes.entry(family).or_insert(0) += 1;
+    }
+
+    fn is_quarantined(&self, family: u8) -> bool {
+        self.threshold > 0
+            && self.strikes.get(&family).copied().unwrap_or(0) >= self.threshold
+    }
+
+    fn entries(&self) -> Vec<(u8, u32)> {
+        self.strikes.iter().map(|(&f, &n)| (f, n)).collect()
+    }
+
+    fn quarantined_families(&self) -> Vec<u8> {
+        self.strikes
+            .keys()
+            .copied()
+            .filter(|&f| self.is_quarantined(f))
+            .collect()
+    }
+}
+
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
 pub struct OptimizerConfig {
@@ -112,6 +267,16 @@ pub struct OptimizerConfig {
     /// parallelism. Results are identical for every value — see the
     /// module docs.
     pub threads: usize,
+    /// Invariant-enforcement level (default: `Incumbent`).
+    pub paranoia: ParanoiaLevel,
+    /// Strikes before a rule family is quarantined (default 3;
+    /// 0 disables quarantining).
+    pub quarantine_threshold: u32,
+    /// Deterministic fault injection (tests / chaos drills). `None`
+    /// injects nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Periodic checkpointing. `None` writes no checkpoints.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl OptimizerConfig {
@@ -128,6 +293,10 @@ impl OptimizerConfig {
             naive_fission: false,
             seed: 0x5eed,
             threads: parallel::available_threads(),
+            paranoia: ParanoiaLevel::default(),
+            quarantine_threshold: 3,
+            fault_plan: None,
+            checkpoint: None,
         }
     }
 
@@ -148,9 +317,33 @@ impl OptimizerConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Sets the invariant-enforcement level.
+    pub fn with_paranoia(mut self, paranoia: ParanoiaLevel) -> Self {
+        self.paranoia = paranoia;
+        self
+    }
+
+    /// Enables deterministic fault injection.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables periodic checkpointing.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Sets the quarantine strike threshold (0 disables quarantining).
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> Self {
+        self.quarantine_threshold = threshold;
+        self
+    }
 }
 
-/// Per-phase time accounting (Fig. 15).
+/// Per-phase time accounting (Fig. 15) plus hardening counters.
 #[derive(Debug, Clone, Default)]
 pub struct OptimizerStats {
     /// Time spent applying transformations. With `threads > 1` this is
@@ -178,6 +371,29 @@ pub struct OptimizerStats {
     pub evaluated: usize,
     /// Duplicate states filtered by the hash test.
     pub filtered: usize,
+    /// Why the search stopped.
+    pub stop_reason: StopReason,
+    /// Candidate evaluations that panicked (caught by the sandbox).
+    pub panicked: usize,
+    /// Candidates rejected by the always-on cost validation
+    /// (NaN / infinite / negative latency).
+    pub cost_rejections: usize,
+    /// Candidates rejected by invariant enforcement (graph, schedule,
+    /// or memory-accounting violations under [`ParanoiaLevel`]).
+    pub invariant_rejections: usize,
+    /// Candidates never evaluated because their rule family was
+    /// quarantined.
+    pub quarantined_candidates: usize,
+    /// Final strike counts per rule family (`sort_key().0`).
+    pub quarantine_strikes: Vec<(u8, u32)>,
+    /// Rule families over the strike threshold at search end.
+    pub quarantined_families: Vec<u8>,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: usize,
+    /// Checkpoint writes that failed (non-fatal; the search continues).
+    pub checkpoint_failures: usize,
+    /// Whether this search was resumed from a checkpoint.
+    pub resumed: bool,
 }
 
 /// A point on the search's progress curve.
@@ -242,8 +458,18 @@ enum CandOutcome {
     /// the first such marker on, keeping the consumed prefix
     /// contiguous.
     Skipped,
-    /// Apply or evaluation failed; the candidate is dropped.
+    /// Apply or incremental evaluation failed; the candidate is
+    /// dropped.
     Failed { trans: Duration, sched_sim: Duration },
+    /// Evaluation panicked; the sandbox caught it. Counts a quarantine
+    /// strike against the candidate's rule family at the merge.
+    Panicked { trans: Duration },
+    /// The evaluated cost failed validation (NaN / infinite /
+    /// negative latency).
+    BadCost { trans: Duration, sched_sim: Duration },
+    /// Structural invariant violation caught in the worker
+    /// ([`ParanoiaLevel::All`] only).
+    Invalid { trans: Duration, sched_sim: Duration },
     /// A fully evaluated, hashed child state (boxed: this variant is
     /// ~20× the size of the others).
     Evaluated {
@@ -255,10 +481,58 @@ enum CandOutcome {
     },
 }
 
+/// Re-checks the structural invariants of an evaluated state: the
+/// overlay graph validates, the schedule is a topological exactly-once
+/// cover of it, and memory accounting conserves. Used by the paranoia
+/// gates; any violation means a rewrite or the scheduler corrupted the
+/// state.
+fn check_invariants(child: &MState) -> Result<(), String> {
+    child.eval.graph.validate().map_err(|e| format!("graph: {e}"))?;
+    validate_schedule(&child.eval.graph, &child.eval.order)
+        .map_err(|e| format!("schedule: {e}"))?;
+    memory_profile_checked(&child.eval.graph, &child.eval.order)
+        .map_err(|e| format!("memory: {e}"))?;
+    Ok(())
+}
+
 /// Apply → incremental reschedule + simulate → hash, with per-phase
-/// CPU-time attribution. Pure w.r.t. shared search state, so it is
-/// safe to run concurrently for independent candidates.
-fn evaluate_candidate(state: &MState, t: &Transform, ctx: &EvalContext) -> CandOutcome {
+/// CPU-time attribution, wrapped in a panic sandbox. Pure w.r.t.
+/// shared search state, so it is safe to run concurrently for
+/// independent candidates.
+///
+/// `fault` is `(plan, key)` when fault injection is active: the key
+/// is derived from the (expansion, candidate) pair, never from thread
+/// identity or timing, so injections are bit-identical across thread
+/// counts.
+fn evaluate_candidate(
+    state: &MState,
+    t: &Transform,
+    ctx: &EvalContext,
+    fault: Option<(&FaultPlan, u64)>,
+    paranoia: ParanoiaLevel,
+) -> CandOutcome {
+    let t0 = Instant::now();
+    // AssertUnwindSafe: the closure only reads `state`/`ctx` and builds
+    // fresh values; a panic can leave no broken shared state behind.
+    match catch_unwind(AssertUnwindSafe(|| evaluate_candidate_inner(state, t, ctx, fault, paranoia)))
+    {
+        Ok(outcome) => outcome,
+        Err(_) => CandOutcome::Panicked { trans: t0.elapsed() },
+    }
+}
+
+fn evaluate_candidate_inner(
+    state: &MState,
+    t: &Transform,
+    ctx: &EvalContext,
+    fault: Option<(&FaultPlan, u64)>,
+    paranoia: ParanoiaLevel,
+) -> CandOutcome {
+    if let Some((plan, key)) = fault {
+        if plan.should_inject(FaultSite::EvalPanic, key) {
+            panic!("injected fault: candidate evaluation panic (key {key:#x})");
+        }
+    }
     let t0 = Instant::now();
     let applied = match rules::apply(state, t) {
         Ok(a) => a,
@@ -267,11 +541,46 @@ fn evaluate_candidate(state: &MState, t: &Transform, ctx: &EvalContext) -> CandO
     let trans = t0.elapsed();
 
     let t0 = Instant::now();
-    let child = match MState::from_applied(applied, state, ctx) {
+    let mut child = match MState::from_applied(applied, state, ctx) {
         Ok(c) => c,
-        Err(_) => return CandOutcome::Failed { trans, sched_sim: t0.elapsed() },
+        Err(EvalError::Apply(_)) => {
+            return CandOutcome::Failed { trans, sched_sim: t0.elapsed() }
+        }
+        Err(EvalError::Cost(_)) => {
+            return CandOutcome::BadCost { trans, sched_sim: t0.elapsed() }
+        }
     };
     let sched_sim = t0.elapsed();
+
+    if let Some((plan, key)) = fault {
+        // Simulates a buggy rewrite: the state's schedule no longer
+        // covers the graph exactly once. Only invariant enforcement
+        // can catch this — cost values stay plausible.
+        if plan.should_inject(FaultSite::CorruptRewrite, key) && child.eval.order.len() >= 2 {
+            let first = child.eval.order[0];
+            let last = child.eval.order.len() - 1;
+            child.eval.order[last] = first;
+        }
+        // Simulates a defective cost model *after* the (real)
+        // evaluation ran, so the defect reaches the always-on cost
+        // validation below rather than being pre-empted by it.
+        if plan.should_inject(FaultSite::NanCost, key) {
+            child.eval.latency = f64::NAN;
+        }
+        if plan.should_inject(FaultSite::NegativeCost, key) {
+            child.eval.latency = -child.eval.latency.abs() - 1.0;
+        }
+    }
+
+    // Always-on cost validation: defective latencies must never reach
+    // the objective, whatever the paranoia level.
+    if !child.eval.latency.is_finite() || child.eval.latency < 0.0 {
+        return CandOutcome::BadCost { trans, sched_sim };
+    }
+
+    if paranoia == ParanoiaLevel::All && check_invariants(&child).is_err() {
+        return CandOutcome::Invalid { trans, sched_sim };
+    }
 
     let t0 = Instant::now();
     let hash = graph_hash(&child.eval.graph);
@@ -286,18 +595,136 @@ const _: () = {
     assert_send_sync::<EvalContext>();
     assert_send_sync::<OptimizerConfig>();
     assert_send_sync::<Transform>();
+    assert_send_sync::<FaultPlan>();
 };
 
+/// Pre-seeded search bookkeeping: zeroed for a fresh [`optimize`],
+/// loaded from a [`SearchCheckpoint`] by [`resume`].
+struct SearchSeed {
+    seed_cost: (u64, f64),
+    counters: CheckpointCounters,
+    pareto: Vec<(u64, f64)>,
+    seen: Vec<u64>,
+    quarantine: Vec<(u8, u32)>,
+    resumed: bool,
+}
+
+impl SearchSeed {
+    fn fresh(seed_cost: (u64, f64)) -> Self {
+        SearchSeed {
+            seed_cost,
+            counters: CheckpointCounters::default(),
+            pareto: Vec::new(),
+            seen: Vec::new(),
+            quarantine: Vec::new(),
+            resumed: false,
+        }
+    }
+}
+
 /// Runs Algorithm 3 on `g`.
+///
+/// # Panics
+///
+/// Panics if the seed graph itself fails to evaluate (see
+/// [`try_optimize`] for the fallible variant).
 pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
+    try_optimize(g, cfg).expect("seed graph evaluates")
+}
+
+/// [`optimize`] with seed-evaluation failures surfaced as a typed
+/// [`EvalError`] instead of a panic.
+pub fn try_optimize(g: Graph, cfg: &OptimizerConfig) -> Result<OptimizeResult, EvalError> {
+    let mut init = MState::try_initial(g, &cfg.ctx)?;
+    analyze(&mut init, cfg);
+    let seed = SearchSeed::fresh(init.cost());
+    Ok(run_search(init, seed, cfg))
+}
+
+/// Continues a search from a [`SearchCheckpoint`]: the incumbent is
+/// restored (both graphs re-validated, its schedule re-checked and
+/// re-simulated), the frontier / seen-set / quarantine / counters are
+/// reloaded, and the search resumes under the **caller's** config —
+/// budget, thread count, and objective are taken from `cfg`, not from
+/// the checkpoint.
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] if the checkpoint is corrupt
+/// (bad record, invalid schedule, defective re-simulated costs).
+pub fn resume(ckpt: &SearchCheckpoint, cfg: &OptimizerConfig) -> Result<OptimizeResult, CheckpointError> {
+    let best = ckpt.restore_state(&cfg.ctx)?;
+    let seed = SearchSeed {
+        seed_cost: ckpt.seed_cost,
+        counters: ckpt.counters,
+        pareto: ckpt.pareto.clone(),
+        seen: ckpt.seen.clone(),
+        quarantine: ckpt.quarantine.clone(),
+        resumed: true,
+    };
+    Ok(run_search(best, seed, cfg))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    policy: &CheckpointPolicy,
+    best: &MState,
+    seed_cost: (u64, f64),
+    rng_seed: u64,
+    pareto: &ParetoSet,
+    seen: &ShardedSet,
+    quarantine: &Quarantine,
+    stats: &OptimizerStats,
+) -> Result<(), CheckpointError> {
+    let (best_order, ftree_nodes, base_record, eval_record) =
+        SearchCheckpoint::snapshot_state(best);
+    let ckpt = SearchCheckpoint {
+        rng_seed,
+        seed_cost,
+        best_cost: best.cost(),
+        counters: CheckpointCounters {
+            expanded: stats.expanded as u64,
+            evaluated: stats.evaluated as u64,
+            candidates: stats.candidates as u64,
+            filtered: stats.filtered as u64,
+            panicked: stats.panicked as u64,
+            cost_rejections: stats.cost_rejections as u64,
+            invariant_rejections: stats.invariant_rejections as u64,
+            quarantined_candidates: stats.quarantined_candidates as u64,
+        },
+        pareto: pareto.points().to_vec(),
+        seen: seen.snapshot(),
+        quarantine: quarantine.entries(),
+        best_order,
+        ftree_nodes,
+        base_record,
+        eval_record,
+    };
+    ckpt.write_to(&policy.path)
+}
+
+fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> OptimizeResult {
     let start = Instant::now();
     let threads = cfg.threads.max(1);
-    let mut stats = OptimizerStats { threads, ..OptimizerStats::default() };
+    let mut stats = OptimizerStats {
+        threads,
+        resumed: seed.resumed,
+        expanded: seed.counters.expanded as usize,
+        candidates: seed.counters.candidates as usize,
+        evaluated: seed.counters.evaluated as usize,
+        filtered: seed.counters.filtered as usize,
+        panicked: seed.counters.panicked as usize,
+        cost_rejections: seed.counters.cost_rejections as usize,
+        invariant_rejections: seed.counters.invariant_rejections as usize,
+        quarantined_candidates: seed.counters.quarantined_candidates as usize,
+        ..OptimizerStats::default()
+    };
     let mut pareto = ParetoSet::new();
+    for (m, l) in seed.pareto {
+        pareto.insert(m, l);
+    }
     let mut history = Vec::new();
 
-    let mut init = MState::initial(g, &cfg.ctx);
-    analyze(&mut init, cfg);
     pareto.insert(init.eval.peak_bytes, init.eval.latency);
     history.push(ProgressPoint {
         elapsed: start.elapsed().as_secs_f64(),
@@ -309,6 +736,19 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
     // Written only between fan-outs (at pops), read-only during a
     // batch; sharded so workers could share it without contention.
     let seen = ShardedSet::default();
+    // Resume trap: the incumbent's own hash is in the checkpointed
+    // seen-set (it was inserted when first expanded). Preloading it
+    // verbatim would make the first pop filter the resumed incumbent
+    // as a duplicate and end the search immediately.
+    let init_hash = graph_hash(&init.eval.graph);
+    for h in seed.seen {
+        if h != init_hash {
+            seen.insert(h);
+        }
+    }
+    let mut quarantine = Quarantine::new(cfg.quarantine_threshold);
+    quarantine.load(&seed.quarantine);
+
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     let mut seq = 0usize;
     queue.push(QueueEntry {
@@ -317,8 +757,16 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
         state: init,
     });
 
+    let mut evals_at_last_ckpt = stats.evaluated;
+    let mut stop = None;
+
     while let Some(entry) = queue.pop() {
-        if start.elapsed() > cfg.budget || stats.evaluated >= cfg.max_evals {
+        if start.elapsed() > cfg.budget {
+            stop = Some(StopReason::BudgetExpired);
+            break;
+        }
+        if stats.evaluated >= cfg.max_evals {
+            stop = Some(StopReason::EvalCapReached);
             break;
         }
         let mut state = entry.state;
@@ -336,6 +784,10 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
 
         let t0 = Instant::now();
         let mut candidates = rules::generate(&state, &cfg.rules);
+        // Quarantined rule families stop being explored entirely.
+        let before = candidates.len();
+        candidates.retain(|t| !quarantine.is_quarantined(t.sort_key().0));
+        stats.quarantined_candidates += before - candidates.len();
         // Fix the batch order before the fan-out: the merge below
         // consumes results in this order, making the trajectory
         // independent of thread count and generation order.
@@ -345,14 +797,20 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
 
         // How many evaluations may still be merged under `max_evals`.
         let remaining = cfg.max_evals - stats.evaluated;
+        // Injection keys depend only on (expansion, candidate index):
+        // identical across thread counts and across reruns.
+        let exp_no = stats.expanded as u64;
+        let plan = cfg.fault_plan.as_ref();
+        let fault_for =
+            |i: usize| plan.map(|p| (p, (exp_no << 20) | (i as u64 & 0xfffff)));
 
         let t_wall = Instant::now();
         let outcomes: Vec<CandOutcome> = if threads > 1 {
-            parallel::par_map(threads, &candidates, |_, t| {
+            parallel::par_map(threads, &candidates, |i, t| {
                 if start.elapsed() > cfg.budget {
                     CandOutcome::Skipped
                 } else {
-                    evaluate_candidate(&state, t, &cfg.ctx)
+                    evaluate_candidate(&state, t, &cfg.ctx, fault_for(i), cfg.paranoia)
                 }
             })
         } else {
@@ -360,12 +818,12 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
             // stop work early instead of discarding results at merge.
             let mut out = Vec::with_capacity(candidates.len());
             let mut done = 0usize;
-            for t in &candidates {
+            for (i, t) in candidates.iter().enumerate() {
                 if start.elapsed() > cfg.budget || done >= remaining {
                     out.push(CandOutcome::Skipped);
                     break;
                 }
-                let o = evaluate_candidate(&state, t, &cfg.ctx);
+                let o = evaluate_candidate(&state, t, &cfg.ctx, fault_for(i), cfg.paranoia);
                 if matches!(o, CandOutcome::Evaluated { .. }) {
                     done += 1;
                 }
@@ -376,26 +834,47 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
         stats.eval_wall_time += t_wall.elapsed();
 
         // Deterministic merge: consume outcomes in candidate order on
-        // this thread only. Sequence numbers, incumbent updates, and
-        // the eval cap all happen here.
+        // this thread only. Sequence numbers, incumbent updates,
+        // quarantine strikes, and the eval cap all happen here.
         let mut merged = 0usize;
-        for o in outcomes {
+        for (i, o) in outcomes.into_iter().enumerate() {
+            if matches!(o, CandOutcome::Skipped) {
+                break;
+            }
+            if merged >= remaining {
+                // Workers may over-evaluate past the cap; the merge
+                // discards the excess — of *every* outcome kind, so
+                // counters and quarantine strikes match `threads == 1`,
+                // where post-cap candidates never run at all.
+                break;
+            }
+            let family = candidates[i].sort_key().0;
             match o {
-                CandOutcome::Skipped => break,
+                CandOutcome::Skipped => unreachable!("handled above"),
                 CandOutcome::Failed { trans, sched_sim } => {
                     stats.trans_time += trans;
                     stats.sched_sim_time += sched_sim;
+                }
+                CandOutcome::Panicked { trans } => {
+                    stats.trans_time += trans;
+                    stats.panicked += 1;
+                    quarantine.strike(family);
+                }
+                CandOutcome::BadCost { trans, sched_sim } => {
+                    stats.trans_time += trans;
+                    stats.sched_sim_time += sched_sim;
+                    stats.cost_rejections += 1;
+                }
+                CandOutcome::Invalid { trans, sched_sim } => {
+                    stats.trans_time += trans;
+                    stats.sched_sim_time += sched_sim;
+                    stats.invariant_rejections += 1;
+                    quarantine.strike(family);
                 }
                 CandOutcome::Evaluated { child, hash, trans, sched_sim, hash_t } => {
                     stats.trans_time += trans;
                     stats.sched_sim_time += sched_sim;
                     stats.hash_time += hash_t;
-                    if merged >= remaining {
-                        // Workers may over-evaluate past the cap; the
-                        // merge discards the excess so the result
-                        // matches `threads == 1` exactly.
-                        break;
-                    }
                     merged += 1;
                     stats.evaluated += 1;
 
@@ -406,8 +885,22 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
                     }
 
                     let cost = child.cost();
+                    let leads = cfg.objective.better_than(cost, best.cost(), 1.0);
+                    // Invariant gate: a state may only become the
+                    // incumbent after its graph, schedule, and memory
+                    // accounting re-validate. A violator is dropped
+                    // entirely (not queued, not on the frontier) and
+                    // strikes its rule family.
+                    if leads
+                        && cfg.paranoia == ParanoiaLevel::Incumbent
+                        && check_invariants(&child).is_err()
+                    {
+                        stats.invariant_rejections += 1;
+                        quarantine.strike(family);
+                        continue;
+                    }
                     pareto.insert(cost.0, cost.1);
-                    if cfg.objective.better_than(cost, best.cost(), 1.0) {
+                    if leads {
                         best = (*child).clone();
                         history.push(ProgressPoint {
                             elapsed: start.elapsed().as_secs_f64(),
@@ -426,16 +919,57 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
                 }
             }
         }
+
+        if let Some(policy) = &cfg.checkpoint {
+            if stats.evaluated - evals_at_last_ckpt >= policy.every_evals {
+                evals_at_last_ckpt = stats.evaluated;
+                match write_checkpoint(
+                    policy, &best, seed.seed_cost, cfg.seed, &pareto, &seen, &quarantine, &stats,
+                ) {
+                    Ok(()) => stats.checkpoints_written += 1,
+                    // Non-fatal: a full disk must not kill the search.
+                    Err(_) => stats.checkpoint_failures += 1,
+                }
+            }
+        }
+
         if start.elapsed() > cfg.budget {
+            stop = Some(StopReason::BudgetExpired);
             break;
         }
     }
+    stats.stop_reason = stop.unwrap_or_else(|| {
+        // The queue ran dry. If rule families were quarantined along
+        // the way, faults shrank the reachable space: report a fault
+        // storm. (Quarantined candidate *filtering* may never have
+        // happened — a total storm kills every child before a second
+        // expansion — so the family list, not the filter counter, is
+        // the signal.)
+        if quarantine.quarantined_families().is_empty() {
+            StopReason::QueueExhausted
+        } else {
+            StopReason::FaultStorm
+        }
+    });
+
     // Final polish: reschedule the incumbent with the full-quality beam
     // and keep whichever is better.
     let polished = best.rescheduled(&cfg.ctx);
-    if cfg.objective.better_than(polished.cost(), best.cost(), 1.0) {
+    if cfg.objective.better_than(polished.cost(), best.cost(), 1.0)
+        && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished).is_ok())
+    {
         pareto.insert(polished.eval.peak_bytes, polished.eval.latency);
         best = polished;
+    }
+    stats.quarantine_strikes = quarantine.entries();
+    stats.quarantined_families = quarantine.quarantined_families();
+    if let Some(policy) = &cfg.checkpoint {
+        match write_checkpoint(
+            policy, &best, seed.seed_cost, cfg.seed, &pareto, &seen, &quarantine, &stats,
+        ) {
+            Ok(()) => stats.checkpoints_written += 1,
+            Err(_) => stats.checkpoint_failures += 1,
+        }
     }
     OptimizeResult { best, pareto, history, stats }
 }
@@ -602,5 +1136,56 @@ mod tests {
         for w in front.windows(2) {
             assert!(w[0].0 < w[1].0 && w[0].1 > w[1].1);
         }
+    }
+
+    #[test]
+    fn quarantine_thresholds() {
+        let mut q = Quarantine::new(2);
+        assert!(!q.is_quarantined(4));
+        q.strike(4);
+        assert!(!q.is_quarantined(4));
+        q.strike(4);
+        assert!(q.is_quarantined(4));
+        assert_eq!(q.quarantined_families(), vec![4]);
+        assert_eq!(q.entries(), vec![(4, 2)]);
+        // Threshold 0 disables quarantining entirely.
+        let mut q = Quarantine::new(0);
+        for _ in 0..10 {
+            q.strike(7);
+        }
+        assert!(!q.is_quarantined(7));
+    }
+
+    #[test]
+    fn stop_reason_eval_cap() {
+        let g = train_mlp(3);
+        let init = MState::initial(g.clone(), &EvalContext::default());
+        let cfg = quick_cfg(Objective::MinMemory { lat_limit: init.eval.latency * 1.3 })
+            .with_max_evals(30);
+        let res = optimize(g, &cfg);
+        assert_eq!(res.stats.stop_reason, StopReason::EvalCapReached);
+        assert!(res.stats.evaluated <= 30);
+    }
+
+    #[test]
+    fn paranoia_all_matches_default_when_healthy() {
+        // With no faults, all paranoia levels must agree on the final
+        // incumbent: validation only rejects corrupt states, and a
+        // healthy pipeline produces none.
+        let g = train_mlp(3);
+        let init = MState::initial(g.clone(), &EvalContext::default());
+        let obj = Objective::MinMemory { lat_limit: init.eval.latency * 1.2 };
+        let mk = |p: ParanoiaLevel| {
+            quick_cfg(obj).with_max_evals(120).with_threads(1).with_paranoia(p)
+        };
+        let off = optimize(g.clone(), &mk(ParanoiaLevel::Off));
+        let inc = optimize(g.clone(), &mk(ParanoiaLevel::Incumbent));
+        let all = optimize(g, &mk(ParanoiaLevel::All));
+        assert_eq!(off.best.eval.peak_bytes, inc.best.eval.peak_bytes);
+        assert_eq!(off.best.eval.latency.to_bits(), inc.best.eval.latency.to_bits());
+        assert_eq!(off.best.eval.peak_bytes, all.best.eval.peak_bytes);
+        assert_eq!(off.best.eval.latency.to_bits(), all.best.eval.latency.to_bits());
+        assert_eq!(inc.stats.invariant_rejections, 0);
+        assert_eq!(all.stats.invariant_rejections, 0);
     }
 }

@@ -20,8 +20,45 @@ use crate::rules::{Applied, ApplyError};
 use magis_graph::graph::{Graph, NodeId};
 use magis_sched::{full_schedule, incremental_schedule, IntervalParams, SchedConfig};
 pub use magis_sched::schedule::place_swaps;
-use magis_sim::CostModel;
+use magis_sim::{CostError, CostModel};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why evaluating a state failed: the transform/overlay machinery
+/// rejected it, or the simulator produced a defective cost. Both are
+/// recoverable — the optimizer drops the candidate and keeps searching.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// Applying the overlay (or the transform that produced the state)
+    /// failed validation.
+    Apply(ApplyError),
+    /// The cost model produced NaN/negative/overflowing values, or the
+    /// schedule failed coverage/conservation checks.
+    Cost(CostError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Apply(e) => write!(f, "apply: {e}"),
+            EvalError::Cost(e) => write!(f, "cost: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ApplyError> for EvalError {
+    fn from(e: ApplyError) -> Self {
+        EvalError::Apply(e)
+    }
+}
+
+impl From<CostError> for EvalError {
+    fn from(e: CostError) -> Self {
+        EvalError::Cost(e)
+    }
+}
 
 /// Shared evaluation machinery (cost model + scheduler tuning).
 #[derive(Debug, Clone)]
@@ -86,10 +123,20 @@ impl MState {
     /// `InitState`): full schedule, then F-Tree construction from the
     /// discovered hot-spots.
     pub fn initial(g: Graph, ctx: &EvalContext) -> MState {
+        // Safe for well-formed graphs under the default cost model: an
+        // empty F-Tree has no overlay to reject, and analytic costs are
+        // finite. `try_initial` is the fallible path for untrusted
+        // graphs / cost models.
+        Self::try_initial(g, ctx).expect("empty tree always evaluates")
+    }
+
+    /// [`Self::initial`] with evaluation failures surfaced as a typed
+    /// [`EvalError`] instead of a panic (hardened entry point for
+    /// untrusted graphs or exotic cost models).
+    pub fn try_initial(g: Graph, ctx: &EvalContext) -> Result<MState, EvalError> {
         let empty = FTree::default();
-        let eval = evaluate_state(&g, &empty, None, &BTreeSet::new(), ctx)
-            .expect("empty tree always evaluates");
-        MState { base: g, ftree: empty, eval, tree_stale: true }
+        let eval = evaluate_state(&g, &empty, None, &BTreeSet::new(), ctx)?;
+        Ok(MState { base: g, ftree: empty, eval, tree_stale: true })
     }
 
     /// Re-analyzes the F-Tree (M-Analyzer, Algorithm 1), preserving
@@ -104,13 +151,14 @@ impl MState {
     ///
     /// # Errors
     ///
-    /// Returns an error when the overlay no longer validates (the
-    /// optimizer drops such candidates).
+    /// Returns an error when the overlay no longer validates or the
+    /// evaluation produces defective costs (the optimizer drops such
+    /// candidates).
     pub fn from_applied(
         applied: Applied,
         parent: &MState,
         ctx: &EvalContext,
-    ) -> Result<MState, ApplyError> {
+    ) -> Result<MState, EvalError> {
         let eval = evaluate_state(
             &applied.base,
             &applied.ftree,
@@ -146,6 +194,38 @@ impl MState {
             Err(_) => self.clone(),
         }
     }
+
+    /// Rebuilds a state from checkpointed parts: the base graph, its
+    /// F-Tree, the overlaid graph that was actually simulated, and the
+    /// exact schedule it was simulated under. The stored order is
+    /// **re-simulated, not re-scheduled** — checkpointed incumbents may
+    /// have been found through incremental scheduling, and a fresh full
+    /// schedule could land on a different (worse) evaluation. The
+    /// F-Tree is marked stale so resume re-analyzes before expanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the stored order does not cover `graph`
+    /// or the re-simulation produces defective costs.
+    pub fn resume(
+        base: Graph,
+        ftree: FTree,
+        graph: Graph,
+        order: Vec<NodeId>,
+        ctx: &EvalContext,
+    ) -> Result<MState, EvalError> {
+        let ev = magis_sim::evaluate_checked(&graph, &order, &ctx.cost)?;
+        let (hotspots_base, base_positions) = project_to_base(&base, &ev.memory.hotspots, &order);
+        let eval = Eval {
+            graph,
+            order,
+            latency: ev.latency,
+            peak_bytes: ev.peak_bytes,
+            hotspots_base,
+            base_positions,
+        };
+        Ok(MState { base, ftree, eval, tree_stale: true })
+    }
 }
 
 /// Builds the overlay graph of `base` + `ftree`.
@@ -161,13 +241,34 @@ pub fn build_overlay_graph(base: &Graph, ftree: &FTree) -> Result<Graph, ApplyEr
     Ok(g)
 }
 
+/// Restricts simulator hot-spots and schedule positions to base-graph
+/// nodes (overlay bookkeeping nodes filtered out).
+fn project_to_base(
+    base: &Graph,
+    hotspots: &BTreeSet<NodeId>,
+    order: &[NodeId],
+) -> (BTreeSet<NodeId>, BTreeMap<NodeId, usize>) {
+    let hotspots_base = hotspots
+        .iter()
+        .copied()
+        .filter(|v| v.index() < base.capacity() && base.contains(*v))
+        .collect();
+    let base_positions = order
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.index() < base.capacity() && base.contains(**v))
+        .map(|(i, &v)| (v, i))
+        .collect();
+    (hotspots_base, base_positions)
+}
+
 fn evaluate_state(
     base: &Graph,
     ftree: &FTree,
     parent: Option<&MState>,
     mutated: &BTreeSet<NodeId>,
     ctx: &EvalContext,
-) -> Result<Eval, ApplyError> {
+) -> Result<Eval, EvalError> {
     let g = build_overlay_graph(base, ftree)?;
     let order = match parent {
         Some(p) => {
@@ -185,20 +286,8 @@ fn evaluate_state(
         None => full_schedule(&g, &ctx.sched),
     };
     let order = place_swaps(&g, &order, &ctx.cost);
-    let ev = magis_sim::evaluate(&g, &order, &ctx.cost);
-    let hotspots_base = ev
-        .memory
-        .hotspots
-        .iter()
-        .copied()
-        .filter(|v| v.index() < base.capacity() && base.contains(*v))
-        .collect();
-    let base_positions = order
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.index() < base.capacity() && base.contains(**v))
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let ev = magis_sim::evaluate_checked(&g, &order, &ctx.cost)?;
+    let (hotspots_base, base_positions) = project_to_base(base, &ev.memory.hotspots, &order);
     Ok(Eval {
         graph: g,
         order,

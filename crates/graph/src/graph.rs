@@ -509,6 +509,91 @@ impl Graph {
         }
         Ok(())
     }
+
+    /// Rebuilds a graph from per-slot node records (deserialization).
+    ///
+    /// `slots[i]` describes the node in arena slot `i`; `None` is a
+    /// tombstone, so restored [`NodeId`]s match the serialized ones
+    /// exactly. Successor lists are recomputed (data edges first in
+    /// slot order, then keepalive edges, matching construction order),
+    /// and the result is checked with [`Graph::validate`] so a
+    /// corrupted serialization cannot produce a structurally invalid
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if an edge references a
+    /// tombstoned slot, or any error [`Graph::validate`] reports.
+    pub fn restore(slots: Vec<Option<NodeRecord>>) -> Result<Graph, GraphError> {
+        let nodes: Vec<Option<Node>> = slots
+            .into_iter()
+            .map(|s| {
+                s.map(|r| Node {
+                    op: r.op,
+                    meta: r.meta,
+                    name: r.name,
+                    inputs: r.inputs,
+                    keepalive: r.keepalive,
+                    succs: Vec::new(),
+                    cost_repeat: r.cost_repeat,
+                    alloc_with: r.alloc_with,
+                })
+            })
+            .collect();
+        let alive = nodes.iter().filter(|n| n.is_some()).count();
+        let mut g = Graph { nodes, alive };
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        for &v in &ids {
+            for i in 0..g.node(v).inputs.len() {
+                let p = g.node(v).inputs[i];
+                if !g.contains(p) {
+                    return Err(GraphError::MissingNode(p));
+                }
+                g.node_mut(p).succs.push(v);
+            }
+        }
+        for &v in &ids {
+            for i in 0..g.node(v).keepalive.len() {
+                let p = g.node(v).keepalive[i];
+                if !g.contains(p) {
+                    return Err(GraphError::MissingNode(p));
+                }
+                g.node_mut(p).succs.push(v);
+            }
+        }
+        for &v in &ids {
+            if let Some(a) = g.node(v).alloc_with {
+                if !g.contains(a) {
+                    return Err(GraphError::MissingNode(a));
+                }
+            }
+            if g.node(v).cost_repeat == 0 {
+                return Err(GraphError::Op(OpError::BadAttr("cost_repeat must be at least 1")));
+            }
+        }
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+/// One node's serializable description, consumed by [`Graph::restore`]
+/// and produced by graph deserializers (`io::from_record`).
+#[derive(Debug, Clone)]
+pub struct NodeRecord {
+    /// The operator.
+    pub op: OpKind,
+    /// Output tensor metadata.
+    pub meta: TensorMeta,
+    /// Display name (may be empty).
+    pub name: String,
+    /// Ordered data inputs.
+    pub inputs: Vec<NodeId>,
+    /// Keepalive-only dependencies.
+    pub keepalive: Vec<NodeId>,
+    /// Fission cost-repeat multiplier (≥ 1).
+    pub cost_repeat: u64,
+    /// Allocation anchor, if any.
+    pub alloc_with: Option<NodeId>,
 }
 
 #[cfg(test)]

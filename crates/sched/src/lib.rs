@@ -8,7 +8,9 @@
 //! * [`partition::partition`] — narrow-waist graph partitioning
 //!   (`GraphPartition`),
 //! * [`incremental::incremental_schedule`] — Algorithm 2 end to end,
-//! * [`schedule::full_schedule`] — the full-scheduling baseline.
+//! * [`schedule::full_schedule`] — the full-scheduling baseline,
+//! * [`validate::Schedule`] — typed schedule validation (exactly-once
+//!   coverage + topological order) for the hardened search pipeline.
 //!
 //! ```
 //! use magis_graph::builder::GraphBuilder;
@@ -30,9 +32,11 @@ pub mod incremental;
 pub mod partition;
 pub mod schedule;
 pub mod task;
+pub mod validate;
 
 pub use dp::{dp_schedule, DpResult, SchedConfig};
 pub use incremental::{incremental_schedule, reschedule_interval, IntervalParams};
 pub use partition::partition;
 pub use schedule::{full_schedule, place_swaps, stabilize_order};
 pub use task::SchedTask;
+pub use validate::{validate_schedule, Schedule, ScheduleError};

@@ -30,6 +30,78 @@ fn class_efficiency(op: &OpKind) -> f64 {
     }
 }
 
+/// A defect detected while computing or validating costs: the typed
+/// alternative to letting NaN, negative, or overflowing values flow
+/// silently into the search objective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// A latency came out NaN or infinite.
+    NonFiniteLatency {
+        /// Offending node, when attributable to one.
+        node: Option<NodeId>,
+        /// The bad value.
+        value: f64,
+    },
+    /// A latency came out negative.
+    NegativeLatency {
+        /// Offending node, when attributable to one.
+        node: Option<NodeId>,
+        /// The bad value.
+        value: f64,
+    },
+    /// Memory accounting over- or under-flowed the `u64`/`i64` range.
+    MemoryOverflow {
+        /// Schedule step at which the accumulator overflowed.
+        step: usize,
+    },
+    /// Memory accounting went negative: more bytes freed than were
+    /// ever allocated (a conservation violation).
+    NegativeUsage {
+        /// Schedule step at which usage went negative.
+        step: usize,
+        /// The negative running total.
+        value: i64,
+    },
+    /// The schedule does not cover the graph (checked entry points
+    /// return this instead of panicking).
+    BadSchedule {
+        /// Live nodes in the graph.
+        expected: usize,
+        /// Entries in the order.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::NonFiniteLatency { node: Some(v), value } => {
+                write!(f, "non-finite latency {value} at node {v:?}")
+            }
+            CostError::NonFiniteLatency { node: None, value } => {
+                write!(f, "non-finite total latency {value}")
+            }
+            CostError::NegativeLatency { node: Some(v), value } => {
+                write!(f, "negative latency {value} at node {v:?}")
+            }
+            CostError::NegativeLatency { node: None, value } => {
+                write!(f, "negative total latency {value}")
+            }
+            CostError::MemoryOverflow { step } => {
+                write!(f, "memory accounting overflowed at step {step}")
+            }
+            CostError::NegativeUsage { step, value } => {
+                write!(f, "memory accounting went negative ({value} bytes) at step {step}")
+            }
+            CostError::BadSchedule { expected, got } => {
+                write!(f, "schedule covers {got} nodes but the graph has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
 /// The analytic cost model over a fixed [`DeviceSpec`].
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {
@@ -79,6 +151,33 @@ impl CostModel {
     /// [`crate::exec::simulate_latency`] for the overlap-aware figure.
     pub fn graph_latency(&self, g: &Graph) -> f64 {
         g.node_ids().map(|v| self.node_latency(g, v)).sum()
+    }
+
+    /// [`Self::node_latency`] with the result validated: rejects NaN,
+    /// infinite, and negative values with a typed [`CostError`]
+    /// attributing the offending node.
+    pub fn node_latency_checked(&self, g: &Graph, v: NodeId) -> Result<f64, CostError> {
+        let t = self.node_latency(g, v);
+        if !t.is_finite() {
+            return Err(CostError::NonFiniteLatency { node: Some(v), value: t });
+        }
+        if t < 0.0 {
+            return Err(CostError::NegativeLatency { node: Some(v), value: t });
+        }
+        Ok(t)
+    }
+
+    /// [`Self::graph_latency`] with every node latency and the total
+    /// validated (a sum of finite terms can still overflow to `inf`).
+    pub fn graph_latency_checked(&self, g: &Graph) -> Result<f64, CostError> {
+        let mut total = 0.0;
+        for v in g.node_ids() {
+            total += self.node_latency_checked(g, v)?;
+        }
+        if !total.is_finite() {
+            return Err(CostError::NonFiniteLatency { node: None, value: total });
+        }
+        Ok(total)
     }
 }
 

@@ -29,10 +29,10 @@ pub mod exec;
 pub mod memory;
 pub mod profile;
 
-pub use cost::CostModel;
+pub use cost::{CostError, CostModel};
 pub use device::DeviceSpec;
 pub use exec::{memory_timeline, simulate, simulate_latency, ExecTimeline};
-pub use memory::{memory_profile, storage_root, MemoryProfile};
+pub use memory::{memory_profile, memory_profile_checked, storage_root, MemoryProfile};
 pub use profile::PerfCache;
 
 use magis_graph::graph::{Graph, NodeId};
@@ -59,6 +59,32 @@ pub fn evaluate(g: &Graph, order: &[NodeId], cm: &CostModel) -> Evaluation {
     Evaluation { latency: timeline.total, peak_bytes: memory.peak_bytes, memory }
 }
 
+/// [`evaluate`] with every failure mode surfaced as a typed
+/// [`CostError`] instead of a panic or silent garbage: schedule
+/// coverage, per-node latency validity (NaN / infinite / negative),
+/// total-latency finiteness, and memory-accounting conservation are
+/// all checked. This is the entry point the hardened optimizer uses
+/// for candidate evaluation.
+pub fn evaluate_checked(g: &Graph, order: &[NodeId], cm: &CostModel) -> Result<Evaluation, CostError> {
+    // The memory check goes first: it establishes exact schedule
+    // coverage, without which `simulate` below could index with an
+    // unscheduled node's position and panic.
+    let memory = memory::memory_profile_checked(g, order)?;
+    // Per-node latency check so a defect is attributed to the node
+    // that produced it rather than to the aggregate.
+    for &v in order {
+        cm.node_latency_checked(g, v)?;
+    }
+    let timeline = exec::simulate(g, order, cm);
+    if !timeline.total.is_finite() {
+        return Err(CostError::NonFiniteLatency { node: None, value: timeline.total });
+    }
+    if timeline.total < 0.0 {
+        return Err(CostError::NegativeLatency { node: None, value: timeline.total });
+    }
+    Ok(Evaluation { latency: timeline.total, peak_bytes: memory.peak_bytes, memory })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +105,33 @@ mod tests {
         assert!(ev.latency > 0.0);
         assert_eq!(ev.peak_bytes, ev.memory.peak_bytes);
         assert!(ev.peak_bytes >= 3 * 256 * 256 * 4);
+    }
+
+    #[test]
+    fn evaluate_checked_accepts_valid_and_matches_unchecked() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([128, 128], "x");
+        let _ = b.relu(x);
+        let g = b.finish();
+        let order = topo_order(&g);
+        let cm = CostModel::default();
+        let a = evaluate(&g, &order, &cm);
+        let c = evaluate_checked(&g, &order, &cm).unwrap();
+        assert_eq!(a.latency.to_bits(), c.latency.to_bits());
+        assert_eq!(a.peak_bytes, c.peak_bytes);
+    }
+
+    #[test]
+    fn evaluate_checked_rejects_bad_coverage() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([64], "x");
+        let _ = b.relu(x);
+        let g = b.finish();
+        let err = evaluate_checked(&g, &[x], &CostModel::default()).unwrap_err();
+        assert!(matches!(err, CostError::BadSchedule { expected: 2, got: 1 }));
+        // Duplicate entries keep the length right but break coverage;
+        // the conservation sweep catches the resulting double-free.
+        let err = evaluate_checked(&g, &[x, x], &CostModel::default());
+        assert!(err.is_err());
     }
 }

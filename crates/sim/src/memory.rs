@@ -16,6 +16,7 @@
 //!   across sequential parts and must be counted for the whole region
 //!   (Fig. 2 (d)/(e)).
 
+use crate::cost::CostError;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::OpKind;
 use std::collections::BTreeSet;
@@ -74,9 +75,41 @@ pub fn device_bytes(g: &Graph, v: NodeId) -> u64 {
 pub fn memory_profile(g: &Graph, order: &[NodeId]) -> MemoryProfile {
     assert_eq!(order.len(), g.len(), "schedule must cover the graph");
     debug_assert!(magis_graph::algo::is_topo_order(g, order), "schedule must be topological");
+    // A conservation violation here means the graph or schedule is
+    // already corrupt; panicking beats the silent `as u64` wrap this
+    // used to produce. Callers that must survive corruption use
+    // `memory_profile_checked`.
+    profile_impl(g, order).expect("memory accounting conserved")
+}
+
+/// [`memory_profile`] with every failure mode surfaced as a typed
+/// [`CostError`]: schedule/graph coverage mismatch, accumulator
+/// overflow, and negative running usage (conservation violations) all
+/// return errors instead of panicking or wrapping.
+pub fn memory_profile_checked(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError> {
+    if order.len() != g.len() {
+        return Err(CostError::BadSchedule { expected: g.len(), got: order.len() });
+    }
+    let mut seen = vec![false; g.capacity()];
+    for &v in order {
+        // Dead references and duplicates are both coverage defects:
+        // either way some live node is necessarily missing, and the
+        // sweep below would index with an unscheduled node's position.
+        if !g.contains(v) || std::mem::replace(&mut seen[v.index()], true) {
+            return Err(CostError::BadSchedule { expected: g.len(), got: order.len() });
+        }
+    }
+    profile_impl(g, order)
+}
+
+fn profile_impl(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError> {
     let steps = order.len();
     if steps == 0 {
-        return MemoryProfile { peak_bytes: 0, step_bytes: Vec::new(), hotspots: BTreeSet::new() };
+        return Ok(MemoryProfile {
+            peak_bytes: 0,
+            step_bytes: Vec::new(),
+            hotspots: BTreeSet::new(),
+        });
     }
     let mut pos = vec![usize::MAX; g.capacity()];
     for (i, &v) in order.iter().enumerate() {
@@ -119,18 +152,30 @@ pub fn memory_profile(g: &Graph, order: &[NodeId]) -> MemoryProfile {
         free[r] = free[r].max(last);
     }
 
-    // Sweep.
+    // Sweep, with conservation enforced: the running total must stay
+    // within `i64` and never go negative. (`sized` values are tensor
+    // byte counts and fit `i64` by construction of `TensorMeta`, but a
+    // corrupted graph could still overflow the sum.)
     let mut delta = vec![0i64; steps + 1];
     for r in 0..cap {
         if alloc[r] != usize::MAX {
-            delta[alloc[r]] += sized[r] as i64;
-            delta[free[r] + 1] -= sized[r] as i64;
+            let bytes = i64::try_from(sized[r])
+                .map_err(|_| CostError::MemoryOverflow { step: alloc[r] })?;
+            delta[alloc[r]] = delta[alloc[r]]
+                .checked_add(bytes)
+                .ok_or(CostError::MemoryOverflow { step: alloc[r] })?;
+            delta[free[r] + 1] = delta[free[r] + 1]
+                .checked_sub(bytes)
+                .ok_or(CostError::MemoryOverflow { step: free[r] + 1 })?;
         }
     }
     let mut step_bytes = Vec::with_capacity(steps);
     let mut cur: i64 = 0;
-    for d in delta.iter().take(steps) {
-        cur += d;
+    for (i, d) in delta.iter().take(steps).enumerate() {
+        cur = cur.checked_add(*d).ok_or(CostError::MemoryOverflow { step: i })?;
+        if cur < 0 {
+            return Err(CostError::NegativeUsage { step: i, value: cur });
+        }
         step_bytes.push(cur as u64);
     }
     let peak_bytes = step_bytes.iter().copied().max().unwrap_or(0);
@@ -145,7 +190,7 @@ pub fn memory_profile(g: &Graph, order: &[NodeId]) -> MemoryProfile {
             }
         }
     }
-    MemoryProfile { peak_bytes, step_bytes, hotspots }
+    Ok(MemoryProfile { peak_bytes, step_bytes, hotspots })
 }
 
 #[cfg(test)]

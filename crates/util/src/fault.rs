@@ -1,0 +1,171 @@
+//! Deterministic, seeded fault injection for the search pipeline.
+//!
+//! A [`FaultPlan`] decides — as a pure function of its seed and a
+//! caller-supplied stable key — whether to inject a fault of a given
+//! kind at a given site. Because the decision never looks at wall
+//! clock, thread identity, or iteration timing, a plan injects the
+//! *same* faults at the *same* candidates regardless of how many
+//! worker threads evaluate them. That property is what lets the
+//! fault-injection test suite assert that the optimizer's
+//! threads=1 and threads=N trajectories stay bit-identical even
+//! while faults are firing.
+//!
+//! The plan is stateless (decisions are hashes, not draws from a
+//! shared RNG stream), so it is `Sync` and can be consulted from
+//! evaluation workers without coordination.
+
+/// The kinds of fault a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Panic inside a candidate evaluation worker.
+    EvalPanic,
+    /// Replace a simulated latency with `NaN`.
+    NanCost,
+    /// Replace a simulated latency with a negative value.
+    NegativeCost,
+    /// Corrupt the rewritten candidate's schedule (duplicate an entry).
+    CorruptRewrite,
+}
+
+impl FaultSite {
+    /// All sites, for iteration in tests.
+    pub const ALL: [FaultSite; 4] =
+        [FaultSite::EvalPanic, FaultSite::NanCost, FaultSite::NegativeCost, FaultSite::CorruptRewrite];
+
+    /// Per-site salt so the same key draws independent decisions for
+    /// different fault kinds.
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::EvalPanic => 0x9e3779b97f4a7c15,
+            FaultSite::NanCost => 0xd1b54a32d192ed03,
+            FaultSite::NegativeCost => 0x2545f4914f6cdd1d,
+            FaultSite::CorruptRewrite => 0x94d049bb133111eb,
+        }
+    }
+
+    /// Index into the rate table.
+    fn idx(self) -> usize {
+        match self {
+            FaultSite::EvalPanic => 0,
+            FaultSite::NanCost => 1,
+            FaultSite::NegativeCost => 2,
+            FaultSite::CorruptRewrite => 3,
+        }
+    }
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// `should_inject(site, key)` is a pure function: the same plan gives
+/// the same answer for the same `(site, key)` on every call, every
+/// platform, and every thread count. Keys should be stable identifiers
+/// of the injection point (the optimizer uses
+/// `expansion_index << 20 | candidate_index`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; 4],
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, rates: [0.0; 4] }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the injection probability for `site` (clamped to `[0, 1]`).
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> Self {
+        self.rates[site.idx()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The injection probability for `site`.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        self.rates[site.idx()]
+    }
+
+    /// Whether any site has a non-zero rate.
+    pub fn is_active(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0.0)
+    }
+
+    /// Deterministically decides whether to inject a `site` fault at
+    /// the injection point identified by `key`.
+    pub fn should_inject(&self, site: FaultSite, key: u64) -> bool {
+        let rate = self.rates[site.idx()];
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        // SplitMix64 finalizer over (seed, site, key): uniform in u64,
+        // platform-independent, and free of shared state.
+        let mut z = self.seed ^ site.salt() ^ key.wrapping_mul(0xff51afd7ed558ccd);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        // Map to [0, 1) with 53-bit precision, like SmallRng::next_f64.
+        let u = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let p = FaultPlan::new(7);
+        for k in 0..1000 {
+            for site in FaultSite::ALL {
+                assert!(!p.should_inject(site, k));
+            }
+        }
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let p = FaultPlan::new(7).with_rate(FaultSite::EvalPanic, 1.0);
+        for k in 0..100 {
+            assert!(p.should_inject(FaultSite::EvalPanic, k));
+            assert!(!p.should_inject(FaultSite::NanCost, k));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::new(1).with_rate(FaultSite::NanCost, 0.5);
+        let b = FaultPlan::new(2).with_rate(FaultSite::NanCost, 0.5);
+        let da: Vec<bool> = (0..256).map(|k| a.should_inject(FaultSite::NanCost, k)).collect();
+        let da2: Vec<bool> = (0..256).map(|k| a.should_inject(FaultSite::NanCost, k)).collect();
+        let db: Vec<bool> = (0..256).map(|k| b.should_inject(FaultSite::NanCost, k)).collect();
+        assert_eq!(da, da2);
+        assert_ne!(da, db, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn empirical_rate_is_roughly_honoured() {
+        let p = FaultPlan::new(42).with_rate(FaultSite::CorruptRewrite, 0.25);
+        let hits = (0..10_000).filter(|&k| p.should_inject(FaultSite::CorruptRewrite, k)).count();
+        // 4σ band around 2500 for Binomial(10000, 0.25).
+        assert!((2300..=2700).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn sites_draw_independently() {
+        let p = FaultPlan::new(9)
+            .with_rate(FaultSite::EvalPanic, 0.5)
+            .with_rate(FaultSite::NanCost, 0.5);
+        let a: Vec<bool> = (0..256).map(|k| p.should_inject(FaultSite::EvalPanic, k)).collect();
+        let b: Vec<bool> = (0..256).map(|k| p.should_inject(FaultSite::NanCost, k)).collect();
+        assert_ne!(a, b, "sites must not share decisions");
+    }
+}

@@ -16,9 +16,13 @@
 //!   ([`parallel::par_map`]) used by the parallel candidate-evaluation
 //!   layer of the optimizer,
 //! * [`sync`] — a sharded concurrent hash-set ([`sync::ShardedSet`])
-//!   for the optimizer's Weisfeiler–Lehman dedup filter.
+//!   for the optimizer's Weisfeiler–Lehman dedup filter,
+//! * [`fault`] — a seeded deterministic fault-injection plan
+//!   ([`fault::FaultPlan`]) used to harden and test the search
+//!   pipeline against panicking rewrites and garbage costs.
 
 pub mod bench;
+pub mod fault;
 pub mod parallel;
 pub mod prop;
 pub mod rng;

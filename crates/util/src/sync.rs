@@ -51,6 +51,19 @@ impl ShardedSet {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// All stored digests, sorted (so two sets with equal contents
+    /// snapshot identically regardless of shard layout or insertion
+    /// order). Used by search checkpointing.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().expect("shard lock poisoned").iter().copied().collect::<Vec<_>>())
+            .collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 impl Default for ShardedSet {

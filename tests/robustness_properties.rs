@@ -1,0 +1,194 @@
+//! Property-based corruption tests for the invariant enforcers: every
+//! random mutilation of a valid schedule must be rejected by
+//! [`validate_schedule`], and every mutilation of a valid
+//! [`FissionSpec`] by [`FissionSpec::validate`]. These are the checks
+//! the hardened optimizer leans on under `--paranoia`, so they must be
+//! airtight against exactly the corruption classes fault injection
+//! produces.
+
+use magis::core::dgraph::{component_dims, DimGraph};
+use magis::core::fission::{FissionError, FissionSpec};
+use magis::prelude::*;
+use magis::sched::{validate_schedule, Schedule, ScheduleError};
+use magis_graph::algo::{topo_order, weakly_connected_components};
+use magis_models::random_dnn::{random_dnn, RandomDnnConfig};
+use magis_util::prop::prelude::*;
+use std::collections::BTreeSet;
+
+fn small_dnn(seed: u64) -> Graph {
+    let cfg = RandomDnnConfig { cells: 3, ..RandomDnnConfig::default() };
+    random_dnn(&cfg, seed)
+}
+
+/// A graph node that has at least one data input (so a reordering can
+/// actually violate a dependency).
+fn consumer_with_input(g: &Graph, order: &[NodeId], pick: usize) -> Option<(usize, NodeId)> {
+    let candidates: Vec<(usize, NodeId)> = order
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| g.node(v).inputs().first().map(|&u| (i, u)))
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[pick % candidates.len()])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn intact_schedules_validate(seed in 0u64..300) {
+        let g = small_dnn(seed);
+        let order = topo_order(&g);
+        prop_assert!(validate_schedule(&g, &order).is_ok());
+        prop_assert!(Schedule::new(&order).validate(&g).is_ok());
+    }
+
+    #[test]
+    fn dropped_entry_is_rejected(seed in 0u64..300, pick in 0usize..1000) {
+        let g = small_dnn(seed);
+        let mut order = topo_order(&g);
+        prop_assume!(order.len() >= 2);
+        order.remove(pick % order.len());
+        let err = validate_schedule(&g, &order).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            ScheduleError::MissingNode(_) | ScheduleError::LengthMismatch { .. }
+        ), "got {err:?}");
+    }
+
+    #[test]
+    fn duplicated_entry_is_rejected(seed in 0u64..300, pick in 0usize..1000) {
+        // The CorruptRewrite fault: one entry overwrites another, so
+        // the length still matches but a node is scheduled twice.
+        let g = small_dnn(seed);
+        let mut order = topo_order(&g);
+        prop_assume!(order.len() >= 2);
+        let i = pick % order.len();
+        let j = (i + 1) % order.len();
+        order[j] = order[i];
+        let err = validate_schedule(&g, &order).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            ScheduleError::DuplicateNode(_) | ScheduleError::MissingNode(_)
+        ), "got {err:?}");
+    }
+
+    #[test]
+    fn dead_node_is_rejected(seed in 0u64..300, pick in 0usize..1000) {
+        let g = small_dnn(seed);
+        let mut order = topo_order(&g);
+        prop_assume!(!order.is_empty());
+        let i = pick % order.len();
+        order[i] = NodeId::from_index(g.capacity() + 7);
+        let err = validate_schedule(&g, &order).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            ScheduleError::DeadNode(_) | ScheduleError::MissingNode(_)
+        ), "got {err:?}");
+    }
+
+    #[test]
+    fn consumer_before_producer_is_rejected(seed in 0u64..300, pick in 0usize..1000) {
+        let g = small_dnn(seed);
+        let mut order = topo_order(&g);
+        let Some((i, _dep)) = consumer_with_input(&g, &order, pick) else {
+            return Ok(());
+        };
+        // Move the consumer to the front: its producer now comes later.
+        // In a valid topo order a node with an input can never sit at
+        // position 0, so the move is always a real reordering.
+        prop_assert!(i != 0);
+        let v = order.remove(i);
+        order.insert(0, v);
+        prop_assert!(matches!(
+            validate_schedule(&g, &order),
+            Err(ScheduleError::DependencyViolation { .. })
+        ));
+    }
+}
+
+/// Enumerates a few valid fission specs of `g` (same construction the
+/// fission property suite uses).
+fn valid_specs(g: &Graph) -> Vec<FissionSpec> {
+    let dg = DimGraph::build(g);
+    let order = topo_order(g);
+    let mut specs = Vec::new();
+    for comp in dg.components() {
+        let nodes: BTreeSet<NodeId> = comp.iter().map(|&(v, _)| v).collect();
+        let comp_order: Vec<NodeId> =
+            order.iter().copied().filter(|v| nodes.contains(v)).collect();
+        for len in [2usize, 4] {
+            for start in (0..comp_order.len().saturating_sub(len)).step_by(5) {
+                let set: BTreeSet<NodeId> =
+                    comp_order[start..start + len].iter().copied().collect();
+                if weakly_connected_components(g, &set).len() != 1 {
+                    continue;
+                }
+                let Some(dims) = component_dims(&comp, &set) else { continue };
+                let spec = FissionSpec { set, dims, parts: 2 };
+                if spec.validate(g).is_ok() {
+                    specs.push(spec);
+                }
+            }
+        }
+    }
+    specs
+}
+
+fn build_mlp(batch: u64, hidden: u64, depth: usize) -> Graph {
+    let mut b = GraphBuilder::new(DType::F32);
+    let mut cur = b.input([batch, hidden], "x");
+    for i in 0..depth {
+        let w = b.weight([hidden, hidden], &format!("w{i}"));
+        let h = b.matmul(cur, w);
+        cur = b.gelu(h);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corrupted_fission_specs_are_rejected(
+        batch in 16u64..64,
+        hidden in 16u64..48,
+        pick in 0usize..1000,
+    ) {
+        let g = build_mlp(batch, hidden, 4);
+        let specs = valid_specs(&g);
+        prop_assume!(!specs.is_empty());
+        let spec = specs[pick % specs.len()].clone();
+        prop_assert!(spec.validate(&g).is_ok());
+
+        // Coverage hole: a node in `set` with no dimension choice.
+        let mut holed = spec.clone();
+        let victim = *holed.set.iter().next().expect("non-empty set");
+        holed.dims.remove(&victim);
+        prop_assert_eq!(holed.validate(&g), Err(FissionError::BadCoverage));
+
+        // Empty set.
+        let mut empty = spec.clone();
+        empty.set.clear();
+        empty.dims.clear();
+        prop_assert_eq!(empty.validate(&g), Err(FissionError::BadCoverage));
+
+        // Dead node injected into both set and dims.
+        let mut dead = spec.clone();
+        let ghost = NodeId::from_index(g.capacity() + 3);
+        dead.set.insert(ghost);
+        dead.dims.insert(ghost, 1);
+        prop_assert!(dead.validate(&g).is_err());
+
+        // Part count larger than any dimension extent.
+        let mut huge = spec.clone();
+        huge.parts = u64::MAX;
+        prop_assert!(matches!(
+            huge.validate(&g),
+            Err(FissionError::ExtentTooSmall(_, _))
+        ));
+    }
+}
