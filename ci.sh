@@ -29,6 +29,10 @@ run env RUST_TEST_THREADS=4 cargo test -q --test fault_injection
 run cargo test -q --test checkpoint_resume
 run cargo test -q --test robustness_properties
 
+# Observability: count metrics and the trace-event identity set must be
+# bit-identical across thread counts.
+run cargo test -q --test observability
+
 # Crash-recovery smoke: hard-kill a checkpointing CLI search mid-budget,
 # then resume it to completion from the survived checkpoint.
 CKPT="$(mktemp -d)/unet.ckpt"
@@ -42,6 +46,25 @@ timeout -s KILL 4 ./target/release/magis optimize \
 test -f "$CKPT" || { echo "no checkpoint survived the kill"; exit 1; }
 run ./target/release/magis optimize --resume "$CKPT" --budget-ms 3000
 rm -rf "$(dirname "$CKPT")"
+
+# Traced smoke: a short optimize run must produce a JSONL trace where
+# every line parses (trace-check) and a non-empty metrics snapshot.
+OBS_DIR="$(mktemp -d)"
+echo
+echo "==> traced smoke (artifacts in $OBS_DIR)"
+run ./target/release/magis optimize \
+    --workload unet --scale 0.15 --mode memory --budget-ms 3000 \
+    --trace-out "$OBS_DIR/trace.jsonl" --metrics-out "$OBS_DIR/metrics.txt" \
+    --log-level info
+run ./target/release/magis trace-check --trace "$OBS_DIR/trace.jsonl"
+test -s "$OBS_DIR/metrics.txt" || { echo "metrics snapshot is empty"; exit 1; }
+grep -q "magis_core_expansions" "$OBS_DIR/metrics.txt" \
+    || { echo "metrics snapshot is missing core counters"; exit 1; }
+rm -rf "$OBS_DIR"
+
+# Overhead guard: with tracing disabled, the always-on instrumentation
+# must stay within 5% (+ noise floor) of a fully suppressed run.
+run ./target/release/obs_overhead --check --out "$(mktemp -d)"
 
 echo
 echo "CI gate passed."

@@ -55,4 +55,5 @@ fn main() {
     let header = ["setting", "mem ratio", "lat overhead", "evals"];
     print_table("TASO rules on/off (UNet)", &header, &rows);
     opts.write_csv("ablation_taso.csv", &header, &rows);
+    opts.write_metrics_snapshot("ablation_metrics.txt");
 }

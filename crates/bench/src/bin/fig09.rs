@@ -37,4 +37,5 @@ fn main() {
         );
         opts.write_csv(&format!("fig09{panel}.csv"), &header, &rows);
     }
+    opts.write_metrics_snapshot("fig09_metrics.txt");
 }

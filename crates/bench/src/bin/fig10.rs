@@ -40,4 +40,5 @@ fn main() {
         );
         opts.write_csv(&format!("fig10{panel}.csv"), &header, &rows);
     }
+    opts.write_metrics_snapshot("fig10_metrics.txt");
 }

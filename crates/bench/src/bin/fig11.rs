@@ -65,4 +65,5 @@ fn main() {
         let tag = w.label().split(' ').next().unwrap_or("w").to_lowercase().replace("+", "p");
         opts.write_csv(&format!("fig11_{tag}.csv"), &header, &rows);
     }
+    opts.write_metrics_snapshot("fig11_metrics.txt");
 }

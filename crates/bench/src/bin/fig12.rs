@@ -86,4 +86,5 @@ fn main() {
     let header = ["system", "mem_ratio", "lat_overhead"];
     print_table("Fig. 12: ViT — MAGIS vs POFO(+micro-batching)", &header, &rows);
     opts.write_csv("fig12.csv", &header, &rows);
+    opts.write_metrics_snapshot("fig12_metrics.txt");
 }

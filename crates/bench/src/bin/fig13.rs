@@ -76,4 +76,5 @@ fn main() {
         &["panel", "setting", "elapsed_s", "mem_ratio", "lat_overhead"],
         &curves,
     );
+    opts.write_metrics_snapshot("fig13_metrics.txt");
 }

@@ -94,4 +94,5 @@ fn main() {
         &["geomean_speedup", "tests", "same_quality"],
         &[vec![format!("{geomean:.2}"), total.to_string(), same_quality.to_string()]],
     );
+    opts.write_metrics_snapshot("fig14_metrics.txt");
 }

@@ -54,4 +54,5 @@ fn main() {
         "\nsearch: {} expanded, {} evaluated, {} filtered by hash",
         s.expanded, s.evaluated, s.filtered
     );
+    opts.write_metrics_snapshot("fig15_metrics.txt");
 }

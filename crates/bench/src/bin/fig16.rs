@@ -54,4 +54,5 @@ fn main() {
     );
     opts.write_csv("fig16_summary.csv", &["config", "peak_gib", "mem_ratio", "makespan_ms", "lat_ratio"], &summary);
     opts.write_csv("fig16_timeline.csv", &["config", "time_ms", "mem_gib"], &curves);
+    opts.write_metrics_snapshot("fig16_metrics.txt");
 }

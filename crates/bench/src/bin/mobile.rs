@@ -54,4 +54,5 @@ fn main() {
         ["device", "anchor ms", "mem ratio", "lat overhead", "swaps", "remats", "fissions"];
     print_table("E2: device-profile comparison, BERT @ <10% latency overhead", &header, &rows);
     opts.write_csv("mobile.csv", &header, &rows);
+    opts.write_metrics_snapshot("mobile_metrics.txt");
 }

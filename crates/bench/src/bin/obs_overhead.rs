@@ -1,0 +1,80 @@
+//! Observability overhead guard: instrumentation must be close to free
+//! when tracing is disabled.
+//!
+//! Micro: ns/op of the disabled `span!` fast path (one atomic load).
+//! Macro: wall time of an identical eval-capped search with *all*
+//! observability suppressed (the `magis_obs::gate` baseline) vs. the
+//! normal path (metrics active, tracing disabled). With `--check`, the
+//! process exits non-zero when the macro overhead exceeds 5% of the
+//! baseline plus a noise floor — the CI budget from DESIGN.md §6.
+
+use magis_bench::{print_table, ExpOpts};
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
+use magis_core::state::{EvalContext, MState};
+use magis_models::Workload;
+use std::time::{Duration, Instant};
+
+/// Noise floor added to the 5% budget: container schedulers jitter
+/// short runs by tens of milliseconds regardless of code under test.
+const FLOOR: Duration = Duration::from_millis(150);
+const MAX_EVALS: usize = 160;
+
+fn capped_search(g: &magis_graph::graph::Graph) -> Duration {
+    let ctx = EvalContext::default();
+    let init = MState::initial(g.clone(), &ctx);
+    let cfg = OptimizerConfig::new(Objective::MinMemory { lat_limit: init.eval.latency * 1.10 })
+        .with_budget(Duration::from_secs(120))
+        .with_max_evals(MAX_EVALS)
+        .with_threads(1);
+    let t0 = Instant::now();
+    let res = optimize(g.clone(), &cfg);
+    assert!(res.stats.evaluated > 0, "search did no work");
+    t0.elapsed()
+}
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let check = std::env::args().any(|a| a == "--check");
+
+    // Micro: the disabled span fast path.
+    let n = 5_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let _s = magis_obs::span!("magis_bench", "noop", i = i);
+    }
+    let span_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    // Macro: interleave suppressed/normal runs so drift hits both; the
+    // min of each mode is the least-perturbed sample.
+    let tg = Workload::UNet.build(opts.scale.min(0.2));
+    let _ = capped_search(&tg.graph); // warm-up (allocator, caches)
+    let mut base = Duration::MAX;
+    let mut instr = Duration::MAX;
+    for _ in 0..3 {
+        base = base.min(magis_obs::gate::suppress(|| capped_search(&tg.graph)));
+        instr = instr.min(capped_search(&tg.graph));
+    }
+    let overhead = instr.saturating_sub(base);
+    let budget = base.mul_f64(0.05) + FLOOR;
+    let pct = 100.0 * overhead.as_secs_f64() / base.as_secs_f64();
+
+    let rows = vec![
+        vec!["disabled span! (ns/op)".into(), format!("{span_ns:.1}")],
+        vec!["suppressed search (s)".into(), format!("{:.3}", base.as_secs_f64())],
+        vec!["instrumented search (s)".into(), format!("{:.3}", instr.as_secs_f64())],
+        vec!["overhead".into(), format!("{:.3} s ({pct:.1}%)", overhead.as_secs_f64())],
+        vec!["budget (5% + floor)".into(), format!("{:.3} s", budget.as_secs_f64())],
+    ];
+    let header = ["measure", "value"];
+    print_table(&format!("observability overhead ({MAX_EVALS} evals, 1 thread)"), &header, &rows);
+    opts.write_csv("obs_overhead.csv", &header, &rows);
+
+    if check && overhead > budget {
+        eprintln!(
+            "FAIL: disabled-observability overhead {:.3} s exceeds budget {:.3} s",
+            overhead.as_secs_f64(),
+            budget.as_secs_f64()
+        );
+        std::process::exit(1);
+    }
+}

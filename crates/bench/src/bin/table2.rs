@@ -40,4 +40,5 @@ fn main() {
         &["name", "batch", "config", "dtype", "nodes", "params_gib", "peak_gib", "latency_ms"],
         &rows,
     );
+    opts.write_metrics_snapshot("table2_metrics.txt");
 }

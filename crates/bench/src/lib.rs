@@ -98,6 +98,22 @@ impl ExpOpts {
         }
         println!("  -> wrote {}", path.display());
     }
+
+    /// Writes a Prometheus-style snapshot of every `magis_*` metric
+    /// accumulated so far to `name` under the output directory, so a
+    /// figure's CSV ships with the observability counters of the runs
+    /// that produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — experiment binaries want loud failures.
+    pub fn write_metrics_snapshot(&self, name: &str) {
+        fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(name);
+        fs::write(&path, magis_obs::metrics::default_registry().render())
+            .expect("write metrics snapshot");
+        println!("  -> wrote {}", path.display());
+    }
 }
 
 /// Prints an aligned text table.

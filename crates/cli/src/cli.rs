@@ -35,6 +35,7 @@ USAGE:
                  [--budget-ms N] [--threads N] [...]
   magis baseline --workload NAME --system pofo|dtr|xla|tvm|ti
                  [--scale F] [--budget-ratio F]
+  magis trace-check --trace FILE
 
 WORKLOADS: resnet50 bert vit unet unetpp gpt-neo btlm
 
@@ -57,6 +58,22 @@ OPTIONS (optimize):
   --resume F      continue a search from checkpoint F. Budget, thread
                   count, mode, and limit come from the command line,
                   not the checkpoint; the workload flag is not needed.
+
+OBSERVABILITY (optimize):
+  --trace-out F   record a structured trace of the search (spans for
+                  expansion / candidate evaluation / scheduling / cost
+                  simulation, events for accept / reject / quarantine /
+                  checkpoint / resume / stop) as JSONL to F.
+  --metrics-out F write a Prometheus-style text snapshot of all
+                  magis_* counters, gauges, and histograms to F at
+                  the end of the run.
+  --log-level L   diagnostic logging on stderr: error | warn (default)
+                  | info | debug | trace.
+  Count-type metrics and the trace event *set* are identical for every
+  --threads value; only wall-time measurements vary.
+
+trace-check validates a --trace-out file: every line must parse back
+as a trace record. Prints per-record-name counts.
 ";
 
 /// CLI failure modes.
@@ -148,6 +165,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "inspect" => inspect(&parse_flags(rest)?),
         "optimize" => cmd_optimize(&parse_flags(rest)?),
         "baseline" => cmd_baseline(&parse_flags(rest)?),
+        "trace-check" => cmd_trace_check(&parse_flags(rest)?),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -216,6 +234,95 @@ fn search_config(
     Ok(cfg)
 }
 
+/// Configures observability from the `optimize` flags: log level and
+/// the JSONL trace sink. Must run before the search starts.
+fn setup_obs(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    if let Some(level) = flags.get("log-level") {
+        let l: magis_obs::log::Level =
+            level.parse().map_err(|e: String| CliError::Usage(format!("--log-level: {e}")))?;
+        magis_obs::log::set_level(l);
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let sink = magis_obs::trace::JsonlSink::create(Path::new(path))
+            .map_err(|e| CliError::Runtime(format!("creating trace file {path}: {e}")))?;
+        magis_obs::trace::install(std::sync::Arc::new(sink));
+    }
+    Ok(())
+}
+
+/// Flushes the trace sink and writes the metrics snapshot. Runs after
+/// the search (on success) so the snapshot covers the whole run.
+fn finish_obs(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    if flags.contains_key("trace-out") {
+        magis_obs::trace::uninstall();
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        let text = magis_obs::metrics::default_registry().render();
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Runtime(format!("writing metrics to {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Prints the one-screen end-of-run summary table: headline result,
+/// stop reason, search volume, per-phase timing, and the full
+/// fault/hardening accounting from [`OptimizerStats`].
+fn print_summary(seed_cost: (u64, f64), res: &OptimizeResult) {
+    let best = &res.best;
+    let s = &res.stats;
+    let secs = |d: Duration| format!("{:.3} s", d.as_secs_f64());
+    let fam_names = |fams: &[u8]| -> String {
+        if fams.is_empty() {
+            "none".to_string()
+        } else {
+            fams.iter()
+                .map(|&f| magis_core::rules::family_name(f))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    let rule = "─".repeat(62);
+    let row = |k: &str, v: String| eprintln!("  {k:<24} {v}");
+    eprintln!("{rule}");
+    eprintln!("  magis search summary");
+    eprintln!("{rule}");
+    row(
+        "peak memory",
+        format!(
+            "{:.3} GiB  ({:.1}% of baseline)",
+            gib(best.eval.peak_bytes),
+            100.0 * best.eval.peak_bytes as f64 / seed_cost.0 as f64
+        ),
+    );
+    row(
+        "latency",
+        format!(
+            "{:.2} ms  ({:+.1}% vs baseline)",
+            best.eval.latency * 1e3,
+            100.0 * (best.eval.latency / seed_cost.1 - 1.0)
+        ),
+    );
+    row("stop reason", s.stop_reason.to_string());
+    row("resumed", (if s.resumed { "yes" } else { "no" }).to_string());
+    row("threads", s.threads.to_string());
+    row("expanded / evaluated", format!("{} / {}", s.expanded, s.evaluated));
+    row("candidates generated", format!("{}  ({} duplicates filtered)", s.candidates, s.filtered));
+    row("time: transform", secs(s.trans_time));
+    row("time: sched + sim", secs(s.sched_sim_time));
+    row("time: hash / filter", secs(s.hash_time));
+    row("time: eval wall", secs(s.eval_wall_time));
+    row("panics sandboxed", s.panicked.to_string());
+    row("cost rejections", s.cost_rejections.to_string());
+    row("invariant rejections", s.invariant_rejections.to_string());
+    row("quarantined candidates", s.quarantined_candidates.to_string());
+    row("quarantined families", fam_names(&s.quarantined_families));
+    row(
+        "checkpoints",
+        format!("{} written, {} failed", s.checkpoints_written, s.checkpoint_failures),
+    );
+    eprintln!("{rule}");
+}
+
 /// Prints the result summary and handles `--emit`/`--out`.
 fn report_result(
     flags: &HashMap<String, String>,
@@ -223,34 +330,7 @@ fn report_result(
     res: &OptimizeResult,
 ) -> Result<(), CliError> {
     let best = &res.best;
-    let s = &res.stats;
-    eprintln!(
-        "best: {:.3} GiB ({:.1}%), {:.2} ms ({:+.1}%); {} candidates evaluated on {} thread(s)",
-        gib(best.eval.peak_bytes),
-        100.0 * best.eval.peak_bytes as f64 / seed_cost.0 as f64,
-        best.eval.latency * 1e3,
-        100.0 * (best.eval.latency / seed_cost.1 - 1.0),
-        s.evaluated,
-        s.threads
-    );
-    eprintln!("stop: {} after {} expansions", s.stop_reason, s.expanded);
-    if s.panicked + s.cost_rejections + s.invariant_rejections + s.quarantined_candidates > 0 {
-        eprintln!(
-            "hardening: {} panics sandboxed, {} cost rejections, {} invariant rejections, \
-             {} candidates quarantined (families: {:?})",
-            s.panicked,
-            s.cost_rejections,
-            s.invariant_rejections,
-            s.quarantined_candidates,
-            s.quarantined_families
-        );
-    }
-    if s.checkpoints_written + s.checkpoint_failures > 0 {
-        eprintln!(
-            "checkpoint: {} written, {} failed",
-            s.checkpoints_written, s.checkpoint_failures
-        );
-    }
+    print_summary(seed_cost, res);
     if let Some(emit) = flags.get("emit") {
         let text = render(best, emit)?;
         match flags.get("out") {
@@ -264,6 +344,15 @@ fn report_result(
 
 fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let mode = flags.get("mode").map(String::as_str).unwrap_or("memory");
+    setup_obs(flags)?;
+    let out = cmd_optimize_inner(flags, mode);
+    // The trace is flushed and the metrics snapshot written even when
+    // the search fails — a failing run is when you want them most.
+    let obs = finish_obs(flags);
+    out.and(obs)
+}
+
+fn cmd_optimize_inner(flags: &HashMap<String, String>, mode: &str) -> Result<(), CliError> {
 
     // Resume path: everything about the search state comes from the
     // checkpoint; everything about *how to keep searching* (budget,
@@ -355,6 +444,39 @@ fn cmd_baseline(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Validates a `--trace-out` JSONL file: every non-empty line must
+/// parse back as a trace record. Prints per-record-name counts.
+fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let path = flags
+        .get("trace")
+        .ok_or_else(|| CliError::Usage("--trace is required".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    let mut names: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = magis_obs::trace::TraceEvent::parse_line(line)
+            .map_err(|e| CliError::Runtime(format!("{path}:{}: {e}", no + 1)))?;
+        match ev.kind {
+            magis_obs::trace::TraceKind::Span => spans += 1,
+            magis_obs::trace::TraceKind::Event => events += 1,
+        }
+        *names.entry(format!("{}/{}", ev.target, ev.name)).or_default() += 1;
+    }
+    if spans + events == 0 {
+        return Err(CliError::Runtime(format!("{path}: no trace records")));
+    }
+    println!("{path}: {} records OK ({spans} spans, {events} events)", spans + events);
+    for (name, n) in names {
+        println!("  {name}: {n}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +550,33 @@ mod tests {
         assert!(matches!(
             run(&s(&["optimize", "--resume", "/nonexistent/path.ckpt"])),
             Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn optimize_with_observability_outputs() {
+        let trace = "/tmp/magis_cli_trace_test.jsonl";
+        let metrics = "/tmp/magis_cli_metrics_test.txt";
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(metrics);
+        run(&s(&[
+            "optimize", "--workload", "unet", "--scale", "0.1", "--budget-ms", "400",
+            "--threads", "2", "--trace-out", trace, "--metrics-out", metrics, "--log-level",
+            "warn",
+        ]))
+        .unwrap();
+        run(&s(&["trace-check", "--trace", trace])).unwrap();
+        let m = std::fs::read_to_string(metrics).unwrap();
+        assert!(m.contains("magis_core_expansions"), "metrics snapshot has core counters");
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(metrics);
+        assert!(matches!(
+            run(&s(&["trace-check", "--trace", "/nonexistent.jsonl"])),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--log-level", "loud"])),
+            Err(CliError::Usage(_))
         ));
     }
 

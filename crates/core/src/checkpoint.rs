@@ -28,7 +28,11 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-const CKPT_HEADER: &str = "magis-checkpoint v1";
+const CKPT_HEADER: &str = "magis-checkpoint v2";
+/// The previous format version: identical except its `counters` line
+/// carries 8 fields (no checkpoint-write accounting). Still readable;
+/// the missing counters resume as zero.
+const CKPT_HEADER_V1: &str = "magis-checkpoint v1";
 const CKPT_FOOTER: &str = "ckpt-end";
 
 /// Why loading or restoring a checkpoint failed.
@@ -105,6 +109,12 @@ pub struct CheckpointCounters {
     pub invariant_rejections: u64,
     /// Candidates skipped because their rule family was quarantined.
     pub quarantined_candidates: u64,
+    /// Checkpoints successfully written (v2; zero when resuming a v1
+    /// checkpoint).
+    pub checkpoints_written: u64,
+    /// Checkpoint writes that failed (v2; zero when resuming a v1
+    /// checkpoint).
+    pub checkpoint_failures: u64,
 }
 
 /// A serializable snapshot of the M-Optimizer's search state.
@@ -206,7 +216,7 @@ impl SearchCheckpoint {
         ));
         let c = &self.counters;
         out.push_str(&format!(
-            "counters {} {} {} {} {} {} {} {}\n",
+            "counters {} {} {} {} {} {} {} {} {} {}\n",
             c.expanded,
             c.evaluated,
             c.candidates,
@@ -214,7 +224,9 @@ impl SearchCheckpoint {
             c.panicked,
             c.cost_rejections,
             c.invariant_rejections,
-            c.quarantined_candidates
+            c.quarantined_candidates,
+            c.checkpoints_written,
+            c.checkpoint_failures
         ));
         out.push_str(&format!("pareto {}\n", self.pareto.len()));
         for &(m, l) in &self.pareto {
@@ -299,7 +311,8 @@ impl SearchCheckpoint {
         };
 
         let header = next(&lines, &mut ln)?;
-        if header.trim() != CKPT_HEADER {
+        let v1 = header.trim() == CKPT_HEADER_V1;
+        if !v1 && header.trim() != CKPT_HEADER {
             return Err(CheckpointError::Parse {
                 line: 1,
                 msg: format!("bad header '{header}' (expected '{CKPT_HEADER}')"),
@@ -330,7 +343,7 @@ impl SearchCheckpoint {
         let t = expect_kv(next(&lines, &mut ln)?, ln, "best_cost", 2)?;
         let best_cost = (parse_u64(&t[0], ln, "best peak")?, parse_f64_hex(&t[1], ln, "best latency")?);
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "counters", 8)?;
+        let t = expect_kv(next(&lines, &mut ln)?, ln, "counters", if v1 { 8 } else { 10 })?;
         let counters = CheckpointCounters {
             expanded: parse_u64(&t[0], ln, "expanded")?,
             evaluated: parse_u64(&t[1], ln, "evaluated")?,
@@ -340,6 +353,8 @@ impl SearchCheckpoint {
             cost_rejections: parse_u64(&t[5], ln, "cost_rejections")?,
             invariant_rejections: parse_u64(&t[6], ln, "invariant_rejections")?,
             quarantined_candidates: parse_u64(&t[7], ln, "quarantined_candidates")?,
+            checkpoints_written: if v1 { 0 } else { parse_u64(&t[8], ln, "checkpoints_written")? },
+            checkpoint_failures: if v1 { 0 } else { parse_u64(&t[9], ln, "checkpoint_failures")? },
         };
 
         let t = expect_kv(next(&lines, &mut ln)?, ln, "pareto", 1)?;
@@ -652,11 +667,55 @@ mod tests {
     }
 
     #[test]
+    fn v1_checkpoints_still_decode() {
+        let s = small_state();
+        let mut c = checkpoint_of(&s);
+        c.counters.checkpoints_written = 5;
+        c.counters.checkpoint_failures = 1;
+        // Rewrite the v2 text down to the v1 format: old header, 8-field
+        // counters line.
+        let v2 = c.encode();
+        let v1_counters = format!(
+            "counters {} {} {} {} {} {} {} {}",
+            c.counters.expanded,
+            c.counters.evaluated,
+            c.counters.candidates,
+            c.counters.filtered,
+            c.counters.panicked,
+            c.counters.cost_rejections,
+            c.counters.invariant_rejections,
+            c.counters.quarantined_candidates
+        );
+        let v1_text: String = v2
+            .lines()
+            .map(|l| {
+                if l == "magis-checkpoint v2" {
+                    "magis-checkpoint v1".to_string()
+                } else if l.starts_with("counters ") {
+                    v1_counters.clone()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let d = SearchCheckpoint::decode(&v1_text).unwrap();
+        // Shared counters survive; the v2-only ones resume from zero.
+        assert_eq!(d.counters.evaluated, c.counters.evaluated);
+        assert_eq!(d.counters.checkpoints_written, 0);
+        assert_eq!(d.counters.checkpoint_failures, 0);
+        assert_eq!(d.seen, c.seen);
+        // And a v1 checkpoint re-encodes as v2.
+        assert!(d.encode().starts_with("magis-checkpoint v2\n"));
+    }
+
+    #[test]
     fn decode_rejects_corruption() {
         let s = small_state();
         let text = checkpoint_of(&s).encode();
-        // Bad header.
-        assert!(SearchCheckpoint::decode(&text.replacen("v1", "v9", 1)).is_err());
+        // Bad header (neither v1 nor v2).
+        assert!(SearchCheckpoint::decode(&text.replacen("v2", "v9", 1)).is_err());
         // Truncation (drop the footer and graph tail).
         let cut = &text[..text.len() / 2];
         assert!(SearchCheckpoint::decode(cut).is_err());

@@ -58,8 +58,10 @@ use crate::rules::{self, RuleConfig, Transform};
 use crate::state::{EvalContext, EvalError, MState};
 use magis_graph::algo::graph_hash;
 use magis_graph::graph::Graph;
+use magis_obs::metrics::{labeled, Counter, Gauge, Histogram};
+use magis_obs::timeline::{SearchTimeline, TimelinePoint};
 use magis_sched::validate_schedule;
-use magis_sim::memory_profile_checked;
+use magis_sim::{memory_profile, memory_profile_checked};
 use magis_util::fault::{FaultPlan, FaultSite};
 use magis_util::parallel;
 use magis_util::sync::ShardedSet;
@@ -67,7 +69,79 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Global metric handles (`magis_core_*`), looked up once. All of
+/// these are updated exclusively on the merge thread, so their values
+/// are bit-identical across `--threads 1` vs `N` (see the module docs'
+/// determinism contract); only the `*_seconds` histograms carry
+/// wall-clock values.
+struct CoreObs {
+    searches: Counter,
+    resumes: Counter,
+    expansions: Counter,
+    candidates: Counter,
+    evaluated: Counter,
+    filtered: Counter,
+    panicked: Counter,
+    cost_rejections: Counter,
+    invariant_rejections: Counter,
+    quarantined_candidates: Counter,
+    quarantined_families: Counter,
+    queue_pushes: Counter,
+    incumbent_improvements: Counter,
+    checkpoints_written: Counter,
+    checkpoint_failures: Counter,
+    expansion_seconds: Histogram,
+    best_peak_bytes: Gauge,
+    best_latency: Gauge,
+    frontier_size: Gauge,
+}
+
+fn core_obs() -> &'static CoreObs {
+    static OBS: OnceLock<CoreObs> = OnceLock::new();
+    use magis_obs::metrics::{counter, gauge, histogram};
+    OBS.get_or_init(|| CoreObs {
+        searches: counter("magis_core_searches"),
+        resumes: counter("magis_core_resumes"),
+        expansions: counter("magis_core_expansions"),
+        candidates: counter("magis_core_candidates"),
+        evaluated: counter("magis_core_evaluated"),
+        filtered: counter("magis_core_filtered"),
+        panicked: counter("magis_core_panicked"),
+        cost_rejections: counter("magis_core_cost_rejections"),
+        invariant_rejections: counter("magis_core_invariant_rejections"),
+        quarantined_candidates: counter("magis_core_quarantined_candidates"),
+        quarantined_families: counter("magis_core_quarantined_families"),
+        queue_pushes: counter("magis_core_queue_pushes"),
+        incumbent_improvements: counter("magis_core_incumbent_improvements"),
+        checkpoints_written: counter("magis_core_checkpoints_written"),
+        checkpoint_failures: counter("magis_core_checkpoint_failures"),
+        expansion_seconds: histogram("magis_core_expansion_seconds"),
+        best_peak_bytes: gauge("magis_core_best_peak_bytes"),
+        best_latency: gauge("magis_core_best_latency"),
+        frontier_size: gauge("magis_core_frontier_size"),
+    })
+}
+
+/// Per-(family, outcome) labeled counter, cached so the registry lock
+/// is only taken on the first occurrence of each pair.
+fn outcome_counter(family: u8, outcome: &'static str) -> Counter {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    static CACHE: Mutex<BTreeMap<(u8, &'static str), Counter>> = Mutex::new(BTreeMap::new());
+    let mut cache = CACHE.lock().unwrap();
+    cache
+        .entry((family, outcome))
+        .or_insert_with(|| {
+            magis_obs::metrics::counter(&labeled(
+                "magis_core_candidate_outcomes",
+                &[("family", rules::family_name(family)), ("outcome", outcome)],
+            ))
+        })
+        .clone()
+}
 
 /// Optimization objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -418,6 +492,12 @@ pub struct OptimizeResult {
     pub history: Vec<ProgressPoint>,
     /// Phase timing and counters (Fig. 15).
     pub stats: OptimizerStats,
+    /// The recorded search timeline: per-expansion progress, Pareto
+    /// evolution, per-rule-family stats, and the incumbent's final
+    /// memory profile. Always recorded (the cost is a few vector
+    /// pushes per expansion); serialize with
+    /// [`SearchTimeline::to_json`].
+    pub timeline: SearchTimeline,
 }
 
 struct QueueEntry {
@@ -511,14 +591,23 @@ fn evaluate_candidate(
     fault: Option<(&FaultPlan, u64)>,
     paranoia: ParanoiaLevel,
 ) -> CandOutcome {
-    let t0 = Instant::now();
-    // AssertUnwindSafe: the closure only reads `state`/`ctx` and builds
-    // fresh values; a panic can leave no broken shared state behind.
-    match catch_unwind(AssertUnwindSafe(|| evaluate_candidate_inner(state, t, ctx, fault, paranoia)))
-    {
-        Ok(outcome) => outcome,
-        Err(_) => CandOutcome::Panicked { trans: t0.elapsed() },
-    }
+    // Observability is suppressed for the whole evaluation — on worker
+    // threads AND on the inline path — because parallel workers may
+    // over-evaluate past the `max_evals` cap (the merge discards the
+    // excess). Anything the sim/sched layers would record here would
+    // therefore differ across thread counts. The merge re-attributes
+    // the measured durations on the coordinating thread instead.
+    magis_obs::gate::suppress(|| {
+        let t0 = Instant::now();
+        // AssertUnwindSafe: the closure only reads `state`/`ctx` and builds
+        // fresh values; a panic can leave no broken shared state behind.
+        match catch_unwind(AssertUnwindSafe(|| {
+            evaluate_candidate_inner(state, t, ctx, fault, paranoia)
+        })) {
+            Ok(outcome) => outcome,
+            Err(_) => CandOutcome::Panicked { trans: t0.elapsed() },
+        }
+    })
 }
 
 fn evaluate_candidate_inner(
@@ -691,6 +780,8 @@ fn write_checkpoint(
             cost_rejections: stats.cost_rejections as u64,
             invariant_rejections: stats.invariant_rejections as u64,
             quarantined_candidates: stats.quarantined_candidates as u64,
+            checkpoints_written: stats.checkpoints_written as u64,
+            checkpoint_failures: stats.checkpoint_failures as u64,
         },
         pareto: pareto.points().to_vec(),
         seen: seen.snapshot(),
@@ -703,9 +794,26 @@ fn write_checkpoint(
     ckpt.write_to(&policy.path)
 }
 
+/// Strikes `family` and, when the strike crosses the quarantine
+/// threshold, records the family-shutdown event.
+fn strike_family(quarantine: &mut Quarantine, family: u8) {
+    let before = quarantine.is_quarantined(family);
+    quarantine.strike(family);
+    if !before && quarantine.is_quarantined(family) {
+        core_obs().quarantined_families.inc();
+        magis_obs::event!(
+            "magis_core",
+            "quarantine",
+            family = rules::family_name(family),
+        );
+    }
+}
+
 fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> OptimizeResult {
     let start = Instant::now();
     let threads = cfg.threads.max(1);
+    let obs = core_obs();
+    obs.searches.inc();
     let mut stats = OptimizerStats {
         threads,
         resumed: seed.resumed,
@@ -717,8 +825,33 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         cost_rejections: seed.counters.cost_rejections as usize,
         invariant_rejections: seed.counters.invariant_rejections as usize,
         quarantined_candidates: seed.counters.quarantined_candidates as usize,
+        checkpoints_written: seed.counters.checkpoints_written as usize,
+        checkpoint_failures: seed.counters.checkpoint_failures as usize,
         ..OptimizerStats::default()
     };
+    if seed.resumed {
+        // Continue cumulative metrics from the checkpointed counters so
+        // a resumed run's snapshot covers the whole logical search.
+        obs.resumes.inc();
+        let c = &seed.counters;
+        obs.expansions.add(c.expanded);
+        obs.candidates.add(c.candidates);
+        obs.evaluated.add(c.evaluated);
+        obs.filtered.add(c.filtered);
+        obs.panicked.add(c.panicked);
+        obs.cost_rejections.add(c.cost_rejections);
+        obs.invariant_rejections.add(c.invariant_rejections);
+        obs.quarantined_candidates.add(c.quarantined_candidates);
+        obs.checkpoints_written.add(c.checkpoints_written);
+        obs.checkpoint_failures.add(c.checkpoint_failures);
+        magis_obs::event!(
+            "magis_core",
+            "resume",
+            expanded = c.expanded,
+            evaluated = c.evaluated,
+        );
+    }
+    let mut timeline = SearchTimeline::new();
     let mut pareto = ParetoSet::new();
     for (m, l) in seed.pareto {
         pareto.insert(m, l);
@@ -775,9 +908,13 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         stats.hash_time += t0.elapsed();
         if !seen.insert(h) {
             stats.filtered += 1;
+            obs.filtered.inc();
             continue;
         }
         stats.expanded += 1;
+        obs.expansions.inc();
+        let exp_t0 = Instant::now();
+        let exp_no_u64 = stats.expanded as u64;
         if state.tree_stale {
             analyze(&mut state, cfg);
         }
@@ -787,22 +924,27 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         // Quarantined rule families stop being explored entirely.
         let before = candidates.len();
         candidates.retain(|t| !quarantine.is_quarantined(t.sort_key().0));
-        stats.quarantined_candidates += before - candidates.len();
+        let dropped = before - candidates.len();
+        stats.quarantined_candidates += dropped;
+        obs.quarantined_candidates.add(dropped as u64);
         // Fix the batch order before the fan-out: the merge below
         // consumes results in this order, making the trajectory
         // independent of thread count and generation order.
         candidates.sort_by_key(Transform::sort_key);
         stats.trans_time += t0.elapsed();
         stats.candidates += candidates.len();
+        obs.candidates.add(candidates.len() as u64);
+        for t in &candidates {
+            timeline.family_mut(rules::family_name(t.sort_key().0)).proposed += 1;
+        }
 
         // How many evaluations may still be merged under `max_evals`.
         let remaining = cfg.max_evals - stats.evaluated;
         // Injection keys depend only on (expansion, candidate index):
         // identical across thread counts and across reruns.
-        let exp_no = stats.expanded as u64;
         let plan = cfg.fault_plan.as_ref();
         let fault_for =
-            |i: usize| plan.map(|p| (p, (exp_no << 20) | (i as u64 & 0xfffff)));
+            |i: usize| plan.map(|p| (p, (exp_no_u64 << 20) | (i as u64 & 0xfffff)));
 
         let t_wall = Instant::now();
         let outcomes: Vec<CandOutcome> = if threads > 1 {
@@ -835,7 +977,9 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
 
         // Deterministic merge: consume outcomes in candidate order on
         // this thread only. Sequence numbers, incumbent updates,
-        // quarantine strikes, and the eval cap all happen here.
+        // quarantine strikes, the eval cap — and every metric, trace
+        // record, and timeline entry — all happen here.
+        let parent_cost = state.cost();
         let mut merged = 0usize;
         for (i, o) in outcomes.into_iter().enumerate() {
             if matches!(o, CandOutcome::Skipped) {
@@ -849,27 +993,67 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                 break;
             }
             let family = candidates[i].sort_key().0;
+            let fam_name = rules::family_name(family);
+            // Re-attributes the worker-measured phase durations as a
+            // merge-thread span, keeping the record set deterministic.
+            let eval_span = |outcome: &'static str, dur: Duration| {
+                if magis_obs::trace::enabled() {
+                    magis_obs::trace::span_with_dur(
+                        "magis_core",
+                        "candidate_eval",
+                        dur,
+                        magis_obs::fields!(
+                            expansion = exp_no_u64,
+                            candidate = i,
+                            family = fam_name,
+                            outcome = outcome,
+                        ),
+                    );
+                }
+            };
+            let mut reject = |reason: &'static str, dur: Duration| {
+                outcome_counter(family, reason).inc();
+                eval_span(reason, dur);
+                magis_obs::event!(
+                    "magis_core",
+                    "reject",
+                    expansion = exp_no_u64,
+                    candidate = i,
+                    family = fam_name,
+                    reason = reason,
+                );
+                let f = timeline.family_mut(fam_name);
+                f.rejected += 1;
+                f.eval_time_us += dur.as_micros() as u64;
+            };
             match o {
                 CandOutcome::Skipped => unreachable!("handled above"),
                 CandOutcome::Failed { trans, sched_sim } => {
                     stats.trans_time += trans;
                     stats.sched_sim_time += sched_sim;
+                    reject("apply-failed", trans + sched_sim);
                 }
                 CandOutcome::Panicked { trans } => {
                     stats.trans_time += trans;
                     stats.panicked += 1;
-                    quarantine.strike(family);
+                    obs.panicked.inc();
+                    reject("panicked", trans);
+                    strike_family(&mut quarantine, family);
                 }
                 CandOutcome::BadCost { trans, sched_sim } => {
                     stats.trans_time += trans;
                     stats.sched_sim_time += sched_sim;
                     stats.cost_rejections += 1;
+                    obs.cost_rejections.inc();
+                    reject("bad-cost", trans + sched_sim);
                 }
                 CandOutcome::Invalid { trans, sched_sim } => {
                     stats.trans_time += trans;
                     stats.sched_sim_time += sched_sim;
                     stats.invariant_rejections += 1;
-                    quarantine.strike(family);
+                    obs.invariant_rejections.inc();
+                    reject("invalid", trans + sched_sim);
+                    strike_family(&mut quarantine, family);
                 }
                 CandOutcome::Evaluated { child, hash, trans, sched_sim, hash_t } => {
                     stats.trans_time += trans;
@@ -877,10 +1061,14 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     stats.hash_time += hash_t;
                     merged += 1;
                     stats.evaluated += 1;
+                    obs.evaluated.inc();
+                    let eval_dur = trans + sched_sim + hash_t;
 
                     // Cheap duplicate pre-filter before pushing.
                     if seen.contains(hash) {
                         stats.filtered += 1;
+                        obs.filtered.inc();
+                        reject("duplicate", eval_dur);
                         continue;
                     }
 
@@ -896,7 +1084,9 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                         && check_invariants(&child).is_err()
                     {
                         stats.invariant_rejections += 1;
-                        quarantine.strike(family);
+                        obs.invariant_rejections.inc();
+                        reject("invalid", eval_dur);
+                        strike_family(&mut quarantine, family);
                         continue;
                     }
                     pareto.insert(cost.0, cost.1);
@@ -907,6 +1097,14 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                             peak_bytes: cost.0,
                             latency: cost.1,
                         });
+                        obs.incumbent_improvements.inc();
+                        magis_obs::event!(
+                            "magis_core",
+                            "incumbent",
+                            expansion = exp_no_u64,
+                            peak_bytes = cost.0,
+                            latency = cost.1,
+                        );
                     }
                     if cfg.objective.better_than(cost, best.cost(), cfg.delta) {
                         seq += 1;
@@ -915,21 +1113,82 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                             seq,
                             state: *child,
                         });
+                        obs.queue_pushes.inc();
+                        outcome_counter(family, "accept").inc();
+                        eval_span("accept", eval_dur);
+                        magis_obs::event!(
+                            "magis_core",
+                            "accept",
+                            expansion = exp_no_u64,
+                            candidate = i,
+                            family = fam_name,
+                            peak_bytes = cost.0,
+                            latency = cost.1,
+                        );
+                        let f = timeline.family_mut(fam_name);
+                        f.accepted += 1;
+                        f.mem_delta_bytes += cost.0 as i64 - parent_cost.0 as i64;
+                        f.lat_delta += cost.1 - parent_cost.1;
+                        f.eval_time_us += eval_dur.as_micros() as u64;
+                    } else {
+                        // Evaluated but dominated by the δ-relaxed
+                        // incumbent: not queued.
+                        reject("dominated", eval_dur);
                     }
                 }
             }
         }
 
+        let front = pareto.front();
+        timeline.record_pareto(exp_no_u64, front.clone());
+        timeline.record_point(TimelinePoint {
+            expansion: exp_no_u64,
+            evaluated: stats.evaluated as u64,
+            best_peak_bytes: best.eval.peak_bytes,
+            best_latency: best.eval.latency,
+            frontier_size: queue.len() as u64,
+            pareto_size: front.len() as u64,
+            elapsed_us: start.elapsed().as_micros() as u64,
+        });
+        obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
+        obs.best_latency.set(best.eval.latency);
+        obs.frontier_size.set(queue.len() as f64);
+        obs.expansion_seconds.observe_duration(exp_t0.elapsed());
+        if magis_obs::trace::enabled() {
+            magis_obs::trace::span_with_dur(
+                "magis_core",
+                "expansion",
+                exp_t0.elapsed(),
+                magis_obs::fields!(
+                    expansion = exp_no_u64,
+                    candidates = candidates.len(),
+                    merged = merged,
+                    frontier = queue.len(),
+                ),
+            );
+        }
+
         if let Some(policy) = &cfg.checkpoint {
             if stats.evaluated - evals_at_last_ckpt >= policy.every_evals {
                 evals_at_last_ckpt = stats.evaluated;
-                match write_checkpoint(
+                let ok = write_checkpoint(
                     policy, &best, seed.seed_cost, cfg.seed, &pareto, &seen, &quarantine, &stats,
-                ) {
-                    Ok(()) => stats.checkpoints_written += 1,
+                )
+                .is_ok();
+                if ok {
+                    stats.checkpoints_written += 1;
+                    obs.checkpoints_written.inc();
+                } else {
                     // Non-fatal: a full disk must not kill the search.
-                    Err(_) => stats.checkpoint_failures += 1,
+                    stats.checkpoint_failures += 1;
+                    obs.checkpoint_failures.inc();
                 }
+                magis_obs::event!(
+                    "magis_core",
+                    "checkpoint",
+                    expansion = exp_no_u64,
+                    ok = ok,
+                );
             }
         }
 
@@ -964,14 +1223,30 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     stats.quarantine_strikes = quarantine.entries();
     stats.quarantined_families = quarantine.quarantined_families();
     if let Some(policy) = &cfg.checkpoint {
-        match write_checkpoint(
+        let ok = write_checkpoint(
             policy, &best, seed.seed_cost, cfg.seed, &pareto, &seen, &quarantine, &stats,
-        ) {
-            Ok(()) => stats.checkpoints_written += 1,
-            Err(_) => stats.checkpoint_failures += 1,
+        )
+        .is_ok();
+        if ok {
+            stats.checkpoints_written += 1;
+            obs.checkpoints_written.inc();
+        } else {
+            stats.checkpoint_failures += 1;
+            obs.checkpoint_failures.inc();
         }
+        magis_obs::event!("magis_core", "checkpoint", ok = ok, at = "final",);
     }
-    OptimizeResult { best, pareto, history, stats }
+    magis_obs::event!(
+        "magis_core",
+        "stop",
+        reason = stats.stop_reason.to_string(),
+        expanded = stats.expanded,
+        evaluated = stats.evaluated,
+    );
+    obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
+    obs.best_latency.set(best.eval.latency);
+    timeline.memory_profile = memory_profile(&best.eval.graph, &best.eval.order).step_bytes;
+    OptimizeResult { best, pareto, history, stats, timeline }
 }
 
 fn analyze(state: &mut MState, cfg: &OptimizerConfig) {

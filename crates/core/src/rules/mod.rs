@@ -61,6 +61,25 @@ impl Transform {
     }
 }
 
+/// Human-readable name of a rule family id (`sort_key().0`), used in
+/// metric labels and the search timeline.
+pub fn family_name(family: u8) -> &'static str {
+    match family {
+        0 => "ftree-enable",
+        1 => "ftree-lift",
+        2 => "ftree-disable",
+        3 => "ftree-mutate",
+        4 => "remat",
+        5 => "deremat",
+        6 => "swap",
+        7 => "deswap",
+        8 => "taso-merge-matmul",
+        9 => "taso-merge-conv",
+        10 => "taso-rotate-add",
+        _ => "unknown",
+    }
+}
+
 impl fmt::Display for Transform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

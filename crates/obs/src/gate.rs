@@ -1,0 +1,62 @@
+//! Per-thread observability suppression.
+//!
+//! The parallel M-Optimizer evaluates candidates on worker threads and
+//! may evaluate *more* work than the serial path (the merge discards
+//! over-evaluated results past the `max_evals` cap). Any count-type
+//! metric or trace event recorded from inside a worker would therefore
+//! differ between `--threads 1` and `--threads N`, breaking the
+//! determinism contract. Workers wrap candidate evaluation in
+//! [`suppress`]; the merge re-attributes the measured durations on the
+//! single coordinating thread instead.
+
+use std::cell::Cell;
+
+thread_local! {
+    static SUPPRESSED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether observability output is suppressed on this thread.
+#[inline]
+pub fn suppressed() -> bool {
+    SUPPRESSED.with(Cell::get)
+}
+
+/// Runs `f` with metrics and tracing suppressed on this thread.
+///
+/// Panic-safe: the previous suppression state is restored even if `f`
+/// unwinds (the optimizer's sandbox catches candidate panics, so a
+/// leaked flag would silently disable observability for the rest of
+/// the worker thread's life).
+pub fn suppress<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SUPPRESSED.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SUPPRESSED.with(|s| s.replace(true)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nests_and_restores() {
+        assert!(!suppressed());
+        suppress(|| {
+            assert!(suppressed());
+            suppress(|| assert!(suppressed()));
+            assert!(suppressed());
+        });
+        assert!(!suppressed());
+    }
+
+    #[test]
+    fn restores_after_panic() {
+        let r = std::panic::catch_unwind(|| suppress(|| panic!("boom")));
+        assert!(r.is_err());
+        assert!(!suppressed(), "suppression must not leak past an unwind");
+    }
+}

@@ -1,0 +1,172 @@
+//! A leveled stderr logger with zero configuration and zero
+//! dependencies.
+//!
+//! The default level is [`Level::Warn`], so library code can log
+//! liberally without polluting benchmark output; the CLI raises it via
+//! `--log-level`. Logging honors neither the trace sink nor the
+//! suppression gate — it is for humans, not for artifacts — but the
+//! macros still check the level before formatting, so a disabled call
+//! costs one relaxed atomic load.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error = 0,
+    /// Suspicious but survivable conditions (default threshold).
+    Warn = 1,
+    /// High-level progress.
+    Info = 2,
+    /// Per-expansion detail.
+    Debug = 3,
+    /// Per-candidate firehose.
+    Trace = 4,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Lower-case name, as accepted by [`Level::from_str`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level '{other}' (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the global log threshold.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log threshold.
+pub fn level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a record at `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Writes one log line to stderr. Use the `obs_*!` macros instead of
+/// calling this directly so disabled levels skip argument formatting.
+pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    // One write_all-ish call via a preformatted string keeps lines
+    // from interleaving across threads.
+    eprintln!("[{level:>5} {target}] {args}");
+}
+
+/// Logs at a given level: `obs_log!(Level::Info, "target", "x = {}", 1)`.
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($level) {
+            $crate::log::emit($level, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Error`](crate::log::Level::Error).
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Error, $target, $($arg)*) };
+}
+
+/// Logs at [`Level::Warn`](crate::log::Level::Warn).
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Warn, $target, $($arg)*) };
+}
+
+/// Logs at [`Level::Info`](crate::log::Level::Info).
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Info, $target, $($arg)*) };
+}
+
+/// Logs at [`Level::Debug`](crate::log::Level::Debug).
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Debug, $target, $($arg)*) };
+}
+
+/// Logs at [`Level::Trace`](crate::log::Level::Trace).
+#[macro_export]
+macro_rules! obs_trace {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Trace, $target, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels() {
+        assert_eq!("info".parse::<Level>(), Ok(Level::Info));
+        assert_eq!("WARN".parse::<Level>(), Ok(Level::Warn));
+        assert_eq!("warning".parse::<Level>(), Ok(Level::Warn));
+        assert!("loud".parse::<Level>().is_err());
+        assert_eq!(Level::Debug.to_string(), "debug");
+    }
+
+    #[test]
+    fn threshold_gates_levels() {
+        let _guard = crate::test_support::global_lock();
+        let before = level();
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(before);
+    }
+
+    #[test]
+    fn ordering_is_severity() {
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::Warn < Level::Info);
+    }
+}

@@ -1,0 +1,236 @@
+//! Search-timeline recorder for the M-Optimizer.
+//!
+//! While tracing ([`crate::trace`]) answers "what happened, when" at
+//! event granularity and metrics ([`crate::metrics`]) aggregate over a
+//! whole run, the timeline captures the *shape of the search*: how the
+//! incumbent improved per expansion, how the Pareto front evolved, how
+//! each rule family performed, and where the final schedule spends its
+//! memory. It serializes to JSON via [`SearchTimeline::to_json`] so
+//! plots can be regenerated offline from a single artifact.
+//!
+//! # Determinism
+//!
+//! Everything except the `elapsed_us` stamps and `FamilyStats::
+//! eval_time_us` is derived from merge-thread state, so timelines from
+//! `--threads 1` and `--threads N` agree on every count, byte, and
+//! cost field.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// One point per search expansion: the state of the incumbent and the
+/// frontier *after* the expansion's candidates were merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Expansion index (0-based).
+    pub expansion: u64,
+    /// Cumulative candidates evaluated (merge-accounted).
+    pub evaluated: u64,
+    /// Incumbent peak memory in bytes.
+    pub best_peak_bytes: u64,
+    /// Incumbent simulated latency.
+    pub best_latency: f64,
+    /// Open-frontier size after the merge.
+    pub frontier_size: u64,
+    /// Pareto-front size after the merge.
+    pub pareto_size: u64,
+    /// Wall-clock micros since search start (non-deterministic).
+    pub elapsed_us: u64,
+}
+
+/// A snapshot of the Pareto front, recorded whenever the front
+/// changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoSnapshot {
+    /// Expansion index at which this front was current.
+    pub expansion: u64,
+    /// `(peak_bytes, latency)` of each front member, sorted by
+    /// ascending peak.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Per-rule-family acceptance, latency, and memory-delta accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FamilyStats {
+    /// Candidates this family proposed (post-dedup).
+    pub proposed: u64,
+    /// Candidates accepted into the frontier.
+    pub accepted: u64,
+    /// Candidates rejected (dominated, cost-rejected, invariant-
+    /// rejected, or panicked).
+    pub rejected: u64,
+    /// Sum over accepted candidates of `candidate_peak - parent_peak`
+    /// in bytes (negative = memory saved).
+    pub mem_delta_bytes: i64,
+    /// Sum over accepted candidates of `candidate_latency -
+    /// parent_latency`.
+    pub lat_delta: f64,
+    /// Total evaluation wall time in micros (non-deterministic).
+    pub eval_time_us: u64,
+}
+
+/// The full recorded timeline of one search run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchTimeline {
+    /// Per-expansion progress points.
+    pub points: Vec<TimelinePoint>,
+    /// Pareto-front evolution (one snapshot per change).
+    pub pareto: Vec<ParetoSnapshot>,
+    /// Per-rule-family stats, keyed by family name.
+    pub families: BTreeMap<String, FamilyStats>,
+    /// The incumbent's memory usage (bytes live) at each schedule
+    /// step, from the final simulated memory profile.
+    pub memory_profile: Vec<u64>,
+}
+
+impl SearchTimeline {
+    /// A new empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a progress point.
+    pub fn record_point(&mut self, p: TimelinePoint) {
+        self.points.push(p);
+    }
+
+    /// Appends a Pareto snapshot if it differs from the last one
+    /// recorded (keyed on the member set, not the expansion stamp).
+    pub fn record_pareto(&mut self, expansion: u64, mut points: Vec<(u64, f64)>) {
+        points.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        if self.pareto.last().is_some_and(|last| last.points == points) {
+            return;
+        }
+        self.pareto.push(ParetoSnapshot { expansion, points });
+    }
+
+    /// Mutable per-family stats entry for `family`.
+    pub fn family_mut(&mut self, family: &str) -> &mut FamilyStats {
+        self.families.entry(family.to_string()).or_default()
+    }
+
+    /// Serializes the whole timeline as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("expansion".into(), Json::UInt(p.expansion)),
+                    ("evaluated".into(), Json::UInt(p.evaluated)),
+                    ("best_peak_bytes".into(), Json::UInt(p.best_peak_bytes)),
+                    ("best_latency".into(), Json::Float(p.best_latency)),
+                    ("frontier_size".into(), Json::UInt(p.frontier_size)),
+                    ("pareto_size".into(), Json::UInt(p.pareto_size)),
+                    ("elapsed_us".into(), Json::UInt(p.elapsed_us)),
+                ])
+            })
+            .collect();
+        let pareto = self
+            .pareto
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("expansion".into(), Json::UInt(s.expansion)),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            s.points
+                                .iter()
+                                .map(|&(peak, lat)| {
+                                    Json::Arr(vec![Json::UInt(peak), Json::Float(lat)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let families = self
+            .families
+            .iter()
+            .map(|(name, f)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("proposed".into(), Json::UInt(f.proposed)),
+                        ("accepted".into(), Json::UInt(f.accepted)),
+                        ("rejected".into(), Json::UInt(f.rejected)),
+                        ("mem_delta_bytes".into(), Json::Int(f.mem_delta_bytes)),
+                        ("lat_delta".into(), Json::Float(f.lat_delta)),
+                        ("eval_time_us".into(), Json::UInt(f.eval_time_us)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("points".into(), Json::Arr(points)),
+            ("pareto".into(), Json::Arr(pareto)),
+            ("families".into(), Json::Obj(families)),
+            (
+                "memory_profile".into(),
+                Json::Arr(self.memory_profile.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SearchTimeline {
+        let mut t = SearchTimeline::new();
+        t.record_point(TimelinePoint {
+            expansion: 0,
+            evaluated: 8,
+            best_peak_bytes: 1 << 30,
+            best_latency: 12.5,
+            frontier_size: 3,
+            pareto_size: 2,
+            elapsed_us: 991,
+        });
+        t.record_pareto(0, vec![(1 << 30, 12.5), (1 << 29, 14.0)]);
+        let f = t.family_mut("remat");
+        f.proposed = 4;
+        f.accepted = 1;
+        f.rejected = 3;
+        f.mem_delta_bytes = -(1 << 20);
+        f.lat_delta = 0.75;
+        t.memory_profile = vec![100, 300, 200];
+        t
+    }
+
+    #[test]
+    fn pareto_snapshots_dedup_and_sort() {
+        let mut t = SearchTimeline::new();
+        t.record_pareto(0, vec![(20, 1.0), (10, 2.0)]);
+        assert_eq!(t.pareto[0].points, vec![(10, 2.0), (20, 1.0)]);
+        // Same member set (different order) at a later expansion: no
+        // new snapshot.
+        t.record_pareto(1, vec![(10, 2.0), (20, 1.0)]);
+        assert_eq!(t.pareto.len(), 1);
+        t.record_pareto(2, vec![(10, 2.0)]);
+        assert_eq!(t.pareto.len(), 2);
+    }
+
+    #[test]
+    fn json_shape_round_trips() {
+        let t = sample();
+        let text = t.to_json().render();
+        let parsed = crate::json::parse(&text).expect("timeline json parses");
+        assert_eq!(
+            parsed.get("points").unwrap().as_arr().unwrap()[0]
+                .get("best_peak_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(1 << 30)
+        );
+        let fam = parsed.get("families").unwrap().get("remat").unwrap();
+        assert_eq!(fam.get("mem_delta_bytes").unwrap().as_i64(), Some(-(1 << 20)));
+        assert_eq!(
+            parsed.get("memory_profile").unwrap().as_arr().unwrap().len(),
+            3
+        );
+    }
+}

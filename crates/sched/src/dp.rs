@@ -79,6 +79,8 @@ pub fn dp_schedule(task: &SchedTask<'_>, cfg: &SchedConfig) -> DpResult {
     if n == 0 {
         return DpResult { order: Vec::new(), peak: task.base, states_expanded: 0 };
     }
+    let start = std::time::Instant::now();
+    let mut span = magis_obs::span!("magis_sched", "dp_schedule", window = n);
     let width = cfg.effective_width(n);
     let words = n.div_ceil(64);
     let indeg0: Vec<u16> = task.preds.iter().map(|p| p.len() as u16).collect();
@@ -148,6 +150,25 @@ pub fn dp_schedule(task: &SchedTask<'_>, cfg: &SchedConfig) -> DpResult {
         .into_iter()
         .min_by_key(|s| (s.peak, s.mem))
         .expect("at least one complete schedule");
+    span.record("states_expanded", expanded);
+    span.record("peak_bytes", best.peak);
+    {
+        use std::sync::OnceLock;
+        struct DpObs {
+            runs: magis_obs::metrics::Counter,
+            states: magis_obs::metrics::Counter,
+            seconds: magis_obs::metrics::Histogram,
+        }
+        static OBS: OnceLock<DpObs> = OnceLock::new();
+        let obs = OBS.get_or_init(|| DpObs {
+            runs: magis_obs::metrics::counter("magis_sched_dp_runs"),
+            states: magis_obs::metrics::counter("magis_sched_dp_states_expanded"),
+            seconds: magis_obs::metrics::histogram("magis_sched_dp_seconds"),
+        });
+        obs.runs.inc();
+        obs.states.add(expanded as u64);
+        obs.seconds.observe_duration(start.elapsed());
+    }
     DpResult {
         order: best.order.into_iter().map(|x| x as usize).collect(),
         peak: best.peak,

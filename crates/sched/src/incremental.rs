@@ -92,12 +92,15 @@ pub fn incremental_schedule(
     cfg: &SchedConfig,
     params: &IntervalParams,
 ) -> Vec<NodeId> {
+    let start = std::time::Instant::now();
+    let mut span = magis_obs::span!("magis_sched", "incremental_schedule", nodes = g_new.len());
     let (beg, end) = match reschedule_interval(g_old, s_old, psi_old, params) {
         Some(r) => r,
         // Pure additions: reschedule only the new nodes, appended where
         // their dependencies allow.
         None => (psi_old.len(), psi_old.len()),
     };
+    span.record("window", end.saturating_sub(beg));
     let prefix: Vec<NodeId> =
         psi_old[..beg].iter().copied().filter(|&v| g_new.contains(v)).collect();
     let suffix: Vec<NodeId> =
@@ -123,10 +126,31 @@ pub fn incremental_schedule(
     let carried = stabilize_order(g_new, psi_old);
     let new_peak = magis_sim::memory_profile(g_new, &rescheduled).peak_bytes;
     let old_peak = magis_sim::memory_profile(g_new, &carried).peak_bytes;
-    if new_peak <= old_peak {
-        rescheduled
-    } else {
+    let carried_won = new_peak > old_peak;
+    span.record("carried_won", carried_won);
+    {
+        use std::sync::OnceLock;
+        struct IncObs {
+            runs: magis_obs::metrics::Counter,
+            carried: magis_obs::metrics::Counter,
+            seconds: magis_obs::metrics::Histogram,
+        }
+        static OBS: OnceLock<IncObs> = OnceLock::new();
+        let obs = OBS.get_or_init(|| IncObs {
+            runs: magis_obs::metrics::counter("magis_sched_incremental_runs"),
+            carried: magis_obs::metrics::counter("magis_sched_incremental_carried_wins"),
+            seconds: magis_obs::metrics::histogram("magis_sched_incremental_seconds"),
+        });
+        obs.runs.inc();
+        if carried_won {
+            obs.carried.inc();
+        }
+        obs.seconds.observe_duration(start.elapsed());
+    }
+    if carried_won {
         carried
+    } else {
+        rescheduled
     }
 }
 

@@ -60,6 +60,8 @@ pub fn stabilize_order(g: &Graph, desired: &[NodeId]) -> Vec<NodeId> {
 /// This is the `InitState` scheduler of Algorithm 3 and the "full
 /// scheduling (FS)" baseline of §7.3.
 pub fn full_schedule(g: &Graph, cfg: &SchedConfig) -> Vec<NodeId> {
+    let start = std::time::Instant::now();
+    let mut span = magis_obs::span!("magis_sched", "full_schedule", nodes = g.len());
     let all: BTreeSet<NodeId> = g.node_ids().collect();
     let mut desired = Vec::with_capacity(g.len());
     for piece in partition(g, &all) {
@@ -72,6 +74,16 @@ pub fn full_schedule(g: &Graph, cfg: &SchedConfig) -> Vec<NodeId> {
     let fallback = magis_graph::algo::topo_order(g);
     let dp_peak = magis_sim::memory_profile(g, &dp_order).peak_bytes;
     let naive_peak = magis_sim::memory_profile(g, &fallback).peak_bytes;
+    span.record("peak_bytes", dp_peak.min(naive_peak));
+    {
+        use std::sync::OnceLock;
+        static RUNS: OnceLock<magis_obs::metrics::Counter> = OnceLock::new();
+        static SECONDS: OnceLock<magis_obs::metrics::Histogram> = OnceLock::new();
+        RUNS.get_or_init(|| magis_obs::metrics::counter("magis_sched_full_runs")).inc();
+        SECONDS
+            .get_or_init(|| magis_obs::metrics::histogram("magis_sched_full_seconds"))
+            .observe_duration(start.elapsed());
+    }
     if dp_peak <= naive_peak {
         dp_order
     } else {

@@ -36,6 +36,25 @@ pub use memory::{memory_profile, memory_profile_checked, storage_root, MemoryPro
 pub use profile::PerfCache;
 
 use magis_graph::graph::{Graph, NodeId};
+use std::sync::OnceLock;
+
+/// Observability handles, looked up once. All recording is dropped on
+/// suppressed (worker) threads, so parallel-search over-evaluation
+/// cannot skew these counts — see `magis_obs::gate`.
+struct ObsHandles {
+    evaluations: magis_obs::metrics::Counter,
+    eval_failures: magis_obs::metrics::Counter,
+    eval_seconds: magis_obs::metrics::Histogram,
+}
+
+fn obs() -> &'static ObsHandles {
+    static OBS: OnceLock<ObsHandles> = OnceLock::new();
+    OBS.get_or_init(|| ObsHandles {
+        evaluations: magis_obs::metrics::counter("magis_sim_evaluations"),
+        eval_failures: magis_obs::metrics::counter("magis_sim_eval_failures"),
+        eval_seconds: magis_obs::metrics::histogram("magis_sim_eval_seconds"),
+    })
+}
 
 /// Combined latency + memory evaluation of a scheduled graph.
 #[derive(Debug, Clone)]
@@ -54,8 +73,14 @@ pub struct Evaluation {
 ///
 /// Panics if `order` does not cover the graph.
 pub fn evaluate(g: &Graph, order: &[NodeId], cm: &CostModel) -> Evaluation {
+    let start = std::time::Instant::now();
+    let mut span = magis_obs::span!("magis_sim", "evaluate", nodes = g.len());
     let timeline = exec::simulate(g, order, cm);
     let memory = memory::memory_profile(g, order);
+    span.record("peak_bytes", memory.peak_bytes);
+    span.record("latency", timeline.total);
+    obs().evaluations.inc();
+    obs().eval_seconds.observe_duration(start.elapsed());
     Evaluation { latency: timeline.total, peak_bytes: memory.peak_bytes, memory }
 }
 
@@ -66,6 +91,29 @@ pub fn evaluate(g: &Graph, order: &[NodeId], cm: &CostModel) -> Evaluation {
 /// all checked. This is the entry point the hardened optimizer uses
 /// for candidate evaluation.
 pub fn evaluate_checked(g: &Graph, order: &[NodeId], cm: &CostModel) -> Result<Evaluation, CostError> {
+    let start = std::time::Instant::now();
+    let mut span = magis_obs::span!("magis_sim", "evaluate_checked", nodes = g.len());
+    let result = evaluate_checked_inner(g, order, cm);
+    obs().evaluations.inc();
+    obs().eval_seconds.observe_duration(start.elapsed());
+    match &result {
+        Ok(ev) => {
+            span.record("peak_bytes", ev.peak_bytes);
+            span.record("latency", ev.latency);
+        }
+        Err(e) => {
+            obs().eval_failures.inc();
+            span.record("error", e.to_string());
+        }
+    }
+    result
+}
+
+fn evaluate_checked_inner(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &CostModel,
+) -> Result<Evaluation, CostError> {
     // The memory check goes first: it establishes exact schedule
     // coverage, without which `simulate` below could index with an
     // unscheduled node's position and panic.

@@ -15,7 +15,9 @@
 //! * [`models`] — Table 2 workloads (ResNet-50, BERT, ViT, U-Net,
 //!   U-Net++, GPT-Neo, BTLM) as training graphs,
 //! * [`baselines`] — POFO/DTR/XLA/TVM/Torch-Inductor-like comparison
-//!   systems.
+//!   systems,
+//! * [`obs`] — zero-dependency structured tracing, metrics, and
+//!   search-timeline observability.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use magis_baselines as baselines;
 pub use magis_core as core;
 pub use magis_graph as graph;
 pub use magis_models as models;
+pub use magis_obs as obs;
 pub use magis_sched as sched;
 pub use magis_sim as sim;
 

@@ -1,0 +1,171 @@
+//! Observability determinism and round-trip properties.
+//!
+//! The determinism contract: every count-type metric and the trace
+//! event *identity set* are bit-identical between `threads = 1` and
+//! `threads = 4` on a seeded, eval-capped search; only wall-time
+//! measurements (histogram sums, `ts_us` / `dur_us` / `thread` /
+//! `elapsed_us` / `eval_time_us`) may differ.
+//!
+//! The metrics registry and trace sink are process-global, so every
+//! test that touches them serializes on [`obs_lock`].
+
+use magis::core::optimizer::OptimizeResult;
+use magis::obs::metrics::default_registry;
+use magis::obs::trace::{self, BufferSink, TraceEvent};
+use magis::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Capture {
+    counters: BTreeMap<String, u64>,
+    histogram_counts: BTreeMap<String, u64>,
+    identities: Vec<String>,
+    events: Vec<TraceEvent>,
+    res: OptimizeResult,
+}
+
+/// One seeded, eval-capped search with a fresh registry and an
+/// in-memory trace sink. The generous budget guarantees the cap — not
+/// the clock — ends the search, so timing never steers the trajectory.
+fn traced_run(threads: usize) -> Capture {
+    let tg = Workload::UNet.build(0.15);
+    let init = MState::initial(tg.graph.clone(), &EvalContext::default());
+    let cfg = OptimizerConfig::new(Objective::MinMemory { lat_limit: init.eval.latency * 1.10 })
+        .with_budget(Duration::from_secs(3600))
+        .with_max_evals(48)
+        .with_threads(threads);
+    default_registry().reset();
+    let sink = Arc::new(BufferSink::new());
+    trace::install(sink.clone());
+    let res = optimize(tg.graph.clone(), &cfg);
+    trace::uninstall();
+    let events = sink.take();
+    let mut identities: Vec<String> = events.iter().map(TraceEvent::identity).collect();
+    identities.sort();
+    let snap = default_registry().snapshot();
+    Capture {
+        counters: snap.counters,
+        histogram_counts: snap.histograms.iter().map(|(k, &(n, _))| (k.clone(), n)).collect(),
+        identities,
+        events,
+        res,
+    }
+}
+
+#[test]
+fn count_metrics_and_trace_set_identical_across_threads() {
+    let _g = obs_lock();
+    let serial = traced_run(1);
+    let parallel = traced_run(4);
+
+    // Every counter — including the per-(family, outcome) labeled ones
+    // — is bit-identical, and so is every histogram *count* (only the
+    // wall-time sums may differ).
+    assert_eq!(serial.counters, parallel.counters);
+    assert_eq!(serial.histogram_counts, parallel.histogram_counts);
+
+    // The searches did real, observable work.
+    assert!(serial.counters["magis_core_expansions"] > 0);
+    assert!(serial.counters["magis_core_evaluated"] > 0);
+    assert!(serial.counters["magis_core_queue_pushes"] > 0);
+    assert!(serial.counters.keys().any(|k| k.starts_with("magis_core_candidate_outcomes{")));
+
+    // The trace identity multiset (everything except ts/dur/thread) is
+    // identical: same spans, same events, same deterministic payloads.
+    assert_eq!(serial.identities, parallel.identities);
+    assert!(!serial.identities.is_empty());
+
+    // The taxonomy is present: spans for expansion, candidate
+    // evaluation, scheduling, and cost simulation; a stop event.
+    for prefix in [
+        "span:magis_core/expansion[",
+        "span:magis_core/candidate_eval[",
+        "span:magis_sched/full_schedule[",
+        "span:magis_sim/evaluate",
+        "event:magis_core/stop[",
+    ] {
+        assert!(
+            serial.identities.iter().any(|id| id.starts_with(prefix)),
+            "missing trace records with prefix {prefix}"
+        );
+    }
+
+    // And the search results themselves still agree (the instrumented
+    // build keeps the PR-1 determinism guarantee).
+    assert_eq!(serial.res.best.cost(), parallel.res.best.cost());
+    assert_eq!(serial.res.stats.evaluated, parallel.res.stats.evaluated);
+}
+
+#[test]
+fn trace_events_round_trip_through_jsonl() {
+    let _g = obs_lock();
+    let cap = traced_run(2);
+    assert!(!cap.events.is_empty());
+    for ev in &cap.events {
+        let line = ev.to_jsonl();
+        let back = TraceEvent::parse_line(&line)
+            .unwrap_or_else(|e| panic!("line failed to parse back: {e}\n{line}"));
+        // Full fidelity: identity AND the volatile envelope survive.
+        assert_eq!(back.identity(), ev.identity());
+        assert_eq!(back.ts_us, ev.ts_us);
+        assert_eq!(back.dur_us, ev.dur_us);
+        assert_eq!(back.thread, ev.thread);
+    }
+}
+
+#[test]
+fn timeline_is_deterministic_and_serializes() {
+    let _g = obs_lock();
+    let serial = traced_run(1);
+    let parallel = traced_run(4);
+    let (a, b) = (&serial.res.timeline, &parallel.res.timeline);
+
+    // Per-expansion points: every field but the wall-clock one agrees.
+    assert_eq!(a.points.len(), b.points.len());
+    assert!(!a.points.is_empty());
+    for (p, q) in a.points.iter().zip(&b.points) {
+        assert_eq!(
+            (p.expansion, p.evaluated, p.best_peak_bytes, p.frontier_size, p.pareto_size),
+            (q.expansion, q.evaluated, q.best_peak_bytes, q.frontier_size, q.pareto_size)
+        );
+        assert_eq!(p.best_latency.to_bits(), q.best_latency.to_bits());
+    }
+    assert_eq!(a.points.last().unwrap().expansion, serial.res.stats.expanded as u64);
+
+    // Pareto evolution and the final memory profile are identical.
+    assert_eq!(a.pareto.len(), b.pareto.len());
+    for (p, q) in a.pareto.iter().zip(&b.pareto) {
+        assert_eq!(p.expansion, q.expansion);
+        assert_eq!(p.points, q.points);
+    }
+    assert_eq!(a.memory_profile, b.memory_profile);
+    assert!(!a.memory_profile.is_empty());
+
+    // Per-family stats: all counts and deltas agree; only the measured
+    // evaluation time may differ.
+    assert_eq!(a.families.keys().collect::<Vec<_>>(), b.families.keys().collect::<Vec<_>>());
+    let mut proposed = 0u64;
+    for (fam, fa) in &a.families {
+        let fb = &b.families[fam];
+        assert_eq!(
+            (fa.proposed, fa.accepted, fa.rejected, fa.mem_delta_bytes),
+            (fb.proposed, fb.accepted, fb.rejected, fb.mem_delta_bytes),
+            "family {fam}"
+        );
+        assert_eq!(fa.lat_delta.to_bits(), fb.lat_delta.to_bits(), "family {fam}");
+        proposed += fa.proposed;
+    }
+    assert!(proposed > 0);
+
+    // The whole timeline serializes to JSON that parses back.
+    let text = a.to_json().render();
+    let parsed = magis::obs::json::parse(&text).expect("timeline JSON parses");
+    let pts = parsed.get("points").and_then(|j| j.as_arr()).expect("points array");
+    assert_eq!(pts.len(), a.points.len());
+}
