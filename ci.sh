@@ -16,6 +16,12 @@ run cargo build --workspace --release
 run cargo test --workspace -q
 run cargo clippy --workspace --all-targets -- -D warnings
 
+# Documentation gate: rustdoc must build clean (missing_docs is warn
+# in sched/sim/core/obs, promoted to an error here) and every doc
+# example must run.
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+run cargo test --workspace --doc -q
+
 # The determinism harness must hold regardless of how the test runner
 # itself schedules tests.
 run env RUST_TEST_THREADS=1 cargo test -q --test parallel_search
@@ -32,6 +38,12 @@ run cargo test -q --test robustness_properties
 # Observability: count metrics and the trace-event identity set must be
 # bit-identical across thread counts.
 run cargo test -q --test observability
+
+# Incremental evaluation: every delta-scheduled / delta-profiled /
+# cache-served candidate must be bit-identical to a from-scratch
+# re-evaluation (paranoid cross-check on the bench workloads), and the
+# eval cache must not perturb the thread-count determinism contract.
+run cargo test -q --test incremental_eval
 
 # Crash-recovery smoke: hard-kill a checkpointing CLI search mid-budget,
 # then resume it to completion from the survived checkpoint.

@@ -1,0 +1,101 @@
+//! Candidate-evaluation throughput: incremental evaluation
+//! (delta-scheduling + delta memory profiling + the structural-hash
+//! evaluation cache, the search's default) vs. full re-evaluation
+//! (every candidate re-scheduled with the quality beam and re-profiled
+//! from scratch, cache off).
+//!
+//! Both runs search the same workload under the same objective and the
+//! same evaluation cap; the figure of merit is candidates evaluated
+//! per second of evaluation wall-clock. Results print as a table, land
+//! in `results/eval_throughput.csv`, and are recorded as
+//! `BENCH_eval.json` in the working directory (committed at the repo
+//! root so the trajectory is tracked across changes — see
+//! EXPERIMENTS.md for how to regenerate and read it).
+
+use magis_bench::{print_table, ExpOpts};
+use magis_core::optimizer::{optimize, Objective, OptimizerConfig, OptimizerStats};
+use magis_core::state::{EvalContext, EvalMode, MState};
+use magis_models::Workload;
+use std::time::Instant;
+
+/// Evaluation cap shared by both modes: high enough that per-candidate
+/// costs dominate, low enough that the full-evaluation baseline
+/// finishes quickly at bench scale.
+const MAX_EVALS: usize = 240;
+
+struct ModeRun {
+    cands_per_sec: f64,
+    stats: OptimizerStats,
+}
+
+fn run_mode(g: &magis_graph::graph::Graph, mode: EvalMode, opts: &ExpOpts) -> ModeRun {
+    let ctx = EvalContext::default();
+    let init = MState::initial(g.clone(), &ctx);
+    let mut cfg = OptimizerConfig::new(Objective::MinMemory {
+        lat_limit: init.eval.latency * 1.25,
+    })
+    .with_budget(opts.budget)
+    .with_max_evals(MAX_EVALS)
+    .with_threads(1);
+    cfg.ctx.mode = mode;
+    if mode == EvalMode::Full {
+        // The baseline is brute force end to end: no memoized reuse of
+        // duplicate candidates either.
+        cfg = cfg.with_eval_cache(0);
+    }
+    let t0 = Instant::now();
+    let res = optimize(g.clone(), &cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+    ModeRun { cands_per_sec: res.stats.evaluated as f64 / elapsed.max(1e-9), stats: res.stats }
+}
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let models = [(Workload::UNet, 0.15), (Workload::BertBase, 0.1)];
+    let mut rows = Vec::new();
+    let mut json_models = Vec::new();
+    for (w, rel) in models {
+        // The default ExpOpts scale (0.5) maps to each model's bench
+        // scale; --scale acts as a multiplier around it, capped at 2x.
+        let scale = rel * (opts.scale / 0.5).min(2.0);
+        let g = w.build(scale).graph;
+        let full = run_mode(&g, EvalMode::Full, &opts);
+        let inc = run_mode(&g, EvalMode::Incremental, &opts);
+        let speedup = inc.cands_per_sec / full.cands_per_sec.max(1e-9);
+        rows.push(vec![
+            w.label().to_string(),
+            format!("{scale:.3}"),
+            format!("{}", full.stats.evaluated),
+            format!("{:.1}", full.cands_per_sec),
+            format!("{:.1}", inc.cands_per_sec),
+            format!("{:.2}x", speedup),
+            format!("{}", inc.stats.eval_cache_hits),
+        ]);
+        json_models.push(format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"scale\": {:.4}, \"evaluated\": {}, ",
+                "\"full_cands_per_sec\": {:.2}, \"incremental_cands_per_sec\": {:.2}, ",
+                "\"speedup\": {:.3}, \"eval_cache_hits\": {}}}"
+            ),
+            w.label(),
+            scale,
+            inc.stats.evaluated,
+            full.cands_per_sec,
+            inc.cands_per_sec,
+            speedup,
+            inc.stats.eval_cache_hits,
+        ));
+        println!("  {} done ({speedup:.2}x)", w.label());
+    }
+    let header =
+        ["model", "scale", "evaluated", "full c/s", "incremental c/s", "speedup", "cache hits"];
+    print_table("Candidate-evaluation throughput: incremental vs full", &header, &rows);
+    opts.write_csv("eval_throughput.csv", &header, &rows);
+    let json = format!(
+        "{{\n  \"bench\": \"eval_throughput\",\n  \"max_evals\": {},\n  \"models\": [\n{}\n  ]\n}}\n",
+        MAX_EVALS,
+        json_models.join(",\n")
+    );
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("  -> wrote BENCH_eval.json");
+}

@@ -19,7 +19,7 @@ fn main() {
     let mut rows = Vec::new();
     for device in [DeviceSpec::rtx3090(), DeviceSpec::mobile()] {
         let name = device.name;
-        let ctx = EvalContext { cost: CostModel::new(device), ..EvalContext::default() };
+        let ctx = EvalContext::with_cost(CostModel::new(device));
         let init = MState::initial(tg.graph.clone(), &ctx);
         let mut cfg = OptimizerConfig::new(Objective::MinMemory {
             lat_limit: init.eval.latency * 1.10,

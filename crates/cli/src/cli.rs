@@ -10,7 +10,7 @@ use magis_core::optimizer::{
     self, try_optimize, CheckpointPolicy, Objective, OptimizeResult, OptimizerConfig,
     ParanoiaLevel,
 };
-use magis_core::state::{EvalContext, MState};
+use magis_core::state::{EvalContext, EvalMode, MState};
 use magis_graph::graph::Graph;
 use magis_graph::io::{to_dot, to_text, DotOptions};
 use magis_models::Workload;
@@ -29,6 +29,7 @@ USAGE:
   magis optimize --workload NAME [--scale F] [--mode memory|latency]
                  [--limit F] [--budget-ms N] [--threads N]
                  [--paranoia off|incumbent|all]
+                 [--eval incremental|full] [--eval-cache N]
                  [--checkpoint FILE] [--checkpoint-every N]
                  [--emit py|dot|text] [--out FILE]
   magis optimize --resume FILE [--mode memory|latency] [--limit F]
@@ -49,9 +50,19 @@ OPTIONS (optimize):
   --threads N     candidate-evaluation worker threads (default: all
                   cores; 1 = serial). Results are identical for every N.
   --paranoia L    invariant enforcement: off | incumbent (default) |
-                  all. `incumbent` re-validates graph, schedule, and
-                  memory accounting before accepting a new incumbent;
-                  `all` validates every evaluated candidate.
+                  all. `incumbent` cross-checks the incremental
+                  evaluation of a would-be incumbent against a full
+                  re-evaluation (bit-identical peak memory + latency);
+                  `all` cross-checks every evaluated candidate.
+  --eval M        candidate evaluation mode: incremental (default,
+                  delta-schedule + delta memory profile against the
+                  parent) | full (re-schedule and re-profile from
+                  scratch — the baseline `eval_throughput` measures
+                  against). Results are bit-identical either way.
+  --eval-cache N  capacity of the structural-hash evaluation cache
+                  (duplicate candidates reached via different rewrite
+                  paths skip scheduling + simulation). 0 disables;
+                  default 1024.
   --checkpoint F  write a search checkpoint to F every
                   --checkpoint-every evaluations (default 64) and at
                   search end. Written atomically (temp + rename).
@@ -227,6 +238,17 @@ fn search_config(
         .with_budget(Duration::from_millis(budget as u64))
         .with_threads(threads)
         .with_paranoia(paranoia);
+    cfg.ctx.mode = match flags.get("eval").map(String::as_str) {
+        None | Some("incremental") => EvalMode::Incremental,
+        Some("full") => EvalMode::Full,
+        Some(v) => {
+            return Err(CliError::Usage(format!(
+                "--eval expects incremental|full, got '{v}'"
+            )))
+        }
+    };
+    let cache_cap = usize_flag(flags, "eval-cache", cfg.eval_cache)?;
+    cfg = cfg.with_eval_cache(cache_cap);
     if let Some(path) = flags.get("checkpoint") {
         let every = usize_flag(flags, "checkpoint-every", 64)?;
         cfg = cfg.with_checkpoint(CheckpointPolicy::new(path).with_every(every));
@@ -266,7 +288,8 @@ fn finish_obs(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
 /// Prints the one-screen end-of-run summary table: headline result,
 /// stop reason, search volume, per-phase timing, and the full
-/// fault/hardening accounting from [`OptimizerStats`].
+/// fault/hardening accounting from
+/// [`magis_core::optimizer::OptimizerStats`].
 fn print_summary(seed_cost: (u64, f64), res: &OptimizeResult) {
     let best = &res.best;
     let s = &res.stats;
@@ -307,6 +330,13 @@ fn print_summary(seed_cost: (u64, f64), res: &OptimizeResult) {
     row("threads", s.threads.to_string());
     row("expanded / evaluated", format!("{} / {}", s.expanded, s.evaluated));
     row("candidates generated", format!("{}  ({} duplicates filtered)", s.candidates, s.filtered));
+    row(
+        "eval cache",
+        format!(
+            "{} hits / {} misses  ({} evicted, {} purged)",
+            s.eval_cache_hits, s.eval_cache_misses, s.eval_cache_evictions, s.eval_cache_purged
+        ),
+    );
     row("time: transform", secs(s.trans_time));
     row("time: sched + sim", secs(s.sched_sim_time));
     row("time: hash / filter", secs(s.hash_time));
@@ -507,6 +537,14 @@ mod tests {
             run(&s(&["optimize", "--workload", "unet", "--threads", "two"])),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--eval", "sometimes"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--eval-cache", "lots"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -578,6 +616,15 @@ mod tests {
             run(&s(&["optimize", "--workload", "unet", "--log-level", "loud"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn optimize_full_eval_mode() {
+        run(&s(&[
+            "optimize", "--workload", "unet", "--scale", "0.1", "--budget-ms", "300",
+            "--threads", "2", "--eval", "full", "--eval-cache", "0",
+        ]))
+        .unwrap();
     }
 
     #[test]

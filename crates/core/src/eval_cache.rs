@@ -1,0 +1,173 @@
+//! Structural-hash keyed evaluation cache.
+//!
+//! The search's rule vocabulary is full of inverse pairs (remat /
+//! de-remat, swap-in / swap-out, F-Tree enable / disable), so the same
+//! graph is routinely reached along several rewrite paths. The
+//! seen-set only filters a duplicate *after* its evaluation has been
+//! paid for; this cache remembers the evaluated [`MState`] keyed by
+//! the Weisfeiler–Lehman hash of its overlay graph, letting a repeat
+//! candidate skip scheduling and simulation entirely.
+//!
+//! Concurrency / determinism contract (see the `optimizer` module
+//! docs): workers read a **frozen** cache during a fan-out — hits are
+//! counted and new entries inserted only at the single-threaded merge,
+//! in candidate order — so the search trajectory stays bit-identical
+//! across thread counts. The cache is never persisted in checkpoints;
+//! a resumed search starts cold.
+//!
+//! Eviction is FIFO with a fixed capacity (smarter policies are an
+//! open item, see ROADMAP.md). Entries carry the rule family that
+//! created them so a quarantined family's results can be purged —
+//! a cached state must not outlive the trust in the rule that built it.
+
+use crate::state::MState;
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    state: MState,
+    family: u8,
+}
+
+/// A bounded, FIFO-evicting map from overlay-graph hash to the
+/// evaluated state it produced. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    capacity: usize,
+    entries: BTreeMap<u64, CacheEntry>,
+    fifo: VecDeque<u64>,
+}
+
+impl EvalCache {
+    /// A cache holding at most `capacity` evaluated states
+    /// (`0` disables caching entirely: every lookup misses and every
+    /// insert is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        EvalCache { capacity, entries: BTreeMap::new(), fifo: VecDeque::new() }
+    }
+
+    /// The configured capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the evaluated state for an overlay-graph hash.
+    /// Read-only: safe to call concurrently from evaluation workers
+    /// while the merge thread owns the only `&mut`.
+    pub fn get(&self, hash: u64) -> Option<&MState> {
+        self.entries.get(&hash).map(|e| &e.state)
+    }
+
+    /// Inserts an evaluated state, evicting the oldest entries while
+    /// over capacity. First insertion wins: a hash already present is
+    /// left untouched (the two states are hash-equal, and keeping the
+    /// first matches what `threads == 1` would have produced).
+    /// Returns the number of entries evicted.
+    pub fn insert(&mut self, hash: u64, state: MState, family: u8) -> usize {
+        if self.capacity == 0 || self.entries.contains_key(&hash) {
+            return 0;
+        }
+        self.entries.insert(hash, CacheEntry { state, family });
+        self.fifo.push_back(hash);
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            // Skip hashes already removed by `purge_family`.
+            let Some(h) = self.fifo.pop_front() else { break };
+            if self.entries.remove(&h).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Removes every entry created by `family` (called when the family
+    /// is quarantined: its cached evaluations must not resurrect
+    /// results the search no longer trusts). Returns the number of
+    /// entries purged.
+    pub fn purge_family(&mut self, family: u8) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.family != family);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EvalContext;
+    use magis_graph::builder::GraphBuilder;
+    use magis_graph::tensor::DType;
+
+    fn tiny_state() -> MState {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([16], "x");
+        let _ = b.relu(x);
+        MState::initial(b.finish(), &EvalContext::default())
+    }
+
+    #[test]
+    fn hit_miss_and_first_insert_wins() {
+        let s = tiny_state();
+        let mut c = EvalCache::new(4);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.insert(1, s.clone(), 2), 0);
+        assert!(c.get(1).is_some());
+        // Re-inserting the same hash is a no-op (first wins).
+        let mut dup = s.clone();
+        dup.eval.peak_bytes += 1;
+        assert_eq!(c.insert(1, dup, 3), 0);
+        assert_eq!(c.get(1).unwrap().eval.peak_bytes, s.eval.peak_bytes);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let s = tiny_state();
+        let mut c = EvalCache::new(2);
+        assert_eq!(c.insert(1, s.clone(), 0), 0);
+        assert_eq!(c.insert(2, s.clone(), 0), 0);
+        assert_eq!(c.insert(3, s.clone(), 0), 1);
+        assert!(c.get(1).is_none(), "oldest entry evicted");
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let s = tiny_state();
+        let mut c = EvalCache::new(0);
+        assert_eq!(c.insert(1, s, 0), 0);
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn purge_family_removes_only_that_family() {
+        let s = tiny_state();
+        let mut c = EvalCache::new(8);
+        c.insert(1, s.clone(), 4);
+        c.insert(2, s.clone(), 4);
+        c.insert(3, s.clone(), 5);
+        assert_eq!(c.purge_family(4), 2);
+        assert!(c.get(1).is_none() && c.get(2).is_none());
+        assert!(c.get(3).is_some());
+        // Stale fifo ids from the purge don't break later eviction.
+        c.insert(4, s.clone(), 5);
+        c.insert(5, s.clone(), 5);
+        for h in 6..20 {
+            c.insert(h, s.clone(), 5);
+        }
+        assert!(c.len() <= 8);
+    }
+}

@@ -36,9 +36,12 @@
 //! assert!(res.best.eval.peak_bytes > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod codegen;
 pub mod dgraph;
+pub mod eval_cache;
 pub mod fission;
 pub mod ftree;
 pub mod optimizer;
@@ -47,10 +50,11 @@ pub mod rules;
 pub mod state;
 
 pub use checkpoint::{CheckpointCounters, CheckpointError, SearchCheckpoint};
+pub use eval_cache::EvalCache;
 pub use fission::FissionSpec;
 pub use ftree::{FTree, FTreeMutation};
 pub use optimizer::{
     optimize, optimize_latency, optimize_memory, resume, try_optimize, CheckpointPolicy,
     Objective, OptimizeResult, OptimizerConfig, ParanoiaLevel, StopReason,
 };
-pub use state::{EvalContext, EvalError, MState};
+pub use state::{EvalContext, EvalError, EvalMode, IncrementalEvalInfo, MState};

@@ -11,11 +11,33 @@
 //! on the queue. Per-phase wall-clock accounting reproduces the
 //! optimization-time breakdown of Fig. 15.
 //!
+//! # Incremental evaluation and the evaluation cache
+//!
+//! Candidate evaluation is incremental end-to-end: a child derived
+//! from its parent by one rewrite reuses the parent's schedule outside
+//! the rewrite's dirty region (Algorithm 2 splicing in `magis_sched`)
+//! and the parent's per-tensor lifetime table outside the re-ordered
+//! window (delta memory profiling in `magis_sim`). Both reuse paths
+//! are bit-identical to from-scratch evaluation by construction;
+//! [`ParanoiaLevel::All`] (or any incumbent check under the default
+//! level) re-derives the full evaluation and compares peak memory and
+//! latency bit-for-bit. [`crate::state::EvalMode::Full`] in the
+//! [`EvalContext`] disables the reuse for baseline comparisons.
+//!
+//! On top of that, an [`EvalCache`] keyed by the overlay graph's
+//! structural hash short-circuits duplicate candidates reached via
+//! different rewrite paths: the hash is computed *before* scheduling,
+//! and a hit reuses the previously evaluated state wholesale. Workers
+//! read a cache frozen for the whole batch; hits are counted and new
+//! entries inserted only at the merge, in candidate order, so caching
+//! never perturbs the determinism contract below. The cache is not
+//! persisted in checkpoints — a resumed search starts cold.
+//!
 //! # Parallel candidate evaluation
 //!
 //! Each expansion generates all candidate transforms, sorts them by
-//! [`Transform::sort_key`], evaluates the batch (apply → incremental
-//! reschedule → simulate → hash) across up to
+//! [`Transform::sort_key`], evaluates the batch (apply → hash → cache
+//! lookup → incremental reschedule + simulate on a miss) across up to
 //! [`OptimizerConfig::threads`] scoped threads, then merges the
 //! results back **in candidate order**: queue pushes, incumbent
 //! updates, sequence numbers, quarantine strikes, and the `max_evals`
@@ -53,15 +75,16 @@
 //!   killed search from its last checkpoint.
 
 use crate::checkpoint::{CheckpointCounters, CheckpointError, SearchCheckpoint};
+use crate::eval_cache::EvalCache;
 use crate::pareto::ParetoSet;
 use crate::rules::{self, RuleConfig, Transform};
-use crate::state::{EvalContext, EvalError, MState};
+use crate::state::{build_overlay_graph, evaluate_overlay, EvalContext, EvalError, MState};
 use magis_graph::algo::graph_hash;
 use magis_graph::graph::Graph;
 use magis_obs::metrics::{labeled, Counter, Gauge, Histogram};
 use magis_obs::timeline::{SearchTimeline, TimelinePoint};
 use magis_sched::validate_schedule;
-use magis_sim::{memory_profile, memory_profile_checked};
+use magis_sim::{evaluate_checked, memory_profile};
 use magis_util::fault::{FaultPlan, FaultSite};
 use magis_util::parallel;
 use magis_util::sync::ShardedSet;
@@ -93,10 +116,18 @@ struct CoreObs {
     incumbent_improvements: Counter,
     checkpoints_written: Counter,
     checkpoint_failures: Counter,
+    eval_cache_hits: Counter,
+    eval_cache_misses: Counter,
+    eval_cache_evictions: Counter,
+    eval_cache_purged: Counter,
+    incremental_evals: Counter,
+    incremental_carried_wins: Counter,
+    incremental_window: Histogram,
     expansion_seconds: Histogram,
     best_peak_bytes: Gauge,
     best_latency: Gauge,
     frontier_size: Gauge,
+    eval_cache_size: Gauge,
 }
 
 fn core_obs() -> &'static CoreObs {
@@ -118,10 +149,18 @@ fn core_obs() -> &'static CoreObs {
         incumbent_improvements: counter("magis_core_incumbent_improvements"),
         checkpoints_written: counter("magis_core_checkpoints_written"),
         checkpoint_failures: counter("magis_core_checkpoint_failures"),
+        eval_cache_hits: counter("magis_core_eval_cache_hits"),
+        eval_cache_misses: counter("magis_core_eval_cache_misses"),
+        eval_cache_evictions: counter("magis_core_eval_cache_evictions"),
+        eval_cache_purged: counter("magis_core_eval_cache_purged"),
+        incremental_evals: counter("magis_core_incremental_evals"),
+        incremental_carried_wins: counter("magis_core_incremental_carried_wins"),
+        incremental_window: histogram("magis_core_incremental_window"),
         expansion_seconds: histogram("magis_core_expansion_seconds"),
         best_peak_bytes: gauge("magis_core_best_peak_bytes"),
         best_latency: gauge("magis_core_best_latency"),
         frontier_size: gauge("magis_core_frontier_size"),
+        eval_cache_size: gauge("magis_core_eval_cache_size"),
     })
 }
 
@@ -351,6 +390,11 @@ pub struct OptimizerConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Periodic checkpointing. `None` writes no checkpoints.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Capacity of the structural-hash evaluation cache (evaluated
+    /// states remembered so duplicate candidates reached via different
+    /// rewrite paths skip scheduling + simulation). `0` disables
+    /// caching. Default 1024.
+    pub eval_cache: usize,
 }
 
 impl OptimizerConfig {
@@ -371,6 +415,7 @@ impl OptimizerConfig {
             quarantine_threshold: 3,
             fault_plan: None,
             checkpoint: None,
+            eval_cache: 1024,
         }
     }
 
@@ -413,6 +458,12 @@ impl OptimizerConfig {
     /// Sets the quarantine strike threshold (0 disables quarantining).
     pub fn with_quarantine_threshold(mut self, threshold: u32) -> Self {
         self.quarantine_threshold = threshold;
+        self
+    }
+
+    /// Sets the evaluation-cache capacity (0 disables caching).
+    pub fn with_eval_cache(mut self, capacity: usize) -> Self {
+        self.eval_cache = capacity;
         self
     }
 }
@@ -468,6 +519,16 @@ pub struct OptimizerStats {
     pub checkpoint_failures: usize,
     /// Whether this search was resumed from a checkpoint.
     pub resumed: bool,
+    /// Evaluated candidates served from the evaluation cache (the
+    /// expensive schedule + simulate phases were skipped).
+    pub eval_cache_hits: usize,
+    /// Evaluated candidates that missed the cache (and, when caching
+    /// is enabled, were inserted for future duplicates).
+    pub eval_cache_misses: usize,
+    /// Cache entries evicted by the FIFO capacity bound.
+    pub eval_cache_evictions: usize,
+    /// Cache entries purged because their rule family was quarantined.
+    pub eval_cache_purged: usize,
 }
 
 /// A point on the search's progress curve.
@@ -555,6 +616,13 @@ enum CandOutcome {
     Evaluated {
         child: Box<MState>,
         hash: u64,
+        /// Served from the (batch-frozen) evaluation cache: schedule +
+        /// simulate were skipped. Counted at the merge so the counters
+        /// are deterministic across thread counts.
+        cache_hit: bool,
+        /// A post-evaluation fault injection mutated this child; it
+        /// must never be inserted into the evaluation cache.
+        tainted: bool,
         trans: Duration,
         sched_sim: Duration,
         hash_t: Duration,
@@ -563,21 +631,37 @@ enum CandOutcome {
 
 /// Re-checks the structural invariants of an evaluated state: the
 /// overlay graph validates, the schedule is a topological exactly-once
-/// cover of it, and memory accounting conserves. Used by the paranoia
-/// gates; any violation means a rewrite or the scheduler corrupted the
-/// state.
-fn check_invariants(child: &MState) -> Result<(), String> {
+/// cover of it, and — the incremental-vs-full cross-check — a complete
+/// from-scratch evaluation of the same order reproduces the state's
+/// peak memory and latency **bit-for-bit**. Incremental scheduling,
+/// delta memory profiling, and the memoizing `PerfCache` all promise
+/// exactness, so any divergence means one of them (or a rewrite)
+/// corrupted the state. Used by the paranoia gates.
+fn check_invariants(child: &MState, ctx: &EvalContext) -> Result<(), String> {
     child.eval.graph.validate().map_err(|e| format!("graph: {e}"))?;
     validate_schedule(&child.eval.graph, &child.eval.order)
         .map_err(|e| format!("schedule: {e}"))?;
-    memory_profile_checked(&child.eval.graph, &child.eval.order)
+    let full = evaluate_checked(&child.eval.graph, &child.eval.order, ctx.cost())
         .map_err(|e| format!("memory: {e}"))?;
+    if full.peak_bytes != child.eval.peak_bytes {
+        return Err(format!(
+            "cross-check: incremental peak_bytes {} != full {}",
+            child.eval.peak_bytes, full.peak_bytes
+        ));
+    }
+    if full.latency.to_bits() != child.eval.latency.to_bits() {
+        return Err(format!(
+            "cross-check: incremental latency {:e} != full {:e}",
+            child.eval.latency, full.latency
+        ));
+    }
     Ok(())
 }
 
-/// Apply → incremental reschedule + simulate → hash, with per-phase
-/// CPU-time attribution, wrapped in a panic sandbox. Pure w.r.t.
-/// shared search state, so it is safe to run concurrently for
+/// Apply → hash → cache lookup → (on a miss) incremental reschedule +
+/// simulate, with per-phase CPU-time attribution, wrapped in a panic
+/// sandbox. Reads shared search state (`cache` is frozen for the whole
+/// batch) but never writes it, so it is safe to run concurrently for
 /// independent candidates.
 ///
 /// `fault` is `(plan, key)` when fault injection is active: the key
@@ -588,6 +672,7 @@ fn evaluate_candidate(
     state: &MState,
     t: &Transform,
     ctx: &EvalContext,
+    cache: &EvalCache,
     fault: Option<(&FaultPlan, u64)>,
     paranoia: ParanoiaLevel,
 ) -> CandOutcome {
@@ -599,10 +684,11 @@ fn evaluate_candidate(
     // the measured durations on the coordinating thread instead.
     magis_obs::gate::suppress(|| {
         let t0 = Instant::now();
-        // AssertUnwindSafe: the closure only reads `state`/`ctx` and builds
-        // fresh values; a panic can leave no broken shared state behind.
+        // AssertUnwindSafe: the closure only reads `state`/`ctx`/`cache`
+        // and builds fresh values; a panic can leave no broken shared
+        // state behind.
         match catch_unwind(AssertUnwindSafe(|| {
-            evaluate_candidate_inner(state, t, ctx, fault, paranoia)
+            evaluate_candidate_inner(state, t, ctx, cache, fault, paranoia)
         })) {
             Ok(outcome) => outcome,
             Err(_) => CandOutcome::Panicked { trans: t0.elapsed() },
@@ -614,6 +700,7 @@ fn evaluate_candidate_inner(
     state: &MState,
     t: &Transform,
     ctx: &EvalContext,
+    cache: &EvalCache,
     fault: Option<(&FaultPlan, u64)>,
     paranoia: ParanoiaLevel,
 ) -> CandOutcome {
@@ -629,35 +716,75 @@ fn evaluate_candidate_inner(
     };
     let trans = t0.elapsed();
 
+    // Build the overlay and hash it *before* scheduling: the same hash
+    // keys both the seen-set duplicate filter and the evaluation
+    // cache, so a candidate whose graph was already evaluated (via any
+    // rewrite path) skips the expensive schedule + simulate phases.
     let t0 = Instant::now();
-    let mut child = match MState::from_applied(applied, state, ctx) {
-        Ok(c) => c,
-        Err(EvalError::Apply(_)) => {
-            return CandOutcome::Failed { trans, sched_sim: t0.elapsed() }
+    let overlay = match build_overlay_graph(&applied.base, &applied.ftree) {
+        Ok(g) => g,
+        Err(_) => return CandOutcome::Failed { trans, sched_sim: t0.elapsed() },
+    };
+    let overlay_t = t0.elapsed();
+    let t0 = Instant::now();
+    let hash = graph_hash(&overlay);
+    let hash_t = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (mut child, cache_hit) = match cache.get(hash) {
+        Some(cached) => {
+            // Hash-equal states are interchangeable to the search (the
+            // equivalence the seen-set dedup already relies on), so the
+            // cached state is reused wholesale; staleness is inherited
+            // from every lineage so re-analysis is never skipped.
+            let mut c = cached.clone();
+            c.tree_stale = c.tree_stale || applied.tree_stale || state.tree_stale;
+            (c, true)
         }
-        Err(EvalError::Cost(_)) => {
-            return CandOutcome::BadCost { trans, sched_sim: t0.elapsed() }
+        None => {
+            let eval = match evaluate_overlay(&applied.base, overlay, Some(state), &applied.mutated, ctx)
+            {
+                Ok(e) => e,
+                Err(EvalError::Apply(_)) => {
+                    return CandOutcome::Failed { trans, sched_sim: overlay_t + t0.elapsed() }
+                }
+                Err(EvalError::Cost(_)) => {
+                    return CandOutcome::BadCost { trans, sched_sim: overlay_t + t0.elapsed() }
+                }
+            };
+            let child = MState {
+                base: applied.base,
+                ftree: applied.ftree,
+                eval,
+                tree_stale: applied.tree_stale || state.tree_stale,
+            };
+            (child, false)
         }
     };
-    let sched_sim = t0.elapsed();
+    let sched_sim = overlay_t + t0.elapsed();
 
+    let mut tainted = false;
     if let Some((plan, key)) = fault {
         // Simulates a buggy rewrite: the state's schedule no longer
         // covers the graph exactly once. Only invariant enforcement
-        // can catch this — cost values stay plausible.
+        // can catch this — cost values stay plausible. Injected after
+        // the cache lookup so cached clones replay the fault too.
         if plan.should_inject(FaultSite::CorruptRewrite, key) && child.eval.order.len() >= 2 {
             let first = child.eval.order[0];
             let last = child.eval.order.len() - 1;
             child.eval.order[last] = first;
+            tainted = true;
         }
         // Simulates a defective cost model *after* the (real)
         // evaluation ran, so the defect reaches the always-on cost
         // validation below rather than being pre-empted by it.
         if plan.should_inject(FaultSite::NanCost, key) {
             child.eval.latency = f64::NAN;
+            tainted = true;
         }
         if plan.should_inject(FaultSite::NegativeCost, key) {
             child.eval.latency = -child.eval.latency.abs() - 1.0;
+            tainted = true;
         }
     }
 
@@ -667,13 +794,19 @@ fn evaluate_candidate_inner(
         return CandOutcome::BadCost { trans, sched_sim };
     }
 
-    if paranoia == ParanoiaLevel::All && check_invariants(&child).is_err() {
+    if paranoia == ParanoiaLevel::All && check_invariants(&child, ctx).is_err() {
         return CandOutcome::Invalid { trans, sched_sim };
     }
 
-    let t0 = Instant::now();
-    let hash = graph_hash(&child.eval.graph);
-    CandOutcome::Evaluated { child: Box::new(child), hash, trans, sched_sim, hash_t: t0.elapsed() }
+    CandOutcome::Evaluated {
+        child: Box::new(child),
+        hash,
+        cache_hit,
+        tainted,
+        trans,
+        sched_sim,
+        hash_t,
+    }
 }
 
 // The fan-out shares states and the evaluation context across scoped
@@ -682,6 +815,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<MState>();
     assert_send_sync::<EvalContext>();
+    assert_send_sync::<EvalCache>();
     assert_send_sync::<OptimizerConfig>();
     assert_send_sync::<Transform>();
     assert_send_sync::<FaultPlan>();
@@ -794,19 +928,26 @@ fn write_checkpoint(
     ckpt.write_to(&policy.path)
 }
 
-/// Strikes `family` and, when the strike crosses the quarantine
-/// threshold, records the family-shutdown event.
-fn strike_family(quarantine: &mut Quarantine, family: u8) {
+/// Strikes `family` and, once the family is quarantined, purges its
+/// entries from the evaluation cache — a distrusted rule's cached
+/// results must not resurrect through future hash hits. Returns the
+/// number of cache entries purged.
+fn strike_family(quarantine: &mut Quarantine, cache: &mut EvalCache, family: u8) -> usize {
     let before = quarantine.is_quarantined(family);
     quarantine.strike(family);
-    if !before && quarantine.is_quarantined(family) {
-        core_obs().quarantined_families.inc();
-        magis_obs::event!(
-            "magis_core",
-            "quarantine",
-            family = rules::family_name(family),
-        );
+    let mut purged = 0;
+    if quarantine.is_quarantined(family) {
+        purged = cache.purge_family(family);
+        if !before {
+            core_obs().quarantined_families.inc();
+            magis_obs::event!(
+                "magis_core",
+                "quarantine",
+                family = rules::family_name(family),
+            );
+        }
     }
+    purged
 }
 
 fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> OptimizeResult {
@@ -881,6 +1022,9 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     }
     let mut quarantine = Quarantine::new(cfg.quarantine_threshold);
     quarantine.load(&seed.quarantine);
+    // Not restored on resume: checkpoints don't persist the cache, so
+    // a resumed search starts cold (the first duplicate re-primes it).
+    let mut eval_cache = EvalCache::new(cfg.eval_cache);
 
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     let mut seq = 0usize;
@@ -947,12 +1091,15 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             |i: usize| plan.map(|p| (p, (exp_no_u64 << 20) | (i as u64 & 0xfffff)));
 
         let t_wall = Instant::now();
+        // The cache is frozen (shared borrow) for the whole fan-out:
+        // workers see identical contents regardless of thread count or
+        // completion order; insertions happen below, at the merge.
         let outcomes: Vec<CandOutcome> = if threads > 1 {
             parallel::par_map(threads, &candidates, |i, t| {
                 if start.elapsed() > cfg.budget {
                     CandOutcome::Skipped
                 } else {
-                    evaluate_candidate(&state, t, &cfg.ctx, fault_for(i), cfg.paranoia)
+                    evaluate_candidate(&state, t, &cfg.ctx, &eval_cache, fault_for(i), cfg.paranoia)
                 }
             })
         } else {
@@ -965,7 +1112,8 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     out.push(CandOutcome::Skipped);
                     break;
                 }
-                let o = evaluate_candidate(&state, t, &cfg.ctx, fault_for(i), cfg.paranoia);
+                let o =
+                    evaluate_candidate(&state, t, &cfg.ctx, &eval_cache, fault_for(i), cfg.paranoia);
                 if matches!(o, CandOutcome::Evaluated { .. }) {
                     done += 1;
                 }
@@ -1038,7 +1186,9 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     stats.panicked += 1;
                     obs.panicked.inc();
                     reject("panicked", trans);
-                    strike_family(&mut quarantine, family);
+                    let purged = strike_family(&mut quarantine, &mut eval_cache, family);
+                    stats.eval_cache_purged += purged;
+                    obs.eval_cache_purged.add(purged as u64);
                 }
                 CandOutcome::BadCost { trans, sched_sim } => {
                     stats.trans_time += trans;
@@ -1053,9 +1203,11 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     stats.invariant_rejections += 1;
                     obs.invariant_rejections.inc();
                     reject("invalid", trans + sched_sim);
-                    strike_family(&mut quarantine, family);
+                    let purged = strike_family(&mut quarantine, &mut eval_cache, family);
+                    stats.eval_cache_purged += purged;
+                    obs.eval_cache_purged.add(purged as u64);
                 }
-                CandOutcome::Evaluated { child, hash, trans, sched_sim, hash_t } => {
+                CandOutcome::Evaluated { child, hash, cache_hit, tainted, trans, sched_sim, hash_t } => {
                     stats.trans_time += trans;
                     stats.sched_sim_time += sched_sim;
                     stats.hash_time += hash_t;
@@ -1063,6 +1215,42 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     stats.evaluated += 1;
                     obs.evaluated.inc();
                     let eval_dur = trans + sched_sim + hash_t;
+
+                    // Cache accounting + insertion happen here — on the
+                    // merge thread, in candidate order — so the cache's
+                    // contents and counters are deterministic.
+                    if cache_hit {
+                        stats.eval_cache_hits += 1;
+                        obs.eval_cache_hits.inc();
+                        magis_obs::event!(
+                            "magis_core",
+                            "eval_cache_hit",
+                            expansion = exp_no_u64,
+                            candidate = i,
+                            family = fam_name,
+                        );
+                    } else {
+                        stats.eval_cache_misses += 1;
+                        obs.eval_cache_misses.inc();
+                        // Per-candidate instrumentation is suppressed in
+                        // the evaluation sandbox; re-attribute the
+                        // incremental-scheduling counters here (merge
+                        // thread, candidate order -> deterministic).
+                        if let Some(inc) = child.eval.inc {
+                            obs.incremental_evals.inc();
+                            if inc.carried_won {
+                                obs.incremental_carried_wins.inc();
+                            }
+                            obs.incremental_window.observe(inc.window as f64);
+                        }
+                        // Tainted children (post-eval fault injections)
+                        // and quarantined families are never cached.
+                        if !tainted && !quarantine.is_quarantined(family) {
+                            let evicted = eval_cache.insert(hash, (*child).clone(), family);
+                            stats.eval_cache_evictions += evicted;
+                            obs.eval_cache_evictions.add(evicted as u64);
+                        }
+                    }
 
                     // Cheap duplicate pre-filter before pushing.
                     if seen.contains(hash) {
@@ -1081,12 +1269,14 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     // strikes its rule family.
                     if leads
                         && cfg.paranoia == ParanoiaLevel::Incumbent
-                        && check_invariants(&child).is_err()
+                        && check_invariants(&child, &cfg.ctx).is_err()
                     {
                         stats.invariant_rejections += 1;
                         obs.invariant_rejections.inc();
                         reject("invalid", eval_dur);
-                        strike_family(&mut quarantine, family);
+                        let purged = strike_family(&mut quarantine, &mut eval_cache, family);
+                        stats.eval_cache_purged += purged;
+                        obs.eval_cache_purged.add(purged as u64);
                         continue;
                     }
                     pareto.insert(cost.0, cost.1);
@@ -1153,6 +1343,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
         obs.best_latency.set(best.eval.latency);
         obs.frontier_size.set(queue.len() as f64);
+        obs.eval_cache_size.set(eval_cache.len() as f64);
         obs.expansion_seconds.observe_duration(exp_t0.elapsed());
         if magis_obs::trace::enabled() {
             magis_obs::trace::span_with_dur(
@@ -1215,7 +1406,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     // and keep whichever is better.
     let polished = best.rescheduled(&cfg.ctx);
     if cfg.objective.better_than(polished.cost(), best.cost(), 1.0)
-        && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished).is_ok())
+        && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished, &cfg.ctx).is_ok())
     {
         pareto.insert(polished.eval.peak_bytes, polished.eval.latency);
         best = polished;
@@ -1440,6 +1631,61 @@ mod tests {
         let res = optimize(g, &cfg);
         assert_eq!(res.stats.stop_reason, StopReason::EvalCapReached);
         assert!(res.stats.evaluated <= 30);
+    }
+
+    #[test]
+    fn eval_cache_hits_on_duplicate_states() {
+        // Inverse rules (remat / de-remat etc.) revisit graphs, so a
+        // search long enough to filter duplicates must also score
+        // cache hits — each one skipping schedule + simulate.
+        let g = train_mlp(3);
+        let init = MState::initial(g.clone(), &EvalContext::default());
+        let cfg = quick_cfg(Objective::MinMemory { lat_limit: init.eval.latency * 1.5 });
+        let res = optimize(g, &cfg);
+        assert!(res.stats.eval_cache_hits > 0, "duplicate states served from cache");
+        assert!(res.stats.eval_cache_misses > 0);
+        assert_eq!(
+            res.stats.eval_cache_hits + res.stats.eval_cache_misses,
+            res.stats.evaluated,
+            "every evaluated candidate is either a hit or a miss"
+        );
+    }
+
+    #[test]
+    fn eval_cache_disabled_matches_enabled_trajectory() {
+        // Cache hits clone previously evaluated states that are
+        // bit-identical to re-evaluation, so caching must not change
+        // the search trajectory at all.
+        let g = train_mlp(3);
+        let init = MState::initial(g.clone(), &EvalContext::default());
+        let obj = Objective::MinMemory { lat_limit: init.eval.latency * 1.2 };
+        let on = optimize(g.clone(), &quick_cfg(obj).with_threads(1).with_max_evals(120));
+        let off = optimize(
+            g,
+            &quick_cfg(obj).with_threads(1).with_max_evals(120).with_eval_cache(0),
+        );
+        assert_eq!(on.best.eval.peak_bytes, off.best.eval.peak_bytes);
+        assert_eq!(on.best.eval.latency.to_bits(), off.best.eval.latency.to_bits());
+        assert_eq!(on.stats.evaluated, off.stats.evaluated);
+        assert_eq!(off.stats.eval_cache_hits, 0, "disabled cache never hits");
+    }
+
+    #[test]
+    fn quarantine_purges_eval_cache() {
+        let g = train_mlp(2);
+        let s = MState::initial(g, &EvalContext::default());
+        let mut cache = EvalCache::new(16);
+        cache.insert(11, s.clone(), 4);
+        cache.insert(12, s.clone(), 4);
+        cache.insert(13, s, 5);
+        let mut q = Quarantine::new(2);
+        assert_eq!(strike_family(&mut q, &mut cache, 4), 0, "below threshold: no purge");
+        assert!(cache.get(11).is_some());
+        // Second strike quarantines family 4: its entries must go so a
+        // later hash hit can't resurrect a distrusted rule's result.
+        assert_eq!(strike_family(&mut q, &mut cache, 4), 2);
+        assert!(cache.get(11).is_none() && cache.get(12).is_none());
+        assert!(cache.get(13).is_some(), "other families keep their entries");
     }
 
     #[test]

@@ -21,15 +21,33 @@ pub enum Transform {
     FTree(FTreeMutation),
     /// Re-materialization rule: give `user` a recomputed clone of
     /// `producer` (Fig. 8 (a)/(b)).
-    Remat { producer: NodeId, user: NodeId },
+    Remat {
+        /// The node whose output is recomputed.
+        producer: NodeId,
+        /// The consumer re-routed through the recomputed clone.
+        user: NodeId,
+    },
     /// De-re-materialization: merge duplicate `drop` into `keep`
     /// (Fig. 8 (c)/(d)).
-    DeRemat { keep: NodeId, drop: NodeId },
+    DeRemat {
+        /// The surviving producer.
+        keep: NodeId,
+        /// The duplicate folded into `keep`.
+        drop: NodeId,
+    },
     /// Swapping rule: route `user`'s read of `producer` through
     /// `Store`/`Load` (Fig. 8 (e)).
-    Swap { producer: NodeId, user: NodeId },
+    Swap {
+        /// The node whose output is spilled to host memory.
+        producer: NodeId,
+        /// The consumer re-routed through the `Load`.
+        user: NodeId,
+    },
     /// De-swapping: collapse a `Store`/`Load` pair (Fig. 8 (f)).
-    DeSwap { load: NodeId },
+    DeSwap {
+        /// The `Load` node of the pair being collapsed.
+        load: NodeId,
+    },
     /// A TASO aggregation/interim rule.
     Taso(TasoTransform),
 }

@@ -1,7 +1,7 @@
 //! TASO-style transformation rules (Fig. 1 (a)/(b) of the paper).
 //!
 //! A representative subset of the rule families MAGIS borrows from
-//! TASO [25]:
+//! TASO \[25\]:
 //!
 //! * **A-Trans** — aggregate sibling matmuls/convolutions that share an
 //!   input into one larger kernel plus slices (trades transient memory
@@ -22,14 +22,27 @@ use std::collections::BTreeSet;
 pub enum TasoTransform {
     /// Merge two sibling matmuls `X@W1`, `X@W2` into `X@concat(W1,W2)`
     /// + slices (A-Trans, Fig. 1 (a) left).
-    MergeMatmuls { a: NodeId, b: NodeId },
+    MergeMatmuls {
+        /// First sibling matmul.
+        a: NodeId,
+        /// Second sibling matmul.
+        b: NodeId,
+    },
     /// Merge two sibling convolutions over the same input into one
     /// convolution with concatenated filters + channel slices
     /// (A-Trans, Fig. 1 (a) right).
-    MergeConvs { a: NodeId, b: NodeId },
+    MergeConvs {
+        /// First sibling convolution.
+        a: NodeId,
+        /// Second sibling convolution.
+        b: NodeId,
+    },
     /// Re-associate `(a + b) + c` to `a + (b + c)` (I-Trans,
     /// Fig. 1 (b)).
-    RotateAdd { top: NodeId },
+    RotateAdd {
+        /// The outer `Add` of the re-associated pair.
+        top: NodeId,
+    },
 }
 
 /// Generates TASO candidates.

@@ -18,11 +18,14 @@ use crate::fission::apply_overlay;
 use crate::ftree::FTree;
 use crate::rules::{Applied, ApplyError};
 use magis_graph::graph::{Graph, NodeId};
-use magis_sched::{full_schedule, incremental_schedule, IntervalParams, SchedConfig};
+use magis_sched::{
+    full_schedule, incremental_schedule_profiled, place_swaps_with, IntervalParams, SchedConfig,
+};
 pub use magis_sched::schedule::place_swaps;
-use magis_sim::{CostError, CostModel};
+use magis_sim::{CostError, CostModel, Lifetimes, PerfCache};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why evaluating a state failed: the transform/overlay machinery
 /// rejected it, or the simulator produced a defective cost. Both are
@@ -60,11 +63,34 @@ impl From<CostError> for EvalError {
     }
 }
 
+/// How a candidate derived from a parent state is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Reuse the parent's schedule and memory profile outside the
+    /// rewrite's dirty region: incremental scheduling (Algorithm 2)
+    /// plus delta memory profiling. The default; bit-identical results
+    /// are enforced by debug assertions and `ParanoiaLevel::All`.
+    #[default]
+    Incremental,
+    /// Re-schedule and re-profile every candidate from scratch with
+    /// the full-quality beam — the brute-force baseline the
+    /// `eval_throughput` benchmark compares against.
+    Full,
+}
+
 /// Shared evaluation machinery (cost model + scheduler tuning).
+///
+/// The cost model is held behind a shared [`PerfCache`] so per-operator
+/// latencies are memoized across every candidate evaluation of a
+/// search (the paper's "simulator with an operator performance cache",
+/// §6.2). Construct with [`EvalContext::with_cost`] to target a
+/// non-default device.
 #[derive(Debug, Clone)]
 pub struct EvalContext {
-    /// The device cost model.
-    pub cost: CostModel,
+    /// Memoizing wrapper over the device cost model, shared by all
+    /// evaluation workers. The cache stores exact model outputs, so
+    /// results are bit-identical to querying the model directly.
+    pub perf: Arc<PerfCache>,
     /// Scheduler beam for the initial full schedule (quality-first).
     pub sched: SchedConfig,
     /// Scheduler beam for per-candidate incremental rescheduling —
@@ -73,16 +99,33 @@ pub struct EvalContext {
     pub sched_incremental: SchedConfig,
     /// `GetRescheduleInterval` constants.
     pub interval: IntervalParams,
+    /// Whether derived candidates are evaluated incrementally
+    /// (default) or from scratch.
+    pub mode: EvalMode,
 }
 
 impl Default for EvalContext {
     fn default() -> Self {
+        Self::with_cost(CostModel::default())
+    }
+}
+
+impl EvalContext {
+    /// An evaluation context over `cost` (e.g. a mobile device
+    /// profile), with default scheduler tuning.
+    pub fn with_cost(cost: CostModel) -> Self {
         EvalContext {
-            cost: CostModel::default(),
+            perf: Arc::new(PerfCache::new(cost)),
             sched: SchedConfig::default(),
             sched_incremental: SchedConfig { beam_width: 8, node_budget: 96 },
             interval: IntervalParams::default(),
+            mode: EvalMode::default(),
         }
+    }
+
+    /// The underlying device cost model.
+    pub fn cost(&self) -> &CostModel {
+        self.perf.model()
     }
 }
 
@@ -102,6 +145,27 @@ pub struct Eval {
     pub hotspots_base: BTreeSet<NodeId>,
     /// Position of each base node in `order`.
     pub base_positions: BTreeMap<NodeId, usize>,
+    /// Per-root tensor lifetimes of `order` — the parent table a
+    /// derived candidate's delta memory profile starts from.
+    pub lifetimes: Lifetimes,
+    /// Metadata from the incremental-scheduling path, when it produced
+    /// this evaluation (`None` for full evaluations, initial states,
+    /// and resumed incumbents). Per-candidate instrumentation is
+    /// gate-suppressed inside the search's evaluation sandbox, so the
+    /// optimizer re-attributes these at the merge as the
+    /// `magis_core_incremental_*` metrics.
+    pub inc: Option<IncrementalEvalInfo>,
+}
+
+/// How one incremental evaluation short-circuited (see
+/// [`Eval::inc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalEvalInfo {
+    /// Width of the rescheduled window, in old-schedule steps.
+    pub window: usize,
+    /// Whether the carried-over parent order beat the rescheduled
+    /// window.
+    pub carried_won: bool,
 }
 
 /// An M-State.
@@ -214,7 +278,8 @@ impl MState {
         order: Vec<NodeId>,
         ctx: &EvalContext,
     ) -> Result<MState, EvalError> {
-        let ev = magis_sim::evaluate_checked(&graph, &order, &ctx.cost)?;
+        let (profile, lifetimes) = magis_sim::memory_profile_lifetimes(&graph, &order)?;
+        let ev = magis_sim::evaluate_with_profile(&graph, &order, ctx.perf.as_ref(), profile)?;
         let (hotspots_base, base_positions) = project_to_base(&base, &ev.memory.hotspots, &order);
         let eval = Eval {
             graph,
@@ -223,6 +288,8 @@ impl MState {
             peak_bytes: ev.peak_bytes,
             hotspots_base,
             base_positions,
+            lifetimes,
+            inc: None,
         };
         Ok(MState { base, ftree, eval, tree_stale: true })
     }
@@ -270,31 +337,80 @@ fn evaluate_state(
     ctx: &EvalContext,
 ) -> Result<Eval, EvalError> {
     let g = build_overlay_graph(base, ftree)?;
-    let order = match parent {
+    evaluate_overlay(base, g, parent, mutated, ctx)
+}
+
+/// Evaluates an already-built overlay graph — the optimizer hashes the
+/// overlay for its evaluation cache *before* paying for scheduling and
+/// simulation, then calls this on a miss.
+///
+/// With [`EvalMode::Incremental`] and a parent, the schedule comes
+/// from Algorithm 2 splicing and the memory profile from a delta
+/// update of the parent's lifetime table; both are bit-identical to
+/// the from-scratch path by construction (debug-asserted in
+/// `magis_sim::delta`, re-checked under `ParanoiaLevel::All`).
+pub(crate) fn evaluate_overlay(
+    base: &Graph,
+    g: Graph,
+    parent: Option<&MState>,
+    mutated: &BTreeSet<NodeId>,
+    ctx: &EvalContext,
+) -> Result<Eval, EvalError> {
+    let parent = match ctx.mode {
+        EvalMode::Incremental => parent,
+        EvalMode::Full => None,
+    };
+    let (placed, profile, lifetimes, inc_info) = match parent {
         Some(p) => {
             let s_old: BTreeSet<NodeId> =
                 mutated.iter().copied().filter(|v| p.eval.graph.contains(*v)).collect();
-            incremental_schedule(
+            let inc = incremental_schedule_profiled(
                 &p.eval.graph,
                 &g,
                 &s_old,
                 &p.eval.order,
+                Some(&p.eval.lifetimes),
                 &ctx.sched_incremental,
                 &ctx.interval,
-            )
+            )?;
+            let info =
+                IncrementalEvalInfo { window: inc.window, carried_won: inc.carried_won };
+            let placed = place_swaps_with(&g, &inc.order, ctx.perf.as_ref());
+            if placed == inc.order {
+                (placed, inc.profile, inc.lifetimes, Some(info))
+            } else {
+                // Swap placement moved nodes: delta-update the profile
+                // from the pre-placement order (same graph, so no
+                // touched set beyond the schedule diff).
+                let (profile, lifetimes) = magis_sim::memory_profile_delta(
+                    &g,
+                    &placed,
+                    &g,
+                    &inc.order,
+                    &inc.lifetimes,
+                    &BTreeSet::new(),
+                )?;
+                (placed, profile, lifetimes, Some(info))
+            }
         }
-        None => full_schedule(&g, &ctx.sched),
+        None => {
+            let order = full_schedule(&g, &ctx.sched);
+            let placed = place_swaps_with(&g, &order, ctx.perf.as_ref());
+            let (profile, lifetimes) = magis_sim::memory_profile_lifetimes(&g, &placed)?;
+            (placed, profile, lifetimes, None)
+        }
     };
-    let order = place_swaps(&g, &order, &ctx.cost);
-    let ev = magis_sim::evaluate_checked(&g, &order, &ctx.cost)?;
-    let (hotspots_base, base_positions) = project_to_base(base, &ev.memory.hotspots, &order);
+    let ev = magis_sim::evaluate_with_profile(&g, &placed, ctx.perf.as_ref(), profile)?;
+    let (hotspots_base, base_positions) = project_to_base(base, &ev.memory.hotspots, &placed);
     Ok(Eval {
         graph: g,
-        order,
+        order: placed,
         latency: ev.latency,
         peak_bytes: ev.peak_bytes,
         hotspots_base,
         base_positions,
+        lifetimes,
+        inc: inc_info,
     })
 }
 

@@ -13,6 +13,7 @@ use crate::schedule::stabilize_order;
 use crate::task::SchedTask;
 use magis_graph::algo::reach::Reachability;
 use magis_graph::graph::{Graph, NodeId};
+use magis_sim::{CostError, Lifetimes, MemoryProfile};
 use std::collections::BTreeSet;
 
 /// The empirical constants of `ExtendBound` (Algorithm 2 line 4); the
@@ -79,11 +80,41 @@ pub fn reschedule_interval(
     Some((beg, end + 1))
 }
 
+/// Result of [`incremental_schedule_profiled`]: the chosen order plus
+/// the memory profile and lifetime table that were computed while
+/// choosing it — the evaluation pipeline reuses them instead of
+/// re-profiling from scratch, and carries the lifetimes forward as the
+/// parent table for the *next* incremental step.
+#[derive(Debug, Clone)]
+pub struct IncrementalSchedule {
+    /// A valid topological order of the new graph.
+    pub order: Vec<NodeId>,
+    /// Memory profile of `order` (bit-identical to a full
+    /// [`magis_sim::memory_profile_checked`] of it).
+    pub profile: MemoryProfile,
+    /// Lifetime table of `order`, for the next delta update.
+    pub lifetimes: Lifetimes,
+    /// Width of the rescheduled window (old-schedule steps).
+    pub window: usize,
+    /// Whether the carried-over old order beat the rescheduled window.
+    pub carried_won: bool,
+}
+
 /// Incremental scheduling (Algorithm 2): derives a schedule for
 /// `g_new` from the old schedule `psi_old` of `g_old` and the set of
 /// old nodes `s_old` touched by the transformation.
 ///
 /// The returned order is always a valid topological order of `g_new`.
+///
+/// This compatibility wrapper profiles from scratch; the evaluation
+/// pipeline uses [`incremental_schedule_profiled`] with the parent's
+/// lifetime table so the rescheduled-vs-carried guard runs on delta
+/// profiles instead of two full ones.
+///
+/// # Panics
+///
+/// Panics if memory accounting is not conserved (a corrupt graph or
+/// schedule).
 pub fn incremental_schedule(
     g_old: &Graph,
     g_new: &Graph,
@@ -92,6 +123,33 @@ pub fn incremental_schedule(
     cfg: &SchedConfig,
     params: &IntervalParams,
 ) -> Vec<NodeId> {
+    incremental_schedule_profiled(g_old, g_new, s_old, psi_old, None, cfg, params)
+        .expect("memory accounting conserved")
+        .order
+}
+
+/// [`incremental_schedule`] returning the chosen order *with* its
+/// memory profile and lifetime table.
+///
+/// When `parent_lifetimes` is the table of `(g_old, psi_old)`, both
+/// candidate orders (rescheduled window and carried-over old order)
+/// are profiled by delta update ([`magis_sim::memory_profile_delta`]);
+/// otherwise they are profiled from scratch. Either way the returned
+/// profile/lifetimes are bit-identical to a full recomputation.
+///
+/// # Errors
+///
+/// Returns a typed [`CostError`] on coverage or memory-conservation
+/// defects.
+pub fn incremental_schedule_profiled(
+    g_old: &Graph,
+    g_new: &Graph,
+    s_old: &BTreeSet<NodeId>,
+    psi_old: &[NodeId],
+    parent_lifetimes: Option<&Lifetimes>,
+    cfg: &SchedConfig,
+    params: &IntervalParams,
+) -> Result<IncrementalSchedule, CostError> {
     let start = std::time::Instant::now();
     let mut span = magis_obs::span!("magis_sched", "incremental_schedule", nodes = g_new.len());
     let (beg, end) = match reschedule_interval(g_old, s_old, psi_old, params) {
@@ -100,7 +158,8 @@ pub fn incremental_schedule(
         // their dependencies allow.
         None => (psi_old.len(), psi_old.len()),
     };
-    span.record("window", end.saturating_sub(beg));
+    let window = end.saturating_sub(beg);
+    span.record("window", window);
     let prefix: Vec<NodeId> =
         psi_old[..beg].iter().copied().filter(|&v| g_new.contains(v)).collect();
     let suffix: Vec<NodeId> =
@@ -122,11 +181,15 @@ pub fn incremental_schedule(
     let rescheduled = stabilize_order(g_new, &desired);
     // Guard: rescheduling a window can occasionally lose to simply
     // carrying the old order over (boundary effects). Keep the better
-    // of the two — one extra memory profile is far cheaper than the DP.
+    // of the two — a delta profile is far cheaper than the DP.
     let carried = stabilize_order(g_new, psi_old);
-    let new_peak = magis_sim::memory_profile(g_new, &rescheduled).peak_bytes;
-    let old_peak = magis_sim::memory_profile(g_new, &carried).peak_bytes;
-    let carried_won = new_peak > old_peak;
+    let profile_of = |order: &[NodeId]| match parent_lifetimes {
+        Some(lt) => magis_sim::memory_profile_delta(g_new, order, g_old, psi_old, lt, s_old),
+        None => magis_sim::memory_profile_lifetimes(g_new, order),
+    };
+    let (new_prof, new_lt) = profile_of(&rescheduled)?;
+    let (old_prof, old_lt) = profile_of(&carried)?;
+    let carried_won = new_prof.peak_bytes > old_prof.peak_bytes;
     span.record("carried_won", carried_won);
     {
         use std::sync::OnceLock;
@@ -134,24 +197,39 @@ pub fn incremental_schedule(
             runs: magis_obs::metrics::Counter,
             carried: magis_obs::metrics::Counter,
             seconds: magis_obs::metrics::Histogram,
+            window: magis_obs::metrics::Histogram,
         }
         static OBS: OnceLock<IncObs> = OnceLock::new();
         let obs = OBS.get_or_init(|| IncObs {
             runs: magis_obs::metrics::counter("magis_sched_incremental_runs"),
             carried: magis_obs::metrics::counter("magis_sched_incremental_carried_wins"),
             seconds: magis_obs::metrics::histogram("magis_sched_incremental_seconds"),
+            window: magis_obs::metrics::histogram("magis_sched_incremental_window"),
         });
         obs.runs.inc();
         if carried_won {
             obs.carried.inc();
         }
+        obs.window.observe(window as f64);
         obs.seconds.observe_duration(start.elapsed());
     }
-    if carried_won {
-        carried
+    Ok(if carried_won {
+        IncrementalSchedule {
+            order: carried,
+            profile: old_prof,
+            lifetimes: old_lt,
+            window,
+            carried_won,
+        }
     } else {
-        rescheduled
-    }
+        IncrementalSchedule {
+            order: rescheduled,
+            profile: new_prof,
+            lifetimes: new_lt,
+            window,
+            carried_won,
+        }
+    })
 }
 
 #[cfg(test)]

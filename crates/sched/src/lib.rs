@@ -27,6 +27,8 @@
 //! assert_eq!(order.len(), g.len());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dp;
 pub mod incremental;
 pub mod partition;
@@ -35,8 +37,11 @@ pub mod task;
 pub mod validate;
 
 pub use dp::{dp_schedule, DpResult, SchedConfig};
-pub use incremental::{incremental_schedule, reschedule_interval, IntervalParams};
+pub use incremental::{
+    incremental_schedule, incremental_schedule_profiled, reschedule_interval,
+    IncrementalSchedule, IntervalParams,
+};
 pub use partition::partition;
-pub use schedule::{full_schedule, place_swaps, stabilize_order};
+pub use schedule::{full_schedule, place_swaps, place_swaps_with, stabilize_order};
 pub use task::SchedTask;
 pub use validate::{validate_schedule, Schedule, ScheduleError};

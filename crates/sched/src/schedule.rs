@@ -101,6 +101,19 @@ pub fn positions(g: &Graph, order: &[NodeId]) -> HashMap<NodeId, usize> {
 /// `Store` directly after its producer, every `Load` as late as its
 /// transfer time can still be hidden behind the intervening compute.
 pub fn place_swaps(g: &Graph, order: &[NodeId], cm: &magis_sim::CostModel) -> Vec<NodeId> {
+    place_swaps_with(g, order, cm)
+}
+
+/// [`place_swaps`] over any [`magis_sim::NodeCost`] latency source —
+/// in particular the optimizer's shared [`magis_sim::PerfCache`],
+/// whose memoized latencies make the hide-the-transfer walk-back
+/// cheap across thousands of candidates. Bit-identical to
+/// [`place_swaps`] with the fronted model.
+pub fn place_swaps_with<C: magis_sim::NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+) -> Vec<NodeId> {
     use magis_graph::op::OpKind;
     let swaps: Vec<NodeId> = order
         .iter()

@@ -84,3 +84,138 @@ impl TanhLike for GraphBuilder {
         self.unary(magis_graph::op::UnaryKind::Tanh, x)
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental-rescheduling edge cases: rewrites whose dirty window hits
+// a schedule boundary (graph source / sink) or the peak-memory region
+// itself. Each case checks the two contracts the evaluation pipeline
+// depends on: the merged order is a valid topo order, and the
+// delta-updated profile/lifetime table is bit-identical to a
+// from-scratch recomputation.
+// ---------------------------------------------------------------------------
+
+use magis_graph::algo::is_topo_order;
+use magis_graph::graph::Graph;
+use magis_graph::op::{OpKind, UnaryKind};
+use magis_sched::{incremental_schedule_profiled, IntervalParams};
+use magis_sim::memory_profile_lifetimes;
+
+/// A linear chain with one fat interior activation so the peak-memory
+/// step sits in the middle of the schedule.
+fn chain_graph() -> Graph {
+    let mut b = GraphBuilder::new(DType::F32);
+    let x = b.input([64], "x");
+    let a = b.relu(x);
+    let fat = b.reshape(a, [64]);
+    let big = b.gelu(fat);
+    let c = b.sigmoid(big);
+    let _d = b.relu(c);
+    b.finish()
+}
+
+/// Runs the incremental scheduler with the parent's lifetime table and
+/// asserts validity plus bit-identity of the delta profile against a
+/// full recomputation of the chosen order.
+fn check_incremental(g_old: &Graph, g_new: &Graph, s_old: &BTreeSet<NodeId>) {
+    let cfg = SchedConfig::default();
+    let psi_old = full_schedule(g_old, &cfg);
+    let (_, lt_old) = memory_profile_lifetimes(g_old, &psi_old).expect("old profile");
+    let inc = incremental_schedule_profiled(
+        g_old,
+        g_new,
+        s_old,
+        &psi_old,
+        Some(&lt_old),
+        &cfg,
+        &IntervalParams::default(),
+    )
+    .expect("incremental schedule");
+    assert!(is_topo_order(g_new, &inc.order), "merged order is a valid topo order");
+    assert_eq!(inc.order.len(), g_new.len(), "order covers the new graph");
+    let (full_prof, full_lt) =
+        memory_profile_lifetimes(g_new, &inc.order).expect("full recompute");
+    assert_eq!(inc.profile.peak_bytes, full_prof.peak_bytes, "delta peak bit-identical");
+    assert_eq!(inc.lifetimes, full_lt, "delta lifetime table bit-identical");
+}
+
+#[test]
+fn rewrite_touching_graph_source() {
+    // Insert a node directly after the graph input: the dirty window
+    // starts at schedule position 0, so the re-ordered region has no
+    // clean prefix to splice back.
+    let g_old = chain_graph();
+    let src = g_old.node_ids().find(|&v| g_old.pre(v).is_empty()).expect("source");
+    let user = g_old.suc(src)[0];
+    let mut g_new = g_old.clone();
+    let inserted =
+        g_new.add(OpKind::Unary(UnaryKind::Relu), &[src]).expect("insert after source");
+    g_new.replace_input(user, src, inserted);
+    g_new.validate().expect("valid mutation");
+    let s_old: BTreeSet<NodeId> = [src, user].into_iter().collect();
+    check_incremental(&g_old, &g_new, &s_old);
+}
+
+#[test]
+fn rewrite_touching_graph_sink() {
+    // Append a consumer of the final sink: the dirty window runs to the
+    // end of the old schedule, so there is no clean suffix and the new
+    // node must be placed after everything it depends on.
+    let g_old = chain_graph();
+    let sink = g_old.node_ids().find(|&v| g_old.suc(v).is_empty()).expect("sink");
+    let mut g_new = g_old.clone();
+    g_new.add(OpKind::Unary(UnaryKind::Tanh), &[sink]).expect("append after sink");
+    g_new.validate().expect("valid mutation");
+    let s_old: BTreeSet<NodeId> = [sink].into_iter().collect();
+    check_incremental(&g_old, &g_new, &s_old);
+}
+
+#[test]
+fn fission_style_split_of_peak_region() {
+    // An F-Trans-shaped rewrite of the node executing at the old
+    // schedule's peak step: its output is recomputed as two half-sized
+    // slices that are concatenated back, and the original consumer is
+    // routed through the concat. The dirty window therefore covers the
+    // exact region whose lifetimes defined the old peak, which is the
+    // worst case for the delta profiler's re-basing logic.
+    let g_old = chain_graph();
+    let cfg = SchedConfig::default();
+    let psi_old = full_schedule(&g_old, &cfg);
+    let prof = memory_profile(&g_old, &psi_old);
+    let peak_step = prof
+        .step_bytes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &bytes)| bytes)
+        .map(|(i, _)| i)
+        .expect("non-empty profile");
+    // Pick the node at the peak step, falling back to an interior node
+    // when the peak lands on a boundary op with no inputs.
+    let v = psi_old[peak_step.min(psi_old.len() - 1)];
+    let v = if g_old.pre(v).is_empty() || g_old.suc(v).is_empty() {
+        psi_old
+            .iter()
+            .copied()
+            .find(|&u| !g_old.pre(u).is_empty() && !g_old.suc(u).is_empty())
+            .expect("interior node")
+    } else {
+        v
+    };
+    let src = g_old.pre(v)[0];
+    let user = g_old.suc(v)[0];
+    let n = g_old.node(v).meta.shape.dims()[0];
+    let mut g_new = g_old.clone();
+    let half = n / 2;
+    let s0 = g_new
+        .add(OpKind::Slice { axis: 0, start: 0, len: half }, &[src])
+        .expect("first half");
+    let s1 = g_new
+        .add(OpKind::Slice { axis: 0, start: half, len: n - half }, &[src])
+        .expect("second half");
+    let r0 = g_new.add(g_old.node(v).op.clone(), &[s0]).expect("part 0");
+    let r1 = g_new.add(g_old.node(v).op.clone(), &[s1]).expect("part 1");
+    let cat = g_new.add(OpKind::Concat { axis: 0 }, &[r0, r1]).expect("stitch");
+    g_new.replace_input(user, v, cat);
+    g_new.validate().expect("valid split");
+    let s_old: BTreeSet<NodeId> = [src, v, user].into_iter().collect();
+    check_incremental(&g_old, &g_new, &s_old);
+}

@@ -102,6 +102,47 @@ impl std::fmt::Display for CostError {
 
 impl std::error::Error for CostError {}
 
+/// A source of per-node latencies: the seam that lets the execution
+/// simulator and swap placement run against either the raw analytic
+/// [`CostModel`] or the memoizing [`crate::PerfCache`].
+///
+/// Implementations must be **pure** per `(graph, node)` — the
+/// optimizer's determinism contract and the `--paranoia all`
+/// cross-check both assume a node's latency is the same every time it
+/// is asked for. `PerfCache` qualifies because it stores exact model
+/// outputs.
+pub trait NodeCost {
+    /// Latency of node `v` in seconds, including its fission
+    /// `cost_repeat` multiplier.
+    fn node_latency(&self, g: &Graph, v: NodeId) -> f64;
+
+    /// [`Self::node_latency`] with the result validated: rejects NaN,
+    /// infinite, and negative values with a typed [`CostError`]
+    /// attributing the offending node.
+    fn node_latency_checked(&self, g: &Graph, v: NodeId) -> Result<f64, CostError> {
+        let t = self.node_latency(g, v);
+        if !t.is_finite() {
+            return Err(CostError::NonFiniteLatency { node: Some(v), value: t });
+        }
+        if t < 0.0 {
+            return Err(CostError::NegativeLatency { node: Some(v), value: t });
+        }
+        Ok(t)
+    }
+}
+
+impl NodeCost for CostModel {
+    fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        CostModel::node_latency(self, g, v)
+    }
+}
+
+impl<T: NodeCost + ?Sized> NodeCost for &T {
+    fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        (**self).node_latency(g, v)
+    }
+}
+
 /// The analytic cost model over a fixed [`DeviceSpec`].
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {

@@ -4,7 +4,7 @@
 //! latency (Fig. 2 of the paper) — a swap only costs wall-clock time
 //! when a consumer has to wait for it.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, NodeCost};
 use magis_graph::graph::{Graph, NodeId};
 use std::collections::HashMap;
 
@@ -44,6 +44,18 @@ impl ExecTimeline {
 ///
 /// Panics if `order` doesn't cover the graph.
 pub fn simulate(g: &Graph, order: &[NodeId], cm: &CostModel) -> ExecTimeline {
+    simulate_with(g, order, cm)
+}
+
+/// [`simulate`] over any [`NodeCost`] source — in particular the
+/// memoizing [`crate::PerfCache`], which the optimizer shares across
+/// candidate evaluations. Bit-identical to [`simulate`] with the
+/// fronted model, since `PerfCache` stores exact model outputs.
+///
+/// # Panics
+///
+/// Panics if `order` doesn't cover the graph.
+pub fn simulate_with<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> ExecTimeline {
     assert_eq!(order.len(), g.len(), "schedule must cover the graph");
     let mut finish_at: HashMap<NodeId, f64> = HashMap::with_capacity(order.len());
     let mut finish = Vec::with_capacity(order.len());

@@ -23,16 +23,23 @@
 //! assert!(ev.latency > 0.0 && ev.peak_bytes > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
+pub mod delta;
 pub mod device;
 pub mod exec;
 pub mod memory;
 pub mod profile;
 
-pub use cost::{CostError, CostModel};
+pub use cost::{CostError, CostModel, NodeCost};
+pub use delta::memory_profile_delta;
 pub use device::DeviceSpec;
-pub use exec::{memory_timeline, simulate, simulate_latency, ExecTimeline};
-pub use memory::{memory_profile, memory_profile_checked, storage_root, MemoryProfile};
+pub use exec::{memory_timeline, simulate, simulate_latency, simulate_with, ExecTimeline};
+pub use memory::{
+    memory_profile, memory_profile_checked, memory_profile_lifetimes, storage_root, Lifetimes,
+    MemoryProfile,
+};
 pub use profile::PerfCache;
 
 use magis_graph::graph::{Graph, NodeId};
@@ -118,12 +125,43 @@ fn evaluate_checked_inner(
     // coverage, without which `simulate` below could index with an
     // unscheduled node's position and panic.
     let memory = memory::memory_profile_checked(g, order)?;
+    evaluate_with_profile(g, order, cm, memory)
+}
+
+/// The checked latency half of [`evaluate_checked`], run over an
+/// already-computed memory profile: per-node latency validation, the
+/// two-stream simulation, and total-finiteness checks.
+///
+/// This is the incremental evaluation pipeline's assembly point — the
+/// profile comes from [`memory_profile_lifetimes`] or (for a candidate
+/// derived from a profiled parent) [`memory_profile_delta`], both of
+/// which establish exact schedule coverage. Callers handing in a
+/// profile from anywhere else must have validated coverage themselves:
+/// the simulation panics on wrong-length orders but trusts `memory`.
+///
+/// The latency source is any [`NodeCost`] — pass the shared
+/// [`PerfCache`] to memoize per-operator latencies across candidates.
+///
+/// # Errors
+///
+/// Returns a typed [`CostError`] on NaN/infinite/negative per-node or
+/// total latencies.
+///
+/// # Panics
+///
+/// Panics if `order` has the wrong length for `g`.
+pub fn evaluate_with_profile<C: NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+    memory: MemoryProfile,
+) -> Result<Evaluation, CostError> {
     // Per-node latency check so a defect is attributed to the node
     // that produced it rather than to the aggregate.
     for &v in order {
         cm.node_latency_checked(g, v)?;
     }
-    let timeline = exec::simulate(g, order, cm);
+    let timeline = exec::simulate_with(g, order, cm);
     if !timeline.total.is_finite() {
         return Err(CostError::NonFiniteLatency { node: None, value: timeline.total });
     }

@@ -87,6 +87,25 @@ pub fn memory_profile(g: &Graph, order: &[NodeId]) -> MemoryProfile {
 /// overflow, and negative running usage (conservation violations) all
 /// return errors instead of panicking or wrapping.
 pub fn memory_profile_checked(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError> {
+    check_coverage(g, order)?;
+    profile_impl(g, order)
+}
+
+/// [`memory_profile_checked`] that additionally returns the per-root
+/// [`Lifetimes`] table the profile was swept from, so a later
+/// evaluation of a *derived* graph can update it incrementally with
+/// [`crate::delta::memory_profile_delta`].
+pub fn memory_profile_lifetimes(
+    g: &Graph,
+    order: &[NodeId],
+) -> Result<(MemoryProfile, Lifetimes), CostError> {
+    check_coverage(g, order)?;
+    profile_lifetimes_impl(g, order)
+}
+
+/// Exact schedule-coverage validation shared by every checked profiling
+/// entry point: right length, only live nodes, no duplicates.
+pub(crate) fn check_coverage(g: &Graph, order: &[NodeId]) -> Result<(), CostError> {
     if order.len() != g.len() {
         return Err(CostError::BadSchedule { expected: g.len(), got: order.len() });
     }
@@ -99,28 +118,148 @@ pub fn memory_profile_checked(g: &Graph, order: &[NodeId]) -> Result<MemoryProfi
             return Err(CostError::BadSchedule { expected: g.len(), got: order.len() });
         }
     }
-    profile_impl(g, order)
+    Ok(())
 }
 
-fn profile_impl(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError> {
-    let steps = order.len();
-    if steps == 0 {
-        return Ok(MemoryProfile {
-            peak_bytes: 0,
-            step_bytes: Vec::new(),
-            hotspots: BTreeSet::new(),
-        });
-    }
-    let mut pos = vec![usize::MAX; g.capacity()];
-    for (i, &v) in order.iter().enumerate() {
-        pos[v.index()] = i;
+/// One end of a storage root's lifetime, recorded by *provenance*
+/// rather than by step index: which schedule event pins this end.
+///
+/// Positions in a schedule are distinct, so the minimizing/maximizing
+/// node of a lifetime formula is unique — which makes this
+/// representation canonical for a given `(graph, order)` pair, and
+/// lets an unchanged root's lifetime be *re-based* onto a different
+/// schedule by looking the node up in the new position table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    /// The schedule boundary: step 0 for allocation (graph inputs are
+    /// resident from the start), the last step for free (terminal
+    /// tensors stay live to the end).
+    Boundary,
+    /// Pinned by a specific node's schedule position.
+    At(NodeId),
+}
+
+/// Per-storage-root tensor lifetimes of one scheduled graph, with
+/// endpoints recorded by node provenance (the internal `Endpoint`
+/// type: a boundary or a pinning node) so they survive
+/// re-basing onto a spliced schedule. Produced by
+/// [`memory_profile_lifetimes`], consumed by
+/// [`crate::delta::memory_profile_delta`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lifetimes {
+    /// Schedule length this table was computed against.
+    pub(crate) steps: usize,
+    /// Device bytes per root, indexed by node capacity; 0 = not a
+    /// sized storage root.
+    pub(crate) bytes: Vec<u64>,
+    /// Allocation endpoint, valid where `bytes > 0`.
+    pub(crate) alloc: Vec<Endpoint>,
+    /// Free endpoint (inclusive), valid where `bytes > 0`.
+    pub(crate) free: Vec<Endpoint>,
+}
+
+impl Lifetimes {
+    /// Schedule length the table was computed against.
+    pub fn steps(&self) -> usize {
+        self.steps
     }
 
-    // Per-root lifetime [alloc, free] in step indices (inclusive).
+    /// Number of sized storage roots tracked.
+    pub fn sized_roots(&self) -> usize {
+        self.bytes.iter().filter(|&&b| b > 0).count()
+    }
+
+    pub(crate) fn empty() -> Lifetimes {
+        Lifetimes { steps: 0, bytes: Vec::new(), alloc: Vec::new(), free: Vec::new() }
+    }
+
+    pub(crate) fn with_capacity(steps: usize, cap: usize) -> Lifetimes {
+        Lifetimes {
+            steps,
+            bytes: vec![0; cap],
+            alloc: vec![Endpoint::Boundary; cap],
+            free: vec![Endpoint::Boundary; cap],
+        }
+    }
+
+    /// Recomputes the lifetime entry of storage root `root` from the
+    /// graph, visiting exactly the nodes that share its storage (the
+    /// alias closure). Mirrors the accumulation in
+    /// [`compute_lifetimes`] restricted to one root.
+    pub(crate) fn recompute_root(&mut self, g: &Graph, pos: &[usize], root: NodeId) {
+        let r = root.index();
+        let bytes = device_bytes(g, root);
+        self.bytes[r] = bytes;
+        if bytes == 0 {
+            return;
+        }
+        let node = g.node(root);
+        // Allocation: inputs are resident from step 0; anchored roots
+        // allocate at their anchor; everything else at its own step.
+        let (mut alloc_step, mut alloc_ep) = if node.op.is_input() {
+            (0, Endpoint::Boundary)
+        } else if let Some(anchor) = node.alloc_with {
+            if pos[anchor.index()] < pos[r] {
+                (pos[anchor.index()], Endpoint::At(anchor))
+            } else {
+                (pos[r], Endpoint::At(root))
+            }
+        } else {
+            (pos[r], Endpoint::At(root))
+        };
+        let mut free_step = 0usize;
+        let mut free_ep = Endpoint::At(root);
+        let mut terminal = false;
+        // Members: the root plus every alias chained off it.
+        let mut stack = vec![root];
+        let mut visited = BTreeSet::new();
+        while let Some(v) = stack.pop() {
+            if !visited.insert(v) {
+                continue;
+            }
+            if pos[v.index()] < alloc_step {
+                alloc_step = pos[v.index()];
+                alloc_ep = Endpoint::At(v);
+            }
+            if pos[v.index()] >= free_step {
+                free_step = pos[v.index()];
+                free_ep = Endpoint::At(v);
+            }
+            let mut has_succ = false;
+            for s in g.suc(v) {
+                has_succ = true;
+                if pos[s.index()] > free_step {
+                    free_step = pos[s.index()];
+                    free_ep = Endpoint::At(s);
+                }
+                // Aliases of a member share the root's storage.
+                if g.node(s).op.is_alias() && g.pre(s)[0] == v {
+                    stack.push(s);
+                }
+            }
+            // Terminal tensors (graph outputs) stay live to the end.
+            if !has_succ {
+                terminal = true;
+            }
+        }
+        if terminal {
+            free_ep = Endpoint::Boundary;
+        }
+        self.alloc[r] = alloc_ep;
+        self.free[r] = free_ep;
+    }
+}
+
+/// Computes the full per-root lifetime table of `g` under `order`.
+pub(crate) fn compute_lifetimes(g: &Graph, order: &[NodeId], pos: &[usize]) -> Lifetimes {
+    let steps = order.len();
     let cap = g.capacity();
-    let mut alloc = vec![usize::MAX; cap];
-    let mut free = vec![0usize; cap];
-    let mut sized = vec![0u64; cap];
+    let mut lt = Lifetimes::with_capacity(steps, cap);
+    // Accumulated step values (used only to pick unique endpoints; the
+    // stored representation is the endpoint provenance).
+    let mut alloc_step = vec![usize::MAX; cap];
+    let mut free_step = vec![0usize; cap];
+    let mut terminal = vec![false; cap];
 
     for &v in order {
         let root = storage_root(g, v);
@@ -129,44 +268,84 @@ fn profile_impl(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError>
         if bytes == 0 {
             continue;
         }
-        sized[r] = bytes;
-        // Allocation: inputs are resident from step 0; anchored nodes
-        // allocate at their anchor; everything else at its own step.
-        let own_alloc = if g.node(root).op.is_input() {
-            0
-        } else if let Some(anchor) = g.node(root).alloc_with {
-            pos[anchor.index()].min(pos[r])
-        } else {
-            pos[r]
-        };
-        alloc[r] = alloc[r].min(own_alloc.min(pos[v.index()]));
+        if lt.bytes[r] == 0 {
+            lt.bytes[r] = bytes;
+            // Allocation: inputs are resident from step 0; anchored
+            // roots allocate at their anchor; everything else at their
+            // own step.
+            let node = g.node(root);
+            let (s, ep) = if node.op.is_input() {
+                (0, Endpoint::Boundary)
+            } else if let Some(anchor) = node.alloc_with {
+                if pos[anchor.index()] < pos[r] {
+                    (pos[anchor.index()], Endpoint::At(anchor))
+                } else {
+                    (pos[r], Endpoint::At(root))
+                }
+            } else {
+                (pos[r], Endpoint::At(root))
+            };
+            alloc_step[r] = s;
+            lt.alloc[r] = ep;
+        }
+        if pos[v.index()] < alloc_step[r] {
+            alloc_step[r] = pos[v.index()];
+            lt.alloc[r] = Endpoint::At(v);
+        }
         // Uses of `v` pin the root's storage.
-        let mut last = pos[v.index()];
+        if pos[v.index()] >= free_step[r] && !terminal[r] {
+            free_step[r] = pos[v.index()];
+            lt.free[r] = Endpoint::At(v);
+        }
         for s in g.suc(v) {
-            last = last.max(pos[s.index()]);
+            if pos[s.index()] > free_step[r] && !terminal[r] {
+                free_step[r] = pos[s.index()];
+                lt.free[r] = Endpoint::At(s);
+            }
         }
         // Terminal tensors (graph outputs) stay live to the end.
         if g.node(v).succs().is_empty() {
-            last = steps - 1;
+            terminal[r] = true;
+            lt.free[r] = Endpoint::Boundary;
         }
-        free[r] = free[r].max(last);
     }
+    lt
+}
 
-    // Sweep, with conservation enforced: the running total must stay
-    // within `i64` and never go negative. (`sized` values are tensor
-    // byte counts and fit `i64` by construction of `TensorMeta`, but a
-    // corrupted graph could still overflow the sum.)
+/// Resolves a lifetime table against a position map and sweeps it into
+/// a [`MemoryProfile`], with conservation enforced: the running total
+/// must stay within `i64` and never go negative. (Byte counts fit
+/// `i64` by construction of `TensorMeta`, but a corrupted graph could
+/// still overflow the sum.)
+pub(crate) fn sweep(lt: &Lifetimes, pos: &[usize]) -> Result<MemoryProfile, CostError> {
+    let steps = lt.steps;
+    if steps == 0 {
+        return Ok(MemoryProfile {
+            peak_bytes: 0,
+            step_bytes: Vec::new(),
+            hotspots: BTreeSet::new(),
+        });
+    }
+    let cap = lt.bytes.len();
+    let resolve_alloc = |r: usize| match lt.alloc[r] {
+        Endpoint::Boundary => 0,
+        Endpoint::At(n) => pos[n.index()],
+    };
+    let resolve_free = |r: usize| match lt.free[r] {
+        Endpoint::Boundary => steps - 1,
+        Endpoint::At(n) => pos[n.index()],
+    };
     let mut delta = vec![0i64; steps + 1];
     for r in 0..cap {
-        if alloc[r] != usize::MAX {
-            let bytes = i64::try_from(sized[r])
-                .map_err(|_| CostError::MemoryOverflow { step: alloc[r] })?;
-            delta[alloc[r]] = delta[alloc[r]]
-                .checked_add(bytes)
-                .ok_or(CostError::MemoryOverflow { step: alloc[r] })?;
-            delta[free[r] + 1] = delta[free[r] + 1]
+        if lt.bytes[r] > 0 {
+            let (a, f) = (resolve_alloc(r), resolve_free(r));
+            let bytes =
+                i64::try_from(lt.bytes[r]).map_err(|_| CostError::MemoryOverflow { step: a })?;
+            delta[a] =
+                delta[a].checked_add(bytes).ok_or(CostError::MemoryOverflow { step: a })?;
+            delta[f + 1] = delta[f + 1]
                 .checked_sub(bytes)
-                .ok_or(CostError::MemoryOverflow { step: free[r] + 1 })?;
+                .ok_or(CostError::MemoryOverflow { step: f + 1 })?;
         }
     }
     let mut step_bytes = Vec::with_capacity(steps);
@@ -184,13 +363,41 @@ fn profile_impl(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError>
     for (i, &m) in step_bytes.iter().enumerate() {
         if m == peak_bytes {
             for r in 0..cap {
-                if alloc[r] != usize::MAX && alloc[r] <= i && i <= free[r] {
+                if lt.bytes[r] > 0 && resolve_alloc(r) <= i && i <= resolve_free(r) {
                     hotspots.insert(NodeId::from_index(r));
                 }
             }
         }
     }
     Ok(MemoryProfile { peak_bytes, step_bytes, hotspots })
+}
+
+pub(crate) fn position_table(g: &Graph, order: &[NodeId]) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; g.capacity()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    pos
+}
+
+fn profile_lifetimes_impl(
+    g: &Graph,
+    order: &[NodeId],
+) -> Result<(MemoryProfile, Lifetimes), CostError> {
+    if order.is_empty() {
+        return Ok((
+            MemoryProfile { peak_bytes: 0, step_bytes: Vec::new(), hotspots: BTreeSet::new() },
+            Lifetimes::empty(),
+        ));
+    }
+    let pos = position_table(g, order);
+    let lt = compute_lifetimes(g, order, &pos);
+    let profile = sweep(&lt, &pos)?;
+    Ok((profile, lt))
+}
+
+fn profile_impl(g: &Graph, order: &[NodeId]) -> Result<MemoryProfile, CostError> {
+    profile_lifetimes_impl(g, order).map(|(p, _)| p)
 }
 
 #[cfg(test)]

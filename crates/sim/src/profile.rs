@@ -78,6 +78,16 @@ impl PerfCache {
         self.op_latency(g, v) * g.node(v).cost_repeat as f64
     }
 
+    /// [`Self::node_latency`] validated like
+    /// [`CostModel::node_latency_checked`](crate::CostModel::node_latency_checked).
+    pub fn node_latency_checked(
+        &self,
+        g: &Graph,
+        v: NodeId,
+    ) -> Result<f64, crate::cost::CostError> {
+        crate::cost::NodeCost::node_latency_checked(self, g, v)
+    }
+
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
@@ -91,6 +101,12 @@ impl PerfCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.cache.lock().unwrap().is_empty()
+    }
+}
+
+impl crate::cost::NodeCost for PerfCache {
+    fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        PerfCache::node_latency(self, g, v)
     }
 }
 

@@ -1,6 +1,6 @@
 //! A miniature benchmark harness with a `criterion`-flavoured surface
 //! (`Criterion`, `bench_function`, benchmark groups, the
-//! [`criterion_group!`]/[`criterion_main!`] macros).
+//! `criterion_group!`/`criterion_main!` macros).
 //!
 //! Measurement model: each benchmark first runs a calibration pass to
 //! estimate the per-iteration cost, then runs `sample_size` samples of

@@ -10,7 +10,7 @@
 //!   `seed_from_u64` / `gen_range` / `gen_bool` surface,
 //! * [`prop`] — a miniature property-testing harness (the
 //!   [`proptest!`] macro family) with range/select/vec strategies,
-//! * [`bench`] — a miniature benchmark harness (the
+//! * [`mod@bench`] — a miniature benchmark harness (the
 //!   [`criterion_group!`]/[`criterion_main!`] macro family),
 //! * [`parallel`] — deterministic scoped-thread fan-out
 //!   ([`parallel::par_map`]) used by the parallel candidate-evaluation

@@ -1,5 +1,5 @@
 //! A miniature property-testing harness with a `proptest`-flavoured
-//! surface: the [`proptest!`] macro runs each property over many
+//! surface: the `proptest!` macro runs each property over many
 //! seeded random cases, with `x in strategy` bindings, `prop_assert!`/
 //! `prop_assert_eq!` failure reporting, and `prop_assume!` filtering.
 //!
@@ -134,7 +134,7 @@ pub mod collection {
     use crate::rng::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive length bounds for [`vec`]. Conversions exist only for
+    /// Inclusive length bounds for [`vec()`]. Conversions exist only for
     /// `usize` ranges, so untyped literals like `1..=4` infer `usize`
     /// (mirroring proptest's `SizeRange`).
     pub struct SizeRange {
