@@ -45,6 +45,20 @@ run cargo test -q --test observability
 # eval cache must not perturb the thread-count determinism contract.
 run cargo test -q --test incremental_eval
 
+# Backend registry: every registered device profile evaluates the bench
+# models to finite results, the default profile is bit-identical to the
+# historical cost model, calibration round-trips, and the determinism
+# contract holds per backend.
+run cargo test -q --test backend_registry
+
+# Backend CLI smoke: the registry is reachable end-to-end (--backend-list,
+# a non-default profile, and an unknown name rejected with usage exit 2).
+run ./target/release/magis --backend-list
+run ./target/release/magis inspect --workload unet --scale 0.1 --backend a100
+if ./target/release/magis inspect --workload unet --backend warp-drive 2>/dev/null; then
+    echo "unknown backend was not rejected"; exit 1
+fi
+
 # Crash-recovery smoke: hard-kill a checkpointing CLI search mid-budget,
 # then resume it to completion from the survived checkpoint.
 CKPT="$(mktemp -d)/unet.ckpt"

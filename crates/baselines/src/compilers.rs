@@ -13,7 +13,7 @@
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::OpKind;
-use magis_sim::{memory_profile, CostModel};
+use magis_sim::{memory_profile, NodeCost};
 
 /// Whether `v` can melt into its producer (elementwise epilogue).
 fn fusable(g: &Graph, v: NodeId) -> bool {
@@ -35,7 +35,12 @@ fn fusable(g: &Graph, v: NodeId) -> bool {
 
 /// Latency of `g` under program order with elementwise fusion applied:
 /// fused ops lose their launch overhead and input-read traffic.
-pub fn fused_latency(g: &Graph, order: &[NodeId], cm: &CostModel, fusion_strength: f64) -> f64 {
+pub fn fused_latency<C: NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+    fusion_strength: f64,
+) -> f64 {
     let mut total = 0.0;
     for &v in order {
         let base = cm.node_latency(g, v);
@@ -52,10 +57,10 @@ pub fn fused_latency(g: &Graph, order: &[NodeId], cm: &CostModel, fusion_strengt
     total
 }
 
-fn run_compiler(
+fn run_compiler<C: NodeCost + ?Sized>(
     g: &Graph,
     budget: Option<u64>,
-    cm: &CostModel,
+    cm: &C,
     fusion_strength: f64,
 ) -> BaselineResult {
     let order = crate::pytorch::program_order(g);
@@ -66,12 +71,12 @@ fn run_compiler(
 }
 
 /// TVM/Relay-like: basic memory saving, moderate fusion.
-pub fn run_tvm(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+pub fn run_tvm<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> BaselineResult {
     run_compiler(g, budget, cm, 0.8)
 }
 
 /// Torch-Inductor-like: basic memory saving, aggressive Triton fusion.
-pub fn run_ti(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+pub fn run_ti<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> BaselineResult {
     run_compiler(g, budget, cm, 0.95)
 }
 
@@ -79,6 +84,7 @@ pub fn run_ti(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult 
 mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
+    use magis_sim::CostModel;
 
     #[test]
     fn compilers_faster_than_anchor_same_memory() {

@@ -14,7 +14,7 @@
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_sim::memory::device_bytes;
-use magis_sim::CostModel;
+use magis_sim::NodeCost;
 
 /// Thrash guard: if recomputations exceed this multiple of the graph
 /// size, the run is declared infeasible (the paper's "takes too long"
@@ -36,7 +36,7 @@ struct Runtime<'g> {
 }
 
 impl<'g> Runtime<'g> {
-    fn new(g: &'g Graph, cm: &CostModel) -> Self {
+    fn new<C: NodeCost + ?Sized>(g: &'g Graph, cm: &C) -> Self {
         let cap = g.capacity();
         let mut cost = vec![0.0; cap];
         let mut size = vec![0u64; cap];
@@ -133,7 +133,7 @@ impl<'g> Runtime<'g> {
 }
 
 /// Runs the DTR runtime simulation.
-pub fn run(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+pub fn run<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> BaselineResult {
     let order = crate::pytorch::program_order(g);
     let Some(b) = budget else {
         let ev = magis_sim::evaluate(g, &order, cm);
@@ -181,6 +181,7 @@ pub fn run(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
 mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
+    use magis_sim::CostModel;
 
     fn anchor(g: &Graph, cm: &CostModel) -> BaselineResult {
         crate::pytorch::run(g, cm)

@@ -26,7 +26,7 @@ pub mod pytorch;
 pub mod xla;
 
 use magis_graph::graph::Graph;
-use magis_sim::CostModel;
+use magis_sim::NodeCost;
 
 /// Outcome of one baseline run at one memory budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,7 +82,16 @@ impl BaselineKind {
     }
 
     /// Runs the baseline on `g` under an optional memory budget.
-    pub fn run(&self, g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+    ///
+    /// Generic over [`NodeCost`], so baselines run under any registered
+    /// backend (or a [`magis_sim::PerfCache`]) — not just the concrete
+    /// default cost model.
+    pub fn run<C: NodeCost + ?Sized>(
+        &self,
+        g: &Graph,
+        budget: Option<u64>,
+        cm: &C,
+    ) -> BaselineResult {
         match self {
             BaselineKind::PyTorch => pytorch::run(g, cm),
             BaselineKind::Pofo => pofo::run(g, budget, cm),
@@ -98,6 +107,7 @@ impl BaselineKind {
 mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
+    use magis_sim::CostModel;
 
     #[test]
     fn all_baselines_run_unconstrained() {

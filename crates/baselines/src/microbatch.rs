@@ -9,7 +9,7 @@
 
 use crate::{pofo, BaselineResult};
 use magis_graph::grad::TrainingGraph;
-use magis_sim::CostModel;
+use magis_sim::NodeCost;
 
 /// Runs POFO on a micro-batched rebuild of a workload.
 ///
@@ -17,12 +17,12 @@ use magis_sim::CostModel;
 /// size; `full_batch` is the original size and `factor` the number of
 /// micro-batches (`full_batch % factor == 0` expected — the builder
 /// receives `full_batch / factor`).
-pub fn run_with_pofo(
+pub fn run_with_pofo<C: NodeCost + ?Sized>(
     build: impl Fn(u64) -> TrainingGraph,
     full_batch: u64,
     factor: u64,
     budget: Option<u64>,
-    cm: &CostModel,
+    cm: &C,
 ) -> BaselineResult {
     assert!(factor >= 1 && full_batch >= factor, "factor must divide the batch sensibly");
     let micro = build((full_batch / factor).max(1));
@@ -46,6 +46,7 @@ pub fn run_with_pofo(
 mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
+    use magis_sim::CostModel;
 
     fn build(batch: u64) -> TrainingGraph {
         // Activation-dominated regime (micro-batching cannot shrink

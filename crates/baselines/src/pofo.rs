@@ -25,7 +25,7 @@
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_sched::{place_swaps, stabilize_order};
-use magis_sim::{memory_profile, CostModel};
+use magis_sim::{memory_profile, NodeCost};
 
 /// Minimum tensor size POFO bothers to manage.
 const MIN_BYTES: u64 = 1 << 16;
@@ -44,7 +44,7 @@ struct Plan {
 
 /// Identifies chain-manageable long-lived activations and their
 /// cheapest eviction plan.
-fn plans(g: &Graph, order: &[NodeId], cm: &CostModel) -> Vec<Plan> {
+fn plans<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> Vec<Plan> {
     let n = order.len();
     let mut pos = vec![usize::MAX; g.capacity()];
     for (i, &v) in order.iter().enumerate() {
@@ -108,7 +108,7 @@ fn plans(g: &Graph, order: &[NodeId], cm: &CostModel) -> Vec<Plan> {
 }
 
 /// Runs the POFO-like planner under `budget`.
-pub fn run(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+pub fn run<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> BaselineResult {
     let order0 = crate::pytorch::program_order(g);
     let base = memory_profile(g, &order0);
     let base_lat = magis_sim::simulate_latency(g, &order0, cm);
@@ -179,6 +179,7 @@ mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
     use magis_models::unet::{unet, UNetConfig};
+    use magis_sim::CostModel;
 
     #[test]
     fn chain_network_optimizes_well() {

@@ -6,7 +6,7 @@
 use crate::BaselineResult;
 use magis_graph::algo::topo_order;
 use magis_graph::graph::{Graph, NodeId};
-use magis_sim::{evaluate, CostModel};
+use magis_sim::{evaluate, NodeCost};
 
 /// The program order: deterministic Kahn order (builder creation order
 /// wherever dependencies allow — what an eager framework executes).
@@ -15,7 +15,7 @@ pub fn program_order(g: &Graph) -> Vec<NodeId> {
 }
 
 /// Runs the anchor: no transformations, no re-ordering.
-pub fn run(g: &Graph, cm: &CostModel) -> BaselineResult {
+pub fn run<C: NodeCost + ?Sized>(g: &Graph, cm: &C) -> BaselineResult {
     let order = program_order(g);
     let ev = evaluate(g, &order, cm);
     BaselineResult { peak_bytes: ev.peak_bytes, latency: ev.latency, feasible: true }
@@ -25,6 +25,7 @@ pub fn run(g: &Graph, cm: &CostModel) -> BaselineResult {
 mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
+    use magis_sim::CostModel;
 
     #[test]
     fn anchor_is_deterministic() {

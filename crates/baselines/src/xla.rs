@@ -11,7 +11,7 @@ use crate::compilers::fused_latency;
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_sched::stabilize_order;
-use magis_sim::{memory_profile, storage_root, CostModel};
+use magis_sim::{memory_profile, storage_root, NodeCost};
 
 /// Maximum rematerializations before declaring the budget unreachable.
 const MAX_REMATS: usize = 4000;
@@ -22,7 +22,7 @@ fn rematable(g: &Graph, v: NodeId) -> bool {
 }
 
 /// Runs the greedy rematerialization planner.
-pub fn run(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
+pub fn run<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> BaselineResult {
     let mut g = g.clone();
     let mut order = crate::pytorch::program_order(&g);
     let mut prof = memory_profile(&g, &order);
@@ -127,6 +127,7 @@ pub fn run(g: &Graph, budget: Option<u64>, cm: &CostModel) -> BaselineResult {
 mod tests {
     use super::*;
     use magis_models::mlp::{mlp, MlpConfig};
+    use magis_sim::CostModel;
 
     #[test]
     fn remat_meets_moderate_budget_with_latency_cost() {

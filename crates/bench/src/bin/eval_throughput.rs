@@ -4,21 +4,27 @@
 //! (every candidate re-scheduled with the quality beam and re-profiled
 //! from scratch, cache off).
 //!
-//! Both runs search the same workload under the same objective and the
+//! All runs search the same workload under the same objective and the
 //! same evaluation cap; the figure of merit is candidates evaluated
-//! per second of evaluation wall-clock. Results print as a table, land
-//! in `results/eval_throughput.csv`, and are recorded as
-//! `BENCH_eval.json` in the working directory (committed at the repo
-//! root so the trajectory is tracked across changes — see
-//! EXPERIMENTS.md for how to regenerate and read it).
+//! per second of evaluation wall-clock. Three incremental variants are
+//! measured: single-threaded on the default `rtx3090` backend (the
+//! headline against the full baseline), multi-threaded on the same
+//! backend, and single-threaded on the `a100` backend (the registry's
+//! server-class profile — throughput is backend-independent, so this
+//! guards the generic `NodeCost` plumbing against regressions).
+//! Results print as a table, land in `results/eval_throughput.csv`,
+//! and are recorded as `BENCH_eval.json` in the working directory
+//! (committed at the repo root so the trajectory is tracked across
+//! changes — see EXPERIMENTS.md for how to regenerate and read it).
 
 use magis_bench::{print_table, ExpOpts};
 use magis_core::optimizer::{optimize, Objective, OptimizerConfig, OptimizerStats};
 use magis_core::state::{EvalContext, EvalMode, MState};
 use magis_models::Workload;
+use magis_sim::{Backend, BackendRegistry, DEFAULT_BACKEND};
 use std::time::Instant;
 
-/// Evaluation cap shared by both modes: high enough that per-candidate
+/// Evaluation cap shared by all modes: high enough that per-candidate
 /// costs dominate, low enough that the full-evaluation baseline
 /// finishes quickly at bench scale.
 const MAX_EVALS: usize = 240;
@@ -28,15 +34,22 @@ struct ModeRun {
     stats: OptimizerStats,
 }
 
-fn run_mode(g: &magis_graph::graph::Graph, mode: EvalMode, opts: &ExpOpts) -> ModeRun {
-    let ctx = EvalContext::default();
+fn run_mode(
+    g: &magis_graph::graph::Graph,
+    mode: EvalMode,
+    backend: &Backend,
+    threads: usize,
+    opts: &ExpOpts,
+) -> ModeRun {
+    let ctx = EvalContext::for_backend(backend);
     let init = MState::initial(g.clone(), &ctx);
     let mut cfg = OptimizerConfig::new(Objective::MinMemory {
         lat_limit: init.eval.latency * 1.25,
     })
     .with_budget(opts.budget)
     .with_max_evals(MAX_EVALS)
-    .with_threads(1);
+    .with_threads(threads);
+    cfg.ctx = ctx;
     cfg.ctx.mode = mode;
     if mode == EvalMode::Full {
         // The baseline is brute force end to end: no memoized reuse of
@@ -51,6 +64,10 @@ fn run_mode(g: &magis_graph::graph::Graph, mode: EvalMode, opts: &ExpOpts) -> Mo
 
 fn main() {
     let opts = ExpOpts::from_args();
+    let registry = BackendRegistry::builtin();
+    let default_backend = registry.get(DEFAULT_BACKEND).expect("default backend registered");
+    let alt_backend = registry.get("a100").expect("a100 backend registered");
+    let mt_threads = magis_util::parallel::available_threads().clamp(2, 4);
     let models = [(Workload::UNet, 0.15), (Workload::BertBase, 0.1)];
     let mut rows = Vec::new();
     let mut json_models = Vec::new();
@@ -59,8 +76,10 @@ fn main() {
         // scale; --scale acts as a multiplier around it, capped at 2x.
         let scale = rel * (opts.scale / 0.5).min(2.0);
         let g = w.build(scale).graph;
-        let full = run_mode(&g, EvalMode::Full, &opts);
-        let inc = run_mode(&g, EvalMode::Incremental, &opts);
+        let full = run_mode(&g, EvalMode::Full, default_backend, 1, &opts);
+        let inc = run_mode(&g, EvalMode::Incremental, default_backend, 1, &opts);
+        let inc_mt = run_mode(&g, EvalMode::Incremental, default_backend, mt_threads, &opts);
+        let inc_alt = run_mode(&g, EvalMode::Incremental, alt_backend, 1, &opts);
         let speedup = inc.cands_per_sec / full.cands_per_sec.max(1e-9);
         rows.push(vec![
             w.label().to_string(),
@@ -68,6 +87,8 @@ fn main() {
             format!("{}", full.stats.evaluated),
             format!("{:.1}", full.cands_per_sec),
             format!("{:.1}", inc.cands_per_sec),
+            format!("{:.1}", inc_mt.cands_per_sec),
+            format!("{:.1}", inc_alt.cands_per_sec),
             format!("{:.2}x", speedup),
             format!("{}", inc.stats.eval_cache_hits),
         ]);
@@ -75,6 +96,8 @@ fn main() {
             concat!(
                 "    {{\"model\": \"{}\", \"scale\": {:.4}, \"evaluated\": {}, ",
                 "\"full_cands_per_sec\": {:.2}, \"incremental_cands_per_sec\": {:.2}, ",
+                "\"incremental_mt_cands_per_sec\": {:.2}, \"mt_threads\": {}, ",
+                "\"a100_cands_per_sec\": {:.2}, ",
                 "\"speedup\": {:.3}, \"eval_cache_hits\": {}}}"
             ),
             w.label(),
@@ -82,13 +105,25 @@ fn main() {
             inc.stats.evaluated,
             full.cands_per_sec,
             inc.cands_per_sec,
+            inc_mt.cands_per_sec,
+            mt_threads,
+            inc_alt.cands_per_sec,
             speedup,
             inc.stats.eval_cache_hits,
         ));
         println!("  {} done ({speedup:.2}x)", w.label());
     }
-    let header =
-        ["model", "scale", "evaluated", "full c/s", "incremental c/s", "speedup", "cache hits"];
+    let header = [
+        "model",
+        "scale",
+        "evaluated",
+        "full c/s",
+        "inc c/s",
+        "inc-mt c/s",
+        "a100 c/s",
+        "speedup",
+        "cache hits",
+    ];
     print_table("Candidate-evaluation throughput: incremental vs full", &header, &rows);
     opts.write_csv("eval_throughput.csv", &header, &rows);
     let json = format!(

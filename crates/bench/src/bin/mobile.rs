@@ -1,25 +1,26 @@
 //! Extension experiment E2: the paper's §1 motivation includes DNN
 //! deployment on mobile devices ("a few tens of GB … many background
 //! applications may reside in memory"). This binary contrasts the
-//! memory/latency trade-off MAGIS finds on the RTX-3090-class profile
-//! vs. a mobile-class profile for the same (scaled) workload: the
-//! mobile device's slower link makes swapping relatively costlier, so
-//! the optimizer leans further on fission and re-materialization.
+//! memory/latency trade-off MAGIS finds across every backend profile
+//! in the built-in registry (RTX-3090, A100, mobile, TPU-like) for the
+//! same (scaled) workload: e.g. the mobile device's slower link makes
+//! swapping relatively costlier, so the optimizer leans further on
+//! fission and re-materialization.
 
 use magis_bench::{print_table, ExpOpts};
 use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
 use magis_core::state::{EvalContext, MState};
 use magis_graph::op::OpKind;
 use magis_models::Workload;
-use magis_sim::{CostModel, DeviceSpec};
+use magis_sim::BackendRegistry;
 
 fn main() {
     let opts = ExpOpts::from_args();
     let tg = Workload::BertBase.build(opts.scale.min(0.35));
     let mut rows = Vec::new();
-    for device in [DeviceSpec::rtx3090(), DeviceSpec::mobile()] {
-        let name = device.name;
-        let ctx = EvalContext::with_cost(CostModel::new(device));
+    for backend in BackendRegistry::builtin().iter() {
+        let name = backend.name().to_string();
+        let ctx = EvalContext::for_backend(backend);
         let init = MState::initial(tg.graph.clone(), &ctx);
         let mut cfg = OptimizerConfig::new(Objective::MinMemory {
             lat_limit: init.eval.latency * 1.10,
@@ -40,7 +41,7 @@ fn main() {
             .count();
         let fissions = best.ftree.enabled_order().len();
         rows.push(vec![
-            name.to_string(),
+            name.clone(),
             format!("{:.1}", init.eval.latency * 1e3),
             format!("{:.3}", best.eval.peak_bytes as f64 / init.eval.peak_bytes as f64),
             format!("{:+.1}%", 100.0 * (best.eval.latency / init.eval.latency - 1.0)),

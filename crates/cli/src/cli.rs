@@ -14,7 +14,7 @@ use magis_core::state::{EvalContext, EvalMode, MState};
 use magis_graph::graph::Graph;
 use magis_graph::io::{to_dot, to_text, DotOptions};
 use magis_models::Workload;
-use magis_sim::CostModel;
+use magis_sim::{Backend, BackendRegistry, CostModel, DEFAULT_BACKEND};
 use std::collections::HashMap;
 use std::path::Path;
 use std::time::Duration;
@@ -25,9 +25,10 @@ magis — MAGIS memory optimizer (ASPLOS'24 reproduction)
 
 USAGE:
   magis list
-  magis inspect  --workload NAME [--scale F]
+  magis inspect  --workload NAME [--scale F] [--backend NAME]
   magis optimize --workload NAME [--scale F] [--mode memory|latency]
                  [--limit F] [--budget-ms N] [--threads N]
+                 [--backend NAME] [--calibrate FILE]
                  [--paranoia off|incumbent|all]
                  [--eval incremental|full] [--eval-cache N]
                  [--checkpoint FILE] [--checkpoint-every N]
@@ -36,9 +37,21 @@ USAGE:
                  [--budget-ms N] [--threads N] [...]
   magis baseline --workload NAME --system pofo|dtr|xla|tvm|ti
                  [--scale F] [--budget-ratio F]
+                 [--backend NAME] [--calibrate FILE]
   magis trace-check --trace FILE
+  magis --backend-list
 
 WORKLOADS: resnet50 bert vit unet unetpp gpt-neo btlm
+
+BACKENDS:
+  --backend NAME  cost-model backend profile (default: rtx3090).
+                  `magis --backend-list` prints every registered
+                  profile with its device spec and efficiencies.
+  --calibrate F   refit the chosen backend against a measured JSONL
+                  trace (one {\"class\",\"flops\",\"bytes\",\"latency_s\"}
+                  object per line): per-class efficiencies and launch
+                  overhead are re-estimated by least squares before
+                  the backend is used.
 
 MODES (optimize):
   memory   minimize peak memory; --limit is the allowed latency factor
@@ -67,8 +80,10 @@ OPTIONS (optimize):
                   --checkpoint-every evaluations (default 64) and at
                   search end. Written atomically (temp + rename).
   --resume F      continue a search from checkpoint F. Budget, thread
-                  count, mode, and limit come from the command line,
-                  not the checkpoint; the workload flag is not needed.
+                  count, mode, limit, and backend come from the command
+                  line, not the checkpoint (re-pass --backend if the
+                  original run used one); the workload flag is not
+                  needed.
 
 OBSERVABILITY (optimize):
   --trace-out F   record a structured trace of the search (spans for
@@ -154,8 +169,66 @@ fn gib(bytes: u64) -> f64 {
     bytes as f64 / (1u64 << 30) as f64
 }
 
+/// Resolves `--backend` (default `rtx3090`) against the built-in
+/// registry, then applies `--calibrate FILE` when present: the trace
+/// is parsed as JSONL and the backend refit by least squares.
+fn backend_for(flags: &HashMap<String, String>) -> Result<Backend, CliError> {
+    let reg = BackendRegistry::builtin();
+    let name = flags.get("backend").map(String::as_str).unwrap_or(DEFAULT_BACKEND);
+    let base = reg.get(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown backend '{name}' (available: {})",
+            reg.names().join(", ")
+        ))
+    })?;
+    match flags.get("calibrate") {
+        None => Ok(base.clone()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
+            let samples = magis_sim::calibrate::parse_trace(&text)
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            base.calibrated(format!("{name}-calibrated"), &samples)
+                .map_err(|e| CliError::Runtime(format!("calibrating against {path}: {e}")))
+        }
+    }
+}
+
+/// Prints the `--backend-list` table: every registered profile with
+/// its headline device numbers and per-class efficiencies.
+fn backend_list() {
+    let reg = BackendRegistry::builtin();
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} {:>9}  efficiencies (mm/bmm/conv/norm/other)",
+        "backend", "TFLOP/s", "mem GB/s", "cap GiB", "launch µs"
+    );
+    for b in reg.iter() {
+        let d = b.device();
+        let e = b.efficiency();
+        println!(
+            "{:<10} {:>9.1} {:>9.0} {:>8.1} {:>9.2}  {:.2}/{:.2}/{:.2}/{:.2}/{:.2}",
+            b.name(),
+            d.peak_flops / 1e12,
+            d.mem_bandwidth / 1e9,
+            gib(d.mem_capacity),
+            d.launch_overhead * 1e6,
+            e.matmul,
+            e.batch_matmul,
+            e.conv,
+            e.normalization,
+            e.other
+        );
+    }
+}
+
 /// Entry point, separated from `main` for testability.
 pub fn run(args: &[String]) -> Result<(), CliError> {
+    // `--backend-list` is valueless, so it is handled before the
+    // `--name value` flag parser sees it.
+    if args.iter().any(|a| a == "--backend-list") {
+        backend_list();
+        return Ok(());
+    }
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage("missing subcommand".into()));
     };
@@ -184,9 +257,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 fn inspect(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let w = workload(flags)?;
     let scale = f64_flag(flags, "scale", 0.5)?;
+    let backend = backend_for(flags)?;
     let tg = w.build(scale);
     let g = &tg.graph;
-    let ctx = EvalContext::default();
+    let ctx = EvalContext::for_backend(&backend);
     let state = MState::initial(g.clone(), &ctx);
     let params: u64 = g
         .node_ids()
@@ -197,7 +271,11 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), CliError> {
     println!("  nodes:       {}", g.len());
     println!("  parameters:  {:.3} GiB", gib(params));
     println!("  peak memory: {:.3} GiB (program order)", gib(state.eval.peak_bytes));
-    println!("  latency:     {:.2} ms (simulated rtx3090)", state.eval.latency * 1e3);
+    println!(
+        "  latency:     {:.2} ms (simulated {})",
+        state.eval.latency * 1e3,
+        backend.name()
+    );
     println!("  hot-spots:   {}", state.eval.hotspots_base.len());
     Ok(())
 }
@@ -225,6 +303,7 @@ fn objective_for(
 fn search_config(
     flags: &HashMap<String, String>,
     objective: Objective,
+    backend: &Backend,
 ) -> Result<OptimizerConfig, CliError> {
     let budget = f64_flag(flags, "budget-ms", 15_000.0)?;
     let threads = usize_flag(flags, "threads", magis_util::parallel::available_threads())?;
@@ -238,6 +317,7 @@ fn search_config(
         .with_budget(Duration::from_millis(budget as u64))
         .with_threads(threads)
         .with_paranoia(paranoia);
+    cfg.ctx = EvalContext::for_backend(backend);
     cfg.ctx.mode = match flags.get("eval").map(String::as_str) {
         None | Some("incremental") => EvalMode::Incremental,
         Some("full") => EvalMode::Full,
@@ -362,7 +442,7 @@ fn report_result(
     let best = &res.best;
     print_summary(seed_cost, res);
     if let Some(emit) = flags.get("emit") {
-        let text = render(best, emit)?;
+        let text = render(best, emit, &CostModel::for_backend(&backend_for(flags)?))?;
         match flags.get("out") {
             Some(path) => std::fs::write(path, text)
                 .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
@@ -387,11 +467,12 @@ fn cmd_optimize_inner(flags: &HashMap<String, String>, mode: &str) -> Result<(),
     // Resume path: everything about the search state comes from the
     // checkpoint; everything about *how to keep searching* (budget,
     // threads, mode, limit, paranoia) comes from the command line.
+    let backend = backend_for(flags)?;
     if let Some(path) = flags.get("resume") {
         let ckpt = SearchCheckpoint::read_from(Path::new(path))
             .map_err(|e| CliError::Runtime(format!("loading checkpoint: {e}")))?;
         let objective = objective_for(flags, mode, ckpt.seed_cost)?;
-        let cfg = search_config(flags, objective)?;
+        let cfg = search_config(flags, objective, &backend)?;
         eprintln!(
             "resuming from {path}: incumbent {:.3} GiB / {:.2} ms after {} evaluations",
             gib(ckpt.best_cost.0),
@@ -406,24 +487,25 @@ fn cmd_optimize_inner(flags: &HashMap<String, String>, mode: &str) -> Result<(),
     let w = workload(flags)?;
     let scale = f64_flag(flags, "scale", 0.5)?;
     let tg = w.build(scale);
-    let ctx = EvalContext::default();
+    let ctx = EvalContext::for_backend(&backend);
     let init = MState::try_initial(tg.graph.clone(), &ctx)
         .map_err(|e| CliError::Runtime(format!("evaluating the seed graph: {e}")))?;
     let objective = objective_for(flags, mode, init.cost())?;
     eprintln!(
-        "{}: {} nodes, baseline {:.3} GiB / {:.2} ms; optimizing ({mode})…",
+        "{}: {} nodes, baseline {:.3} GiB / {:.2} ms on {}; optimizing ({mode})…",
         w.label(),
         tg.graph.len(),
         gib(init.eval.peak_bytes),
-        init.eval.latency * 1e3
+        init.eval.latency * 1e3,
+        backend.name()
     );
-    let cfg = search_config(flags, objective)?;
+    let cfg = search_config(flags, objective, &backend)?;
     let res = try_optimize(tg.graph, &cfg)
         .map_err(|e| CliError::Runtime(format!("optimizing: {e}")))?;
     report_result(flags, init.cost(), &res)
 }
 
-fn render(best: &MState, emit: &str) -> Result<String, CliError> {
+fn render(best: &MState, emit: &str, cm: &CostModel) -> Result<String, CliError> {
     match emit {
         "dot" => Ok(to_dot(&best.eval.graph, &DotOptions::default())),
         "text" => Ok(to_text(&best.eval.graph)),
@@ -435,7 +517,7 @@ fn render(best: &MState, emit: &str) -> Result<String, CliError> {
                     .map_err(|e| CliError::Runtime(format!("materializing fission: {e}")))?;
             }
             let order = magis_sched::full_schedule(&g, &Default::default());
-            let order = magis_sched::place_swaps(&g, &order, &CostModel::default());
+            let order = magis_sched::place_swaps(&g, &order, cm);
             generate_pytorch(&g, &order).map_err(|e| CliError::Runtime(e.to_string()))
         }
         other => Err(CliError::Usage(format!("unknown --emit format '{other}'"))),
@@ -456,15 +538,17 @@ fn cmd_baseline(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "ti" | "torch-inductor" => BaselineKind::TorchInductor,
         other => return Err(CliError::Usage(format!("unknown system '{other}'"))),
     };
+    let backend = backend_for(flags)?;
     let tg = w.build(scale);
-    let cm = CostModel::default();
+    let cm = CostModel::for_backend(&backend);
     let anchor = magis_baselines::pytorch::run(&tg.graph, &cm);
     let ratio = f64_flag(flags, "budget-ratio", 0.8)?;
     let r = kind.run(&tg.graph, Some((anchor.peak_bytes as f64 * ratio) as u64), &cm);
     println!(
-        "{} on {} @ {:.0}% budget: peak {:.3} GiB ({:.1}%), latency {:+.1}%, {}",
+        "{} on {} ({}) @ {:.0}% budget: peak {:.3} GiB ({:.1}%), latency {:+.1}%, {}",
         kind.label(),
         w.label(),
+        backend.name(),
         ratio * 100.0,
         gib(r.peak_bytes),
         100.0 * r.peak_bytes as f64 / anchor.peak_bytes as f64,
@@ -550,6 +634,69 @@ mod tests {
     #[test]
     fn inspect_runs_small() {
         run(&s(&["inspect", "--workload", "unet", "--scale", "0.1"])).unwrap();
+    }
+
+    #[test]
+    fn backend_list_runs() {
+        run(&s(&["--backend-list"])).unwrap();
+        // Valueless flag works in any position, even mid-command.
+        run(&s(&["inspect", "--backend-list"])).unwrap();
+    }
+
+    #[test]
+    fn backend_selection_and_errors() {
+        run(&s(&["inspect", "--workload", "unet", "--scale", "0.1", "--backend", "a100"]))
+            .unwrap();
+        run(&s(&[
+            "baseline", "--workload", "bert", "--system", "tvm", "--scale", "0.1",
+            "--backend", "mobile",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            run(&s(&["inspect", "--workload", "unet", "--backend", "cray-1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["inspect", "--workload", "unet", "--calibrate", "/nonexistent.jsonl"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn calibrate_flag_round_trips() {
+        use magis_sim::backend::OpClass;
+        let reg = BackendRegistry::builtin();
+        let tpu = reg.get("tpu").unwrap();
+        let samples = magis_sim::calibrate::synthesize_trace(
+            tpu,
+            &[
+                (OpClass::MatMul, 4.0e12, 3.0e7),
+                (OpClass::MatMul, 8.0e12, 6.0e7),
+                (OpClass::Conv, 2.0e12, 5.0e7),
+                (OpClass::Conv, 6.0e12, 1.5e8),
+                (OpClass::Other, 1.0e7, 4.0e8),
+                (OpClass::Other, 2.0e7, 8.0e8),
+            ],
+        );
+        let path = "/tmp/magis_cli_calibrate_test.jsonl";
+        std::fs::write(path, magis_sim::calibrate::render_trace(&samples)).unwrap();
+        // Calibrating the tpu profile against its own synthetic trace
+        // must parse, fit, and run end-to-end.
+        run(&s(&[
+            "inspect", "--workload", "unet", "--scale", "0.1", "--backend", "tpu",
+            "--calibrate", path,
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(path);
+        // A defective trace is a runtime error, not a panic.
+        let bad = "/tmp/magis_cli_calibrate_bad.jsonl";
+        std::fs::write(bad, "{\"class\":\"warp-drive\",\"flops\":1,\"bytes\":1,\"latency_s\":1}\n")
+            .unwrap();
+        assert!(matches!(
+            run(&s(&["inspect", "--workload", "unet", "--calibrate", bad])),
+            Err(CliError::Runtime(_))
+        ));
+        let _ = std::fs::remove_file(bad);
     }
 
     #[test]

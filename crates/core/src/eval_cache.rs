@@ -15,28 +15,38 @@
 //! across thread counts. The cache is never persisted in checkpoints;
 //! a resumed search starts cold.
 //!
-//! Eviction is FIFO with a fixed capacity (smarter policies are an
-//! open item, see ROADMAP.md). Entries carry the rule family that
-//! created them so a quarantined family's results can be purged —
-//! a cached state must not outlive the trust in the rule that built it.
+//! Eviction is **LRU by merge order**: recency is a logical tick that
+//! advances only on `&mut` operations ([`EvalCache::insert`] and
+//! [`EvalCache::touch`]), which the optimizer performs exclusively at
+//! the single-threaded merge in candidate order. Worker-side `get`s
+//! never update recency — they can't (`&self`) — so eviction order is
+//! a pure function of the merge sequence and thread count cannot
+//! perturb it. Entries carry the rule family that created them so a
+//! quarantined family's results can be purged — a cached state must
+//! not outlive the trust in the rule that built it.
 
 use crate::state::MState;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct CacheEntry {
     state: MState,
     family: u8,
+    /// Logical recency: the tick of the last merge-thread touch/insert.
+    last_used: u64,
 }
 
-/// A bounded, FIFO-evicting map from overlay-graph hash to the
-/// evaluated state it produced. See the module docs for the
-/// determinism contract.
+/// A bounded map from overlay-graph hash to the evaluated state it
+/// produced, evicting least-recently-used by merge order. See the
+/// module docs for the determinism contract.
 #[derive(Debug, Clone)]
 pub struct EvalCache {
     capacity: usize,
     entries: BTreeMap<u64, CacheEntry>,
-    fifo: VecDeque<u64>,
+    /// Inverse index `tick → hash` for O(log n) LRU eviction. Every
+    /// live entry has exactly one tick; ticks are never reused.
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
 }
 
 impl EvalCache {
@@ -44,7 +54,7 @@ impl EvalCache {
     /// (`0` disables caching entirely: every lookup misses and every
     /// insert is a no-op).
     pub fn new(capacity: usize) -> Self {
-        EvalCache { capacity, entries: BTreeMap::new(), fifo: VecDeque::new() }
+        EvalCache { capacity, entries: BTreeMap::new(), recency: BTreeMap::new(), tick: 0 }
     }
 
     /// The configured capacity (0 = disabled).
@@ -64,27 +74,45 @@ impl EvalCache {
 
     /// Looks up the evaluated state for an overlay-graph hash.
     /// Read-only: safe to call concurrently from evaluation workers
-    /// while the merge thread owns the only `&mut`.
+    /// while the merge thread owns the only `&mut`. Does **not**
+    /// refresh recency — the merge thread records hits via
+    /// [`Self::touch`].
     pub fn get(&self, hash: u64) -> Option<&MState> {
         self.entries.get(&hash).map(|e| &e.state)
     }
 
-    /// Inserts an evaluated state, evicting the oldest entries while
-    /// over capacity. First insertion wins: a hash already present is
-    /// left untouched (the two states are hash-equal, and keeping the
-    /// first matches what `threads == 1` would have produced).
-    /// Returns the number of entries evicted.
+    /// Marks `hash` as just used, moving it to the back of the
+    /// eviction order. Called by the merge thread, in candidate order,
+    /// for every cache hit it commits — the single place recency
+    /// advances, which is what keeps eviction deterministic across
+    /// thread counts. A hash not present (e.g. purged earlier in the
+    /// same merge) is a no-op.
+    pub fn touch(&mut self, hash: u64) {
+        let Some(e) = self.entries.get_mut(&hash) else { return };
+        self.recency.remove(&e.last_used);
+        self.tick += 1;
+        e.last_used = self.tick;
+        self.recency.insert(self.tick, hash);
+    }
+
+    /// Inserts an evaluated state as most-recently-used, evicting the
+    /// least-recently-used entries while over capacity. First insertion
+    /// wins: a hash already present is left untouched (the two states
+    /// are hash-equal, and keeping the first matches what
+    /// `threads == 1` would have produced). Returns the number of
+    /// entries evicted.
     pub fn insert(&mut self, hash: u64, state: MState, family: u8) -> usize {
         if self.capacity == 0 || self.entries.contains_key(&hash) {
             return 0;
         }
-        self.entries.insert(hash, CacheEntry { state, family });
-        self.fifo.push_back(hash);
+        self.tick += 1;
+        self.entries.insert(hash, CacheEntry { state, family, last_used: self.tick });
+        self.recency.insert(self.tick, hash);
         let mut evicted = 0;
         while self.entries.len() > self.capacity {
-            // Skip hashes already removed by `purge_family`.
-            let Some(h) = self.fifo.pop_front() else { break };
-            if self.entries.remove(&h).is_some() {
+            let Some((&oldest, &victim)) = self.recency.iter().next() else { break };
+            self.recency.remove(&oldest);
+            if self.entries.remove(&victim).is_some() {
                 evicted += 1;
             }
         }
@@ -97,7 +125,16 @@ impl EvalCache {
     /// entries purged.
     pub fn purge_family(&mut self, family: u8) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, e| e.family != family);
+        let entries = &mut self.entries;
+        let recency = &mut self.recency;
+        entries.retain(|_, e| {
+            if e.family == family {
+                recency.remove(&e.last_used);
+                false
+            } else {
+                true
+            }
+        });
         before - self.entries.len()
     }
 }
@@ -132,15 +169,81 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_at_capacity() {
+    fn evicts_least_recently_used_not_oldest_inserted() {
         let s = tiny_state();
         let mut c = EvalCache::new(2);
         assert_eq!(c.insert(1, s.clone(), 0), 0);
         assert_eq!(c.insert(2, s.clone(), 0), 0);
+        // Refresh 1: the insertion-older entry is now recency-newer.
+        c.touch(1);
         assert_eq!(c.insert(3, s.clone(), 0), 1);
-        assert!(c.get(1).is_none(), "oldest entry evicted");
-        assert!(c.get(2).is_some());
+        assert!(c.get(2).is_none(), "LRU entry evicted, not FIFO-oldest");
+        assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn untouched_reads_do_not_refresh_recency() {
+        // `get` is &self and must not affect eviction: only the merge
+        // thread's explicit `touch` does. This is the determinism
+        // property — worker-side reads (any thread count, any order)
+        // leave the eviction sequence unchanged.
+        let s = tiny_state();
+        let mut c = EvalCache::new(2);
+        c.insert(1, s.clone(), 0);
+        c.insert(2, s.clone(), 0);
+        for _ in 0..100 {
+            assert!(c.get(1).is_some()); // heavy read traffic, no touch
+        }
+        c.insert(3, s.clone(), 0);
+        assert!(c.get(1).is_none(), "reads alone must not save an entry");
+    }
+
+    #[test]
+    fn eviction_sequence_is_a_pure_function_of_merge_ops() {
+        // Replay the same merge-order operation log twice (as if under
+        // different thread counts: workers only ever issue &self gets,
+        // which the log doesn't record because they can't mutate).
+        let s = tiny_state();
+        let ops: Vec<(u8, u64)> = vec![
+            (0, 1),
+            (0, 2),
+            (1, 1), // touch
+            (0, 3),
+            (0, 4),
+            (1, 3),
+            (0, 5),
+            (1, 42), // touch of a never-inserted hash: no-op
+            (0, 6),
+        ];
+        let run = |c: &mut EvalCache| {
+            let mut log = Vec::new();
+            for &(kind, h) in &ops {
+                match kind {
+                    0 => {
+                        let evicted = c.insert(h, s.clone(), 0);
+                        log.push((h, evicted));
+                    }
+                    _ => c.touch(h),
+                }
+            }
+            let mut live: Vec<u64> = Vec::new();
+            for h in 0..50 {
+                if c.get(h).is_some() {
+                    live.push(h);
+                }
+            }
+            (log, live)
+        };
+        let mut a = EvalCache::new(3);
+        let mut b = EvalCache::new(3);
+        // Simulated worker reads on `b` between merges: &self only.
+        b.insert(0xdead, s.clone(), 0);
+        b.purge_family(0); // drop it again so states match
+        let ra = run(&mut a);
+        let _ = (b.get(1), b.get(2), b.get(3));
+        let rb = run(&mut b);
+        assert_eq!(ra, rb, "same merge ops → same evictions and survivors");
     }
 
     #[test]
@@ -150,6 +253,28 @@ mod tests {
         assert_eq!(c.insert(1, s, 0), 0);
         assert!(c.get(1).is_none());
         assert!(c.is_empty());
+        c.touch(1); // no-op, must not panic
+    }
+
+    #[test]
+    fn touch_after_purge_is_noop() {
+        // Within one merge pass a hit can be recorded for a family that
+        // a later candidate's strike purges — or vice versa. A touch on
+        // a missing hash must be silently ignored and leave eviction
+        // state consistent.
+        let s = tiny_state();
+        let mut c = EvalCache::new(4);
+        c.insert(1, s.clone(), 7);
+        c.insert(2, s.clone(), 3);
+        assert_eq!(c.purge_family(7), 1);
+        c.touch(1); // purged above
+        assert!(c.get(1).is_none());
+        // Internal recency index stayed consistent: filling far past
+        // capacity still caps the size and evicts cleanly.
+        for h in 10..30 {
+            c.insert(h, s.clone(), 3);
+        }
+        assert_eq!(c.len(), 4);
     }
 
     #[test]
@@ -162,7 +287,7 @@ mod tests {
         assert_eq!(c.purge_family(4), 2);
         assert!(c.get(1).is_none() && c.get(2).is_none());
         assert!(c.get(3).is_some());
-        // Stale fifo ids from the purge don't break later eviction.
+        // Recency entries from the purge don't break later eviction.
         c.insert(4, s.clone(), 5);
         c.insert(5, s.clone(), 5);
         for h in 6..20 {

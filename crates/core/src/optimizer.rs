@@ -641,7 +641,7 @@ fn check_invariants(child: &MState, ctx: &EvalContext) -> Result<(), String> {
     child.eval.graph.validate().map_err(|e| format!("graph: {e}"))?;
     validate_schedule(&child.eval.graph, &child.eval.order)
         .map_err(|e| format!("schedule: {e}"))?;
-    let full = evaluate_checked(&child.eval.graph, &child.eval.order, ctx.cost())
+    let full = evaluate_checked(&child.eval.graph, &child.eval.order, &ctx.cost())
         .map_err(|e| format!("memory: {e}"))?;
     if full.peak_bytes != child.eval.peak_bytes {
         return Err(format!(
@@ -1222,6 +1222,12 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     if cache_hit {
                         stats.eval_cache_hits += 1;
                         obs.eval_cache_hits.inc();
+                        // LRU refresh: recency only ever advances here,
+                        // on the merge thread in candidate order, so
+                        // eviction stays bit-identical across thread
+                        // counts. No-op if a strike purged the entry
+                        // earlier in this merge pass.
+                        eval_cache.touch(hash);
                         magis_obs::event!(
                             "magis_core",
                             "eval_cache_hit",

@@ -19,10 +19,10 @@ use crate::ftree::FTree;
 use crate::rules::{Applied, ApplyError};
 use magis_graph::graph::{Graph, NodeId};
 use magis_sched::{
-    full_schedule, incremental_schedule_profiled, place_swaps_with, IntervalParams, SchedConfig,
+    full_schedule, incremental_schedule_profiled, IntervalParams, SchedConfig,
 };
 pub use magis_sched::schedule::place_swaps;
-use magis_sim::{CostError, CostModel, Lifetimes, PerfCache};
+use magis_sim::{Backend, CostError, CostModel, Lifetimes, PerfCache, UncachedCost};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -83,8 +83,9 @@ pub enum EvalMode {
 /// The cost model is held behind a shared [`PerfCache`] so per-operator
 /// latencies are memoized across every candidate evaluation of a
 /// search (the paper's "simulator with an operator performance cache",
-/// §6.2). Construct with [`EvalContext::with_cost`] to target a
-/// non-default device.
+/// §6.2). Construct with [`EvalContext::for_backend`] to target a
+/// registry backend, or [`EvalContext::with_cost`] for a raw cost
+/// model.
 #[derive(Debug, Clone)]
 pub struct EvalContext {
     /// Memoizing wrapper over the device cost model, shared by all
@@ -123,9 +124,25 @@ impl EvalContext {
         }
     }
 
-    /// The underlying device cost model.
-    pub fn cost(&self) -> &CostModel {
-        self.perf.model()
+    /// An evaluation context targeting a registry backend (see
+    /// `magis_sim::BackendRegistry`): the analytic model for the
+    /// backend's device and efficiency table, behind a fresh
+    /// [`PerfCache`].
+    pub fn for_backend(backend: &Backend) -> Self {
+        Self::with_cost(CostModel::for_backend(backend))
+    }
+
+    /// A memoization-free [`magis_sim::NodeCost`] view over the
+    /// context's latency source — the independent recomputation path
+    /// for cross-checks, so a corrupted cache entry cannot corroborate
+    /// itself.
+    pub fn cost(&self) -> UncachedCost<'_> {
+        self.perf.uncached()
+    }
+
+    /// Registry name of the backend this context evaluates under.
+    pub fn backend_name(&self) -> &str {
+        self.perf.source().backend_name()
     }
 }
 
@@ -375,7 +392,7 @@ pub(crate) fn evaluate_overlay(
             )?;
             let info =
                 IncrementalEvalInfo { window: inc.window, carried_won: inc.carried_won };
-            let placed = place_swaps_with(&g, &inc.order, ctx.perf.as_ref());
+            let placed = place_swaps(&g, &inc.order, ctx.perf.as_ref());
             if placed == inc.order {
                 (placed, inc.profile, inc.lifetimes, Some(info))
             } else {
@@ -395,7 +412,7 @@ pub(crate) fn evaluate_overlay(
         }
         None => {
             let order = full_schedule(&g, &ctx.sched);
-            let placed = place_swaps_with(&g, &order, ctx.perf.as_ref());
+            let placed = place_swaps(&g, &order, ctx.perf.as_ref());
             let (profile, lifetimes) = magis_sim::memory_profile_lifetimes(&g, &placed)?;
             (placed, profile, lifetimes, None)
         }

@@ -42,6 +42,8 @@ pub use incremental::{
     IncrementalSchedule, IntervalParams,
 };
 pub use partition::partition;
-pub use schedule::{full_schedule, place_swaps, place_swaps_with, stabilize_order};
+#[allow(deprecated)]
+pub use schedule::place_swaps_with;
+pub use schedule::{full_schedule, place_swaps, stabilize_order};
 pub use task::SchedTask;
 pub use validate::{validate_schedule, Schedule, ScheduleError};

@@ -97,19 +97,26 @@ pub fn positions(g: &Graph, order: &[NodeId]) -> HashMap<NodeId, usize> {
     order.iter().enumerate().map(|(i, &v)| (v, i)).collect()
 }
 
+/// [`place_swaps`] under its old concrete-source name.
+#[deprecated(since = "0.2.0", note = "`place_swaps` is now generic; call it directly")]
+pub fn place_swaps_with<C: magis_sim::NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+) -> Vec<NodeId> {
+    place_swaps(g, order, cm)
+}
+
 /// Repositions swap operators per the paper's strategy (§6.2): every
 /// `Store` directly after its producer, every `Load` as late as its
 /// transfer time can still be hidden behind the intervening compute.
-pub fn place_swaps(g: &Graph, order: &[NodeId], cm: &magis_sim::CostModel) -> Vec<NodeId> {
-    place_swaps_with(g, order, cm)
-}
-
-/// [`place_swaps`] over any [`magis_sim::NodeCost`] latency source —
-/// in particular the optimizer's shared [`magis_sim::PerfCache`],
-/// whose memoized latencies make the hide-the-transfer walk-back
-/// cheap across thousands of candidates. Bit-identical to
-/// [`place_swaps`] with the fronted model.
-pub fn place_swaps_with<C: magis_sim::NodeCost + ?Sized>(
+///
+/// Generic over any [`magis_sim::NodeCost`] latency source — the raw
+/// cost model for a registry backend, or the optimizer's shared
+/// [`magis_sim::PerfCache`], whose memoized latencies make the
+/// hide-the-transfer walk-back cheap across thousands of candidates
+/// (bit-identical to the fronted model).
+pub fn place_swaps<C: magis_sim::NodeCost + ?Sized>(
     g: &Graph,
     order: &[NodeId],
     cm: &C,

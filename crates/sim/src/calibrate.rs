@@ -1,0 +1,383 @@
+//! Backend calibration from measured operator traces.
+//!
+//! The paper profiles real kernels (§6.2); this reproduction's analytic
+//! model replaces profiling — but where measurements *are* available,
+//! this module closes the loop. Given a JSONL trace of
+//! `(op signature, measured latency)` pairs, [`fit`] re-estimates each
+//! op class's achievable efficiency and the device's launch overhead by
+//! alternating least squares against the roofline model
+//!
+//! ```text
+//! t = L + max(u / eff_class, bytes / mem_bandwidth)
+//! u = flops / (peak_flops · utilization(flops))
+//! ```
+//!
+//! so a [`Backend`] calibrated on-device predicts with measured rather
+//! than data-sheet constants.
+//!
+//! # Trace format
+//!
+//! One JSON object per line; blank lines and `#` comment lines are
+//! skipped:
+//!
+//! ```text
+//! {"class":"matmul","flops":1.7e10,"bytes":2.5e7,"latency_s":5.6e-4}
+//! {"class":"other","flops":0,"bytes":1.3e8,"latency_s":1.5e-4}
+//! ```
+//!
+//! * `class` — an [`OpClass`] label (`matmul`, `batch_matmul`, `conv`,
+//!   `normalization`, `other`),
+//! * `flops` / `bytes` — the signature's arithmetic work and memory
+//!   traffic (what `OpKind::flops` / `bytes_accessed` report for the
+//!   shape that was measured),
+//! * `latency_s` — measured wall time in seconds.
+
+use crate::backend::{Backend, EfficiencyTable, OpClass, SpecError};
+use magis_obs::json::Json;
+use std::fmt;
+
+/// Alternating-least-squares iterations; the fit is a small biconvex
+/// problem that settles within a handful of rounds.
+const FIT_ITERS: usize = 8;
+
+/// Efficiencies are clamped into this range: a fit below the floor
+/// means the trace contradicts the roofline shape (we keep the model
+/// usable rather than exploding latencies), above 1.0 would claim
+/// super-peak throughput.
+const EFF_FLOOR: f64 = 0.01;
+
+/// One measured operator signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSample {
+    /// Operator class of the measured kernel.
+    pub class: OpClass,
+    /// Arithmetic work of the signature, in FLOPs.
+    pub flops: f64,
+    /// Memory traffic of the signature, in bytes.
+    pub bytes: f64,
+    /// Measured latency in seconds.
+    pub latency_s: f64,
+}
+
+/// Why calibration failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrationError {
+    /// The trace has no usable samples.
+    EmptyTrace,
+    /// A line is not valid JSON.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser diagnostic.
+        msg: String,
+    },
+    /// A line is missing a required field or has the wrong type.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A line names an unknown op class.
+    UnknownClass {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized label.
+        class: String,
+    },
+    /// A sample carries a non-finite or negative measurement.
+    BadSample {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: &'static str,
+        /// The bad value.
+        value: f64,
+    },
+    /// The fitted constants fail backend validation.
+    BadFit(SpecError),
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::EmptyTrace => write!(f, "calibration trace has no samples"),
+            CalibrationError::Parse { line, msg } => {
+                write!(f, "trace line {line}: {msg}")
+            }
+            CalibrationError::MissingField { line, field } => {
+                write!(f, "trace line {line}: missing or non-numeric field '{field}'")
+            }
+            CalibrationError::UnknownClass { line, class } => {
+                write!(f, "trace line {line}: unknown op class '{class}'")
+            }
+            CalibrationError::BadSample { line, field, value } => {
+                write!(f, "trace line {line}: field '{field}' must be finite and >= 0, got {value}")
+            }
+            CalibrationError::BadFit(e) => write!(f, "calibration fitted a defective spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Constants recovered by [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fitted {
+    /// Re-estimated per-class efficiencies (classes absent from the
+    /// trace inherit the base backend's values).
+    pub efficiency: EfficiencyTable,
+    /// Re-estimated launch overhead in seconds.
+    pub launch_overhead: f64,
+}
+
+/// Parses a JSONL calibration trace (see the module docs for the
+/// format). Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns a [`CalibrationError`] naming the first defective line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceSample>, CalibrationError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let j = Json::parse(trimmed)
+            .map_err(|e| CalibrationError::Parse { line, msg: e.to_string() })?;
+        let class_str = j
+            .get("class")
+            .and_then(Json::as_str)
+            .ok_or(CalibrationError::MissingField { line, field: "class" })?;
+        let class = OpClass::parse(class_str).ok_or_else(|| CalibrationError::UnknownClass {
+            line,
+            class: class_str.to_string(),
+        })?;
+        let field = |name: &'static str| -> Result<f64, CalibrationError> {
+            let v = j
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or(CalibrationError::MissingField { line, field: name })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(CalibrationError::BadSample { line, field: name, value: v });
+            }
+            Ok(v)
+        };
+        out.push(TraceSample {
+            class,
+            flops: field("flops")?,
+            bytes: field("bytes")?,
+            latency_s: field("latency_s")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Fits per-class efficiencies and the launch overhead of `base`'s
+/// device against measured `samples` by alternating least squares:
+/// holding the overhead fixed, each compute-dominated class's
+/// efficiency is the least-squares solution of
+/// `t − L ≈ u / eff`; holding efficiencies fixed, the overhead is the
+/// mean residual `t − max(u/eff, m)` clamped at zero.
+///
+/// Memory-bound samples (where the bandwidth term dominates under the
+/// current fit) inform only the overhead — their latency carries no
+/// signal about compute efficiency.
+///
+/// # Errors
+///
+/// [`CalibrationError::EmptyTrace`] when `samples` is empty.
+pub fn fit(base: &Backend, samples: &[TraceSample]) -> Result<Fitted, CalibrationError> {
+    if samples.is_empty() {
+        return Err(CalibrationError::EmptyTrace);
+    }
+    let d = base.device();
+    // Per-sample ideal compute time at 100% efficiency and memory time;
+    // both are fixed across iterations.
+    let prepared: Vec<(OpClass, f64, f64, f64)> = samples
+        .iter()
+        .map(|s| {
+            let u = if s.flops > 0.0 {
+                s.flops / (d.peak_flops * d.utilization(s.flops))
+            } else {
+                0.0
+            };
+            let m = s.bytes / d.mem_bandwidth;
+            (s.class, u, m, s.latency_s)
+        })
+        .collect();
+
+    let mut eff = *base.efficiency();
+    let mut launch = d.launch_overhead;
+    for _ in 0..FIT_ITERS {
+        // Efficiency step: per class, least squares over the samples
+        // that are compute-dominated under the current estimate.
+        for class in OpClass::all() {
+            let mut num = 0.0; // Σ u·(t−L)
+            let mut den = 0.0; // Σ u²... over x = 1/eff: t−L ≈ u·x
+            for &(c, u, m, t) in &prepared {
+                if c != class || u <= 0.0 {
+                    continue;
+                }
+                if u / eff.get(class) <= m {
+                    continue; // memory-bound under current fit
+                }
+                let resid = (t - launch).max(0.0);
+                num += u * resid;
+                den += u * u;
+            }
+            if den > 0.0 && num > 0.0 {
+                // x = num/den minimizes Σ(t−L−u·x)²; eff = 1/x.
+                let fitted = den / num;
+                eff.set(class, fitted.clamp(EFF_FLOOR, 1.0));
+            }
+        }
+        // Overhead step: mean residual against the roofline ceiling.
+        let mut sum = 0.0;
+        for &(c, u, m, t) in &prepared {
+            sum += t - (u / eff.get(c)).max(m);
+        }
+        launch = (sum / prepared.len() as f64).max(0.0);
+    }
+    Ok(Fitted { efficiency: eff, launch_overhead: launch })
+}
+
+/// Generates an exact synthetic trace for `backend`: one sample per
+/// `(class, flops, bytes)` triple whose latency is precisely what the
+/// backend's roofline predicts. Fitting this trace must recover the
+/// backend's constants — the round-trip property the golden tests
+/// assert, and a convenient seed for trace-format examples.
+pub fn synthesize_trace(backend: &Backend, shapes: &[(OpClass, f64, f64)]) -> Vec<TraceSample> {
+    let d = backend.device();
+    shapes
+        .iter()
+        .map(|&(class, flops, bytes)| {
+            let compute = if flops > 0.0 {
+                flops / (d.peak_flops * d.utilization(flops) * backend.efficiency().get(class))
+            } else {
+                0.0
+            };
+            let memory = bytes / d.mem_bandwidth;
+            TraceSample { class, flops, bytes, latency_s: d.launch_overhead + compute.max(memory) }
+        })
+        .collect()
+}
+
+/// Renders samples back to the JSONL trace format (inverse of
+/// [`parse_trace`] up to float formatting, which is shortest-round-trip
+/// and therefore bit-exact).
+pub fn render_trace(samples: &[TraceSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let j = Json::Obj(vec![
+            ("class".into(), Json::Str(s.class.label().into())),
+            ("flops".into(), Json::Float(s.flops)),
+            ("bytes".into(), Json::Float(s.bytes)),
+            ("latency_s".into(), Json::Float(s.latency_s)),
+        ]);
+        out.push_str(&j.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendRegistry;
+
+    fn synthetic_shapes() -> Vec<(OpClass, f64, f64)> {
+        let mut shapes = Vec::new();
+        for class in OpClass::all() {
+            // Several compute-heavy sizes per class (so the efficiency
+            // is identifiable) plus one memory-bound point.
+            for scale in [1.0, 4.0, 16.0, 64.0] {
+                shapes.push((class, 2.0e9 * scale, 6.0e6 * scale));
+            }
+            shapes.push((class, 0.0, 2.0e8));
+        }
+        shapes
+    }
+
+    #[test]
+    fn fit_round_trips_synthetic_trace() {
+        let registry = BackendRegistry::builtin();
+        for name in ["rtx3090", "a100", "mobile", "tpu"] {
+            let base = registry.get(name).unwrap();
+            // Perturb the starting point: calibration must recover the
+            // true constants from the trace, not inherit them.
+            let mut warped = EfficiencyTable::default();
+            for c in OpClass::all() {
+                warped.set(c, 0.5);
+            }
+            let mut start_dev = base.device().clone();
+            start_dev.launch_overhead = 1e-4;
+            let start = Backend::new("start", start_dev, warped).unwrap();
+
+            let trace = synthesize_trace(base, &synthetic_shapes());
+            let parsed = parse_trace(&render_trace(&trace)).unwrap();
+            assert_eq!(parsed, trace, "jsonl round-trip for {name}");
+
+            let fitted = fit(&start, &parsed).unwrap();
+            let true_l = base.device().launch_overhead;
+            assert!(
+                (fitted.launch_overhead - true_l).abs() <= 1e-7 + true_l * 0.05,
+                "{name}: launch {} vs {true_l}",
+                fitted.launch_overhead
+            );
+            for c in OpClass::all() {
+                let truth = base.efficiency().get(c);
+                let got = fitted.efficiency.get(c);
+                assert!(
+                    (got - truth).abs() < truth * 0.05,
+                    "{name}/{c}: fitted {got} vs true {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_backend_validates_and_predicts() {
+        let base = Backend::default();
+        let trace = synthesize_trace(&base, &synthetic_shapes());
+        let cal = base.calibrated("rtx3090-cal", &trace).unwrap();
+        assert_eq!(cal.name(), "rtx3090-cal");
+        assert!(cal.device().validate().is_ok());
+        // Predictions on the training shapes are close to measured.
+        let d = cal.device();
+        for s in &trace {
+            let compute = if s.flops > 0.0 {
+                s.flops / (d.peak_flops * d.utilization(s.flops) * cal.efficiency().get(s.class))
+            } else {
+                0.0
+            };
+            let predicted = d.launch_overhead + compute.max(s.bytes / d.mem_bandwidth);
+            assert!(
+                (predicted - s.latency_s).abs() <= 1e-7 + s.latency_s * 0.1,
+                "{}: predicted {predicted} vs measured {}",
+                s.class,
+                s.latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_defective_lines() {
+        assert!(matches!(fit(&Backend::default(), &[]), Err(CalibrationError::EmptyTrace)));
+        let cases = [
+            ("not json", "parse"),
+            (r#"{"flops":1,"bytes":1,"latency_s":1}"#, "class"),
+            (r#"{"class":"warp","flops":1,"bytes":1,"latency_s":1}"#, "unknown"),
+            (r#"{"class":"matmul","bytes":1,"latency_s":1}"#, "flops"),
+            (r#"{"class":"matmul","flops":-1,"bytes":1,"latency_s":1}"#, "negative"),
+        ];
+        for (line, why) in cases {
+            assert!(parse_trace(line).is_err(), "{why}: {line}");
+        }
+        // Comments and blanks are fine.
+        let ok = "# header\n\n{\"class\":\"other\",\"flops\":0,\"bytes\":8,\"latency_s\":1e-6}\n";
+        assert_eq!(parse_trace(ok).unwrap().len(), 1);
+    }
+}

@@ -11,24 +11,11 @@
 //! * swap traffic costs PCIe time but can overlap compute,
 //! * re-materialization re-pays exactly the producer's compute time.
 
+use crate::backend::Backend;
 use crate::device::DeviceSpec;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::OpKind;
 use magis_graph::tensor::TensorMeta;
-
-/// Per-op-class efficiency relative to peak (cuBLAS/cuDNN-style).
-fn class_efficiency(op: &OpKind) -> f64 {
-    match op {
-        OpKind::MatMul { .. } => 0.90,
-        OpKind::BatchMatMul { .. } => 0.85,
-        OpKind::Conv2d(_) | OpKind::Conv2dGradInput(_) | OpKind::Conv2dGradWeight(_) => 0.80,
-        OpKind::Softmax { .. }
-        | OpKind::SoftmaxGrad { .. }
-        | OpKind::LayerNorm { .. }
-        | OpKind::LayerNormGrad { .. } => 0.70,
-        _ => 0.75,
-    }
-}
 
 /// A defect detected while computing or validating costs: the typed
 /// alternative to letting NaN, negative, or overflowing values flow
@@ -116,6 +103,18 @@ pub trait NodeCost {
     /// `cost_repeat` multiplier.
     fn node_latency(&self, g: &Graph, v: NodeId) -> f64;
 
+    /// The device the latencies model. Swap placement and the baseline
+    /// runners need transfer times and bandwidths, not just per-node
+    /// latencies, so the device travels with the cost source.
+    fn device(&self) -> &DeviceSpec;
+
+    /// Registry name of the backend the latencies come from (used for
+    /// per-backend metrics labels and reporting). Defaults to the
+    /// device name.
+    fn backend_name(&self) -> &str {
+        self.device().name
+    }
+
     /// [`Self::node_latency`] with the result validated: rejects NaN,
     /// infinite, and negative values with a typed [`CostError`]
     /// attributing the offending node.
@@ -135,29 +134,59 @@ impl NodeCost for CostModel {
     fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
         CostModel::node_latency(self, g, v)
     }
+
+    fn device(&self) -> &DeviceSpec {
+        self.backend.device()
+    }
+
+    fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
 }
 
 impl<T: NodeCost + ?Sized> NodeCost for &T {
     fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
         (**self).node_latency(g, v)
     }
+
+    fn device(&self) -> &DeviceSpec {
+        (**self).device()
+    }
+
+    fn backend_name(&self) -> &str {
+        (**self).backend_name()
+    }
 }
 
-/// The analytic cost model over a fixed [`DeviceSpec`].
+/// The analytic cost model over a fixed [`Backend`] (device spec +
+/// per-op-class efficiency table).
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {
-    device: DeviceSpec,
+    backend: Backend,
 }
 
 impl CostModel {
-    /// Creates a cost model for `device`.
+    /// Creates a cost model for `device` with the default efficiency
+    /// table (the historical constants). Unvalidated, for backward
+    /// compatibility with raw specs; prefer [`CostModel::for_backend`]
+    /// with a registry profile.
     pub fn new(device: DeviceSpec) -> Self {
-        CostModel { device }
+        CostModel { backend: Backend::from_device(device) }
+    }
+
+    /// Creates a cost model for a (validated) registry backend.
+    pub fn for_backend(backend: &Backend) -> Self {
+        CostModel { backend: backend.clone() }
+    }
+
+    /// The backend this model targets.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     /// The device this model targets.
     pub fn device(&self) -> &DeviceSpec {
-        &self.device
+        self.backend.device()
     }
 
     /// Latency in seconds of one execution of `op` on the given shapes
@@ -167,14 +196,15 @@ impl CostModel {
             // In-place SGD is an alias for memory purposes but has real
             // kernel cost; other aliases (reshape/slice views) are free.
             _ if op.is_input() || (op.is_alias() && !matches!(op, OpKind::SgdUpdate)) => 0.0,
-            OpKind::Store | OpKind::Load => self.device.xfer_time(output.size_bytes()),
+            OpKind::Store | OpKind::Load => self.device().xfer_time(output.size_bytes()),
             _ => {
+                let device = self.backend.device();
                 let flops = op.flops(inputs, output);
                 let bytes = op.bytes_accessed(inputs, output) as f64;
-                let util = self.device.utilization(flops) * class_efficiency(op);
-                let compute = if flops > 0.0 { flops / (self.device.peak_flops * util) } else { 0.0 };
-                let memory = bytes / self.device.mem_bandwidth;
-                self.device.launch_overhead + compute.max(memory)
+                let util = device.utilization(flops) * self.backend.class_efficiency(op);
+                let compute = if flops > 0.0 { flops / (device.peak_flops * util) } else { 0.0 };
+                let memory = bytes / device.mem_bandwidth;
+                device.launch_overhead + compute.max(memory)
             }
         }
     }

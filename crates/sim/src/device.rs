@@ -3,7 +3,11 @@
 //! The paper's testbed is an NVIDIA GeForce RTX 3090 with swap traffic
 //! over PCIe to host memory (§7.1); [`DeviceSpec::rtx3090`] encodes
 //! published numbers for that card. A mobile-class profile is included
-//! for the paper's motivation about on-device inference (§1).
+//! for the paper's motivation about on-device inference (§1), plus
+//! server ([`DeviceSpec::a100`]) and TPU-like ([`DeviceSpec::tpu`])
+//! profiles for the backend registry (see [`crate::backend`]).
+
+use crate::backend::SpecError;
 
 /// An accelerator profile consumed by the cost model and simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +49,36 @@ impl DeviceSpec {
         }
     }
 
+    /// A server-class profile (A100-80GB-like): TF32 tensor-core peak,
+    /// HBM2e bandwidth, PCIe 4.0 host link, 80 GB capacity.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "a100",
+            peak_flops: 156e12,
+            mem_bandwidth: 2039e9,
+            xfer_bandwidth: 25e9,
+            mem_capacity: 80 * (1 << 30),
+            launch_overhead: 4e-6,
+            half_util_flops: 8.0e8,
+        }
+    }
+
+    /// A TPU-like profile: high on-chip bandwidth and very low dispatch
+    /// overhead (kernels are compiled into larger programs), but a late
+    /// utilization knee — the big systolic array needs big kernels, so
+    /// fission is punished harder than on GPUs.
+    pub fn tpu() -> Self {
+        DeviceSpec {
+            name: "tpu",
+            peak_flops: 123e12,
+            mem_bandwidth: 1200e9,
+            xfer_bandwidth: 16e9,
+            mem_capacity: 16 * (1 << 30),
+            launch_overhead: 1e-6,
+            half_util_flops: 4.0e9,
+        }
+    }
+
     /// A mobile-class profile (Snapdragon-888-like CPU+NPU envelope).
     pub fn mobile() -> Self {
         DeviceSpec {
@@ -56,6 +90,44 @@ impl DeviceSpec {
             launch_overhead: 20e-6,
             half_util_flops: 2.0e7,
         }
+    }
+
+    /// Validates the spec: every rate, capacity, and the utilization
+    /// knee must be finite and strictly positive; the launch overhead
+    /// must be finite and non-negative. The typed [`SpecError`] names
+    /// the first offending field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let positive = [
+            ("peak_flops", self.peak_flops),
+            ("mem_bandwidth", self.mem_bandwidth),
+            ("xfer_bandwidth", self.xfer_bandwidth),
+            ("half_util_flops", self.half_util_flops),
+        ];
+        for (field, value) in positive {
+            if !value.is_finite() {
+                return Err(SpecError::NonFinite { field, value });
+            }
+            if value <= 0.0 {
+                return Err(SpecError::NonPositive { field, value });
+            }
+        }
+        if !self.launch_overhead.is_finite() {
+            return Err(SpecError::NonFinite {
+                field: "launch_overhead",
+                value: self.launch_overhead,
+            });
+        }
+        if self.launch_overhead < 0.0 {
+            return Err(SpecError::NegativeOverhead { value: self.launch_overhead });
+        }
+        if self.mem_capacity == 0 {
+            return Err(SpecError::NonPositive { field: "mem_capacity", value: 0.0 });
+        }
+        Ok(())
     }
 
     /// Utilization factor in `(0, 1]` for a kernel of `flops` work:
@@ -106,5 +178,34 @@ mod tests {
     #[test]
     fn profiles_differ() {
         assert!(DeviceSpec::mobile().peak_flops < DeviceSpec::rtx3090().peak_flops);
+        assert!(DeviceSpec::a100().peak_flops > DeviceSpec::rtx3090().peak_flops);
+        assert!(DeviceSpec::tpu().launch_overhead < DeviceSpec::rtx3090().launch_overhead);
+    }
+
+    #[test]
+    fn validate_accepts_builtins_and_rejects_defects() {
+        for d in [
+            DeviceSpec::rtx3090(),
+            DeviceSpec::a100(),
+            DeviceSpec::mobile(),
+            DeviceSpec::tpu(),
+        ] {
+            assert!(d.validate().is_ok(), "{}", d.name);
+        }
+        let mut d = DeviceSpec::rtx3090();
+        d.mem_bandwidth = 0.0;
+        assert!(matches!(
+            d.validate(),
+            Err(SpecError::NonPositive { field: "mem_bandwidth", .. })
+        ));
+        let mut d = DeviceSpec::rtx3090();
+        d.peak_flops = f64::INFINITY;
+        assert!(matches!(d.validate(), Err(SpecError::NonFinite { field: "peak_flops", .. })));
+        let mut d = DeviceSpec::rtx3090();
+        d.launch_overhead = -1e-6;
+        assert!(matches!(d.validate(), Err(SpecError::NegativeOverhead { .. })));
+        let mut d = DeviceSpec::rtx3090();
+        d.mem_capacity = 0;
+        assert!(d.validate().is_err());
     }
 }

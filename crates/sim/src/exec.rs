@@ -4,7 +4,7 @@
 //! latency (Fig. 2 of the paper) — a swap only costs wall-clock time
 //! when a consumer has to wait for it.
 
-use crate::cost::{CostModel, NodeCost};
+use crate::cost::NodeCost;
 use magis_graph::graph::{Graph, NodeId};
 use std::collections::HashMap;
 
@@ -40,22 +40,16 @@ impl ExecTimeline {
 /// ops run in schedule order on the compute stream. A node starts at
 /// `max(stream free, deps finish)`.
 ///
-/// # Panics
-///
-/// Panics if `order` doesn't cover the graph.
-pub fn simulate(g: &Graph, order: &[NodeId], cm: &CostModel) -> ExecTimeline {
-    simulate_with(g, order, cm)
-}
-
-/// [`simulate`] over any [`NodeCost`] source — in particular the
-/// memoizing [`crate::PerfCache`], which the optimizer shares across
-/// candidate evaluations. Bit-identical to [`simulate`] with the
-/// fronted model, since `PerfCache` stores exact model outputs.
+/// Generic over any [`NodeCost`] source: the raw
+/// [`CostModel`](crate::CostModel) or the memoizing
+/// [`crate::PerfCache`] the optimizer shares across candidate
+/// evaluations (bit-identical, since `PerfCache` stores exact model
+/// outputs).
 ///
 /// # Panics
 ///
 /// Panics if `order` doesn't cover the graph.
-pub fn simulate_with<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> ExecTimeline {
+pub fn simulate<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> ExecTimeline {
     assert_eq!(order.len(), g.len(), "schedule must cover the graph");
     let mut finish_at: HashMap<NodeId, f64> = HashMap::with_capacity(order.len());
     let mut finish = Vec::with_capacity(order.len());
@@ -89,14 +83,24 @@ pub fn simulate_with<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) 
     ExecTimeline { total: t_compute.max(t_xfer), finish, compute_busy, xfer_busy }
 }
 
+/// [`simulate`] under its old concrete-source name.
+#[deprecated(since = "0.2.0", note = "`simulate` is now generic; call it directly")]
+pub fn simulate_with<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> ExecTimeline {
+    simulate(g, order, cm)
+}
+
 /// End-to-end latency only.
-pub fn simulate_latency(g: &Graph, order: &[NodeId], cm: &CostModel) -> f64 {
+pub fn simulate_latency<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> f64 {
     simulate(g, order, cm).total
 }
 
 /// Execution-time/memory-usage curve for case studies (Fig. 16): one
 /// `(finish_time_seconds, active_bytes)` point per schedule step.
-pub fn memory_timeline(g: &Graph, order: &[NodeId], cm: &CostModel) -> Vec<(f64, u64)> {
+pub fn memory_timeline<C: NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+) -> Vec<(f64, u64)> {
     let exec = simulate(g, order, cm);
     let mem = crate::memory::memory_profile(g, order);
     // Transfer-stream steps can finish after later compute steps start;
@@ -115,6 +119,7 @@ pub fn memory_timeline(g: &Graph, order: &[NodeId], cm: &CostModel) -> Vec<(f64,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::CostModel;
     use magis_graph::graph::Graph;
     use magis_graph::op::{BinaryKind, InputKind, OpKind, UnaryKind};
     use magis_graph::tensor::{DType, TensorMeta};

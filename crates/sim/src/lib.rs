@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod calibrate;
 pub mod cost;
 pub mod delta;
 pub mod device;
@@ -32,15 +34,21 @@ pub mod exec;
 pub mod memory;
 pub mod profile;
 
+pub use backend::{
+    Backend, BackendRegistry, EfficiencyTable, OpClass, SpecError, DEFAULT_BACKEND,
+};
+pub use calibrate::{CalibrationError, TraceSample};
 pub use cost::{CostError, CostModel, NodeCost};
 pub use delta::memory_profile_delta;
 pub use device::DeviceSpec;
-pub use exec::{memory_timeline, simulate, simulate_latency, simulate_with, ExecTimeline};
+#[allow(deprecated)]
+pub use exec::simulate_with;
+pub use exec::{memory_timeline, simulate, simulate_latency, ExecTimeline};
 pub use memory::{
     memory_profile, memory_profile_checked, memory_profile_lifetimes, storage_root, Lifetimes,
     MemoryProfile,
 };
-pub use profile::PerfCache;
+pub use profile::{OpCost, PerfCache, UncachedCost};
 
 use magis_graph::graph::{Graph, NodeId};
 use std::sync::OnceLock;
@@ -63,6 +71,18 @@ fn obs() -> &'static ObsHandles {
     })
 }
 
+/// Bumps the per-backend evaluation counter. A separate labeled family
+/// (`magis_sim_evaluations_by_backend{backend="..."}`) rather than
+/// labels on the historical counters, so existing dashboards and the
+/// observability tests keep their unlabeled series untouched.
+fn count_backend_eval(backend: &str) {
+    magis_obs::metrics::counter(&magis_obs::metrics::labeled(
+        "magis_sim_evaluations_by_backend",
+        &[("backend", backend)],
+    ))
+    .inc();
+}
+
 /// Combined latency + memory evaluation of a scheduled graph.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
@@ -76,10 +96,13 @@ pub struct Evaluation {
 
 /// Evaluates a graph under a schedule: latency and peak memory.
 ///
+/// Generic over any [`NodeCost`] source — the raw [`CostModel`] for a
+/// registry [`Backend`], or the shared [`PerfCache`].
+///
 /// # Panics
 ///
 /// Panics if `order` does not cover the graph.
-pub fn evaluate(g: &Graph, order: &[NodeId], cm: &CostModel) -> Evaluation {
+pub fn evaluate<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> Evaluation {
     let start = std::time::Instant::now();
     let mut span = magis_obs::span!("magis_sim", "evaluate", nodes = g.len());
     let timeline = exec::simulate(g, order, cm);
@@ -87,6 +110,7 @@ pub fn evaluate(g: &Graph, order: &[NodeId], cm: &CostModel) -> Evaluation {
     span.record("peak_bytes", memory.peak_bytes);
     span.record("latency", timeline.total);
     obs().evaluations.inc();
+    count_backend_eval(cm.backend_name());
     obs().eval_seconds.observe_duration(start.elapsed());
     Evaluation { latency: timeline.total, peak_bytes: memory.peak_bytes, memory }
 }
@@ -97,7 +121,11 @@ pub fn evaluate(g: &Graph, order: &[NodeId], cm: &CostModel) -> Evaluation {
 /// total-latency finiteness, and memory-accounting conservation are
 /// all checked. This is the entry point the hardened optimizer uses
 /// for candidate evaluation.
-pub fn evaluate_checked(g: &Graph, order: &[NodeId], cm: &CostModel) -> Result<Evaluation, CostError> {
+pub fn evaluate_checked<C: NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+) -> Result<Evaluation, CostError> {
     let start = std::time::Instant::now();
     let mut span = magis_obs::span!("magis_sim", "evaluate_checked", nodes = g.len());
     let result = evaluate_checked_inner(g, order, cm);
@@ -116,10 +144,10 @@ pub fn evaluate_checked(g: &Graph, order: &[NodeId], cm: &CostModel) -> Result<E
     result
 }
 
-fn evaluate_checked_inner(
+fn evaluate_checked_inner<C: NodeCost + ?Sized>(
     g: &Graph,
     order: &[NodeId],
-    cm: &CostModel,
+    cm: &C,
 ) -> Result<Evaluation, CostError> {
     // The memory check goes first: it establishes exact schedule
     // coverage, without which `simulate` below could index with an
@@ -161,7 +189,8 @@ pub fn evaluate_with_profile<C: NodeCost + ?Sized>(
     for &v in order {
         cm.node_latency_checked(g, v)?;
     }
-    let timeline = exec::simulate_with(g, order, cm);
+    count_backend_eval(cm.backend_name());
+    let timeline = exec::simulate(g, order, cm);
     if !timeline.total.is_finite() {
         return Err(CostError::NonFiniteLatency { node: None, value: timeline.total });
     }

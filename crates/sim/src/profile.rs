@@ -4,11 +4,15 @@
 //! The optimizer evaluates thousands of candidate graphs; most share
 //! operator signatures (op kind + input shapes), so per-op latencies
 //! are memoized here. On the paper's system the cache stores *measured*
-//! kernel times; in this reproduction it fronts the analytic
-//! [`CostModel`], which plays the role of the profiler.
+//! kernel times; in this reproduction it fronts an [`OpCost`] source —
+//! usually the analytic [`CostModel`] for some registry backend, which
+//! plays the role of the profiler.
 
+use crate::backend::Backend;
 use crate::cost::CostModel;
+use crate::device::DeviceSpec;
 use magis_graph::graph::{Graph, NodeId};
+use magis_graph::op::OpKind;
 use magis_graph::tensor::TensorMeta;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -16,33 +20,96 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Memoizing wrapper over a [`CostModel`].
+/// A source of per-operator-signature latencies: the memoizable seam
+/// [`PerfCache`] fronts. Distinct from [`crate::NodeCost`], which is
+/// per graph *node* — an `OpCost` sees only the op and its shapes, so
+/// its answers are cacheable across candidate graphs.
+///
+/// Implementations must be pure per signature (same op + shapes → the
+/// same `f64` bits): the cache stores first answers forever, and the
+/// optimizer's determinism contract rides on replays matching.
+pub trait OpCost: Send + Sync + std::fmt::Debug {
+    /// Latency in seconds of one execution of `op` on the given shapes
+    /// (no fission repeat applied).
+    fn op_latency(&self, op: &OpKind, inputs: &[TensorMeta], output: &TensorMeta) -> f64;
+
+    /// The device the latencies model.
+    fn device(&self) -> &DeviceSpec;
+
+    /// Registry name of the backend the latencies come from. Defaults
+    /// to the device name.
+    fn backend_name(&self) -> &str {
+        self.device().name
+    }
+}
+
+impl OpCost for CostModel {
+    fn op_latency(&self, op: &OpKind, inputs: &[TensorMeta], output: &TensorMeta) -> f64 {
+        CostModel::op_latency(self, op, inputs, output)
+    }
+
+    fn device(&self) -> &DeviceSpec {
+        CostModel::device(self)
+    }
+
+    fn backend_name(&self) -> &str {
+        self.backend().name()
+    }
+}
+
+/// Memoizing wrapper over an [`OpCost`] source.
 ///
 /// The cache is `Sync` (interior mutability via a mutex plus atomic
 /// counters) so one instance can be shared by the parallel optimizer's
 /// evaluation workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PerfCache {
-    model: CostModel,
+    source: Box<dyn OpCost>,
     cache: Mutex<HashMap<u64, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for PerfCache {
+    fn default() -> Self {
+        PerfCache::new(CostModel::default())
+    }
+}
+
 impl PerfCache {
-    /// Creates a cache fronting `model`.
+    /// Creates a cache fronting the analytic `model`.
     pub fn new(model: CostModel) -> Self {
+        PerfCache::from_source(Box::new(model))
+    }
+
+    /// Creates a cache fronting the analytic model for a registry
+    /// `backend`.
+    pub fn for_backend(backend: &Backend) -> Self {
+        PerfCache::new(CostModel::for_backend(backend))
+    }
+
+    /// Creates a cache fronting an arbitrary latency source (e.g. a
+    /// table of measured kernel times).
+    pub fn from_source(source: Box<dyn OpCost>) -> Self {
         PerfCache {
-            model,
+            source,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The underlying cost model.
-    pub fn model(&self) -> &CostModel {
-        &self.model
+    /// The underlying latency source.
+    pub fn source(&self) -> &dyn OpCost {
+        self.source.as_ref()
+    }
+
+    /// A [`NodeCost`](crate::NodeCost) view over the raw source that
+    /// bypasses memoization — the independent recomputation path the
+    /// optimizer's paranoia cross-check uses, so a corrupted cache
+    /// entry cannot corroborate itself.
+    pub fn uncached(&self) -> UncachedCost<'_> {
+        UncachedCost { source: self.source.as_ref() }
     }
 
     fn signature(g: &Graph, v: NodeId) -> u64 {
@@ -68,7 +135,7 @@ impl PerfCache {
         let n = g.node(v);
         let inputs: Vec<TensorMeta> =
             n.inputs().iter().map(|&i| g.node(i).meta.clone()).collect();
-        let t = self.model.op_latency(&n.op, &inputs, &n.meta);
+        let t = self.source.op_latency(&n.op, &inputs, &n.meta);
         self.cache.lock().unwrap().insert(sig, t);
         t
     }
@@ -108,11 +175,44 @@ impl crate::cost::NodeCost for PerfCache {
     fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
         PerfCache::node_latency(self, g, v)
     }
+
+    fn device(&self) -> &DeviceSpec {
+        self.source.device()
+    }
+
+    fn backend_name(&self) -> &str {
+        self.source.backend_name()
+    }
+}
+
+/// Borrowed memoization-free [`NodeCost`](crate::NodeCost) view over a
+/// [`PerfCache`]'s source; see [`PerfCache::uncached`].
+#[derive(Debug, Clone, Copy)]
+pub struct UncachedCost<'a> {
+    source: &'a dyn OpCost,
+}
+
+impl crate::cost::NodeCost for UncachedCost<'_> {
+    fn node_latency(&self, g: &Graph, v: NodeId) -> f64 {
+        let n = g.node(v);
+        let inputs: Vec<TensorMeta> =
+            n.inputs().iter().map(|&i| g.node(i).meta.clone()).collect();
+        self.source.op_latency(&n.op, &inputs, &n.meta) * n.cost_repeat as f64
+    }
+
+    fn device(&self) -> &DeviceSpec {
+        self.source.device()
+    }
+
+    fn backend_name(&self) -> &str {
+        self.source.backend_name()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::NodeCost;
     use magis_graph::builder::GraphBuilder;
     use magis_graph::tensor::DType;
 
@@ -170,5 +270,24 @@ mod tests {
         let cm = CostModel::default();
         let pc = PerfCache::new(cm.clone());
         assert_eq!(pc.node_latency(&g, y), cm.node_latency(&g, y));
+        assert_eq!(NodeCost::node_latency(&pc.uncached(), &g, y), cm.node_latency(&g, y));
+    }
+
+    #[test]
+    fn uncached_view_skips_memoization_and_reports_backend() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input([64, 64], "x");
+        let a = b.relu(x);
+        let g = b.finish();
+        let registry = crate::backend::BackendRegistry::builtin();
+        let pc = PerfCache::for_backend(registry.get("a100").unwrap());
+        let raw = pc.uncached();
+        let _ = NodeCost::node_latency(&raw, &g, a);
+        let _ = NodeCost::node_latency(&raw, &g, a);
+        assert_eq!(pc.stats(), (0, 0), "uncached view must not touch counters");
+        assert!(pc.is_empty());
+        assert_eq!(NodeCost::backend_name(&pc), "a100");
+        assert_eq!(NodeCost::backend_name(&raw), "a100");
+        assert_eq!(NodeCost::device(&pc).name, "a100");
     }
 }
