@@ -45,6 +45,17 @@ run cargo test -q --test observability
 # eval cache must not perturb the thread-count determinism contract.
 run cargo test -q --test incremental_eval
 
+# Memory planner: allocation soundness (no time×address overlap),
+# planned >= liveness dominance, coalescing reuse, and delta-vs-full
+# re-planning bit-identity across the bench models and a randomized
+# rewrite sequence.
+run cargo test -q --test memory_planner
+
+# Planned objective at search level: paranoid cross-checks of every
+# delta-planned candidate, and thread-count determinism of the planned
+# peak / fragmentation ratio / accepted-candidate sequence.
+run cargo test -q --test planner_search
+
 # Backend registry: every registered device profile evaluates the bench
 # models to finite results, the default profile is bit-identical to the
 # historical cost model, calibration round-trips, and the determinism
@@ -57,6 +68,14 @@ run ./target/release/magis --backend-list
 run ./target/release/magis inspect --workload unet --scale 0.1 --backend a100
 if ./target/release/magis inspect --workload unet --backend warp-drive 2>/dev/null; then
     echo "unknown backend was not rejected"; exit 1
+fi
+
+# Planner CLI smoke: a short paranoid planned-objective search runs end
+# to end, and a bogus objective is rejected with usage exit 2.
+run ./target/release/magis optimize --workload unet --scale 0.1 \
+    --budget-ms 2000 --objective planned --paranoia all
+if ./target/release/magis optimize --workload unet --objective wishful 2>/dev/null; then
+    echo "unknown objective was not rejected"; exit 1
 fi
 
 # Crash-recovery smoke: hard-kill a checkpointing CLI search mid-budget,

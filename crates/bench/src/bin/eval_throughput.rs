@@ -11,7 +11,10 @@
 //! headline against the full baseline), multi-threaded on the same
 //! backend, and single-threaded on the `a100` backend (the registry's
 //! server-class profile — throughput is backend-independent, so this
-//! guards the generic `NodeCost` plumbing against regressions).
+//! guards the generic `NodeCost` plumbing against regressions). A
+//! fourth incremental run steers on the `planned` memory objective, so
+//! the column tracks the cost of delta memory planning (best-fit
+//! offset assignment per candidate) on top of delta profiling.
 //! Results print as a table, land in `results/eval_throughput.csv`,
 //! and are recorded as `BENCH_eval.json` in the working directory
 //! (committed at the repo root so the trajectory is tracked across
@@ -21,7 +24,7 @@ use magis_bench::{print_table, ExpOpts};
 use magis_core::optimizer::{optimize, Objective, OptimizerConfig, OptimizerStats};
 use magis_core::state::{EvalContext, EvalMode, MState};
 use magis_models::Workload;
-use magis_sim::{Backend, BackendRegistry, DEFAULT_BACKEND};
+use magis_sim::{Backend, BackendRegistry, MemObjective, DEFAULT_BACKEND};
 use std::time::Instant;
 
 /// Evaluation cap shared by all modes: high enough that per-candidate
@@ -37,6 +40,7 @@ struct ModeRun {
 fn run_mode(
     g: &magis_graph::graph::Graph,
     mode: EvalMode,
+    mem_objective: MemObjective,
     backend: &Backend,
     threads: usize,
     opts: &ExpOpts,
@@ -51,6 +55,7 @@ fn run_mode(
     .with_threads(threads);
     cfg.ctx = ctx;
     cfg.ctx.mode = mode;
+    cfg.ctx.mem_objective = mem_objective;
     if mode == EvalMode::Full {
         // The baseline is brute force end to end: no memoized reuse of
         // duplicate candidates either.
@@ -76,10 +81,13 @@ fn main() {
         // scale; --scale acts as a multiplier around it, capped at 2x.
         let scale = rel * (opts.scale / 0.5).min(2.0);
         let g = w.build(scale).graph;
-        let full = run_mode(&g, EvalMode::Full, default_backend, 1, &opts);
-        let inc = run_mode(&g, EvalMode::Incremental, default_backend, 1, &opts);
-        let inc_mt = run_mode(&g, EvalMode::Incremental, default_backend, mt_threads, &opts);
-        let inc_alt = run_mode(&g, EvalMode::Incremental, alt_backend, 1, &opts);
+        let lv = MemObjective::Liveness;
+        let full = run_mode(&g, EvalMode::Full, lv, default_backend, 1, &opts);
+        let inc = run_mode(&g, EvalMode::Incremental, lv, default_backend, 1, &opts);
+        let inc_mt = run_mode(&g, EvalMode::Incremental, lv, default_backend, mt_threads, &opts);
+        let inc_alt = run_mode(&g, EvalMode::Incremental, lv, alt_backend, 1, &opts);
+        let inc_planned =
+            run_mode(&g, EvalMode::Incremental, MemObjective::Planned, default_backend, 1, &opts);
         let speedup = inc.cands_per_sec / full.cands_per_sec.max(1e-9);
         rows.push(vec![
             w.label().to_string(),
@@ -89,6 +97,7 @@ fn main() {
             format!("{:.1}", inc.cands_per_sec),
             format!("{:.1}", inc_mt.cands_per_sec),
             format!("{:.1}", inc_alt.cands_per_sec),
+            format!("{:.1}", inc_planned.cands_per_sec),
             format!("{:.2}x", speedup),
             format!("{}", inc.stats.eval_cache_hits),
         ]);
@@ -97,7 +106,7 @@ fn main() {
                 "    {{\"model\": \"{}\", \"scale\": {:.4}, \"evaluated\": {}, ",
                 "\"full_cands_per_sec\": {:.2}, \"incremental_cands_per_sec\": {:.2}, ",
                 "\"incremental_mt_cands_per_sec\": {:.2}, \"mt_threads\": {}, ",
-                "\"a100_cands_per_sec\": {:.2}, ",
+                "\"a100_cands_per_sec\": {:.2}, \"planned_cands_per_sec\": {:.2}, ",
                 "\"speedup\": {:.3}, \"eval_cache_hits\": {}}}"
             ),
             w.label(),
@@ -108,6 +117,7 @@ fn main() {
             inc_mt.cands_per_sec,
             mt_threads,
             inc_alt.cands_per_sec,
+            inc_planned.cands_per_sec,
             speedup,
             inc.stats.eval_cache_hits,
         ));
@@ -121,6 +131,7 @@ fn main() {
         "inc c/s",
         "inc-mt c/s",
         "a100 c/s",
+        "planned c/s",
         "speedup",
         "cache hits",
     ];

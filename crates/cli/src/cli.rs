@@ -14,7 +14,7 @@ use magis_core::state::{EvalContext, EvalMode, MState};
 use magis_graph::graph::Graph;
 use magis_graph::io::{to_dot, to_text, DotOptions};
 use magis_models::Workload;
-use magis_sim::{Backend, BackendRegistry, CostModel, DEFAULT_BACKEND};
+use magis_sim::{Backend, BackendRegistry, CostModel, MemObjective, DEFAULT_BACKEND};
 use std::collections::HashMap;
 use std::path::Path;
 use std::time::Duration;
@@ -29,6 +29,7 @@ USAGE:
   magis optimize --workload NAME [--scale F] [--mode memory|latency]
                  [--limit F] [--budget-ms N] [--threads N]
                  [--backend NAME] [--calibrate FILE]
+                 [--objective liveness|planned]
                  [--paranoia off|incumbent|all]
                  [--eval incremental|full] [--eval-cache N]
                  [--checkpoint FILE] [--checkpoint-every N]
@@ -62,6 +63,14 @@ MODES (optimize):
 OPTIONS (optimize):
   --threads N     candidate-evaluation worker threads (default: all
                   cores; 1 = serial). Results are identical for every N.
+  --objective O   memory accounting the search steers on: liveness
+                  (default, sum of live tensor bytes per step) |
+                  planned (allocator-planned high-water mark from a
+                  best-fit free-list offset assignment over tensor
+                  lifetimes — includes fragmentation). `planned` plans
+                  every candidate and reports the fragmentation ratio
+                  in the summary; results stay bit-identical for every
+                  --threads value.
   --paranoia L    invariant enforcement: off | incumbent (default) |
                   all. `incumbent` cross-checks the incremental
                   evaluation of a would-be incumbent against a full
@@ -318,6 +327,12 @@ fn search_config(
         .with_threads(threads)
         .with_paranoia(paranoia);
     cfg.ctx = EvalContext::for_backend(backend);
+    cfg.ctx.mem_objective = match flags.get("objective") {
+        None => MemObjective::default(),
+        Some(v) => MemObjective::parse(v).ok_or_else(|| {
+            CliError::Usage(format!("--objective expects liveness|planned, got '{v}'"))
+        })?,
+    };
     cfg.ctx.mode = match flags.get("eval").map(String::as_str) {
         None | Some("incremental") => EvalMode::Incremental,
         Some("full") => EvalMode::Full,
@@ -397,6 +412,16 @@ fn print_summary(seed_cost: (u64, f64), res: &OptimizeResult) {
             100.0 * best.eval.peak_bytes as f64 / seed_cost.0 as f64
         ),
     );
+    if let Some(plan) = &best.eval.plan {
+        row(
+            "planned peak",
+            format!(
+                "{:.3} GiB  (allocator high-water mark)",
+                gib(plan.planned_peak_bytes)
+            ),
+        );
+        row("fragmentation", format!("{:.4}x  (planned / liveness)", plan.fragmentation_ratio()));
+    }
     row(
         "latency",
         format!(
@@ -629,6 +654,10 @@ mod tests {
             run(&s(&["optimize", "--workload", "unet", "--eval-cache", "lots"])),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--objective", "wishful"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -763,6 +792,15 @@ mod tests {
             run(&s(&["optimize", "--workload", "unet", "--log-level", "loud"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn optimize_planned_objective() {
+        run(&s(&[
+            "optimize", "--workload", "unet", "--scale", "0.1", "--budget-ms", "400",
+            "--threads", "2", "--objective", "planned", "--paranoia", "all",
+        ]))
+        .unwrap();
     }
 
     #[test]

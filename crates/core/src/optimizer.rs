@@ -655,6 +655,21 @@ fn check_invariants(child: &MState, ctx: &EvalContext) -> Result<(), String> {
             child.eval.latency, full.latency
         ));
     }
+    // The planning stage gets the same treatment: a delta re-plan must
+    // be bit-identical (full struct equality — offsets, intervals and
+    // peaks) to a from-scratch plan of the same order.
+    if let Some(plan) = &child.eval.plan {
+        let full_plan = magis_sim::memory_plan(&child.eval.graph, &child.eval.order)
+            .map_err(|e| format!("plan: {e}"))?;
+        if *plan != full_plan {
+            return Err(format!(
+                "cross-check: incremental plan diverged (planned peak {} != full {})",
+                plan.planned_peak_bytes, full_plan.planned_peak_bytes
+            ));
+        }
+    } else if ctx.mem_objective == magis_sim::MemObjective::Planned {
+        return Err("planned objective but the state carries no memory plan".to_string());
+    }
     Ok(())
 }
 
@@ -731,7 +746,7 @@ fn evaluate_candidate_inner(
     let hash_t = t0.elapsed();
 
     let t0 = Instant::now();
-    let (mut child, cache_hit) = match cache.get(hash) {
+    let (mut child, cache_hit) = match cache.get(hash, ctx.mem_objective) {
         Some(cached) => {
             // Hash-equal states are interchangeable to the search (the
             // equivalence the seen-set dedup already relies on), so the
@@ -999,11 +1014,12 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     }
     let mut history = Vec::new();
 
-    pareto.insert(init.eval.peak_bytes, init.eval.latency);
+    let (init_peak, init_lat) = init.cost();
+    pareto.insert(init_peak, init_lat);
     history.push(ProgressPoint {
         elapsed: start.elapsed().as_secs_f64(),
-        peak_bytes: init.eval.peak_bytes,
-        latency: init.eval.latency,
+        peak_bytes: init_peak,
+        latency: init_lat,
     });
 
     let mut best = init.clone();
@@ -1028,11 +1044,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
 
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     let mut seq = 0usize;
-    queue.push(QueueEntry {
-        key: cfg.objective.key(init.eval.peak_bytes, init.eval.latency),
-        seq,
-        state: init,
-    });
+    queue.push(QueueEntry { key: cfg.objective.key(init_peak, init_lat), seq, state: init });
 
     let mut evals_at_last_ckpt = stats.evaluated;
     let mut stop = None;
@@ -1227,7 +1239,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                         // eviction stays bit-identical across thread
                         // counts. No-op if a strike purged the entry
                         // earlier in this merge pass.
-                        eval_cache.touch(hash);
+                        eval_cache.touch(hash, cfg.ctx.mem_objective);
                         magis_obs::event!(
                             "magis_core",
                             "eval_cache_hit",
@@ -1252,7 +1264,12 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                         // Tainted children (post-eval fault injections)
                         // and quarantined families are never cached.
                         if !tainted && !quarantine.is_quarantined(family) {
-                            let evicted = eval_cache.insert(hash, (*child).clone(), family);
+                            let evicted = eval_cache.insert(
+                                hash,
+                                (*child).clone(),
+                                family,
+                                cfg.ctx.mem_objective,
+                            );
                             stats.eval_cache_evictions += evicted;
                             obs.eval_cache_evictions.add(evicted as u64);
                         }
@@ -1414,7 +1431,8 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     if cfg.objective.better_than(polished.cost(), best.cost(), 1.0)
         && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished, &cfg.ctx).is_ok())
     {
-        pareto.insert(polished.eval.peak_bytes, polished.eval.latency);
+        let (p_peak, p_lat) = polished.cost();
+        pareto.insert(p_peak, p_lat);
         best = polished;
     }
     stats.quarantine_strikes = quarantine.entries();
@@ -1443,6 +1461,12 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
     obs.best_latency.set(best.eval.latency);
     timeline.memory_profile = memory_profile(&best.eval.graph, &best.eval.order).step_bytes;
+    // Planner outcome for the timeline: the winning state's allocator
+    // high-water mark and fragmentation overhead (zeros = planner off).
+    if let Some(plan) = &best.eval.plan {
+        timeline.planned_peak_bytes = plan.planned_peak_bytes;
+        timeline.fragmentation_ratio = plan.fragmentation_ratio();
+    }
     OptimizeResult { best, pareto, history, stats, timeline }
 }
 
@@ -1680,18 +1704,19 @@ mod tests {
     fn quarantine_purges_eval_cache() {
         let g = train_mlp(2);
         let s = MState::initial(g, &EvalContext::default());
+        let lv = magis_sim::MemObjective::Liveness;
         let mut cache = EvalCache::new(16);
-        cache.insert(11, s.clone(), 4);
-        cache.insert(12, s.clone(), 4);
-        cache.insert(13, s, 5);
+        cache.insert(11, s.clone(), 4, lv);
+        cache.insert(12, s.clone(), 4, lv);
+        cache.insert(13, s, 5, lv);
         let mut q = Quarantine::new(2);
         assert_eq!(strike_family(&mut q, &mut cache, 4), 0, "below threshold: no purge");
-        assert!(cache.get(11).is_some());
+        assert!(cache.get(11, lv).is_some());
         // Second strike quarantines family 4: its entries must go so a
         // later hash hit can't resurrect a distrusted rule's result.
         assert_eq!(strike_family(&mut q, &mut cache, 4), 2);
-        assert!(cache.get(11).is_none() && cache.get(12).is_none());
-        assert!(cache.get(13).is_some(), "other families keep their entries");
+        assert!(cache.get(11, lv).is_none() && cache.get(12, lv).is_none());
+        assert!(cache.get(13, lv).is_some(), "other families keep their entries");
     }
 
     #[test]

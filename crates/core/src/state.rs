@@ -22,7 +22,9 @@ use magis_sched::{
     full_schedule, incremental_schedule_profiled, IntervalParams, SchedConfig,
 };
 pub use magis_sched::schedule::place_swaps;
-use magis_sim::{Backend, CostError, CostModel, Lifetimes, PerfCache, UncachedCost};
+use magis_sim::{
+    Backend, CostError, CostModel, Lifetimes, MemObjective, MemoryPlan, PerfCache, UncachedCost,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -103,6 +105,10 @@ pub struct EvalContext {
     /// Whether derived candidates are evaluated incrementally
     /// (default) or from scratch.
     pub mode: EvalMode,
+    /// Which peak-memory figure the search scores candidates by:
+    /// liveness sum (default) or the allocator-planned high-water mark
+    /// (adds the offset-assigning planning stage to every evaluation).
+    pub mem_objective: MemObjective,
 }
 
 impl Default for EvalContext {
@@ -121,6 +127,7 @@ impl EvalContext {
             sched_incremental: SchedConfig { beam_width: 8, node_budget: 96 },
             interval: IntervalParams::default(),
             mode: EvalMode::default(),
+            mem_objective: MemObjective::default(),
         }
     }
 
@@ -165,6 +172,11 @@ pub struct Eval {
     /// Per-root tensor lifetimes of `order` — the parent table a
     /// derived candidate's delta memory profile starts from.
     pub lifetimes: Lifetimes,
+    /// Offset-assigning memory plan of `order`, present when the
+    /// context's objective is [`MemObjective::Planned`]. Doubles as
+    /// the parent plan a derived candidate's delta re-planning starts
+    /// from.
+    pub plan: Option<MemoryPlan>,
     /// Metadata from the incremental-scheduling path, when it produced
     /// this evaluation (`None` for full evaluations, initial states,
     /// and resumed incumbents). Per-candidate instrumentation is
@@ -172,6 +184,18 @@ pub struct Eval {
     /// optimizer re-attributes these at the merge as the
     /// `magis_core_incremental_*` metrics.
     pub inc: Option<IncrementalEvalInfo>,
+}
+
+impl Eval {
+    /// The peak-memory figure the active objective scores this state
+    /// by: the allocator-planned high-water mark when the planning
+    /// stage ran, the liveness peak otherwise.
+    pub fn objective_peak(&self) -> u64 {
+        match &self.plan {
+            Some(p) => p.planned_peak_bytes,
+            None => self.peak_bytes,
+        }
+    }
 }
 
 /// How one incremental evaluation short-circuited (see
@@ -255,9 +279,11 @@ impl MState {
         })
     }
 
-    /// Convenience: `(peak_bytes, latency)`.
+    /// Convenience: `(objective peak bytes, latency)` — the memory
+    /// figure is the planned high-water mark when the planning stage
+    /// ran, the liveness peak otherwise.
     pub fn cost(&self) -> (u64, f64) {
-        (self.eval.peak_bytes, self.eval.latency)
+        (self.eval.objective_peak(), self.eval.latency)
     }
 
     /// Re-evaluates the state with a from-scratch full-beam schedule
@@ -296,7 +322,19 @@ impl MState {
         ctx: &EvalContext,
     ) -> Result<MState, EvalError> {
         let (profile, lifetimes) = magis_sim::memory_profile_lifetimes(&graph, &order)?;
-        let ev = magis_sim::evaluate_with_profile(&graph, &order, ctx.perf.as_ref(), profile)?;
+        let plan = match ctx.mem_objective {
+            MemObjective::Planned => {
+                Some(magis_sim::plan_from_lifetimes(&graph, &order, &lifetimes)?)
+            }
+            MemObjective::Liveness => None,
+        };
+        let ev = magis_sim::evaluate_with_plan(
+            &graph,
+            &order,
+            ctx.perf.as_ref(),
+            profile,
+            plan.as_ref(),
+        )?;
         let (hotspots_base, base_positions) = project_to_base(&base, &ev.memory.hotspots, &order);
         let eval = Eval {
             graph,
@@ -306,6 +344,7 @@ impl MState {
             hotspots_base,
             base_positions,
             lifetimes,
+            plan,
             inc: None,
         };
         Ok(MState { base, ftree, eval, tree_stale: true })
@@ -377,7 +416,8 @@ pub(crate) fn evaluate_overlay(
         EvalMode::Incremental => parent,
         EvalMode::Full => None,
     };
-    let (placed, profile, lifetimes, inc_info) = match parent {
+    let planned = ctx.mem_objective == MemObjective::Planned;
+    let (placed, profile, lifetimes, plan, inc_info) = match parent {
         Some(p) => {
             let s_old: BTreeSet<NodeId> =
                 mutated.iter().copied().filter(|v| p.eval.graph.contains(*v)).collect();
@@ -387,6 +427,7 @@ pub(crate) fn evaluate_overlay(
                 &s_old,
                 &p.eval.order,
                 Some(&p.eval.lifetimes),
+                if planned { p.eval.plan.as_ref() } else { None },
                 &ctx.sched_incremental,
                 &ctx.interval,
             )?;
@@ -394,7 +435,17 @@ pub(crate) fn evaluate_overlay(
                 IncrementalEvalInfo { window: inc.window, carried_won: inc.carried_won };
             let placed = place_swaps(&g, &inc.order, ctx.perf.as_ref());
             if placed == inc.order {
-                (placed, inc.profile, inc.lifetimes, Some(info))
+                let plan = match (planned, inc.plan) {
+                    (true, Some(plan)) => Some(plan),
+                    // A planned search whose parent had no plan (e.g.
+                    // a resumed state from a liveness checkpoint):
+                    // plan from scratch once, children delta from it.
+                    (true, None) => {
+                        Some(magis_sim::plan_from_lifetimes(&g, &placed, &inc.lifetimes)?)
+                    }
+                    (false, _) => None,
+                };
+                (placed, inc.profile, inc.lifetimes, plan, Some(info))
             } else {
                 // Swap placement moved nodes: delta-update the profile
                 // from the pre-placement order (same graph, so no
@@ -407,17 +458,32 @@ pub(crate) fn evaluate_overlay(
                     &inc.lifetimes,
                     &BTreeSet::new(),
                 )?;
-                (placed, profile, lifetimes, Some(info))
+                let plan = match (planned, &inc.plan) {
+                    (true, Some(pp)) => {
+                        Some(magis_sim::memory_plan_delta(&g, &placed, &lifetimes, pp)?)
+                    }
+                    (true, None) => {
+                        Some(magis_sim::plan_from_lifetimes(&g, &placed, &lifetimes)?)
+                    }
+                    (false, _) => None,
+                };
+                (placed, profile, lifetimes, plan, Some(info))
             }
         }
         None => {
             let order = full_schedule(&g, &ctx.sched);
             let placed = place_swaps(&g, &order, ctx.perf.as_ref());
             let (profile, lifetimes) = magis_sim::memory_profile_lifetimes(&g, &placed)?;
-            (placed, profile, lifetimes, None)
+            let plan = if planned {
+                Some(magis_sim::plan_from_lifetimes(&g, &placed, &lifetimes)?)
+            } else {
+                None
+            };
+            (placed, profile, lifetimes, plan, None)
         }
     };
-    let ev = magis_sim::evaluate_with_profile(&g, &placed, ctx.perf.as_ref(), profile)?;
+    let ev =
+        magis_sim::evaluate_with_plan(&g, &placed, ctx.perf.as_ref(), profile, plan.as_ref())?;
     let (hotspots_base, base_positions) = project_to_base(base, &ev.memory.hotspots, &placed);
     Ok(Eval {
         graph: g,
@@ -427,6 +493,7 @@ pub(crate) fn evaluate_overlay(
         hotspots_base,
         base_positions,
         lifetimes,
+        plan,
         inc: inc_info,
     })
 }

@@ -81,6 +81,12 @@ pub struct SearchTimeline {
     /// The incumbent's memory usage (bytes live) at each schedule
     /// step, from the final simulated memory profile.
     pub memory_profile: Vec<u64>,
+    /// The incumbent's allocator-planned high-water mark in bytes
+    /// (0 = the planning stage was off for this run).
+    pub planned_peak_bytes: u64,
+    /// The incumbent's `planned / liveness` peak ratio (0.0 = the
+    /// planning stage was off for this run).
+    pub fragmentation_ratio: f64,
 }
 
 impl SearchTimeline {
@@ -171,6 +177,8 @@ impl SearchTimeline {
                 "memory_profile".into(),
                 Json::Arr(self.memory_profile.iter().map(|&b| Json::UInt(b)).collect()),
             ),
+            ("planned_peak_bytes".into(), Json::UInt(self.planned_peak_bytes)),
+            ("fragmentation_ratio".into(), Json::Float(self.fragmentation_ratio)),
         ])
     }
 }
@@ -198,6 +206,8 @@ mod tests {
         f.mem_delta_bytes = -(1 << 20);
         f.lat_delta = 0.75;
         t.memory_profile = vec![100, 300, 200];
+        t.planned_peak_bytes = 310;
+        t.fragmentation_ratio = 310.0 / 300.0;
         t
     }
 
@@ -232,5 +242,7 @@ mod tests {
             parsed.get("memory_profile").unwrap().as_arr().unwrap().len(),
             3
         );
+        assert_eq!(parsed.get("planned_peak_bytes").unwrap().as_u64(), Some(310));
+        assert!(parsed.get("fragmentation_ratio").unwrap().as_f64().unwrap() > 1.0);
     }
 }

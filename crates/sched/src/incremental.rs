@@ -13,7 +13,7 @@ use crate::schedule::stabilize_order;
 use crate::task::SchedTask;
 use magis_graph::algo::reach::Reachability;
 use magis_graph::graph::{Graph, NodeId};
-use magis_sim::{CostError, Lifetimes, MemoryProfile};
+use magis_sim::{CostError, Lifetimes, MemoryPlan, MemoryProfile};
 use std::collections::BTreeSet;
 
 /// The empirical constants of `ExtendBound` (Algorithm 2 line 4); the
@@ -94,6 +94,9 @@ pub struct IncrementalSchedule {
     pub profile: MemoryProfile,
     /// Lifetime table of `order`, for the next delta update.
     pub lifetimes: Lifetimes,
+    /// Memory plan of `order`, delta-derived from the parent's plan
+    /// when one was handed in (`None` when planning is off).
+    pub plan: Option<MemoryPlan>,
     /// Width of the rescheduled window (old-schedule steps).
     pub window: usize,
     /// Whether the carried-over old order beat the rescheduled window.
@@ -123,7 +126,7 @@ pub fn incremental_schedule(
     cfg: &SchedConfig,
     params: &IntervalParams,
 ) -> Vec<NodeId> {
-    incremental_schedule_profiled(g_old, g_new, s_old, psi_old, None, cfg, params)
+    incremental_schedule_profiled(g_old, g_new, s_old, psi_old, None, None, cfg, params)
         .expect("memory accounting conserved")
         .order
 }
@@ -137,16 +140,25 @@ pub fn incremental_schedule(
 /// otherwise they are profiled from scratch. Either way the returned
 /// profile/lifetimes are bit-identical to a full recomputation.
 ///
+/// When `parent_plan` is the memory plan of `(g_old, psi_old)`, both
+/// candidate orders are additionally re-planned by delta update
+/// ([`magis_sim::memory_plan_delta`]) and the rescheduled-vs-carried
+/// guard compares `(planned_peak, liveness_peak)` lexicographically,
+/// so the planned objective steers the choice without the liveness
+/// path losing its tiebreak.
+///
 /// # Errors
 ///
 /// Returns a typed [`CostError`] on coverage or memory-conservation
 /// defects.
+#[allow(clippy::too_many_arguments)]
 pub fn incremental_schedule_profiled(
     g_old: &Graph,
     g_new: &Graph,
     s_old: &BTreeSet<NodeId>,
     psi_old: &[NodeId],
     parent_lifetimes: Option<&Lifetimes>,
+    parent_plan: Option<&MemoryPlan>,
     cfg: &SchedConfig,
     params: &IntervalParams,
 ) -> Result<IncrementalSchedule, CostError> {
@@ -189,7 +201,19 @@ pub fn incremental_schedule_profiled(
     };
     let (new_prof, new_lt) = profile_of(&rescheduled)?;
     let (old_prof, old_lt) = profile_of(&carried)?;
-    let carried_won = new_prof.peak_bytes > old_prof.peak_bytes;
+    let plan_of = |order: &[NodeId], lt: &Lifetimes| match parent_plan {
+        Some(pp) => magis_sim::memory_plan_delta(g_new, order, lt, pp).map(Some),
+        None => Ok(None),
+    };
+    let new_plan = plan_of(&rescheduled, &new_lt)?;
+    let old_plan = plan_of(&carried, &old_lt)?;
+    let carried_won = match (&new_plan, &old_plan) {
+        (Some(np), Some(op)) => {
+            (np.planned_peak_bytes, new_prof.peak_bytes)
+                > (op.planned_peak_bytes, old_prof.peak_bytes)
+        }
+        _ => new_prof.peak_bytes > old_prof.peak_bytes,
+    };
     span.record("carried_won", carried_won);
     {
         use std::sync::OnceLock;
@@ -218,6 +242,7 @@ pub fn incremental_schedule_profiled(
             order: carried,
             profile: old_prof,
             lifetimes: old_lt,
+            plan: old_plan,
             window,
             carried_won,
         }
@@ -226,6 +251,7 @@ pub fn incremental_schedule_profiled(
             order: rescheduled,
             profile: new_prof,
             lifetimes: new_lt,
+            plan: new_plan,
             window,
             carried_won,
         }

@@ -120,12 +120,14 @@ fn check_incremental(g_old: &Graph, g_new: &Graph, s_old: &BTreeSet<NodeId>) {
     let cfg = SchedConfig::default();
     let psi_old = full_schedule(g_old, &cfg);
     let (_, lt_old) = memory_profile_lifetimes(g_old, &psi_old).expect("old profile");
+    let plan_old = magis_sim::memory_plan(g_old, &psi_old).expect("old plan");
     let inc = incremental_schedule_profiled(
         g_old,
         g_new,
         s_old,
         &psi_old,
         Some(&lt_old),
+        Some(&plan_old),
         &cfg,
         &IntervalParams::default(),
     )
@@ -136,6 +138,8 @@ fn check_incremental(g_old: &Graph, g_new: &Graph, s_old: &BTreeSet<NodeId>) {
         memory_profile_lifetimes(g_new, &inc.order).expect("full recompute");
     assert_eq!(inc.profile.peak_bytes, full_prof.peak_bytes, "delta peak bit-identical");
     assert_eq!(inc.lifetimes, full_lt, "delta lifetime table bit-identical");
+    let full_plan = magis_sim::memory_plan(g_new, &inc.order).expect("full re-plan");
+    assert_eq!(inc.plan.as_ref(), Some(&full_plan), "delta memory plan bit-identical");
 }
 
 #[test]

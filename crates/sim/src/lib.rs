@@ -32,6 +32,7 @@ pub mod delta;
 pub mod device;
 pub mod exec;
 pub mod memory;
+pub mod plan;
 pub mod profile;
 
 pub use backend::{
@@ -47,6 +48,9 @@ pub use exec::{memory_timeline, simulate, simulate_latency, ExecTimeline};
 pub use memory::{
     memory_profile, memory_profile_checked, memory_profile_lifetimes, storage_root, Lifetimes,
     MemoryProfile,
+};
+pub use plan::{
+    memory_plan, memory_plan_delta, plan_from_lifetimes, MemObjective, MemoryPlan, PlannedAlloc,
 };
 pub use profile::{OpCost, PerfCache, UncachedCost};
 
@@ -88,8 +92,12 @@ fn count_backend_eval(backend: &str) {
 pub struct Evaluation {
     /// End-to-end latency in seconds (swap-overlap aware).
     pub latency: f64,
-    /// Peak device memory in bytes.
+    /// Peak device memory in bytes (liveness sum — the paper's
+    /// `M_peak`), regardless of the active objective.
     pub peak_bytes: u64,
+    /// Allocator high-water mark when the planning stage ran
+    /// ([`evaluate_with_plan`] with a plan), `None` otherwise.
+    pub planned_peak_bytes: Option<u64>,
     /// Full memory profile (per-step usage, hot-spots).
     pub memory: MemoryProfile,
 }
@@ -112,7 +120,12 @@ pub fn evaluate<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> Ev
     obs().evaluations.inc();
     count_backend_eval(cm.backend_name());
     obs().eval_seconds.observe_duration(start.elapsed());
-    Evaluation { latency: timeline.total, peak_bytes: memory.peak_bytes, memory }
+    Evaluation {
+        latency: timeline.total,
+        peak_bytes: memory.peak_bytes,
+        planned_peak_bytes: None,
+        memory,
+    }
 }
 
 /// [`evaluate`] with every failure mode surfaced as a typed
@@ -184,6 +197,23 @@ pub fn evaluate_with_profile<C: NodeCost + ?Sized>(
     cm: &C,
     memory: MemoryProfile,
 ) -> Result<Evaluation, CostError> {
+    evaluate_with_plan(g, order, cm, memory, None)
+}
+
+/// [`evaluate_with_profile`] with the optional planning stage: when a
+/// [`MemoryPlan`] for the same `(g, order)` pair is handed in, its
+/// allocator high-water mark is surfaced as
+/// [`Evaluation::planned_peak_bytes`]. The plan comes from
+/// [`memory_plan`] / [`plan_from_lifetimes`] or (for a candidate
+/// derived from a planned parent) [`memory_plan_delta`]; this function
+/// trusts it the same way it trusts `memory`.
+pub fn evaluate_with_plan<C: NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+    memory: MemoryProfile,
+    plan: Option<&MemoryPlan>,
+) -> Result<Evaluation, CostError> {
     // Per-node latency check so a defect is attributed to the node
     // that produced it rather than to the aggregate.
     for &v in order {
@@ -197,7 +227,16 @@ pub fn evaluate_with_profile<C: NodeCost + ?Sized>(
     if timeline.total < 0.0 {
         return Err(CostError::NegativeLatency { node: None, value: timeline.total });
     }
-    Ok(Evaluation { latency: timeline.total, peak_bytes: memory.peak_bytes, memory })
+    debug_assert!(
+        plan.is_none_or(|p| p.liveness_peak_bytes == memory.peak_bytes),
+        "the plan's liveness peak must agree with the profile it rides on"
+    );
+    Ok(Evaluation {
+        latency: timeline.total,
+        peak_bytes: memory.peak_bytes,
+        planned_peak_bytes: plan.map(|p| p.planned_peak_bytes),
+        memory,
+    })
 }
 
 #[cfg(test)]
