@@ -35,6 +35,11 @@ run env RUST_TEST_THREADS=4 cargo test -q --test fault_injection
 run cargo test -q --test checkpoint_resume
 run cargo test -q --test robustness_properties
 
+# Service supervision: deadlines return best-so-far, full queues shed
+# load, same-job-twice bit-identity, drain journaling, and kill -9 +
+# restart resuming bit-identical to an uninterrupted run.
+run cargo test -q --test serve_robustness
+
 # Observability: count metrics and the trace-event identity set must be
 # bit-identical across thread counts.
 run cargo test -q --test observability
@@ -91,6 +96,34 @@ timeout -s KILL 4 ./target/release/magis optimize \
 test -f "$CKPT" || { echo "no checkpoint survived the kill"; exit 1; }
 run ./target/release/magis optimize --resume "$CKPT" --budget-ms 3000
 rm -rf "$(dirname "$CKPT")"
+
+# Deadline smoke: a hard wall limit returns a best-so-far result and
+# reports the deadline stop reason in the summary.
+echo
+echo "==> deadline smoke"
+DEADLINE_OUT="$(./target/release/magis optimize --workload unet --scale 0.15 \
+    --mode memory --budget-ms 60000 --wall-limit-ms 300 2>&1)"
+grep -q "stop reason *deadline" <<<"$DEADLINE_OUT" \
+    || { echo "$DEADLINE_OUT"; echo "deadline stop reason missing"; exit 1; }
+
+# Service smoke: start the daemon, push two jobs through the CLI
+# client (the second hits the cross-request result cache), then
+# SIGTERM and require a clean drain.
+SRV_DIR="$(mktemp -d)"
+echo
+echo "==> serve smoke (state in $SRV_DIR)"
+./target/release/magis-served --addr 127.0.0.1:0 \
+    --state-dir "$SRV_DIR/state" --port-file "$SRV_DIR/port" --workers 2 &
+SRV_PID=$!
+for _ in $(seq 1 100); do test -s "$SRV_DIR/port" && break; sleep 0.1; done
+test -s "$SRV_DIR/port" || { echo "daemon never wrote its port file"; exit 1; }
+run ./target/release/magis submit --port-file "$SRV_DIR/port" \
+    --workload unet --scale 0.1 --max-candidates 40
+run ./target/release/magis submit --port-file "$SRV_DIR/port" \
+    --workload unet --scale 0.1 --max-candidates 40
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "daemon did not exit cleanly after SIGTERM"; exit 1; }
+rm -rf "$SRV_DIR"
 
 # Traced smoke: a short optimize run must produce a JSONL trace where
 # every line parses (trace-check) and a non-empty metrics snapshot.

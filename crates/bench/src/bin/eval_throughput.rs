@@ -15,6 +15,13 @@
 //! fourth incremental run steers on the `planned` memory objective, so
 //! the column tracks the cost of delta memory planning (best-fit
 //! offset assignment per candidate) on top of delta profiling.
+//!
+//! A final **service** column measures end-to-end requests per second
+//! through an in-process `magis-serve` daemon: concurrent clients
+//! submit short capped jobs over the line protocol (result cache off,
+//! so every request runs a real search) — tracking the supervision
+//! layer's overhead (admission, journaling, checkpointing, streaming)
+//! on top of raw evaluation throughput.
 //! Results print as a table, land in `results/eval_throughput.csv`,
 //! and are recorded as `BENCH_eval.json` in the working directory
 //! (committed at the repo root so the trajectory is tracked across
@@ -31,6 +38,12 @@ use std::time::Instant;
 /// costs dominate, low enough that the full-evaluation baseline
 /// finishes quickly at bench scale.
 const MAX_EVALS: usize = 240;
+
+/// Service-mode measurement: how many jobs flow through the daemon,
+/// and how large each job's search is (kept short so the per-request
+/// supervision overhead is actually visible next to the search).
+const SERVICE_REQUESTS: usize = 8;
+const SERVICE_EVALS: usize = 40;
 
 struct ModeRun {
     cands_per_sec: f64,
@@ -67,16 +80,71 @@ fn run_mode(
     ModeRun { cands_per_sec: res.stats.evaluated as f64 / elapsed.max(1e-9), stats: res.stats }
 }
 
+/// End-to-end service throughput: an in-process daemon, `workers`
+/// concurrent clients, `SERVICE_REQUESTS` capped jobs over the line
+/// protocol. Returns completed requests per second of wall-clock.
+fn run_service(workload: &str, scale: f64, workers: usize) -> f64 {
+    use magis_serve::{Client, JobSpec, ServeConfig, Server};
+    let state = std::env::temp_dir()
+        .join(format!("magis_bench_serve_{}_{workload}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state.clone(),
+        workers,
+        queue_capacity: SERVICE_REQUESTS + workers,
+        client_cap: SERVICE_REQUESTS + workers,
+        result_cache: 0, // every request must run a real search
+        ..ServeConfig::default()
+    })
+    .expect("bind service bench daemon");
+    let handle = server.handle().expect("server handle");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let addr = handle.addr();
+    let spec = JobSpec {
+        workload: Some(workload.to_string()),
+        scale,
+        max_candidates: Some(SERVICE_EVALS),
+        budget_ms: 600_000,
+        ..JobSpec::default()
+    };
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..workers)
+        .map(|i| {
+            // Round-robin the request count over the client threads.
+            let n = SERVICE_REQUESTS / workers + usize::from(i < SERVICE_REQUESTS % workers);
+            let spec = JobSpec { client: format!("bench-{i}"), ..spec.clone() };
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect to bench daemon");
+                for _ in 0..n {
+                    let out = c.submit_and_wait(&spec).expect("submit bench job");
+                    out.result.expect("bench job succeeds");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let per_sec = SERVICE_REQUESTS as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    handle.shutdown();
+    server_thread.join().expect("server thread").expect("clean drain");
+    let _ = std::fs::remove_dir_all(&state);
+    per_sec
+}
+
 fn main() {
     let opts = ExpOpts::from_args();
     let registry = BackendRegistry::builtin();
     let default_backend = registry.get(DEFAULT_BACKEND).expect("default backend registered");
     let alt_backend = registry.get("a100").expect("a100 backend registered");
     let mt_threads = magis_util::parallel::available_threads().clamp(2, 4);
-    let models = [(Workload::UNet, 0.15), (Workload::BertBase, 0.1)];
+    let models = [(Workload::UNet, "unet", 0.15), (Workload::BertBase, "bert", 0.1)];
     let mut rows = Vec::new();
     let mut json_models = Vec::new();
-    for (w, rel) in models {
+    for (w, serve_name, rel) in models {
         // The default ExpOpts scale (0.5) maps to each model's bench
         // scale; --scale acts as a multiplier around it, capped at 2x.
         let scale = rel * (opts.scale / 0.5).min(2.0);
@@ -88,6 +156,7 @@ fn main() {
         let inc_alt = run_mode(&g, EvalMode::Incremental, lv, alt_backend, 1, &opts);
         let inc_planned =
             run_mode(&g, EvalMode::Incremental, MemObjective::Planned, default_backend, 1, &opts);
+        let serve_rps = run_service(serve_name, scale, mt_threads);
         let speedup = inc.cands_per_sec / full.cands_per_sec.max(1e-9);
         rows.push(vec![
             w.label().to_string(),
@@ -98,6 +167,7 @@ fn main() {
             format!("{:.1}", inc_mt.cands_per_sec),
             format!("{:.1}", inc_alt.cands_per_sec),
             format!("{:.1}", inc_planned.cands_per_sec),
+            format!("{:.2}", serve_rps),
             format!("{:.2}x", speedup),
             format!("{}", inc.stats.eval_cache_hits),
         ]);
@@ -107,6 +177,8 @@ fn main() {
                 "\"full_cands_per_sec\": {:.2}, \"incremental_cands_per_sec\": {:.2}, ",
                 "\"incremental_mt_cands_per_sec\": {:.2}, \"mt_threads\": {}, ",
                 "\"a100_cands_per_sec\": {:.2}, \"planned_cands_per_sec\": {:.2}, ",
+                "\"serve_requests_per_sec\": {:.3}, \"serve_requests\": {}, ",
+                "\"serve_evals_per_request\": {}, ",
                 "\"speedup\": {:.3}, \"eval_cache_hits\": {}}}"
             ),
             w.label(),
@@ -118,6 +190,9 @@ fn main() {
             mt_threads,
             inc_alt.cands_per_sec,
             inc_planned.cands_per_sec,
+            serve_rps,
+            SERVICE_REQUESTS,
+            SERVICE_EVALS,
             speedup,
             inc.stats.eval_cache_hits,
         ));
@@ -132,6 +207,7 @@ fn main() {
         "inc-mt c/s",
         "a100 c/s",
         "planned c/s",
+        "serve req/s",
         "speedup",
         "cache hits",
     ];

@@ -6,6 +6,7 @@ use magis_baselines::BaselineKind;
 use magis_core::checkpoint::SearchCheckpoint;
 use magis_core::codegen::generate_pytorch;
 use magis_core::fission::apply_full;
+use magis_core::budget::SearchBudget;
 use magis_core::optimizer::{
     self, try_optimize, CheckpointPolicy, Objective, OptimizeResult, OptimizerConfig,
     ParanoiaLevel,
@@ -28,17 +29,29 @@ USAGE:
   magis inspect  --workload NAME [--scale F] [--backend NAME]
   magis optimize --workload NAME [--scale F] [--mode memory|latency]
                  [--limit F] [--budget-ms N] [--threads N]
+                 [--wall-limit-ms N] [--max-candidates N]
                  [--backend NAME] [--calibrate FILE]
                  [--objective liveness|planned]
                  [--paranoia off|incumbent|all]
                  [--eval incremental|full] [--eval-cache N]
                  [--checkpoint FILE] [--checkpoint-every N]
+                 [--checkpoint-frontier true|false]
                  [--emit py|dot|text] [--out FILE]
   magis optimize --resume FILE [--mode memory|latency] [--limit F]
                  [--budget-ms N] [--threads N] [...]
   magis baseline --workload NAME --system pofo|dtr|xla|tvm|ti
                  [--scale F] [--budget-ratio F]
                  [--backend NAME] [--calibrate FILE]
+  magis serve    [--addr HOST:PORT] [--state-dir DIR] [--workers N]
+                 [--queue-capacity N] [--client-cap N] [--retry-cap N]
+                 [--drain-timeout-ms N] [--stall-after-ms N]
+                 [--result-cache N] [--port-file FILE]
+  magis submit   --addr HOST:PORT | --port-file FILE
+                 --workload NAME [--scale F] [--mode memory|latency]
+                 [--limit F] [--objective liveness|planned]
+                 [--backend NAME] [--budget-ms N] [--wall-limit-ms N]
+                 [--max-candidates N] [--threads N] [--client NAME]
+                 [--wait true|false]
   magis trace-check --trace FILE
   magis --backend-list
 
@@ -63,6 +76,21 @@ MODES (optimize):
 OPTIONS (optimize):
   --threads N     candidate-evaluation worker threads (default: all
                   cores; 1 = serial). Results are identical for every N.
+  --wall-limit-ms N
+                  hard deadline: the search stops at N ms and returns
+                  its best-so-far incumbent with `stop reason:
+                  deadline` (anytime semantics; wall-clock dependent,
+                  so not reproducible run-to-run).
+  --max-candidates N
+                  hard cap on evaluated candidates — the deterministic
+                  stopping knob (`stop reason: eval-cap`), cumulative
+                  across --resume.
+  --checkpoint-frontier B
+                  with --checkpoint: also persist the full search
+                  frontier so a --resume continues the trajectory
+                  bit-exactly instead of restarting the queue from the
+                  incumbent (default false; the serve daemon always
+                  enables it).
   --objective O   memory accounting the search steers on: liveness
                   (default, sum of live tensor bytes per step) |
                   planned (allocator-planned high-water mark from a
@@ -174,6 +202,19 @@ fn usize_flag(
     }
 }
 
+fn bool_flag(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: bool,
+) -> Result<bool, CliError> {
+    match flags.get(key).map(String::as_str) {
+        None => Ok(default),
+        Some("true") | Some("1") | Some("yes") => Ok(true),
+        Some("false") | Some("0") | Some("no") => Ok(false),
+        Some(v) => Err(CliError::Usage(format!("--{key} expects true|false, got '{v}'"))),
+    }
+}
+
 fn gib(bytes: u64) -> f64 {
     bytes as f64 / (1u64 << 30) as f64
 }
@@ -258,6 +299,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "inspect" => inspect(&parse_flags(rest)?),
         "optimize" => cmd_optimize(&parse_flags(rest)?),
         "baseline" => cmd_baseline(&parse_flags(rest)?),
+        "serve" => cmd_serve(&parse_flags(rest)?),
+        "submit" => cmd_submit(&parse_flags(rest)?),
         "trace-check" => cmd_trace_check(&parse_flags(rest)?),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -344,9 +387,23 @@ fn search_config(
     };
     let cache_cap = usize_flag(flags, "eval-cache", cfg.eval_cache)?;
     cfg = cfg.with_eval_cache(cache_cap);
+    let mut search_budget = SearchBudget::UNLIMITED;
+    if let Some(ms) = flags.get("wall-limit-ms") {
+        let ms: u64 = ms.parse().map_err(|_| {
+            CliError::Usage(format!("--wall-limit-ms expects an integer, got '{ms}'"))
+        })?;
+        search_budget = search_budget.with_wall_limit(Duration::from_millis(ms));
+    }
+    if flags.contains_key("max-candidates") {
+        let cap = usize_flag(flags, "max-candidates", 0)?;
+        search_budget = search_budget.with_candidate_limit(cap);
+    }
+    cfg = cfg.with_search_budget(search_budget);
     if let Some(path) = flags.get("checkpoint") {
         let every = usize_flag(flags, "checkpoint-every", 64)?;
-        cfg = cfg.with_checkpoint(CheckpointPolicy::new(path).with_every(every));
+        let frontier = bool_flag(flags, "checkpoint-frontier", false)?;
+        cfg = cfg
+            .with_checkpoint(CheckpointPolicy::new(path).with_every(every).with_frontier(frontier));
     }
     Ok(cfg)
 }
@@ -583,6 +640,126 @@ fn cmd_baseline(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `magis serve` — runs the supervised optimization daemon in the
+/// foreground until SIGTERM/ctrl-c (then drains gracefully).
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    setup_obs(flags)?;
+    let mut cfg = magis_serve::ServeConfig::default();
+    if let Some(a) = flags.get("addr") {
+        cfg.addr = a.clone();
+    }
+    if let Some(d) = flags.get("state-dir") {
+        cfg.state_dir = d.into();
+    }
+    cfg.workers = usize_flag(flags, "workers", cfg.workers)?.max(1);
+    cfg.queue_capacity = usize_flag(flags, "queue-capacity", cfg.queue_capacity)?;
+    cfg.client_cap = usize_flag(flags, "client-cap", cfg.client_cap)?;
+    cfg.retry_cap = usize_flag(flags, "retry-cap", cfg.retry_cap as usize)? as u32;
+    cfg.backoff_base_ms = usize_flag(flags, "backoff-base-ms", cfg.backoff_base_ms as usize)? as u64;
+    cfg.drain_timeout_ms =
+        usize_flag(flags, "drain-timeout-ms", cfg.drain_timeout_ms as usize)? as u64;
+    cfg.stall_after_ms = usize_flag(flags, "stall-after-ms", cfg.stall_after_ms as usize)? as u64;
+    cfg.result_cache = usize_flag(flags, "result-cache", cfg.result_cache)?;
+    cfg.port_file = flags.get("port-file").map(Into::into);
+    let server = magis_serve::Server::bind(cfg)
+        .map_err(|e| CliError::Runtime(format!("starting the server: {e}")))?;
+    if let Ok(addr) = server.local_addr() {
+        eprintln!("magis serve: listening on {addr}");
+    }
+    server.run().map_err(|e| CliError::Runtime(format!("serving: {e}")))
+}
+
+/// Builds a [`magis_serve::JobSpec`] from `submit` flags (shares the
+/// `optimize` flag names).
+fn job_spec(flags: &HashMap<String, String>) -> Result<magis_serve::JobSpec, CliError> {
+    let mut spec = magis_serve::JobSpec::default();
+    workload(flags)?; // validate the name early, client-side
+    spec.workload = flags.get("workload").map(|w| w.to_lowercase());
+    spec.scale = f64_flag(flags, "scale", 0.5)?;
+    spec.mode = flags.get("mode").cloned().unwrap_or_else(|| "memory".into());
+    spec.limit = match flags.get("limit") {
+        None => None,
+        Some(_) => Some(f64_flag(flags, "limit", 0.0)?),
+    };
+    if let Some(v) = flags.get("objective") {
+        spec.objective = MemObjective::parse(v).ok_or_else(|| {
+            CliError::Usage(format!("--objective expects liveness|planned, got '{v}'"))
+        })?;
+    }
+    spec.backend = flags.get("backend").cloned();
+    spec.budget_ms = usize_flag(flags, "budget-ms", 15_000)? as u64;
+    if flags.contains_key("wall-limit-ms") {
+        spec.wall_limit_ms = Some(usize_flag(flags, "wall-limit-ms", 0)? as u64);
+    }
+    if flags.contains_key("max-candidates") {
+        spec.max_candidates = Some(usize_flag(flags, "max-candidates", 0)?);
+    }
+    spec.threads = usize_flag(flags, "threads", 1)?.max(1);
+    if flags.contains_key("eval-cache") {
+        spec.eval_cache = Some(usize_flag(flags, "eval-cache", 0)?);
+    }
+    spec.checkpoint_every = usize_flag(flags, "checkpoint-every", spec.checkpoint_every)?.max(1);
+    if let Some(c) = flags.get("client") {
+        spec.client = c.clone();
+    }
+    Ok(spec)
+}
+
+/// Resolves the daemon address from `--addr` or `--port-file`.
+fn serve_addr(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    if let Some(a) = flags.get("addr") {
+        return Ok(a.clone());
+    }
+    if let Some(p) = flags.get("port-file") {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| CliError::Runtime(format!("reading {p}: {e}")))?;
+        return Ok(text.trim().to_string());
+    }
+    Err(CliError::Usage("submit needs --addr or --port-file".into()))
+}
+
+/// `magis submit` — sends one job to a running daemon and (by
+/// default) waits for the result.
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let addr = serve_addr(flags)?;
+    let spec = job_spec(flags)?;
+    let wait = bool_flag(flags, "wait", true)?;
+    let mut client = magis_serve::Client::connect(&addr)
+        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
+    if !wait {
+        let id = client
+            .submit_nowait(&spec)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!("submitted job {id}");
+        return Ok(());
+    }
+    let out = client
+        .submit_and_wait(&spec)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    match out.result {
+        Err(e) => Err(CliError::Runtime(format!("job {} failed: {e}", out.id))),
+        Ok(r) => {
+            let rule = "─".repeat(62);
+            let row = |k: &str, v: String| eprintln!("  {k:<24} {v}");
+            eprintln!("{rule}");
+            eprintln!("  magis submit: job {} done", out.id);
+            eprintln!("{rule}");
+            row("peak memory", format!("{:.3} GiB", gib(r.peak_bytes)));
+            if let Some(p) = r.planned_peak_bytes {
+                row("planned peak", format!("{:.3} GiB", gib(p)));
+            }
+            row("latency", format!("{:.2} ms", r.latency * 1e3));
+            row("stop reason", r.stop_reason.clone());
+            row("expanded / evaluated", format!("{} / {}", r.expanded, r.evaluated));
+            row("resumed", (if r.resumed { "yes" } else { "no" }).to_string());
+            row("cached", (if out.cached { "yes" } else { "no" }).to_string());
+            row("progress events", out.progress_events.to_string());
+            eprintln!("{rule}");
+            Ok(())
+        }
+    }
+}
+
 /// Validates a `--trace-out` JSONL file: every non-empty line must
 /// parse back as a trace record. Prints per-record-name counts.
 fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
@@ -810,6 +987,37 @@ mod tests {
             "--threads", "2", "--eval", "full", "--eval-cache", "0",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn optimize_deadline_and_candidate_caps() {
+        // A tight deadline still returns a valid best-so-far summary.
+        run(&s(&[
+            "optimize", "--workload", "unet", "--scale", "0.1", "--budget-ms", "5000",
+            "--threads", "2", "--wall-limit-ms", "150",
+        ]))
+        .unwrap();
+        // The candidate cap is the deterministic stopping knob.
+        run(&s(&[
+            "optimize", "--workload", "unet", "--scale", "0.1", "--threads", "2",
+            "--max-candidates", "5",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            run(&s(&["optimize", "--workload", "unet", "--wall-limit-ms", "soon"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&[
+                "optimize", "--workload", "unet", "--checkpoint", "/tmp/x.ckpt",
+                "--checkpoint-frontier", "maybe",
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["submit", "--workload", "unet"])),
+            Err(CliError::Usage(_)),
+        ), "submit without an address is a usage error");
     }
 
     #[test]

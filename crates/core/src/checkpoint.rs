@@ -12,6 +12,18 @@
 //! re-simulated rather than re-scheduled — re-scheduling could land on
 //! a different (worse) evaluation than the one that won incumbency.
 //!
+//! Since v3 a checkpoint can additionally carry the **frontier**: every
+//! entry still on the priority queue, each with its sequence number,
+//! staleness flag, and the same order/F-Tree/graph-record block as the
+//! incumbent. A frontier-bearing checkpoint resumes *exactly* — the
+//! queue, seen-set, and sequence counter are reconstructed verbatim,
+//! so a killed-and-resumed search replays the identical trajectory and
+//! finishes bit-identical to an uninterrupted run (given deterministic
+//! stopping, i.e. a candidate cap rather than wall clock). Frontier-
+//! free checkpoints (v1/v2, or v3 written without the frontier policy)
+//! keep the legacy best-effort resume: the incumbent is re-seeded and
+//! the search re-explores from there.
+//!
 //! The optimizer's configuration (objective, budget, thread count,
 //! rule set) is deliberately **not** stored: the resuming caller's
 //! config is authoritative, so a checkpoint can be resumed under a
@@ -28,10 +40,13 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-const CKPT_HEADER: &str = "magis-checkpoint v2";
-/// The previous format version: identical except its `counters` line
-/// carries 8 fields (no checkpoint-write accounting). Still readable;
-/// the missing counters resume as zero.
+const CKPT_HEADER: &str = "magis-checkpoint v3";
+/// v2: no `next_seq` / `frontier` sections (resumes with an empty
+/// frontier, i.e. the legacy incumbent-reseed path).
+const CKPT_HEADER_V2: &str = "magis-checkpoint v2";
+/// v1: additionally, the `counters` line carries 8 fields (no
+/// checkpoint-write accounting). Still readable; the missing counters
+/// resume as zero.
 const CKPT_HEADER_V1: &str = "magis-checkpoint v1";
 const CKPT_FOOTER: &str = "ckpt-end";
 
@@ -117,6 +132,27 @@ pub struct CheckpointCounters {
     pub checkpoint_failures: u64,
 }
 
+/// One priority-queue entry captured in a frontier-bearing (v3)
+/// checkpoint: the state's serialized parts plus the queue bookkeeping
+/// (sequence number, staleness) needed to reconstruct the heap
+/// verbatim.
+#[derive(Debug, Clone)]
+pub struct FrontierEntry {
+    /// The entry's queue sequence number (FIFO tiebreak within equal
+    /// objective keys — restoring it preserves pop order exactly).
+    pub seq: u64,
+    /// Whether the state's F-Tree needed re-analysis before expansion.
+    pub tree_stale: bool,
+    /// The state's schedule as arena indices into its eval graph.
+    pub order: Vec<usize>,
+    /// The state's F-Tree nodes.
+    pub ftree_nodes: Vec<FTreeNode>,
+    /// Graph record of the state's base graph.
+    pub base_record: String,
+    /// Graph record of the state's overlaid (simulated) graph.
+    pub eval_record: String,
+}
+
 /// A serializable snapshot of the M-Optimizer's search state.
 #[derive(Debug, Clone)]
 pub struct SearchCheckpoint {
@@ -142,6 +178,14 @@ pub struct SearchCheckpoint {
     pub base_record: String,
     /// Graph record of the incumbent's overlaid (simulated) graph.
     pub eval_record: String,
+    /// The sequence counter's next value (v3; `0` in legacy
+    /// checkpoints — only meaningful when `frontier` is non-empty).
+    pub next_seq: u64,
+    /// The priority-queue frontier at checkpoint time, sorted by
+    /// sequence number (v3; empty in legacy checkpoints and when the
+    /// checkpoint policy doesn't request frontier capture). Non-empty
+    /// frontiers make resume trajectory-exact.
+    pub frontier: Vec<FrontierEntry>,
 }
 
 fn f64_hex(x: f64) -> String {
@@ -186,6 +230,229 @@ fn parse_plus(tok: &str, line: usize, what: &str) -> Result<Vec<usize>, Checkpoi
         return Ok(Vec::new());
     }
     tok.split('+').map(|t| parse_usize(t, line, what)).collect()
+}
+
+// ---- shared state-block emitters (incumbent + frontier entries) ----
+
+fn encode_order(out: &mut String, order: &[usize]) {
+    out.push_str(&format!("order {}\n", order.len()));
+    for chunk in order.chunks(16) {
+        out.push('o');
+        for i in chunk {
+            out.push_str(&format!(" {i}"));
+        }
+        out.push('\n');
+    }
+}
+
+fn encode_ftree(out: &mut String, nodes: &[FTreeNode]) {
+    out.push_str(&format!("ftree {}\n", nodes.len()));
+    for n in nodes {
+        let parent = match n.parent {
+            Some(p) => p.to_string(),
+            None => "-".to_string(),
+        };
+        let dims = if n.spec.dims.is_empty() {
+            "-".to_string()
+        } else {
+            n.spec
+                .dims
+                .iter()
+                .map(|(v, d)| format!("{}:{}", v.index(), d))
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        out.push_str(&format!(
+            "f {parent} {} {} ch={} set={} dims={dims}\n",
+            n.level,
+            n.spec.parts,
+            join_plus(n.children.iter().copied()),
+            join_plus(n.spec.set.iter().map(|v| v.index())),
+        ));
+    }
+}
+
+fn encode_graph(out: &mut String, tag: &str, rec: &str) {
+    let nlines = rec.lines().count();
+    out.push_str(&format!("{tag} {nlines}\n"));
+    out.push_str(rec);
+    if !rec.ends_with('\n') {
+        out.push('\n');
+    }
+}
+
+// ---- shared state-block parsers ----
+
+fn next_line(lines: &[&str], ln: &mut usize) -> Result<String, CheckpointError> {
+    let i = *ln;
+    if i >= lines.len() {
+        return Err(CheckpointError::Parse {
+            line: i + 1,
+            msg: "unexpected end of checkpoint".to_string(),
+        });
+    }
+    *ln = i + 1;
+    Ok(lines[i].to_string())
+}
+
+fn expect_kv(
+    line: String,
+    ln: usize,
+    key: &str,
+    arity: usize,
+) -> Result<Vec<String>, CheckpointError> {
+    let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+    if toks.len() != arity + 1 || toks[0] != key {
+        return Err(CheckpointError::Parse {
+            line: ln,
+            msg: format!("expected '{key}' with {arity} fields, got '{line}'"),
+        });
+    }
+    Ok(toks[1..].to_vec())
+}
+
+fn decode_order(lines: &[&str], ln: &mut usize) -> Result<Vec<usize>, CheckpointError> {
+    let t = expect_kv(next_line(lines, ln)?, *ln, "order", 1)?;
+    let no = parse_usize(&t[0], *ln, "order count")?;
+    let mut order = Vec::with_capacity(no);
+    while order.len() < no {
+        let line = next_line(lines, ln)?;
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("o") {
+            return Err(CheckpointError::Parse {
+                line: *ln,
+                msg: format!("expected 'o' order line, got '{line}'"),
+            });
+        }
+        for tok in toks {
+            order.push(parse_usize(tok, *ln, "order index")?);
+        }
+        if order.len() > no {
+            return Err(CheckpointError::Parse {
+                line: *ln,
+                msg: format!("more order entries than declared ({no})"),
+            });
+        }
+    }
+    Ok(order)
+}
+
+fn decode_ftree(lines: &[&str], ln: &mut usize) -> Result<Vec<FTreeNode>, CheckpointError> {
+    let t = expect_kv(next_line(lines, ln)?, *ln, "ftree", 1)?;
+    let nf = parse_usize(&t[0], *ln, "ftree count")?;
+    let mut ftree_nodes = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let line = next_line(lines, ln)?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 7 || toks[0] != "f" {
+            return Err(CheckpointError::Parse {
+                line: *ln,
+                msg: format!("expected 'f' node line with 6 fields, got '{line}'"),
+            });
+        }
+        let parent = if toks[1] == "-" {
+            None
+        } else {
+            Some(parse_usize(toks[1], *ln, "parent")?)
+        };
+        let level = parse_usize(toks[2], *ln, "level")?;
+        let parts = parse_u64(toks[3], *ln, "parts")?;
+        let ch = toks[4].strip_prefix("ch=").ok_or_else(|| CheckpointError::Parse {
+            line: *ln,
+            msg: format!("expected ch= field, got '{}'", toks[4]),
+        })?;
+        let children = parse_plus(ch, *ln, "child index")?;
+        let set_tok = toks[5].strip_prefix("set=").ok_or_else(|| CheckpointError::Parse {
+            line: *ln,
+            msg: format!("expected set= field, got '{}'", toks[5]),
+        })?;
+        let set: BTreeSet<NodeId> = parse_plus(set_tok, *ln, "set node")?
+            .into_iter()
+            .map(NodeId::from_index)
+            .collect();
+        let dims_tok = toks[6].strip_prefix("dims=").ok_or_else(|| CheckpointError::Parse {
+            line: *ln,
+            msg: format!("expected dims= field, got '{}'", toks[6]),
+        })?;
+        let mut dims: BTreeMap<NodeId, i32> = BTreeMap::new();
+        if dims_tok != "-" {
+            for pair in dims_tok.split('+') {
+                let (v, d) = pair.split_once(':').ok_or_else(|| CheckpointError::Parse {
+                    line: *ln,
+                    msg: format!("bad dims pair '{pair}'"),
+                })?;
+                let v = parse_usize(v, *ln, "dims node")?;
+                let d: i32 = d.parse().map_err(|_| CheckpointError::Parse {
+                    line: *ln,
+                    msg: format!("bad dims value '{d}'"),
+                })?;
+                dims.insert(NodeId::from_index(v), d);
+            }
+        }
+        ftree_nodes.push(FTreeNode {
+            spec: FissionSpec { set, dims, parts },
+            parent,
+            children,
+            level,
+        });
+    }
+    // Parent/children indices must stay inside the forest.
+    for (i, n) in ftree_nodes.iter().enumerate() {
+        let bad = n.parent.iter().chain(n.children.iter()).find(|&&j| j >= nf);
+        if let Some(&j) = bad {
+            return Err(CheckpointError::Parse {
+                line: *ln,
+                msg: format!("ftree node {i} references out-of-range node {j}"),
+            });
+        }
+    }
+    Ok(ftree_nodes)
+}
+
+fn decode_graph(tag: &str, lines: &[&str], ln: &mut usize) -> Result<String, CheckpointError> {
+    let line = next_line(lines, ln)?;
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() != 2 || toks[0] != tag {
+        return Err(CheckpointError::Parse {
+            line: *ln,
+            msg: format!("expected '{tag} <lines>', got '{line}'"),
+        });
+    }
+    let n = parse_usize(toks[1], *ln, "graph line count")?;
+    let mut rec = String::new();
+    for _ in 0..n {
+        rec.push_str(&next_line(lines, ln)?);
+        rec.push('\n');
+    }
+    Ok(rec)
+}
+
+/// Rebuilds one [`MState`] from its checkpointed parts: both graph
+/// records restored and re-validated, F-Tree references checked against
+/// the base graph, the stored schedule validated against the eval graph
+/// and re-simulated under `ctx`. Shared by the incumbent and frontier
+/// restore paths.
+fn restore_parts(
+    order: &[usize],
+    ftree_nodes: &[FTreeNode],
+    base_record: &str,
+    eval_record: &str,
+    ctx: &EvalContext,
+) -> Result<MState, CheckpointError> {
+    let base = io::from_record(base_record)?;
+    let eval_graph = io::from_record(eval_record)?;
+    for (i, n) in ftree_nodes.iter().enumerate() {
+        if let Some(&v) = n.spec.set.iter().find(|v| !base.contains(**v)) {
+            return Err(CheckpointError::Parse {
+                line: 0,
+                msg: format!("ftree node {i} references node {v} absent from the base graph"),
+            });
+        }
+    }
+    let order: Vec<NodeId> = order.iter().map(|&i| NodeId::from_index(i)).collect();
+    validate_schedule(&eval_graph, &order)?;
+    let ftree = FTree::from_nodes(ftree_nodes.to_vec());
+    Ok(MState::resume(base, ftree, eval_graph, order, ctx)?)
 }
 
 impl SearchCheckpoint {
@@ -244,46 +511,23 @@ impl SearchCheckpoint {
         for &(fam, strikes) in &self.quarantine {
             out.push_str(&format!("q {fam} {strikes}\n"));
         }
-        out.push_str(&format!("order {}\n", self.best_order.len()));
-        for chunk in self.best_order.chunks(16) {
-            out.push('o');
-            for i in chunk {
-                out.push_str(&format!(" {i}"));
-            }
-            out.push('\n');
-        }
-        out.push_str(&format!("ftree {}\n", self.ftree_nodes.len()));
-        for n in &self.ftree_nodes {
-            let parent = match n.parent {
-                Some(p) => p.to_string(),
-                None => "-".to_string(),
-            };
-            let dims = if n.spec.dims.is_empty() {
-                "-".to_string()
-            } else {
-                n.spec
-                    .dims
-                    .iter()
-                    .map(|(v, d)| format!("{}:{}", v.index(), d))
-                    .collect::<Vec<_>>()
-                    .join("+")
-            };
+        encode_order(&mut out, &self.best_order);
+        encode_ftree(&mut out, &self.ftree_nodes);
+        out.push_str(&format!("next_seq {}\n", self.next_seq));
+        out.push_str(&format!("frontier {}\n", self.frontier.len()));
+        for e in &self.frontier {
             out.push_str(&format!(
-                "f {parent} {} {} ch={} set={} dims={dims}\n",
-                n.level,
-                n.spec.parts,
-                join_plus(n.children.iter().copied()),
-                join_plus(n.spec.set.iter().map(|v| v.index())),
+                "entry {} {}\n",
+                e.seq,
+                if e.tree_stale { 1 } else { 0 }
             ));
+            encode_order(&mut out, &e.order);
+            encode_ftree(&mut out, &e.ftree_nodes);
+            encode_graph(&mut out, "base-graph", &e.base_record);
+            encode_graph(&mut out, "eval-graph", &e.eval_record);
         }
-        for (tag, rec) in [("base-graph", &self.base_record), ("eval-graph", &self.eval_record)] {
-            let nlines = rec.lines().count();
-            out.push_str(&format!("{tag} {nlines}\n"));
-            out.push_str(rec);
-            if !rec.ends_with('\n') {
-                out.push('\n');
-            }
-        }
+        encode_graph(&mut out, "base-graph", &self.base_record);
+        encode_graph(&mut out, "eval-graph", &self.eval_record);
         out.push_str(CKPT_FOOTER);
         out.push('\n');
         out
@@ -298,52 +542,28 @@ impl SearchCheckpoint {
     pub fn decode(text: &str) -> Result<SearchCheckpoint, CheckpointError> {
         let lines: Vec<&str> = text.lines().collect();
         let mut ln = 0usize; // index into `lines`; 1-based in errors
-        let next = |lines: &Vec<&str>, ln: &mut usize| -> Result<String, CheckpointError> {
-            let i = *ln;
-            if i >= lines.len() {
-                return Err(CheckpointError::Parse {
-                    line: i + 1,
-                    msg: "unexpected end of checkpoint".to_string(),
-                });
-            }
-            *ln = i + 1;
-            Ok(lines[i].to_string())
-        };
 
-        let header = next(&lines, &mut ln)?;
+        let header = next_line(&lines, &mut ln)?;
         let v1 = header.trim() == CKPT_HEADER_V1;
-        if !v1 && header.trim() != CKPT_HEADER {
+        let v2 = header.trim() == CKPT_HEADER_V2;
+        if !v1 && !v2 && header.trim() != CKPT_HEADER {
             return Err(CheckpointError::Parse {
                 line: 1,
                 msg: format!("bad header '{header}' (expected '{CKPT_HEADER}')"),
             });
         }
+        let legacy = v1 || v2;
 
-        let expect_kv = |line: String,
-                         ln: usize,
-                         key: &str,
-                         arity: usize|
-         -> Result<Vec<String>, CheckpointError> {
-            let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-            if toks.len() != arity + 1 || toks[0] != key {
-                return Err(CheckpointError::Parse {
-                    line: ln,
-                    msg: format!("expected '{key}' with {arity} fields, got '{line}'"),
-                });
-            }
-            Ok(toks[1..].to_vec())
-        };
-
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "rng", 1)?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "rng", 1)?;
         let rng_seed = parse_hex_u64(&t[0], ln, "rng seed")?;
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "seed_cost", 2)?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "seed_cost", 2)?;
         let seed_cost = (parse_u64(&t[0], ln, "seed peak")?, parse_f64_hex(&t[1], ln, "seed latency")?);
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "best_cost", 2)?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "best_cost", 2)?;
         let best_cost = (parse_u64(&t[0], ln, "best peak")?, parse_f64_hex(&t[1], ln, "best latency")?);
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "counters", if v1 { 8 } else { 10 })?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "counters", if v1 { 8 } else { 10 })?;
         let counters = CheckpointCounters {
             expanded: parse_u64(&t[0], ln, "expanded")?,
             evaluated: parse_u64(&t[1], ln, "evaluated")?,
@@ -357,19 +577,19 @@ impl SearchCheckpoint {
             checkpoint_failures: if v1 { 0 } else { parse_u64(&t[9], ln, "checkpoint_failures")? },
         };
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "pareto", 1)?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "pareto", 1)?;
         let np = parse_usize(&t[0], ln, "pareto count")?;
         let mut pareto = Vec::with_capacity(np);
         for _ in 0..np {
-            let t = expect_kv(next(&lines, &mut ln)?, ln, "p", 2)?;
+            let t = expect_kv(next_line(&lines, &mut ln)?, ln, "p", 2)?;
             pareto.push((parse_u64(&t[0], ln, "pareto peak")?, parse_f64_hex(&t[1], ln, "pareto latency")?));
         }
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "seen", 1)?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "seen", 1)?;
         let ns = parse_usize(&t[0], ln, "seen count")?;
         let mut seen = Vec::with_capacity(ns);
         while seen.len() < ns {
-            let line = next(&lines, &mut ln)?;
+            let line = next_line(&lines, &mut ln)?;
             let mut toks = line.split_whitespace();
             if toks.next() != Some("s") {
                 return Err(CheckpointError::Parse {
@@ -388,11 +608,11 @@ impl SearchCheckpoint {
             }
         }
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "quarantine", 1)?;
+        let t = expect_kv(next_line(&lines, &mut ln)?, ln, "quarantine", 1)?;
         let nq = parse_usize(&t[0], ln, "quarantine count")?;
         let mut quarantine = Vec::with_capacity(nq);
         for _ in 0..nq {
-            let t = expect_kv(next(&lines, &mut ln)?, ln, "q", 2)?;
+            let t = expect_kv(next_line(&lines, &mut ln)?, ln, "q", 2)?;
             let fam = parse_u64(&t[0], ln, "family")?;
             if fam > u8::MAX as u64 {
                 return Err(CheckpointError::Parse { line: ln, msg: format!("family {fam} out of range") });
@@ -401,122 +621,50 @@ impl SearchCheckpoint {
             quarantine.push((fam as u8, strikes.min(u32::MAX as u64) as u32));
         }
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "order", 1)?;
-        let no = parse_usize(&t[0], ln, "order count")?;
-        let mut best_order = Vec::with_capacity(no);
-        while best_order.len() < no {
-            let line = next(&lines, &mut ln)?;
-            let mut toks = line.split_whitespace();
-            if toks.next() != Some("o") {
-                return Err(CheckpointError::Parse {
-                    line: ln,
-                    msg: format!("expected 'o' order line, got '{line}'"),
-                });
-            }
-            for tok in toks {
-                best_order.push(parse_usize(tok, ln, "order index")?);
-            }
-            if best_order.len() > no {
-                return Err(CheckpointError::Parse {
-                    line: ln,
-                    msg: format!("more order entries than declared ({no})"),
-                });
-            }
-        }
+        let best_order = decode_order(&lines, &mut ln)?;
+        let ftree_nodes = decode_ftree(&lines, &mut ln)?;
 
-        let t = expect_kv(next(&lines, &mut ln)?, ln, "ftree", 1)?;
-        let nf = parse_usize(&t[0], ln, "ftree count")?;
-        let mut ftree_nodes = Vec::with_capacity(nf);
-        for _ in 0..nf {
-            let line = next(&lines, &mut ln)?;
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.len() != 7 || toks[0] != "f" {
-                return Err(CheckpointError::Parse {
-                    line: ln,
-                    msg: format!("expected 'f' node line with 6 fields, got '{line}'"),
+        let (next_seq, frontier) = if legacy {
+            (0, Vec::new())
+        } else {
+            let t = expect_kv(next_line(&lines, &mut ln)?, ln, "next_seq", 1)?;
+            let next_seq = parse_u64(&t[0], ln, "next_seq")?;
+            let t = expect_kv(next_line(&lines, &mut ln)?, ln, "frontier", 1)?;
+            let nfr = parse_usize(&t[0], ln, "frontier count")?;
+            let mut frontier = Vec::with_capacity(nfr);
+            for _ in 0..nfr {
+                let t = expect_kv(next_line(&lines, &mut ln)?, ln, "entry", 2)?;
+                let seq = parse_u64(&t[0], ln, "entry seq")?;
+                let tree_stale = match t[1].as_str() {
+                    "0" => false,
+                    "1" => true,
+                    other => {
+                        return Err(CheckpointError::Parse {
+                            line: ln,
+                            msg: format!("bad entry staleness flag '{other}'"),
+                        })
+                    }
+                };
+                let order = decode_order(&lines, &mut ln)?;
+                let ftree_nodes = decode_ftree(&lines, &mut ln)?;
+                let base_record = decode_graph("base-graph", &lines, &mut ln)?;
+                let eval_record = decode_graph("eval-graph", &lines, &mut ln)?;
+                frontier.push(FrontierEntry {
+                    seq,
+                    tree_stale,
+                    order,
+                    ftree_nodes,
+                    base_record,
+                    eval_record,
                 });
             }
-            let parent = if toks[1] == "-" {
-                None
-            } else {
-                Some(parse_usize(toks[1], ln, "parent")?)
-            };
-            let level = parse_usize(toks[2], ln, "level")?;
-            let parts = parse_u64(toks[3], ln, "parts")?;
-            let ch = toks[4].strip_prefix("ch=").ok_or_else(|| CheckpointError::Parse {
-                line: ln,
-                msg: format!("expected ch= field, got '{}'", toks[4]),
-            })?;
-            let children = parse_plus(ch, ln, "child index")?;
-            let set_tok = toks[5].strip_prefix("set=").ok_or_else(|| CheckpointError::Parse {
-                line: ln,
-                msg: format!("expected set= field, got '{}'", toks[5]),
-            })?;
-            let set: BTreeSet<NodeId> = parse_plus(set_tok, ln, "set node")?
-                .into_iter()
-                .map(NodeId::from_index)
-                .collect();
-            let dims_tok = toks[6].strip_prefix("dims=").ok_or_else(|| CheckpointError::Parse {
-                line: ln,
-                msg: format!("expected dims= field, got '{}'", toks[6]),
-            })?;
-            let mut dims: BTreeMap<NodeId, i32> = BTreeMap::new();
-            if dims_tok != "-" {
-                for pair in dims_tok.split('+') {
-                    let (v, d) = pair.split_once(':').ok_or_else(|| CheckpointError::Parse {
-                        line: ln,
-                        msg: format!("bad dims pair '{pair}'"),
-                    })?;
-                    let v = parse_usize(v, ln, "dims node")?;
-                    let d: i32 = d.parse().map_err(|_| CheckpointError::Parse {
-                        line: ln,
-                        msg: format!("bad dims value '{d}'"),
-                    })?;
-                    dims.insert(NodeId::from_index(v), d);
-                }
-            }
-            ftree_nodes.push(FTreeNode {
-                spec: FissionSpec { set, dims, parts },
-                parent,
-                children,
-                level,
-            });
-        }
-        // Parent/children indices must stay inside the forest.
-        for (i, n) in ftree_nodes.iter().enumerate() {
-            let bad = n.parent.iter().chain(n.children.iter()).find(|&&j| j >= nf);
-            if let Some(&j) = bad {
-                return Err(CheckpointError::Parse {
-                    line: ln,
-                    msg: format!("ftree node {i} references out-of-range node {j}"),
-                });
-            }
-        }
-
-        let read_graph = |tag: &str,
-                              lines: &Vec<&str>,
-                              ln: &mut usize|
-         -> Result<String, CheckpointError> {
-            let line = next(lines, ln)?;
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.len() != 2 || toks[0] != tag {
-                return Err(CheckpointError::Parse {
-                    line: *ln,
-                    msg: format!("expected '{tag} <lines>', got '{line}'"),
-                });
-            }
-            let n = parse_usize(toks[1], *ln, "graph line count")?;
-            let mut rec = String::new();
-            for _ in 0..n {
-                rec.push_str(&next(lines, ln)?);
-                rec.push('\n');
-            }
-            Ok(rec)
+            (next_seq, frontier)
         };
-        let base_record = read_graph("base-graph", &lines, &mut ln)?;
-        let eval_record = read_graph("eval-graph", &lines, &mut ln)?;
 
-        let footer = next(&lines, &mut ln)?;
+        let base_record = decode_graph("base-graph", &lines, &mut ln)?;
+        let eval_record = decode_graph("eval-graph", &lines, &mut ln)?;
+
+        let footer = next_line(&lines, &mut ln)?;
         if footer.trim() != CKPT_FOOTER {
             return Err(CheckpointError::Parse {
                 line: ln,
@@ -536,6 +684,8 @@ impl SearchCheckpoint {
             ftree_nodes,
             base_record,
             eval_record,
+            next_seq,
+            frontier,
         })
     }
 
@@ -576,21 +726,36 @@ impl SearchCheckpoint {
     /// topo-sorts the graph, defective re-simulated costs — surfaces
     /// as a typed [`CheckpointError`].
     pub fn restore_state(&self, ctx: &EvalContext) -> Result<MState, CheckpointError> {
-        let base = io::from_record(&self.base_record)?;
-        let eval_graph = io::from_record(&self.eval_record)?;
-        for (i, n) in self.ftree_nodes.iter().enumerate() {
-            if let Some(&v) = n.spec.set.iter().find(|v| !base.contains(**v)) {
-                return Err(CheckpointError::Parse {
-                    line: 0,
-                    msg: format!("ftree node {i} references node {v} absent from the base graph"),
-                });
-            }
+        restore_parts(&self.best_order, &self.ftree_nodes, &self.base_record, &self.eval_record, ctx)
+    }
+
+    /// Rebuilds the checkpointed frontier (v3): every queue entry is
+    /// restored through the same validation/re-simulation pipeline as
+    /// the incumbent, with its checkpointed staleness flag and sequence
+    /// number reinstated. Returns `(seq, state)` pairs in stored
+    /// (sequence) order; empty for legacy / frontier-free checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Any corrupt entry fails the whole restore with a typed
+    /// [`CheckpointError`] — a partially restored frontier would
+    /// silently diverge from the checkpointed trajectory.
+    pub fn restore_frontier(
+        &self,
+        ctx: &EvalContext,
+    ) -> Result<Vec<(u64, MState)>, CheckpointError> {
+        let mut out = Vec::with_capacity(self.frontier.len());
+        for e in &self.frontier {
+            let mut state =
+                restore_parts(&e.order, &e.ftree_nodes, &e.base_record, &e.eval_record, ctx)?;
+            // `MState::resume` conservatively marks the tree stale; a
+            // frontier entry must come back with the exact flag it was
+            // queued with, or the resumed expansion would re-analyze
+            // where the original didn't (diverging the trajectory).
+            state.tree_stale = e.tree_stale;
+            out.push((e.seq, state));
         }
-        let order: Vec<NodeId> =
-            self.best_order.iter().map(|&i| NodeId::from_index(i)).collect();
-        validate_schedule(&eval_graph, &order)?;
-        let ftree = FTree::from_nodes(self.ftree_nodes.clone());
-        Ok(MState::resume(base, ftree, eval_graph, order, ctx)?)
+        Ok(out)
     }
 }
 
@@ -627,7 +792,14 @@ mod tests {
             ftree_nodes,
             base_record,
             eval_record,
+            next_seq: 0,
+            frontier: Vec::new(),
         }
+    }
+
+    fn frontier_entry_of(s: &MState, seq: u64, tree_stale: bool) -> FrontierEntry {
+        let (order, ftree_nodes, base_record, eval_record) = SearchCheckpoint::snapshot_state(s);
+        FrontierEntry { seq, tree_stale, order, ftree_nodes, base_record, eval_record }
     }
 
     #[test]
@@ -652,6 +824,37 @@ mod tests {
     }
 
     #[test]
+    fn frontier_round_trips_and_restores() {
+        let ctx = EvalContext::default();
+        let s = small_state();
+        let mut c = checkpoint_of(&s);
+        c.next_seq = 7;
+        c.frontier = vec![frontier_entry_of(&s, 2, true), frontier_entry_of(&s, 5, false)];
+        let text = c.encode();
+        let d = SearchCheckpoint::decode(&text).unwrap();
+        assert_eq!(d.next_seq, 7);
+        assert_eq!(d.frontier.len(), 2);
+        assert_eq!(d.frontier[0].seq, 2);
+        assert!(d.frontier[0].tree_stale);
+        assert_eq!(d.frontier[1].seq, 5);
+        assert!(!d.frontier[1].tree_stale);
+        assert_eq!(d.encode(), text, "frontier re-encode is byte-identical");
+        let restored = d.restore_frontier(&ctx).unwrap();
+        assert_eq!(restored.len(), 2);
+        let (seq, st) = &restored[0];
+        assert_eq!(*seq, 2);
+        assert!(st.tree_stale);
+        assert_eq!(st.eval.latency.to_bits(), s.eval.latency.to_bits());
+        assert_eq!(st.eval.peak_bytes, s.eval.peak_bytes);
+        // The staleness flag is reinstated verbatim, not forced on.
+        assert!(!restored[1].1.tree_stale);
+        // A corrupt frontier entry fails the whole restore.
+        let mut bad = d.clone();
+        bad.frontier[1].order[0] = 9999;
+        assert!(bad.restore_frontier(&ctx).is_err());
+    }
+
+    #[test]
     fn restore_reproduces_evaluation() {
         let ctx = EvalContext::default();
         let s = small_state();
@@ -672,9 +875,9 @@ mod tests {
         let mut c = checkpoint_of(&s);
         c.counters.checkpoints_written = 5;
         c.counters.checkpoint_failures = 1;
-        // Rewrite the v2 text down to the v1 format: old header, 8-field
-        // counters line.
-        let v2 = c.encode();
+        // Rewrite the v3 text down to the v1 format: old header, 8-field
+        // counters line, no next_seq/frontier sections.
+        let v3 = c.encode();
         let v1_counters = format!(
             "counters {} {} {} {} {} {} {} {}",
             c.counters.expanded,
@@ -686,10 +889,11 @@ mod tests {
             c.counters.invariant_rejections,
             c.counters.quarantined_candidates
         );
-        let v1_text: String = v2
+        let v1_text: String = v3
             .lines()
+            .filter(|l| *l != "next_seq 0" && *l != "frontier 0")
             .map(|l| {
-                if l == "magis-checkpoint v2" {
+                if l == "magis-checkpoint v3" {
                     "magis-checkpoint v1".to_string()
                 } else if l.starts_with("counters ") {
                     v1_counters.clone()
@@ -706,16 +910,46 @@ mod tests {
         assert_eq!(d.counters.checkpoints_written, 0);
         assert_eq!(d.counters.checkpoint_failures, 0);
         assert_eq!(d.seen, c.seen);
-        // And a v1 checkpoint re-encodes as v2.
-        assert!(d.encode().starts_with("magis-checkpoint v2\n"));
+        assert!(d.frontier.is_empty(), "legacy checkpoints resume frontier-free");
+        // And a v1 checkpoint re-encodes as v3.
+        assert!(d.encode().starts_with("magis-checkpoint v3\n"));
+    }
+
+    #[test]
+    fn v2_checkpoints_still_decode() {
+        let s = small_state();
+        let c = checkpoint_of(&s);
+        // v2 is v3 minus the next_seq/frontier sections, under the old
+        // header.
+        let v2_text: String = c
+            .encode()
+            .lines()
+            .filter(|l| *l != "next_seq 0" && *l != "frontier 0")
+            .map(|l| {
+                if l == "magis-checkpoint v3" {
+                    "magis-checkpoint v2".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let d = SearchCheckpoint::decode(&v2_text).unwrap();
+        assert_eq!(d.counters, c.counters);
+        assert_eq!(d.seen, c.seen);
+        assert_eq!(d.best_order, c.best_order);
+        assert!(d.frontier.is_empty());
+        assert_eq!(d.next_seq, 0);
+        assert!(d.encode().starts_with("magis-checkpoint v3\n"));
     }
 
     #[test]
     fn decode_rejects_corruption() {
         let s = small_state();
         let text = checkpoint_of(&s).encode();
-        // Bad header (neither v1 nor v2).
-        assert!(SearchCheckpoint::decode(&text.replacen("v2", "v9", 1)).is_err());
+        // Bad header (no known version).
+        assert!(SearchCheckpoint::decode(&text.replacen("v3", "v9", 1)).is_err());
         // Truncation (drop the footer and graph tail).
         let cut = &text[..text.len() / 2];
         assert!(SearchCheckpoint::decode(cut).is_err());

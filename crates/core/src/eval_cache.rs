@@ -22,15 +22,27 @@
 //! across thread counts. The cache is never persisted in checkpoints;
 //! a resumed search starts cold.
 //!
-//! Eviction is **LRU by merge order**: recency is a logical tick that
-//! advances only on `&mut` operations ([`EvalCache::insert`] and
-//! [`EvalCache::touch`]), which the optimizer performs exclusively at
-//! the single-threaded merge in candidate order. Worker-side `get`s
-//! never update recency — they can't (`&self`) — so eviction order is
-//! a pure function of the merge sequence and thread count cannot
-//! perturb it. Entries carry the rule family that created them so a
-//! quarantined family's results can be purged — a cached state must
-//! not outlive the trust in the rule that built it.
+//! Eviction is **cost-weighted LRU by merge order**. A hit on a cheap
+//! entry saves little (the evaluation it skips was fast); a hit on an
+//! expensive one saves a full reschedule. Each entry therefore carries
+//! a *cost class* — the log₂ bucket of how much scheduling work its
+//! evaluation did (the incremental-eval window when the evaluation was
+//! incremental, the full schedule length otherwise) — and the victim
+//! is the least-recently-used entry of the **cheapest** live class.
+//! The class is a pure function of the cached state, never of measured
+//! wall time: wall time varies run to run and across thread counts,
+//! and feeding it into eviction would break the bit-identity contract
+//! below.
+//!
+//! Recency is a logical tick that advances only on `&mut` operations
+//! ([`EvalCache::insert`] and [`EvalCache::touch`]), which the
+//! optimizer performs exclusively at the single-threaded merge in
+//! candidate order. Worker-side `get`s never update recency — they
+//! can't (`&self`) — so eviction order is a pure function of the merge
+//! sequence and thread count cannot perturb it. Entries carry the rule
+//! family that created them so a quarantined family's results can be
+//! purged — a cached state must not outlive the trust in the rule that
+//! built it.
 
 use crate::state::MState;
 use magis_sim::MemObjective;
@@ -44,20 +56,41 @@ type Key = (u64, MemObjective);
 struct CacheEntry {
     state: MState,
     family: u8,
+    /// Recompute-cost class (log₂ bucket of the scheduling work a hit
+    /// saves). Fixed at insert; see [`cost_class`].
+    class: u8,
     /// Logical recency: the tick of the last merge-thread touch/insert.
     last_used: u64,
 }
 
+/// Deterministic proxy for how expensive this state would be to
+/// re-evaluate on a cache miss: the incremental scheduler's window
+/// when the evaluation was incremental (most of the graph's schedule
+/// was carried over), else the full schedule length. Bucketed to log₂
+/// so near-equal costs share a class and LRU decides within it.
+fn cost_class(state: &MState) -> u8 {
+    let work = state
+        .eval
+        .inc
+        .map(|i| i.window)
+        .unwrap_or(state.eval.order.len())
+        .max(1);
+    (usize::BITS - 1 - work.leading_zeros()) as u8
+}
+
 /// A bounded map from `(overlay-graph hash, memory objective)` to the
-/// evaluated state it produced, evicting least-recently-used by merge
-/// order. See the module docs for the determinism contract.
+/// evaluated state it produced, evicting the least-recently-used entry
+/// of the cheapest recompute-cost class. See the module docs for the
+/// determinism contract.
 #[derive(Debug, Clone)]
 pub struct EvalCache {
     capacity: usize,
     entries: BTreeMap<Key, CacheEntry>,
-    /// Inverse index `tick → key` for O(log n) LRU eviction. Every
-    /// live entry has exactly one tick; ticks are never reused.
-    recency: BTreeMap<u64, Key>,
+    /// Inverse index `(cost class, tick) → key` for O(log n) eviction:
+    /// the first entry is the oldest member of the cheapest class.
+    /// Every live entry has exactly one index slot; ticks are never
+    /// reused.
+    recency: BTreeMap<(u8, u64), Key>,
     tick: u64,
 }
 
@@ -102,29 +135,31 @@ impl EvalCache {
     /// same merge) is a no-op.
     pub fn touch(&mut self, hash: u64, mem: MemObjective) {
         let Some(e) = self.entries.get_mut(&(hash, mem)) else { return };
-        self.recency.remove(&e.last_used);
+        self.recency.remove(&(e.class, e.last_used));
         self.tick += 1;
         e.last_used = self.tick;
-        self.recency.insert(self.tick, (hash, mem));
+        self.recency.insert((e.class, self.tick), (hash, mem));
     }
 
-    /// Inserts an evaluated state as most-recently-used, evicting the
-    /// least-recently-used entries while over capacity. First insertion
-    /// wins: a key already present is left untouched (the two states
-    /// are hash-equal, and keeping the first matches what
-    /// `threads == 1` would have produced). Returns the number of
-    /// entries evicted.
+    /// Inserts an evaluated state as most-recently-used within its cost
+    /// class, evicting while over capacity (victim: oldest entry of the
+    /// cheapest class). First insertion wins: a key already present is
+    /// left untouched (the two states are hash-equal, and keeping the
+    /// first matches what `threads == 1` would have produced). Returns
+    /// the number of entries evicted.
     pub fn insert(&mut self, hash: u64, state: MState, family: u8, mem: MemObjective) -> usize {
         if self.capacity == 0 || self.entries.contains_key(&(hash, mem)) {
             return 0;
         }
         self.tick += 1;
-        self.entries.insert((hash, mem), CacheEntry { state, family, last_used: self.tick });
-        self.recency.insert(self.tick, (hash, mem));
+        let class = cost_class(&state);
+        self.entries
+            .insert((hash, mem), CacheEntry { state, family, class, last_used: self.tick });
+        self.recency.insert((class, self.tick), (hash, mem));
         let mut evicted = 0;
         while self.entries.len() > self.capacity {
-            let Some((&oldest, &victim)) = self.recency.iter().next() else { break };
-            self.recency.remove(&oldest);
+            let Some((&cheapest_oldest, &victim)) = self.recency.iter().next() else { break };
+            self.recency.remove(&cheapest_oldest);
             if self.entries.remove(&victim).is_some() {
                 evicted += 1;
             }
@@ -142,7 +177,7 @@ impl EvalCache {
         let recency = &mut self.recency;
         entries.retain(|_, e| {
             if e.family == family {
-                recency.remove(&e.last_used);
+                recency.remove(&(e.class, e.last_used));
                 false
             } else {
                 true
@@ -285,6 +320,46 @@ mod tests {
         let _ = (b.get(1, LV), b.get(2, LV), b.get(3, LV));
         let rb = run(&mut b);
         assert_eq!(ra, rb, "same merge ops → same evictions and survivors");
+    }
+
+    #[test]
+    fn cost_weighted_eviction_prefers_cheap_victims() {
+        // A tiny state (2-node schedule) is cheap to re-evaluate; a
+        // 40-deep chain is not. The cheap entry must be the victim even
+        // when it is recency-newer than the expensive one — and within
+        // one cost class, plain LRU still decides.
+        let cheap = tiny_state();
+        let mut b = GraphBuilder::new(DType::F32);
+        let mut x = b.input([16], "x");
+        for _ in 0..40 {
+            x = b.relu(x);
+        }
+        let costly = MState::initial(b.finish(), &EvalContext::default());
+        assert!(
+            super::cost_class(&costly) > super::cost_class(&cheap),
+            "test premise: the chain state must land in a pricier class"
+        );
+
+        let mut c = EvalCache::new(2);
+        c.insert(1, costly.clone(), 0, LV);
+        c.insert(2, cheap.clone(), 0, LV);
+        // Key 2 is more recent but cheaper to recompute: it is evicted.
+        assert_eq!(c.insert(3, cheap.clone(), 0, LV), 1);
+        assert!(c.get(1, LV).is_some(), "expensive entry survives");
+        assert!(c.get(2, LV).is_none(), "cheap, recency-newer entry evicted first");
+        assert!(c.get(3, LV).is_some());
+
+        // Within one cost class, LRU still decides: refresh the
+        // insertion-older cheap entry and the untouched one is the
+        // victim — the expensive incumbent is never considered.
+        let mut c = EvalCache::new(3);
+        c.insert(1, costly.clone(), 0, LV);
+        c.insert(2, cheap.clone(), 0, LV);
+        c.insert(3, cheap.clone(), 0, LV);
+        c.touch(2, LV);
+        assert_eq!(c.insert(4, cheap.clone(), 0, LV), 1);
+        assert!(c.get(3, LV).is_none(), "untouched cheap entry is the within-class victim");
+        assert!(c.get(1, LV).is_some() && c.get(2, LV).is_some() && c.get(4, LV).is_some());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod checkpoint;
 pub mod codegen;
 pub mod dgraph;
@@ -49,7 +50,8 @@ pub mod pareto;
 pub mod rules;
 pub mod state;
 
-pub use checkpoint::{CheckpointCounters, CheckpointError, SearchCheckpoint};
+pub use budget::{CancelToken, SearchBudget};
+pub use checkpoint::{CheckpointCounters, CheckpointError, FrontierEntry, SearchCheckpoint};
 pub use eval_cache::EvalCache;
 pub use fission::FissionSpec;
 pub use ftree::{FTree, FTreeMutation};

@@ -74,7 +74,8 @@
 //!   [`crate::checkpoint::SearchCheckpoint`]; [`resume`] continues a
 //!   killed search from its last checkpoint.
 
-use crate::checkpoint::{CheckpointCounters, CheckpointError, SearchCheckpoint};
+use crate::budget::{CancelToken, SearchBudget};
+use crate::checkpoint::{CheckpointCounters, CheckpointError, FrontierEntry, SearchCheckpoint};
 use crate::eval_cache::EvalCache;
 use crate::pareto::ParetoSet;
 use crate::rules::{self, RuleConfig, Transform};
@@ -274,6 +275,28 @@ pub enum StopReason {
     /// faults (injected or real) shut down enough of the rule
     /// vocabulary that the search could no longer expand.
     FaultStorm,
+    /// The hard [`SearchBudget::wall_limit`] deadline passed; the
+    /// best-so-far incumbent was returned (anytime semantics).
+    Deadline,
+    /// An external [`CancelToken`] requested cancellation (e.g. a
+    /// service draining for shutdown); the best-so-far incumbent was
+    /// returned.
+    Cancelled,
+}
+
+impl StopReason {
+    /// Whether the search ran to a *deterministic* completion — the
+    /// reachable space was exhausted or a candidate cap (a pure
+    /// function of the trajectory, unlike wall clock) was hit. Results
+    /// with a deterministic stop are safe to serve from caches keyed on
+    /// the job spec; deadline/budget/cancel stops are anytime snapshots
+    /// that depend on machine speed.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            self,
+            StopReason::QueueExhausted | StopReason::EvalCapReached | StopReason::FaultStorm
+        )
+    }
 }
 
 impl std::fmt::Display for StopReason {
@@ -283,6 +306,8 @@ impl std::fmt::Display for StopReason {
             StopReason::BudgetExpired => write!(f, "budget-expired"),
             StopReason::EvalCapReached => write!(f, "eval-cap-reached"),
             StopReason::FaultStorm => write!(f, "fault-storm"),
+            StopReason::Deadline => write!(f, "deadline"),
+            StopReason::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -294,17 +319,34 @@ pub struct CheckpointPolicy {
     pub path: PathBuf,
     /// Write after every this many candidate evaluations (default 64).
     pub every_evals: usize,
+    /// Capture the full priority-queue frontier in every checkpoint
+    /// (default off). Frontier checkpoints are larger but resume
+    /// **trajectory-exact**: the queue, seen-set, and sequence counter
+    /// come back verbatim, so a killed run resumed under the same
+    /// candidate cap finishes bit-identical to an uninterrupted one.
+    /// The final checkpoint of a frontier policy is written *before*
+    /// the incumbent's full-beam polish, so a resumed run re-applies
+    /// the polish once, at its own true end, exactly like an
+    /// uninterrupted run.
+    pub frontier: bool,
 }
 
 impl CheckpointPolicy {
     /// A policy writing to `path` every 64 evaluations.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        CheckpointPolicy { path: path.into(), every_evals: 64 }
+        CheckpointPolicy { path: path.into(), every_evals: 64, frontier: false }
     }
 
     /// Replaces the evaluation interval (0 is treated as 1).
     pub fn with_every(mut self, every_evals: usize) -> Self {
         self.every_evals = every_evals.max(1);
+        self
+    }
+
+    /// Enables (or disables) frontier capture for trajectory-exact
+    /// resume.
+    pub fn with_frontier(mut self, frontier: bool) -> Self {
+        self.frontier = frontier;
         self
     }
 }
@@ -395,6 +437,17 @@ pub struct OptimizerConfig {
     /// rewrite paths skip scheduling + simulation). `0` disables
     /// caching. Default 1024.
     pub eval_cache: usize,
+    /// Hard anytime deadline contract: wall-clock limit (stops with
+    /// [`StopReason::Deadline`], checked before the soft `budget`) and
+    /// candidate cap (combined with `max_evals` as the min). Default
+    /// unlimited.
+    pub search_budget: SearchBudget,
+    /// Cooperative cancellation + heartbeat token. When set, the
+    /// search polls it at expansion boundaries and inside the fan-out
+    /// (stopping with [`StopReason::Cancelled`]) and bumps its
+    /// heartbeat once per expansion and per merged evaluation. `None`
+    /// disables both.
+    pub cancel: Option<CancelToken>,
 }
 
 impl OptimizerConfig {
@@ -416,6 +469,8 @@ impl OptimizerConfig {
             fault_plan: None,
             checkpoint: None,
             eval_cache: 1024,
+            search_budget: SearchBudget::UNLIMITED,
+            cancel: None,
         }
     }
 
@@ -464,6 +519,19 @@ impl OptimizerConfig {
     /// Sets the evaluation-cache capacity (0 disables caching).
     pub fn with_eval_cache(mut self, capacity: usize) -> Self {
         self.eval_cache = capacity;
+        self
+    }
+
+    /// Sets the hard anytime deadline contract (wall limit and/or
+    /// candidate cap).
+    pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
+        self.search_budget = budget;
+        self
+    }
+
+    /// Attaches a cooperative cancellation/heartbeat token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -845,6 +913,13 @@ struct SearchSeed {
     seen: Vec<u64>,
     quarantine: Vec<(u8, u32)>,
     resumed: bool,
+    /// Restored priority-queue entries `(seq, state)` from a
+    /// frontier-bearing (v3) checkpoint. Non-empty switches resume to
+    /// trajectory-exact mode: the queue and seen-set come back
+    /// verbatim and the incumbent is not re-pushed.
+    frontier: Vec<(u64, MState)>,
+    /// The sequence counter to continue from in trajectory-exact mode.
+    next_seq: u64,
 }
 
 impl SearchSeed {
@@ -856,6 +931,8 @@ impl SearchSeed {
             seen: Vec::new(),
             quarantine: Vec::new(),
             resumed: false,
+            frontier: Vec::new(),
+            next_seq: 0,
         }
     }
 }
@@ -899,6 +976,8 @@ pub fn resume(ckpt: &SearchCheckpoint, cfg: &OptimizerConfig) -> Result<Optimize
         seen: ckpt.seen.clone(),
         quarantine: ckpt.quarantine.clone(),
         resumed: true,
+        frontier: ckpt.restore_frontier(&cfg.ctx)?,
+        next_seq: ckpt.next_seq,
     };
     Ok(run_search(best, seed, cfg))
 }
@@ -913,9 +992,36 @@ fn write_checkpoint(
     seen: &ShardedSet,
     quarantine: &Quarantine,
     stats: &OptimizerStats,
+    frontier: Option<(&BinaryHeap<QueueEntry>, usize)>,
 ) -> Result<(), CheckpointError> {
     let (best_order, ftree_nodes, base_record, eval_record) =
         SearchCheckpoint::snapshot_state(best);
+    // Frontier capture: serialize every queued entry, sorted by
+    // sequence number (BinaryHeap iteration order is unspecified; the
+    // sort makes the checkpoint bytes a pure function of the search
+    // state).
+    let (next_seq, frontier) = match frontier {
+        Some((queue, seq)) => {
+            let mut entries: Vec<FrontierEntry> = queue
+                .iter()
+                .map(|e| {
+                    let (order, ftree_nodes, base_record, eval_record) =
+                        SearchCheckpoint::snapshot_state(&e.state);
+                    FrontierEntry {
+                        seq: e.seq as u64,
+                        tree_stale: e.state.tree_stale,
+                        order,
+                        ftree_nodes,
+                        base_record,
+                        eval_record,
+                    }
+                })
+                .collect();
+            entries.sort_by_key(|e| e.seq);
+            (seq as u64, entries)
+        }
+        None => (0, Vec::new()),
+    };
     let ckpt = SearchCheckpoint {
         rng_seed,
         seed_cost,
@@ -939,6 +1045,8 @@ fn write_checkpoint(
         ftree_nodes,
         base_record,
         eval_record,
+        next_seq,
+        frontier,
     };
     ckpt.write_to(&policy.path)
 }
@@ -1023,17 +1131,29 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     });
 
     let mut best = init.clone();
+    // Trajectory-exact resume: a frontier-bearing checkpoint restores
+    // the queue, seen-set, and sequence counter verbatim — the
+    // incumbent is NOT re-pushed (its hash stays in the seen-set, as
+    // it was already expanded when the checkpoint was written).
+    let exact_resume = !seed.frontier.is_empty();
     // Written only between fan-outs (at pops), read-only during a
     // batch; sharded so workers could share it without contention.
     let seen = ShardedSet::default();
-    // Resume trap: the incumbent's own hash is in the checkpointed
-    // seen-set (it was inserted when first expanded). Preloading it
-    // verbatim would make the first pop filter the resumed incumbent
-    // as a duplicate and end the search immediately.
-    let init_hash = graph_hash(&init.eval.graph);
-    for h in seed.seen {
-        if h != init_hash {
+    if exact_resume {
+        for h in seed.seen {
             seen.insert(h);
+        }
+    } else {
+        // Legacy-resume trap: the incumbent's own hash is in the
+        // checkpointed seen-set (it was inserted when first expanded).
+        // Preloading it verbatim would make the first pop filter the
+        // resumed incumbent as a duplicate and end the search
+        // immediately.
+        let init_hash = graph_hash(&init.eval.graph);
+        for h in seed.seen {
+            if h != init_hash {
+                seen.insert(h);
+            }
         }
     }
     let mut quarantine = Quarantine::new(cfg.quarantine_threshold);
@@ -1043,21 +1163,72 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     let mut eval_cache = EvalCache::new(cfg.eval_cache);
 
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
-    let mut seq = 0usize;
-    queue.push(QueueEntry { key: cfg.objective.key(init_peak, init_lat), seq, state: init });
+    let mut seq;
+    if exact_resume {
+        // Re-pushing the checkpointed entry set reproduces the
+        // original pop order exactly: `QueueEntry`'s ordering is total
+        // (objective key, then sequence number), so the heap's pop
+        // sequence is a pure function of its contents.
+        for (sq, state) in seed.frontier {
+            let (m, l) = state.cost();
+            queue.push(QueueEntry {
+                key: cfg.objective.key(m, l),
+                seq: sq as usize,
+                state,
+            });
+        }
+        seq = seed.next_seq as usize;
+    } else {
+        seq = 0;
+        queue.push(QueueEntry { key: cfg.objective.key(init_peak, init_lat), seq, state: init });
+    }
+
+    // The legacy `max_evals` knob truncates evaluation batches
+    // mid-expansion. The `SearchBudget` candidate limit deliberately
+    // does NOT: it is checked only at expansion boundaries (below, at
+    // the loop head), so every expansion merges atomically and the
+    // evaluated count may overshoot the limit by one expansion's
+    // batch. That boundary-only semantics is what makes the limit the
+    // bit-exact kill/resume knob — a run stopped at limit k and
+    // resumed to limit n passes through exactly the same boundary
+    // states as an uninterrupted run to n, whereas a mid-expansion
+    // truncation would discard sibling candidates that the
+    // uninterrupted run evaluates.
+    let eval_cap = cfg.max_evals;
+    let candidate_limit = cfg.search_budget.candidate_limit.unwrap_or(usize::MAX);
+    // Cooperative stop probe shared by the loop head and the fan-out
+    // workers: cancellation, then the hard deadline, then the soft
+    // budget (the returned reason reflects that priority).
+    let stop_now = || -> Option<StopReason> {
+        if cfg.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopReason::Cancelled);
+        }
+        let elapsed = start.elapsed();
+        if cfg.search_budget.wall_limit.is_some_and(|w| elapsed > w) {
+            return Some(StopReason::Deadline);
+        }
+        if elapsed > cfg.budget {
+            return Some(StopReason::BudgetExpired);
+        }
+        None
+    };
 
     let mut evals_at_last_ckpt = stats.evaluated;
     let mut stop = None;
 
-    while let Some(entry) = queue.pop() {
-        if start.elapsed() > cfg.budget {
-            stop = Some(StopReason::BudgetExpired);
+    loop {
+        // Checked *before* the pop: a deadline/budget/cap stop leaves
+        // the would-be entry in the queue, so a frontier checkpoint
+        // written at the stop captures the complete resumable frontier.
+        if let Some(reason) = stop_now() {
+            stop = Some(reason);
             break;
         }
-        if stats.evaluated >= cfg.max_evals {
+        if stats.evaluated >= eval_cap || stats.evaluated >= candidate_limit {
             stop = Some(StopReason::EvalCapReached);
             break;
         }
+        let Some(entry) = queue.pop() else { break };
         let mut state = entry.state;
         let t0 = Instant::now();
         let h = graph_hash(&state.eval.graph);
@@ -1069,6 +1240,9 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         }
         stats.expanded += 1;
         obs.expansions.inc();
+        if let Some(tok) = &cfg.cancel {
+            tok.beat();
+        }
         let exp_t0 = Instant::now();
         let exp_no_u64 = stats.expanded as u64;
         if state.tree_stale {
@@ -1094,8 +1268,8 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             timeline.family_mut(rules::family_name(t.sort_key().0)).proposed += 1;
         }
 
-        // How many evaluations may still be merged under `max_evals`.
-        let remaining = cfg.max_evals - stats.evaluated;
+        // How many evaluations may still be merged under the cap.
+        let remaining = eval_cap - stats.evaluated;
         // Injection keys depend only on (expansion, candidate index):
         // identical across thread counts and across reruns.
         let plan = cfg.fault_plan.as_ref();
@@ -1108,7 +1282,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         // completion order; insertions happen below, at the merge.
         let outcomes: Vec<CandOutcome> = if threads > 1 {
             parallel::par_map(threads, &candidates, |i, t| {
-                if start.elapsed() > cfg.budget {
+                if stop_now().is_some() {
                     CandOutcome::Skipped
                 } else {
                     evaluate_candidate(&state, t, &cfg.ctx, &eval_cache, fault_for(i), cfg.paranoia)
@@ -1120,7 +1294,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             let mut out = Vec::with_capacity(candidates.len());
             let mut done = 0usize;
             for (i, t) in candidates.iter().enumerate() {
-                if start.elapsed() > cfg.budget || done >= remaining {
+                if stop_now().is_some() || done >= remaining {
                     out.push(CandOutcome::Skipped);
                     break;
                 }
@@ -1226,6 +1400,9 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
                     merged += 1;
                     stats.evaluated += 1;
                     obs.evaluated.inc();
+                    if let Some(tok) = &cfg.cancel {
+                        tok.beat();
+                    }
                     let eval_dur = trans + sched_sim + hash_t;
 
                     // Cache accounting + insertion happen here — on the
@@ -1386,7 +1563,15 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             if stats.evaluated - evals_at_last_ckpt >= policy.every_evals {
                 evals_at_last_ckpt = stats.evaluated;
                 let ok = write_checkpoint(
-                    policy, &best, seed.seed_cost, cfg.seed, &pareto, &seen, &quarantine, &stats,
+                    policy,
+                    &best,
+                    seed.seed_cost,
+                    cfg.seed,
+                    &pareto,
+                    &seen,
+                    &quarantine,
+                    &stats,
+                    policy.frontier.then_some((&queue, seq)),
                 )
                 .is_ok();
                 if ok {
@@ -1406,10 +1591,6 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             }
         }
 
-        if start.elapsed() > cfg.budget {
-            stop = Some(StopReason::BudgetExpired);
-            break;
-        }
     }
     stats.stop_reason = stop.unwrap_or_else(|| {
         // The queue ran dry. If rule families were quarantined along
@@ -1425,21 +1606,27 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         }
     });
 
-    // Final polish: reschedule the incumbent with the full-quality beam
-    // and keep whichever is better.
-    let polished = best.rescheduled(&cfg.ctx);
-    if cfg.objective.better_than(polished.cost(), best.cost(), 1.0)
-        && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished, &cfg.ctx).is_ok())
-    {
-        let (p_peak, p_lat) = polished.cost();
-        pareto.insert(p_peak, p_lat);
-        best = polished;
-    }
     stats.quarantine_strikes = quarantine.entries();
     stats.quarantined_families = quarantine.quarantined_families();
-    if let Some(policy) = &cfg.checkpoint {
+
+    // Frontier checkpoints are exact in-flight snapshots: the final one
+    // is written *before* the polish below, and the resumed run
+    // re-polishes at its own true end — that keeps kill/resume
+    // trajectories bit-identical to the uninterrupted run. Legacy
+    // (non-frontier) policies keep recording the polished incumbent.
+    let frontier_mode = cfg.checkpoint.as_ref().is_some_and(|p| p.frontier);
+    if frontier_mode {
+        let policy = cfg.checkpoint.as_ref().expect("frontier_mode implies a policy");
         let ok = write_checkpoint(
-            policy, &best, seed.seed_cost, cfg.seed, &pareto, &seen, &quarantine, &stats,
+            policy,
+            &best,
+            seed.seed_cost,
+            cfg.seed,
+            &pareto,
+            &seen,
+            &quarantine,
+            &stats,
+            Some((&queue, seq)),
         )
         .is_ok();
         if ok {
@@ -1450,6 +1637,41 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             obs.checkpoint_failures.inc();
         }
         magis_obs::event!("magis_core", "checkpoint", ok = ok, at = "final",);
+    }
+
+    // Final polish: reschedule the incumbent with the full-quality beam
+    // and keep whichever is better.
+    let polished = best.rescheduled(&cfg.ctx);
+    if cfg.objective.better_than(polished.cost(), best.cost(), 1.0)
+        && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished, &cfg.ctx).is_ok())
+    {
+        let (p_peak, p_lat) = polished.cost();
+        pareto.insert(p_peak, p_lat);
+        best = polished;
+    }
+    if !frontier_mode {
+        if let Some(policy) = &cfg.checkpoint {
+            let ok = write_checkpoint(
+                policy,
+                &best,
+                seed.seed_cost,
+                cfg.seed,
+                &pareto,
+                &seen,
+                &quarantine,
+                &stats,
+                None,
+            )
+            .is_ok();
+            if ok {
+                stats.checkpoints_written += 1;
+                obs.checkpoints_written.inc();
+            } else {
+                stats.checkpoint_failures += 1;
+                obs.checkpoint_failures.inc();
+            }
+            magis_obs::event!("magis_core", "checkpoint", ok = ok, at = "final",);
+        }
     }
     magis_obs::event!(
         "magis_core",

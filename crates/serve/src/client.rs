@@ -1,0 +1,162 @@
+//! A small blocking client for the line protocol — used by the CLI's
+//! `submit` subcommand and by the service test suites.
+
+use crate::protocol::{JobResult, JobSpec};
+use magis_obs::json::Json;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or protocol-framing failure.
+    Io(String),
+    /// The server refused the request (admission control, bad spec, …).
+    Rejected {
+        /// HTTP-flavored status code (429 for backpressure).
+        code: u64,
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "connection error: {e}"),
+            ServeError::Rejected { code, error } => write!(f, "rejected ({code}): {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Outcome of a `submit` with `wait: true`.
+#[derive(Debug)]
+pub struct WaitOutcome {
+    /// The job id the server assigned.
+    pub id: u64,
+    /// The terminal result, or the failure/interruption message.
+    pub result: Result<JobResult, String>,
+    /// Whether the result came from the cross-request result cache.
+    pub cached: bool,
+    /// Number of `progress` events streamed before completion.
+    pub progress_events: usize,
+}
+
+/// One connection to a `magis-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| ServeError::Io(e.to_string()))?);
+        Ok(Client { stream, reader })
+    }
+
+    fn send(&mut self, j: &Json) -> Result<(), ServeError> {
+        self.stream
+            .write_all((j.render() + "\n").as_bytes())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ServeError::Io(e.to_string()))
+    }
+
+    fn recv(&mut self) -> Result<Json, ServeError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).map_err(|e| ServeError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(ServeError::Io("server closed the connection".into()));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Json::parse(line.trim()).map_err(|e| ServeError::Io(e.to_string()));
+        }
+    }
+
+    /// Turns a reply into `Ok` payload or a [`ServeError::Rejected`].
+    fn checked(reply: Json) -> Result<Json, ServeError> {
+        if matches!(reply.get("ok"), Some(Json::Bool(true))) {
+            return Ok(reply);
+        }
+        Err(ServeError::Rejected {
+            code: reply.get("code").and_then(Json::as_u64).unwrap_or(0),
+            error: reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string(),
+        })
+    }
+
+    /// Liveness probe; returns the server's `{queued, running}` counts.
+    pub fn ping(&mut self) -> Result<Json, ServeError> {
+        self.send(&Json::Obj(vec![("cmd".to_string(), Json::Str("ping".into()))]))?;
+        Self::checked(self.recv()?)
+    }
+
+    /// Queries one job's state.
+    pub fn status(&mut self, id: u64) -> Result<Json, ServeError> {
+        self.send(&Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("status".into())),
+            ("id".into(), Json::UInt(id)),
+        ]))?;
+        Self::checked(self.recv()?)
+    }
+
+    fn submit_inner(&mut self, spec: &JobSpec, wait: bool) -> Result<u64, ServeError> {
+        self.send(&Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("submit".into())),
+            ("wait".into(), Json::Bool(wait)),
+            ("job".into(), spec.to_json()),
+        ]))?;
+        let ack = Self::checked(self.recv()?)?;
+        ack.get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeError::Io("ack carried no job id".into()))
+    }
+
+    /// Submits a job without waiting; returns the assigned job id.
+    pub fn submit_nowait(&mut self, spec: &JobSpec) -> Result<u64, ServeError> {
+        self.submit_inner(spec, false)
+    }
+
+    /// Submits a job and blocks until its terminal `done` event,
+    /// consuming the progress stream along the way.
+    pub fn submit_and_wait(&mut self, spec: &JobSpec) -> Result<WaitOutcome, ServeError> {
+        let id = self.submit_inner(spec, true)?;
+        let mut progress_events = 0usize;
+        loop {
+            let ev = self.recv()?;
+            match ev.get("event").and_then(Json::as_str) {
+                Some("progress") => progress_events += 1,
+                Some("done") => {
+                    let ok = matches!(ev.get("ok"), Some(Json::Bool(true)));
+                    let cached = matches!(ev.get("cached"), Some(Json::Bool(true)));
+                    let result = if ok {
+                        let r = ev.get("result").ok_or_else(|| {
+                            ServeError::Io("done event carried no result".into())
+                        })?;
+                        Ok(JobResult::from_json(r).map_err(ServeError::Io)?)
+                    } else {
+                        Err(ev
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown failure")
+                            .to_string())
+                    };
+                    return Ok(WaitOutcome { id, result, cached, progress_events });
+                }
+                _ => return Err(ServeError::Io(format!("unexpected event: {}", ev.render()))),
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! `magis-serve`: a supervised optimization service over the MAGIS
+//! search.
+//!
+//! A long-lived daemon accepts optimization jobs (a named workload or
+//! an inline graph record, plus budget/backend/objective/deadline
+//! knobs) over a line-delimited JSON TCP protocol and runs them on a
+//! bounded worker pool with supervision:
+//!
+//! * **Deadlines everywhere** — each job's `wall_limit_ms` /
+//!   `max_candidates` thread into the search as a
+//!   [`SearchBudget`](magis_core::SearchBudget) with cooperative
+//!   cancellation; a deadline returns the best-so-far incumbent
+//!   (anytime semantics), and a watchdog flags jobs whose
+//!   candidate-eval heartbeat stalls.
+//! * **Admission control** — a bounded queue with 429-style rejection
+//!   when full, per-client concurrent-job caps, and load shedding
+//!   while draining.
+//! * **Crash safety** — every accepted job is journaled before it is
+//!   acknowledged, searches checkpoint their frontier into the job
+//!   directory, and on restart the journal is replayed so interrupted
+//!   jobs resume trajectory-exactly from their last checkpoint.
+//! * **Graceful shutdown** — SIGTERM/ctrl-c stops accepting, drains
+//!   queued and running jobs, and checkpoints whatever the drain
+//!   timeout cuts off.
+//!
+//! The crate is zero-dependency (workspace crates only) like the rest
+//! of the repository. See `server` for the supervision tree and
+//! `protocol` for the wire format.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod job;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+pub mod signals;
+
+pub use client::{Client, ServeError, WaitOutcome};
+pub use protocol::{JobResult, JobSpec};
+pub use server::{Server, ServerHandle};
+
+use std::path::PathBuf;
+
+/// Daemon configuration; every field has a serviceable default.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// State directory holding the job journal.
+    pub state_dir: PathBuf,
+    /// Worker threads running searches (the pool bound).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before 429 rejection.
+    pub queue_capacity: usize,
+    /// Maximum queued+running jobs per client identity.
+    pub client_cap: usize,
+    /// Failed attempts are retried up to this many times.
+    pub retry_cap: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// How long a drain waits for jobs before cancel-and-checkpoint.
+    pub drain_timeout_ms: u64,
+    /// Watchdog flags a running job after this long without an
+    /// eval heartbeat.
+    pub stall_after_ms: u64,
+    /// Cross-request result-cache capacity (0 disables).
+    pub result_cache: usize,
+    /// When set, the bound address is written here after listen —
+    /// lets scripts and tests find a port-0 daemon.
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7787".into(),
+            state_dir: PathBuf::from("magis-serve-state"),
+            workers: 2,
+            queue_capacity: 16,
+            client_cap: 8,
+            retry_cap: 2,
+            backoff_base_ms: 50,
+            drain_timeout_ms: 10_000,
+            stall_after_ms: 5_000,
+            result_cache: 64,
+            port_file: None,
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! SIGTERM / SIGINT handling without a libc dependency.
+//!
+//! The daemon's shutdown path is cooperative — the accept loop and
+//! workers poll a flag — so the handler only needs to set an atomic.
+//! `signal(2)` is declared directly (the workspace is zero-dep); on
+//! non-Unix targets installation is a no-op and shutdown is driven
+//! programmatically via `ServerHandle::shutdown`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has been received (or
+/// [`request_shutdown`] called).
+pub fn requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of SIGTERM — used by tests and
+/// `ServerHandle::shutdown`. NOTE: the flag is process-global, like
+/// the signals it mirrors; in-process test servers should prefer their
+/// handle's own shutdown flag.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,92 @@
+//! `magis-served` — the standalone supervision daemon binary.
+//!
+//! A thin argument parser around [`magis_serve::Server`]; the CLI's
+//! `magis serve` subcommand exposes the same knobs. Kept as its own
+//! binary so tests can `kill -9` a real process and exercise journal
+//! replay without going through the full CLI.
+
+use magis_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+magis-served — supervised optimization service
+
+USAGE:
+    magis-served [--addr HOST:PORT] [--state-dir DIR] [--workers N]
+                 [--queue-capacity N] [--client-cap N] [--retry-cap N]
+                 [--backoff-base-ms MS] [--drain-timeout-ms MS]
+                 [--stall-after-ms MS] [--result-cache N]
+                 [--port-file PATH] [--log-level LEVEL]
+
+Listens for line-delimited JSON jobs (see magis-serve's protocol docs),
+runs them on a bounded worker pool, journals every accepted job for
+crash-safe recovery, and drains gracefully on SIGTERM/SIGINT.
+";
+
+fn parse(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        let num = || -> Result<u64, String> {
+            value.parse().map_err(|_| format!("{flag} needs an integer, got '{value}'"))
+        };
+        match flag {
+            "--addr" => cfg.addr = value.clone(),
+            "--state-dir" => cfg.state_dir = PathBuf::from(value),
+            "--workers" => cfg.workers = num()?.max(1) as usize,
+            "--queue-capacity" => cfg.queue_capacity = num()? as usize,
+            "--client-cap" => cfg.client_cap = num()? as usize,
+            "--retry-cap" => cfg.retry_cap = num()? as u32,
+            "--backoff-base-ms" => cfg.backoff_base_ms = num()?,
+            "--drain-timeout-ms" => cfg.drain_timeout_ms = num()?,
+            "--stall-after-ms" => cfg.stall_after_ms = num()?,
+            "--result-cache" => cfg.result_cache = num()? as usize,
+            "--port-file" => cfg.port_file = Some(PathBuf::from(value)),
+            "--log-level" => {
+                let level = value.parse().map_err(|e| format!("--log-level: {e}"))?;
+                magis_obs::log::set_level(level);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("magis-served: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("magis-served: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Ok(addr) = server.local_addr() {
+        eprintln!("magis-served: listening on {addr}");
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("magis-served: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`baselines`] — POFO/DTR/XLA/TVM/Torch-Inductor-like comparison
 //!   systems,
 //! * [`obs`] — zero-dependency structured tracing, metrics, and
-//!   search-timeline observability.
+//!   search-timeline observability,
+//! * [`serve`] — supervised optimization service: a long-lived daemon
+//!   with deadlines, backpressure, and crash-safe job recovery.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use magis_graph as graph;
 pub use magis_models as models;
 pub use magis_obs as obs;
 pub use magis_sched as sched;
+pub use magis_serve as serve;
 pub use magis_sim as sim;
 
 /// The names most programs need.

@@ -2,10 +2,12 @@
 //! state can be killed at any point and resumed from the last
 //! checkpoint to a valid incumbent no worse than the checkpointed one.
 
+use magis::core::budget::SearchBudget;
 use magis::core::checkpoint::SearchCheckpoint;
 use magis::core::optimizer::{self, CheckpointPolicy, Objective, OptimizerConfig};
 use magis::prelude::*;
 use magis::sched::validate_schedule;
+use magis::sim::MemObjective;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -111,6 +113,91 @@ fn resume_is_deterministic_across_thread_counts() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Fingerprint of everything two runs of the same deterministic
+/// search must agree on bit-for-bit.
+fn fingerprint(res: &magis::core::optimizer::OptimizeResult) -> String {
+    let mut s = format!(
+        "cost=({},{:016x}) planned={:?} evaluated={} expanded={} pareto=",
+        res.best.eval.peak_bytes,
+        res.best.eval.latency.to_bits(),
+        res.best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
+        res.stats.evaluated,
+        res.stats.expanded,
+    );
+    for (m, l) in res.pareto.front() {
+        s.push_str(&format!("({m},{:016x})", l.to_bits()));
+    }
+    s
+}
+
+/// The tentpole contract: a search killed mid-run and resumed from a
+/// frontier checkpoint reproduces the uninterrupted run bit-exactly —
+/// under the planned (allocator-aware) objective, where evaluation is
+/// most involved.
+#[test]
+fn frontier_resume_reproduces_uninterrupted_run_bit_exactly() {
+    let (g, init) = seed_state();
+    let obj = Objective::MinMemory { lat_limit: init.eval.latency * 1.25 };
+    let planned = |max: usize, threads: usize| {
+        let mut cfg = capped(obj, usize::MAX, threads)
+            .with_search_budget(SearchBudget::UNLIMITED.with_candidate_limit(max));
+        cfg.ctx.mem_objective = MemObjective::Planned;
+        cfg
+    };
+
+    // "Kill" after the first expansion boundary past 1 evaluation,
+    // with frontier checkpointing on. The candidate limit stops only
+    // at expansion boundaries, so this run's evaluated count tells us
+    // where the boundary fell; the reference run then targets one
+    // evaluation past it, forcing at least one further expansion.
+    let path = scratch("frontier_exact");
+    let cfg_killed = planned(1, 1)
+        .with_checkpoint(CheckpointPolicy::new(path.clone()).with_every(4).with_frontier(true));
+    let killed = optimizer::optimize(g.clone(), &cfg_killed);
+    let target = killed.stats.evaluated + 1;
+    let ckpt = SearchCheckpoint::read_from(&path).expect("frontier checkpoint parses");
+    assert!(!ckpt.frontier.is_empty(), "frontier persisted");
+
+    // Reference: one uninterrupted run to the same cumulative target.
+    let full = optimizer::optimize(g, &planned(target, 1));
+    assert!(full.stats.expanded > killed.stats.expanded, "reference crosses the kill point");
+
+    let resumed = optimizer::resume(&ckpt, &planned(target, 1)).expect("resume succeeds");
+    assert!(resumed.stats.resumed);
+    assert_eq!(
+        fingerprint(&full),
+        fingerprint(&resumed),
+        "kill + frontier-resume must be indistinguishable from an uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Same contract, resuming with a different thread count: the frontier
+/// checkpoint composes with the sorted-batch determinism guarantee.
+#[test]
+fn frontier_resume_is_bit_exact_across_thread_counts() {
+    let (g, init) = seed_state();
+    let obj = Objective::MinMemory { lat_limit: init.eval.latency * 1.25 };
+    let cap = |max: usize, threads: usize| {
+        capped(obj, usize::MAX, threads)
+            .with_search_budget(SearchBudget::UNLIMITED.with_candidate_limit(max))
+    };
+    let path = scratch("frontier_threads");
+    let killed = optimizer::optimize(
+        g.clone(),
+        &cap(1, 2)
+            .with_checkpoint(CheckpointPolicy::new(path.clone()).with_every(3).with_frontier(true)),
+    );
+    let target = killed.stats.evaluated + 1;
+    let full = optimizer::optimize(g, &cap(target, 1));
+    let ckpt = SearchCheckpoint::read_from(&path).expect("parses");
+    let r1 = optimizer::resume(&ckpt, &cap(target, 1)).expect("serial resume");
+    let r4 = optimizer::resume(&ckpt, &cap(target, 4)).expect("parallel resume");
+    assert_eq!(fingerprint(&full), fingerprint(&r1));
+    assert_eq!(fingerprint(&r1), fingerprint(&r4));
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn corrupt_checkpoints_are_rejected_with_typed_errors() {
     let (g, init) = seed_state();
@@ -125,7 +212,7 @@ fn corrupt_checkpoints_are_rejected_with_typed_errors() {
     // corruption must both fail to parse — never produce a state.
     for corrupt in [
         text[..text.len() / 2].to_string(),
-        text.replacen("magis-checkpoint v2", "magis-checkpoint v9", 1),
+        text.replacen("magis-checkpoint v3", "magis-checkpoint v9", 1),
         text.replacen("ckpt-end", "", 1),
     ] {
         let p2 = scratch("corrupt2");
