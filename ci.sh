@@ -41,8 +41,10 @@ run cargo test -q --test robustness_properties
 run cargo test -q --test serve_robustness
 
 # Observability: count metrics and the trace-event identity set must be
-# bit-identical across thread counts.
+# bit-identical across thread counts — and, at the service level,
+# across worker-pool sizes; watch streams are monotone and inert.
 run cargo test -q --test observability
+run cargo test -q --test serve_observability
 
 # Incremental evaluation: every delta-scheduled / delta-profiled /
 # cache-served candidate must be bit-identical to a from-scratch
@@ -121,6 +123,25 @@ run ./target/release/magis submit --port-file "$SRV_DIR/port" \
     --workload unet --scale 0.1 --max-candidates 40
 run ./target/release/magis submit --port-file "$SRV_DIR/port" \
     --workload unet --scale 0.1 --max-candidates 40
+
+# Observability leg: attach a watcher to an in-flight job, then scrape
+# the metrics surface and require real completion counts plus the
+# per-job correlated trace.
+SUBMIT_OUT="$(./target/release/magis submit --port-file "$SRV_DIR/port" \
+    --workload unet --scale 0.15 --max-candidates 200 --wait false)"
+JOB_ID="$(grep -o '[0-9]\+' <<<"$SUBMIT_OUT" | head -1)"
+test -n "$JOB_ID" || { echo "$SUBMIT_OUT"; echo "no job id from nowait submit"; exit 1; }
+run ./target/release/magis watch --port-file "$SRV_DIR/port" --id "$JOB_ID"
+METRICS_OUT="$(./target/release/magis metrics --port-file "$SRV_DIR/port")"
+grep -q '^magis_serve_queue_depth ' <<<"$METRICS_OUT" \
+    || { echo "$METRICS_OUT"; echo "metrics scrape is missing the queue-depth gauge"; exit 1; }
+COMPLETED="$(awk '$1 == "magis_serve_jobs_completed" { print $2 }' <<<"$METRICS_OUT")"
+[ -n "$COMPLETED" ] && [ "$COMPLETED" -ge 1 ] \
+    || { echo "$METRICS_OUT"; echo "magis_serve_jobs_completed is empty or zero"; exit 1; }
+run ./target/release/magis trace-check \
+    --trace "$SRV_DIR/state/jobs/job-$JOB_ID/trace.jsonl" --expect-job "$JOB_ID"
+run ./target/release/magis top --port-file "$SRV_DIR/port" --iterations 1
+
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || { echo "daemon did not exit cleanly after SIGTERM"; exit 1; }
 rm -rf "$SRV_DIR"

@@ -52,7 +52,11 @@ USAGE:
                  [--backend NAME] [--budget-ms N] [--wall-limit-ms N]
                  [--max-candidates N] [--threads N] [--client NAME]
                  [--wait true|false]
-  magis trace-check --trace FILE
+  magis watch    --addr HOST:PORT | --port-file FILE  --id N
+  magis top      --addr HOST:PORT | --port-file FILE
+                 [--interval-ms N] [--iterations N]
+  magis metrics  --addr HOST:PORT | --port-file FILE
+  magis trace-check --trace FILE [--expect-job N]
   magis --backend-list
 
 WORKLOADS: resnet50 bert vit unet unetpp gpt-neo btlm
@@ -135,8 +139,26 @@ OBSERVABILITY (optimize):
   Count-type metrics and the trace event *set* are identical for every
   --threads value; only wall-time measurements vary.
 
+MONITORING (serve):
+  submit --wait   renders a live one-line ticker on a terminal (search
+                  phase, expansions, evaluations, incumbent cost) from
+                  the daemon's progress stream.
+  watch --id N    attaches to a job already in flight (any number of
+                  watchers, mid-flight attach) and streams the same
+                  progress frames until the job settles.
+  top             polls status + metrics into a refreshing terminal
+                  summary (queue depth, running jobs, completions,
+                  rejections, retries, cache hits, job wall-time).
+                  --iterations N stops after N refreshes (0 = forever).
+  metrics         prints the daemon's metric registry as Prometheus
+                  text exposition — pipe it to a scraper.
+  Every job journals its own trace to jobs/job-<id>/trace.jsonl on the
+  daemon side; the trace id is the job id.
+
 trace-check validates a --trace-out file: every line must parse back
-as a trace record. Prints per-record-name counts.
+as a trace record. Prints per-record-name counts. With --expect-job N
+it additionally requires every record to carry a `job = N` correlation
+field (use on a daemon's jobs/job-N/trace.jsonl).
 ";
 
 /// CLI failure modes.
@@ -301,6 +323,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "baseline" => cmd_baseline(&parse_flags(rest)?),
         "serve" => cmd_serve(&parse_flags(rest)?),
         "submit" => cmd_submit(&parse_flags(rest)?),
+        "watch" => cmd_watch(&parse_flags(rest)?),
+        "top" => cmd_top(&parse_flags(rest)?),
+        "metrics" => cmd_metrics(&parse_flags(rest)?),
         "trace-check" => cmd_trace_check(&parse_flags(rest)?),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -718,31 +743,48 @@ fn serve_addr(flags: &HashMap<String, String>) -> Result<String, CliError> {
     Err(CliError::Usage("submit needs --addr or --port-file".into()))
 }
 
-/// `magis submit` — sends one job to a running daemon and (by
-/// default) waits for the result.
-fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let addr = serve_addr(flags)?;
-    let spec = job_spec(flags)?;
-    let wait = bool_flag(flags, "wait", true)?;
-    let mut client = magis_serve::Client::connect(&addr)
-        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
-    if !wait {
-        let id = client
-            .submit_nowait(&spec)
-            .map_err(|e| CliError::Runtime(e.to_string()))?;
-        println!("submitted job {id}");
-        return Ok(());
+/// Renders one progress frame as the single-line live ticker body.
+/// Search-snapshot frames show the deterministic expansion-boundary
+/// numbers; heartbeat frames (queued / between expansions) show the
+/// eval-beat counter.
+fn ticker_line(frame: &magis_obs::json::Json) -> String {
+    use magis_obs::json::Json;
+    let u = |k: &str| frame.get(k).and_then(Json::as_u64);
+    match frame.get("phase").and_then(Json::as_str) {
+        Some(phase) => {
+            let lat = match frame.get("best_latency") {
+                Some(Json::Float(f)) => *f,
+                Some(Json::UInt(n)) => *n as f64,
+                _ => 0.0,
+            };
+            format!(
+                "{phase:<6} exp {:>4}  eval {:>5}  best {:.3} GiB / {:.2} ms  frontier {}",
+                u("expansion").unwrap_or(0),
+                u("evaluated").unwrap_or(0),
+                gib(u("best_peak_bytes").unwrap_or(0)),
+                lat * 1e3,
+                u("frontier").unwrap_or(0),
+            )
+        }
+        None => format!(
+            "{:<6} beats {:>6}  {:>6} ms",
+            frame.get("state").and_then(Json::as_str).unwrap_or("…"),
+            u("beats").unwrap_or(0),
+            u("elapsed_ms").unwrap_or(0),
+        ),
     }
-    let out = client
-        .submit_and_wait(&spec)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+}
+
+/// Prints the end-of-stream summary shared by `submit --wait` and
+/// `watch`, or turns a failed job into a [`CliError`].
+fn report_wait_outcome(label: &str, out: magis_serve::WaitOutcome) -> Result<(), CliError> {
     match out.result {
         Err(e) => Err(CliError::Runtime(format!("job {} failed: {e}", out.id))),
         Ok(r) => {
             let rule = "─".repeat(62);
             let row = |k: &str, v: String| eprintln!("  {k:<24} {v}");
             eprintln!("{rule}");
-            eprintln!("  magis submit: job {} done", out.id);
+            eprintln!("  magis {label}: job {} done", out.id);
             eprintln!("{rule}");
             row("peak memory", format!("{:.3} GiB", gib(r.peak_bytes)));
             if let Some(p) = r.planned_peak_bytes {
@@ -760,12 +802,186 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
 }
 
+/// `magis submit` — sends one job to a running daemon and (by
+/// default) waits for the result, rendering a live one-line ticker
+/// from the progress stream when stderr is a terminal.
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use std::io::IsTerminal;
+    let addr = serve_addr(flags)?;
+    let spec = job_spec(flags)?;
+    let wait = bool_flag(flags, "wait", true)?;
+    let mut client = magis_serve::Client::connect(&addr)
+        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
+    if !wait {
+        let id = client
+            .submit_nowait(&spec)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!("submitted job {id}");
+        return Ok(());
+    }
+    let live = std::io::stderr().is_terminal();
+    let out = client
+        .submit_and_wait_with(&spec, |frame| {
+            if live {
+                eprint!("\r\x1b[2K  {}", ticker_line(frame));
+            }
+        })
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if live {
+        eprint!("\r\x1b[2K");
+    }
+    report_wait_outcome("submit", out)
+}
+
+/// `magis watch` — attaches to a job already submitted (mid-flight or
+/// settled) and streams its progress frames until it settles.
+fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use std::io::IsTerminal;
+    let addr = serve_addr(flags)?;
+    if !flags.contains_key("id") {
+        return Err(CliError::Usage("watch needs --id".into()));
+    }
+    let id = usize_flag(flags, "id", 0)? as u64;
+    let mut client = magis_serve::Client::connect(&addr)
+        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
+    let live = std::io::stderr().is_terminal();
+    let out = client
+        .watch(id, |frame| {
+            if live {
+                eprint!("\r\x1b[2K  {}", ticker_line(frame));
+            } else {
+                eprintln!("  {}", ticker_line(frame));
+            }
+        })
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if live {
+        eprint!("\r\x1b[2K");
+    }
+    report_wait_outcome("watch", out)
+}
+
+/// `magis metrics` — prints the daemon's metric registry as Prometheus
+/// text exposition (the scrape surface).
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let addr = serve_addr(flags)?;
+    let mut client = magis_serve::Client::connect(&addr)
+        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
+    let text = client.metrics().map_err(|e| CliError::Runtime(e.to_string()))?;
+    print!("{text}");
+    Ok(())
+}
+
+/// Pulls one sample's value out of a Prometheus text exposition.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        let mut it = l.split_whitespace();
+        (it.next() == Some(name)).then(|| it.next()?.parse().ok())?
+    })
+}
+
+/// `magis top` — polls `status` + `metrics` into a refreshing
+/// terminal summary of the daemon.
+fn cmd_top(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use std::io::IsTerminal;
+    let addr = serve_addr(flags)?;
+    let interval = usize_flag(flags, "interval-ms", 1000)? as u64;
+    let iterations = usize_flag(flags, "iterations", 0)?;
+    let mut client = magis_serve::Client::connect(&addr)
+        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
+    let clear = std::io::stdout().is_terminal();
+    let mut n = 0usize;
+    loop {
+        let pong = client.ping().map_err(|e| CliError::Runtime(e.to_string()))?;
+        let text = client.metrics().map_err(|e| CliError::Runtime(e.to_string()))?;
+        let v = |name: &str| prom_value(&text, name).unwrap_or(0.0);
+        if clear && n > 0 {
+            print!("\x1b[2J\x1b[H");
+        }
+        let q = pong.get("queued").and_then(magis_obs::json::Json::as_u64).unwrap_or(0);
+        let r = pong.get("running").and_then(magis_obs::json::Json::as_u64).unwrap_or(0);
+        let rule = "─".repeat(62);
+        println!("{rule}");
+        println!("  magis top — {addr}");
+        println!("{rule}");
+        let row = |k: &str, val: String| println!("  {k:<24} {val}");
+        row("queued / running", format!("{q} / {r}"));
+        row(
+            "jobs",
+            format!(
+                "{:.0} submitted, {:.0} accepted, {:.0} completed, {:.0} failed",
+                v("magis_serve_jobs_submitted"),
+                v("magis_serve_jobs_accepted"),
+                v("magis_serve_jobs_completed"),
+                v("magis_serve_jobs_failed"),
+            ),
+        );
+        row(
+            "rejected",
+            format!(
+                "{:.0} queue-full, {:.0} client-cap, {:.0} draining",
+                v("magis_serve_rejected_queue_full"),
+                v("magis_serve_rejected_client_cap"),
+                v("magis_serve_rejected_draining"),
+            ),
+        );
+        row(
+            "retries / replays",
+            format!("{:.0} / {:.0}", v("magis_serve_retries"), v("magis_serve_jobs_replayed")),
+        );
+        row(
+            "result cache",
+            format!(
+                "{:.0} hits / {:.0} misses",
+                v("magis_serve_result_cache_hits"),
+                v("magis_serve_result_cache_misses"),
+            ),
+        );
+        let jobs_n = v("magis_serve_job_seconds_count");
+        let wait_n = v("magis_serve_queue_wait_seconds_count");
+        row(
+            "job wall-time",
+            if jobs_n > 0.0 {
+                format!("{:.3} s avg over {jobs_n:.0} runs", v("magis_serve_job_seconds_sum") / jobs_n)
+            } else {
+                "no runs yet".to_string()
+            },
+        );
+        row(
+            "queue wait",
+            if wait_n > 0.0 {
+                format!(
+                    "{:.3} s avg over {wait_n:.0} pickups",
+                    v("magis_serve_queue_wait_seconds_sum") / wait_n
+                )
+            } else {
+                "no pickups yet".to_string()
+            },
+        );
+        row("watchdog stalls", format!("{:.0}", v("magis_serve_watchdog_stalls")));
+        println!("{rule}");
+        n += 1;
+        if iterations != 0 && n >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval));
+    }
+}
+
 /// Validates a `--trace-out` JSONL file: every non-empty line must
-/// parse back as a trace record. Prints per-record-name counts.
+/// parse back as a trace record. Prints per-record-name counts. With
+/// `--expect-job N`, every record must additionally carry a `job = N`
+/// correlation field — the shape `magis-serve` writes into a job
+/// directory's `trace.jsonl`.
 fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let path = flags
         .get("trace")
         .ok_or_else(|| CliError::Usage("--trace is required".into()))?;
+    let expect_job: Option<u64> = match flags.get("expect-job") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| {
+            CliError::Usage(format!("--expect-job expects an integer, got '{v}'"))
+        })?),
+    };
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
     let mut spans = 0usize;
@@ -777,6 +993,19 @@ fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
         let ev = magis_obs::trace::TraceEvent::parse_line(line)
             .map_err(|e| CliError::Runtime(format!("{path}:{}: {e}", no + 1)))?;
+        if let Some(want) = expect_job {
+            let tagged = ev.fields.iter().any(|(k, v)| {
+                k == "job" && matches!(v, magis_obs::trace::FieldValue::U64(n) if *n == want)
+            });
+            if !tagged {
+                return Err(CliError::Runtime(format!(
+                    "{path}:{}: record {}/{} carries no job={want} field",
+                    no + 1,
+                    ev.target,
+                    ev.name
+                )));
+            }
+        }
         match ev.kind {
             magis_obs::trace::TraceKind::Span => spans += 1,
             magis_obs::trace::TraceKind::Event => events += 1,
@@ -787,6 +1016,9 @@ fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), CliError> {
         return Err(CliError::Runtime(format!("{path}: no trace records")));
     }
     println!("{path}: {} records OK ({spans} spans, {events} events)", spans + events);
+    if let Some(want) = expect_job {
+        println!("  every record carries job={want}");
+    }
     for (name, n) in names {
         println!("  {name}: {n}");
     }
@@ -1018,6 +1250,79 @@ mod tests {
             run(&s(&["submit", "--workload", "unet"])),
             Err(CliError::Usage(_)),
         ), "submit without an address is a usage error");
+    }
+
+    #[test]
+    fn monitoring_usage_errors() {
+        assert!(
+            matches!(run(&s(&["watch", "--addr", "127.0.0.1:1"])), Err(CliError::Usage(_))),
+            "watch needs --id"
+        );
+        assert!(
+            matches!(run(&s(&["metrics"])), Err(CliError::Usage(_))),
+            "metrics needs an address"
+        );
+        assert!(matches!(run(&s(&["top"])), Err(CliError::Usage(_))), "top needs an address");
+        assert!(
+            matches!(
+                run(&s(&["trace-check", "--trace", "/tmp/x.jsonl", "--expect-job", "one"])),
+                Err(CliError::Usage(_))
+            ),
+            "--expect-job must be an integer"
+        );
+    }
+
+    #[test]
+    fn prom_value_reads_samples() {
+        let text = "# HELP x\nmagis_serve_jobs_completed 3\nmagis_serve_job_seconds_sum 1.5\n";
+        assert_eq!(prom_value(text, "magis_serve_jobs_completed"), Some(3.0));
+        assert_eq!(prom_value(text, "magis_serve_job_seconds_sum"), Some(1.5));
+        assert_eq!(prom_value(text, "magis_serve_jobs_failed"), None);
+    }
+
+    #[test]
+    fn serve_monitoring_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("magis_cli_monitor_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = magis_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            state_dir: dir.clone(),
+            workers: 1,
+            result_cache: 0,
+            ..Default::default()
+        };
+        let server = magis_serve::Server::bind(cfg).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle().unwrap();
+        let t = std::thread::spawn(move || server.run().unwrap());
+
+        let mut c = magis_serve::Client::connect(&addr).unwrap();
+        let spec = magis_serve::JobSpec {
+            workload: Some("unet".into()),
+            scale: 0.1,
+            budget_ms: 400,
+            threads: 1,
+            ..Default::default()
+        };
+        let id = c.submit_nowait(&spec).unwrap();
+        // Mid-flight (or post-hoc) attach by id, then the scrape and
+        // summary surfaces, then trace correlation on the job's
+        // journaled trace.
+        run(&s(&["watch", "--addr", &addr, "--id", &id.to_string()])).unwrap();
+        run(&s(&["metrics", "--addr", &addr])).unwrap();
+        run(&s(&["top", "--addr", &addr, "--iterations", "1"])).unwrap();
+        let trace = dir.join(format!("jobs/job-{id}")).join("trace.jsonl");
+        run(&s(&[
+            "trace-check",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--expect-job",
+            &id.to_string(),
+        ]))
+        .unwrap();
+        handle.shutdown();
+        t.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use fission::FissionSpec;
 pub use ftree::{FTree, FTreeMutation};
 pub use optimizer::{
     optimize, optimize_latency, optimize_memory, resume, try_optimize, CheckpointPolicy,
-    Objective, OptimizeResult, OptimizerConfig, ParanoiaLevel, StopReason,
+    Objective, OptimizeResult, OptimizerConfig, ParanoiaLevel, ProgressHook, ProgressSink,
+    ProgressSnapshot, StopReason,
 };
 pub use state::{EvalContext, EvalError, EvalMode, IncrementalEvalInfo, MState};

@@ -93,7 +93,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Global metric handles (`magis_core_*`), looked up once. All of
@@ -393,6 +393,60 @@ impl Quarantine {
     }
 }
 
+/// A deterministic search-progress snapshot, reported through a
+/// [`ProgressSink`] at every expansion boundary (the search's only
+/// synchronization point) and once more after the final polish.
+///
+/// Every field except `phase` mirrors the values recorded into the
+/// [`SearchTimeline`] at the same instant, and all of them are taken
+/// on the merge thread *after* the batch merged — the snapshot
+/// contents are therefore bit-identical for every thread count, the
+/// same way timeline points and count metrics are. Only the *timing*
+/// of delivery varies run-to-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Expansion index (0-based, cumulative across resume).
+    pub expansion: u64,
+    /// Candidates evaluated so far (cumulative across resume).
+    pub evaluated: u64,
+    /// Incumbent peak memory (liveness accounting), bytes.
+    pub best_peak_bytes: u64,
+    /// Incumbent allocator-planned peak, when the search steers on the
+    /// planned objective.
+    pub best_planned_peak_bytes: Option<u64>,
+    /// Incumbent simulated latency, seconds.
+    pub best_latency: f64,
+    /// Current frontier (queue) size.
+    pub frontier_size: u64,
+    /// Current Pareto-front size.
+    pub pareto_size: u64,
+    /// Eval-cache hits so far (cumulative across resume).
+    pub eval_cache_hits: u64,
+    /// Search phase: `"search"` while expanding, `"done"` for the
+    /// final snapshot after the polish.
+    pub phase: &'static str,
+}
+
+/// Consumer of [`ProgressSnapshot`]s. Implementations must be cheap
+/// and non-blocking — `report` runs on the merge thread between
+/// expansions, so a slow sink slows the search (but can never perturb
+/// its trajectory: snapshots are taken after all merge-time decisions).
+pub trait ProgressSink: Send + Sync {
+    /// Consumes one snapshot.
+    fn report(&self, snap: &ProgressSnapshot);
+}
+
+/// Cloneable handle wrapping a shared [`ProgressSink`] so it can ride
+/// on the (`Clone + Debug`) [`OptimizerConfig`].
+#[derive(Clone)]
+pub struct ProgressHook(pub Arc<dyn ProgressSink>);
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
 pub struct OptimizerConfig {
@@ -448,6 +502,10 @@ pub struct OptimizerConfig {
     /// heartbeat once per expansion and per merged evaluation. `None`
     /// disables both.
     pub cancel: Option<CancelToken>,
+    /// Live progress reporting: when set, a [`ProgressSnapshot`] is
+    /// delivered at every expansion boundary and once after the final
+    /// polish. `None` reports nothing.
+    pub progress: Option<ProgressHook>,
 }
 
 impl OptimizerConfig {
@@ -471,6 +529,7 @@ impl OptimizerConfig {
             eval_cache: 1024,
             search_budget: SearchBudget::UNLIMITED,
             cancel: None,
+            progress: None,
         }
     }
 
@@ -532,6 +591,12 @@ impl OptimizerConfig {
     /// Attaches a cooperative cancellation/heartbeat token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a live progress sink (see [`ProgressSnapshot`]).
+    pub fn with_progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.progress = Some(ProgressHook(sink));
         self
     }
 }
@@ -1545,6 +1610,22 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         obs.frontier_size.set(queue.len() as f64);
         obs.eval_cache_size.set(eval_cache.len() as f64);
         obs.expansion_seconds.observe_duration(exp_t0.elapsed());
+        if let Some(hook) = &cfg.progress {
+            // Reported after the whole batch merged, on the merge
+            // thread, outside any suppression gate — snapshot contents
+            // are deterministic (see the determinism contract).
+            hook.0.report(&ProgressSnapshot {
+                expansion: exp_no_u64,
+                evaluated: stats.evaluated as u64,
+                best_peak_bytes: best.eval.peak_bytes,
+                best_planned_peak_bytes: best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
+                best_latency: best.eval.latency,
+                frontier_size: queue.len() as u64,
+                pareto_size: front.len() as u64,
+                eval_cache_hits: stats.eval_cache_hits as u64,
+                phase: "search",
+            });
+        }
         if magis_obs::trace::enabled() {
             magis_obs::trace::span_with_dur(
                 "magis_core",
@@ -1682,6 +1763,21 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     );
     obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
     obs.best_latency.set(best.eval.latency);
+    if let Some(hook) = &cfg.progress {
+        // Terminal snapshot: the post-polish incumbent. Deterministic
+        // like every other snapshot — the polish itself is.
+        hook.0.report(&ProgressSnapshot {
+            expansion: stats.expanded as u64,
+            evaluated: stats.evaluated as u64,
+            best_peak_bytes: best.eval.peak_bytes,
+            best_planned_peak_bytes: best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
+            best_latency: best.eval.latency,
+            frontier_size: queue.len() as u64,
+            pareto_size: pareto.front().len() as u64,
+            eval_cache_hits: stats.eval_cache_hits as u64,
+            phase: "done",
+        });
+    }
     timeline.memory_profile = memory_profile(&best.eval.graph, &best.eval.order).step_bytes;
     // Planner outcome for the timeline: the winning state's allocator
     // high-water mark and fragmentation overhead (zeros = planner off).
@@ -1778,6 +1874,42 @@ mod tests {
             "memory constraint met: {} <= {limit}",
             res.best.eval.peak_bytes
         );
+    }
+
+    #[test]
+    fn progress_snapshots_are_deterministic_across_thread_counts() {
+        struct Collect(std::sync::Mutex<Vec<ProgressSnapshot>>);
+        impl ProgressSink for Collect {
+            fn report(&self, snap: &ProgressSnapshot) {
+                self.0.lock().unwrap().push(snap.clone());
+            }
+        }
+        let g = train_mlp(3);
+        let init = MState::initial(g.clone(), &EvalContext::default());
+        let obj = Objective::MinMemory { lat_limit: init.eval.latency * 1.10 };
+        let run = |threads: usize| {
+            let sink = Arc::new(Collect(std::sync::Mutex::new(Vec::new())));
+            let cfg = quick_cfg(obj)
+                .with_max_evals(60)
+                .with_threads(threads)
+                .with_progress(sink.clone());
+            let res = optimize(g.clone(), &cfg);
+            let snaps = sink.0.lock().unwrap().clone();
+            (res, snaps)
+        };
+        let (res1, snaps1) = run(1);
+        let (res4, snaps4) = run(4);
+        assert!(snaps1.len() >= 2, "at least one boundary + the final snapshot");
+        assert_eq!(snaps1, snaps4, "snapshot sequences are bit-identical");
+        assert_eq!(res1.best.eval.peak_bytes, res4.best.eval.peak_bytes);
+        // Snapshots are ordered: evaluated counts never decrease, the
+        // incumbent objective never worsens, and the last is terminal.
+        for w in snaps1.windows(2) {
+            assert!(w[1].evaluated >= w[0].evaluated);
+            assert!(w[1].best_peak_bytes <= w[0].best_peak_bytes);
+        }
+        assert_eq!(snaps1.last().unwrap().phase, "done");
+        assert_eq!(snaps1.last().unwrap().best_peak_bytes, res1.best.eval.peak_bytes);
     }
 
     #[test]

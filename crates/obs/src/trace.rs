@@ -26,6 +26,7 @@
 
 use crate::gate;
 use crate::json::{Json, JsonError};
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -308,6 +309,18 @@ impl JsonlSink {
         let f = std::fs::File::create(path)?;
         Ok(Self::new(Box::new(std::io::BufWriter::new(f))))
     }
+
+    /// Opens `path` for appending (creating it if absent) — used for
+    /// per-job traces that must survive a daemon restart without
+    /// truncating the records from the interrupted attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-open error.
+    pub fn append(path: &std::path::Path) -> std::io::Result<Self> {
+        let f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(f))))
+    }
 }
 
 impl TraceSink for JsonlSink {
@@ -329,8 +342,20 @@ static SINK: Mutex<Option<Arc<dyn TraceSink>>> = Mutex::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 
+struct ScopedLayer {
+    sink: Arc<dyn TraceSink>,
+    fields: Vec<(String, FieldValue)>,
+}
+
 thread_local! {
     static THREAD_NO: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// Per-thread stack of scoped sinks (innermost last). Records
+    /// emitted on this thread go to every layer *in addition to* the
+    /// global sink, with each layer's ambient fields appended.
+    static SCOPED: RefCell<Vec<ScopedLayer>> = const { RefCell::new(Vec::new()) };
+    /// Cheap mirror of `!SCOPED.is_empty()` so [`enabled`] stays one
+    /// atomic load + one TLS read on the fully-disabled fast path.
+    static SCOPED_ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
 fn thread_no() -> u64 {
@@ -368,28 +393,86 @@ pub fn flush() {
     }
 }
 
-/// Whether tracing is on for this thread: a sink is installed and the
-/// thread is not inside a [`gate::suppress`] region. The disabled
-/// fast path is a single relaxed atomic load.
+/// Whether tracing is on for this thread: a global sink is installed
+/// or a [`scoped`] sink is active on this thread, and the thread is
+/// not inside a [`gate::suppress`] region. The disabled fast path is a
+/// relaxed atomic load plus one thread-local read.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed) && !gate::suppressed()
+    (ENABLED.load(Ordering::Relaxed) || SCOPED_ACTIVE.with(Cell::get)) && !gate::suppressed()
+}
+
+/// Pushes a thread-scoped trace sink: until the returned guard drops,
+/// every record emitted *on this thread* is also delivered to `sink`,
+/// and (in every destination, global sink included) carries the given
+/// ambient `fields` appended to its payload. Layers nest; the
+/// innermost layer's fields are appended last. `magis-serve` uses this
+/// to route one job's search records into `jobs/job-<id>/trace.jsonl`
+/// with a `job` correlation attribute.
+pub fn scoped(sink: Arc<dyn TraceSink>, fields: Vec<(String, FieldValue)>) -> ScopedSinkGuard {
+    SCOPED.with(|s| s.borrow_mut().push(ScopedLayer { sink, fields }));
+    SCOPED_ACTIVE.with(|a| a.set(true));
+    ScopedSinkGuard { _not_send: std::marker::PhantomData }
+}
+
+/// RAII guard from [`scoped`]: pops (and flushes) the layer on drop.
+/// Deliberately `!Send` — a layer must pop on the thread that pushed
+/// it.
+pub struct ScopedSinkGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopedSinkGuard {
+    fn drop(&mut self) {
+        let layer = SCOPED.with(|s| {
+            let mut s = s.borrow_mut();
+            let layer = s.pop();
+            SCOPED_ACTIVE.with(|a| a.set(!s.is_empty()));
+            layer
+        });
+        if let Some(l) = layer {
+            l.sink.flush();
+        }
+    }
+}
+
+/// Appends every active scoped layer's ambient fields to `fields`
+/// (outermost first). No-op on threads with no scoped sink.
+fn append_scoped_fields(fields: &mut Vec<(String, FieldValue)>) {
+    if !SCOPED_ACTIVE.with(Cell::get) {
+        return;
+    }
+    SCOPED.with(|s| {
+        for layer in s.borrow().iter() {
+            fields.extend(layer.fields.iter().cloned());
+        }
+    });
 }
 
 fn dispatch(ev: &TraceEvent) {
-    let sink = SINK.lock().unwrap().as_ref().cloned();
-    if let Some(s) = sink {
-        s.record(ev);
+    if ENABLED.load(Ordering::Relaxed) {
+        let sink = SINK.lock().unwrap().as_ref().cloned();
+        if let Some(s) = sink {
+            s.record(ev);
+        }
+    }
+    if SCOPED_ACTIVE.with(Cell::get) {
+        SCOPED.with(|s| {
+            for layer in s.borrow().iter() {
+                layer.sink.record(ev);
+            }
+        });
     }
 }
 
 /// Emits an event (point-in-time record). Callers normally use the
 /// [`event!`](crate::event!) macro, which skips field construction
 /// when tracing is off.
-pub fn event(target: &str, name: &str, fields: Vec<(String, FieldValue)>) {
+pub fn event(target: &str, name: &str, mut fields: Vec<(String, FieldValue)>) {
     if !enabled() {
         return;
     }
+    append_scoped_fields(&mut fields);
     dispatch(&TraceEvent {
         ts_us: now_us(),
         kind: TraceKind::Event,
@@ -406,10 +489,16 @@ pub fn event(target: &str, name: &str, fields: Vec<(String, FieldValue)>) {
 /// The parallel optimizer measures phase durations inside (suppressed)
 /// workers and re-attributes them on the merge thread through this
 /// entry point, keeping the emitted record set deterministic.
-pub fn span_with_dur(target: &str, name: &str, dur: Duration, fields: Vec<(String, FieldValue)>) {
+pub fn span_with_dur(
+    target: &str,
+    name: &str,
+    dur: Duration,
+    mut fields: Vec<(String, FieldValue)>,
+) {
     if !enabled() {
         return;
     }
+    append_scoped_fields(&mut fields);
     dispatch(&TraceEvent {
         ts_us: now_us(),
         kind: TraceKind::Span,
@@ -463,6 +552,8 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.0.take() {
+            let mut fields = inner.fields;
+            append_scoped_fields(&mut fields);
             dispatch(&TraceEvent {
                 ts_us: inner.ts_us,
                 kind: TraceKind::Span,
@@ -470,7 +561,7 @@ impl Drop for SpanGuard {
                 name: inner.name.to_string(),
                 dur_us: Some(inner.start.elapsed().as_micros() as u64),
                 thread: thread_no(),
-                fields: inner.fields,
+                fields,
             });
         }
     }
@@ -596,6 +687,85 @@ mod tests {
                 ("result".to_string(), FieldValue::U64(7)),
             ]
         );
+    }
+
+    #[test]
+    fn scoped_sink_receives_records_with_ambient_fields() {
+        let _lock = crate::test_support::global_lock();
+        let global = Arc::new(BufferSink::new());
+        let job = Arc::new(BufferSink::new());
+        install(global.clone());
+        {
+            let _g = scoped(job.clone(), crate::fields!(job = 7u64));
+            crate::event!("magis_test", "tick", n = 1u64);
+            crate::trace::span_with_dur(
+                "magis_test",
+                "work",
+                Duration::from_micros(5),
+                crate::fields!(items = 2u64),
+            );
+        }
+        crate::event!("magis_test", "outside");
+        uninstall();
+        let jv = job.take();
+        assert_eq!(jv.len(), 2, "scoped sink sees only in-scope records");
+        let gv = global.take();
+        assert_eq!(gv.len(), 3, "global sink sees everything");
+        // Both copies of an in-scope record carry the ambient field.
+        for ev in jv.iter().chain(gv.iter().take(2)) {
+            assert!(
+                ev.fields.contains(&("job".to_string(), FieldValue::U64(7))),
+                "missing ambient field on {}",
+                ev.name
+            );
+        }
+        assert!(gv[2].fields.is_empty(), "out-of-scope record is unchanged");
+    }
+
+    #[test]
+    fn scoped_sink_works_without_a_global_sink() {
+        let _lock = crate::test_support::global_lock();
+        let job = Arc::new(BufferSink::new());
+        assert!(!enabled());
+        {
+            let _g = scoped(job.clone(), crate::fields!(job = 1u64));
+            assert!(enabled(), "scoped layer alone enables tracing");
+            crate::event!("magis_test", "tick");
+            crate::gate::suppress(|| {
+                crate::event!("magis_test", "hidden");
+            });
+        }
+        assert!(!enabled());
+        crate::event!("magis_test", "dropped");
+        let evs = job.take();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "tick");
+    }
+
+    #[test]
+    fn scoped_layers_nest_and_pop_in_order() {
+        let _lock = crate::test_support::global_lock();
+        let outer = Arc::new(BufferSink::new());
+        let inner = Arc::new(BufferSink::new());
+        {
+            let _a = scoped(outer.clone(), crate::fields!(job = 1u64));
+            {
+                let _b = scoped(inner.clone(), crate::fields!(attempt = 2u64));
+                crate::event!("magis_test", "both");
+            }
+            crate::event!("magis_test", "outer_only");
+        }
+        assert_eq!(inner.take().len(), 1);
+        let o = outer.take();
+        assert_eq!(o.len(), 2);
+        assert_eq!(
+            o[0].fields,
+            vec![
+                ("job".to_string(), FieldValue::U64(1)),
+                ("attempt".to_string(), FieldValue::U64(2)),
+            ]
+        );
+        assert_eq!(o[1].fields, vec![("job".to_string(), FieldValue::U64(1))]);
     }
 
     #[test]

@@ -132,12 +132,63 @@ impl Client {
     /// Submits a job and blocks until its terminal `done` event,
     /// consuming the progress stream along the way.
     pub fn submit_and_wait(&mut self, spec: &JobSpec) -> Result<WaitOutcome, ServeError> {
+        self.submit_and_wait_with(spec, |_| {})
+    }
+
+    /// Like [`submit_and_wait`](Client::submit_and_wait), but hands
+    /// every `progress` frame to `on_progress` as it arrives (the CLI's
+    /// live ticker hangs off this).
+    pub fn submit_and_wait_with(
+        &mut self,
+        spec: &JobSpec,
+        mut on_progress: impl FnMut(&Json),
+    ) -> Result<WaitOutcome, ServeError> {
         let id = self.submit_inner(spec, true)?;
+        self.drain_events(id, &mut on_progress)
+    }
+
+    /// Attaches to a job already in flight (or already settled) and
+    /// streams its progress frames until the terminal `done` event —
+    /// the `watch` verb. Any number of clients may watch one job.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut on_progress: impl FnMut(&Json),
+    ) -> Result<WaitOutcome, ServeError> {
+        self.send(&Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("watch".into())),
+            ("id".into(), Json::UInt(id)),
+        ]))?;
+        Self::checked(self.recv()?)?;
+        self.drain_events(id, &mut on_progress)
+    }
+
+    /// Fetches the server's metric registry rendered as Prometheus
+    /// text exposition.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        self.send(&Json::Obj(vec![("cmd".to_string(), Json::Str("metrics".into()))]))?;
+        let r = Self::checked(self.recv()?)?;
+        r.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Io("metrics reply carried no text".into()))
+    }
+
+    /// Consumes `progress` events (feeding each to `on_progress`) until
+    /// the `done` event, which it parses into a [`WaitOutcome`].
+    fn drain_events(
+        &mut self,
+        id: u64,
+        on_progress: &mut dyn FnMut(&Json),
+    ) -> Result<WaitOutcome, ServeError> {
         let mut progress_events = 0usize;
         loop {
             let ev = self.recv()?;
             match ev.get("event").and_then(Json::as_str) {
-                Some("progress") => progress_events += 1,
+                Some("progress") => {
+                    progress_events += 1;
+                    on_progress(&ev);
+                }
                 Some("done") => {
                     let ok = matches!(ev.get("ok"), Some(Json::Bool(true)));
                     let cached = matches!(ev.get("cached"), Some(Json::Bool(true)));

@@ -14,11 +14,13 @@ use magis_core::budget::{CancelToken, SearchBudget};
 use magis_core::checkpoint::SearchCheckpoint;
 use magis_core::optimizer::{
     self, try_optimize, CheckpointPolicy, Objective, OptimizeResult, OptimizerConfig,
+    ProgressSink,
 };
 use magis_core::state::{EvalContext, MState};
 use magis_models::Workload;
 use magis_sim::{Backend, BackendRegistry, DEFAULT_BACKEND};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Resolves a workload name the same way the CLI does.
@@ -61,6 +63,7 @@ fn config_for(
     backend: &Backend,
     dir: &Path,
     token: CancelToken,
+    progress: Option<Arc<dyn ProgressSink>>,
 ) -> OptimizerConfig {
     let mut budget = SearchBudget::UNLIMITED;
     if let Some(ms) = spec.wall_limit_ms {
@@ -81,6 +84,9 @@ fn config_for(
         );
     if let Some(cap) = spec.eval_cache {
         cfg = cfg.with_eval_cache(cap);
+    }
+    if let Some(sink) = progress {
+        cfg = cfg.with_progress(sink);
     }
     cfg.ctx = EvalContext::for_backend(backend);
     cfg.ctx.mem_objective = spec.objective;
@@ -122,7 +128,15 @@ fn result_from(res: &OptimizeResult) -> JobResult {
 /// Runs (or resumes) the job journaled in `dir`. Blocking; the search
 /// polls `token` cooperatively, so a cancel returns promptly with a
 /// `cancelled` stop reason and a freshly written frontier checkpoint.
-pub fn run_job(spec: &JobSpec, dir: &Path, token: CancelToken) -> Result<JobResult, String> {
+/// When `progress` is set, the search reports a deterministic
+/// [`magis_core::optimizer::ProgressSnapshot`] at every expansion
+/// boundary (the daemon fans these out to `watch` subscribers).
+pub fn run_job(
+    spec: &JobSpec,
+    dir: &Path,
+    token: CancelToken,
+    progress: Option<Arc<dyn ProgressSink>>,
+) -> Result<JobResult, String> {
     let backend = backend_for(spec)?;
     let ckpt_path = dir.join(CKPT_FILE);
 
@@ -132,7 +146,7 @@ pub fn run_job(spec: &JobSpec, dir: &Path, token: CancelToken) -> Result<JobResu
         let ckpt = SearchCheckpoint::read_from(&ckpt_path)
             .map_err(|e| format!("loading checkpoint: {e}"))?;
         let objective = objective_for(spec, ckpt.seed_cost)?;
-        let cfg = config_for(spec, objective, &backend, dir, token);
+        let cfg = config_for(spec, objective, &backend, dir, token, progress);
         let res = optimizer::resume(&ckpt, &cfg).map_err(|e| format!("resuming: {e}"))?;
         return Ok(result_from(&res));
     }
@@ -151,7 +165,7 @@ pub fn run_job(spec: &JobSpec, dir: &Path, token: CancelToken) -> Result<JobResu
     let init = MState::try_initial(graph.clone(), &ctx)
         .map_err(|e| format!("evaluating the seed graph: {e}"))?;
     let objective = objective_for(spec, init.cost())?;
-    let cfg = config_for(spec, objective, &backend, dir, token);
+    let cfg = config_for(spec, objective, &backend, dir, token, progress);
     let res = try_optimize(graph, &cfg).map_err(|e| format!("optimizing: {e}"))?;
     Ok(result_from(&res))
 }
@@ -187,7 +201,7 @@ mod tests {
             ..JobSpec::default()
         };
         let dir = std::env::temp_dir();
-        let err = run_job(&spec, &dir, CancelToken::new()).unwrap_err();
+        let err = run_job(&spec, &dir, CancelToken::new(), None).unwrap_err();
         assert!(err.contains("unknown backend"), "{err}");
     }
 }

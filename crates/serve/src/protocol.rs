@@ -14,13 +14,20 @@
 //! | `ping`     | —                             | `{ok, queued, running}`  |
 //! | `submit`   | `job` (a [`JobSpec`]), `wait` | ack, then (if `wait`) progress events and a final `done` event |
 //! | `status`   | `id`                          | `{ok, id, state[, result]}` |
+//! | `watch`    | `id`                          | ack, then the same progress/`done` stream a waiting submit gets (mid-flight attach; any number of watchers) |
+//! | `metrics`  | —                             | `{ok, metrics}` — the process registry as Prometheus text |
 //!
 //! Server → client replies always carry `"ok": true|false`; rejections
 //! carry an HTTP-flavored `"code"` (429 for backpressure) and an
 //! `"error"` string. Progress streaming uses `"event": "progress"`
-//! lines (heartbeat count + elapsed time, derived from the search's
-//! [`CancelToken`](magis_core::CancelToken) heartbeat) and ends with
-//! one `"event": "done"` line carrying the [`JobResult`].
+//! lines and ends with one `"event": "done"` line carrying the
+//! [`JobResult`]. While the search runs, progress frames carry the
+//! deterministic expansion-boundary snapshot (`seq`, `phase`,
+//! `expansion`, `evaluated`, `best_peak_bytes`, `best_latency` plus
+//! its exact `best_latency_bits`, `frontier`, `pareto`,
+//! `eval_cache_hits`); while the job is queued or the search is
+//! between expansions, heartbeat frames carry the eval-beat count from
+//! the search's [`CancelToken`](magis_core::CancelToken).
 
 use magis_obs::json::Json;
 use magis_sim::MemObjective;

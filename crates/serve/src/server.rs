@@ -35,8 +35,10 @@ use crate::protocol::{reply, JobResult, JobSpec};
 use crate::signals;
 use crate::ServeConfig;
 use magis_core::budget::CancelToken;
+use magis_core::optimizer::{ProgressSink, ProgressSnapshot};
 use magis_obs::json::Json;
-use magis_obs::metrics::{counter, gauge, Counter, Gauge};
+use magis_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+use magis_obs::trace::{self, JsonlSink};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,6 +47,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// File name of the per-job JSONL trace inside a job directory. The
+/// trace id is the job id: every record in the file (and every copy
+/// routed to a `--trace-out` global sink) carries a `job` field, so
+/// one job's lifecycle — admission, queue wait, run attempts, the
+/// search's own spans — reads as a single correlated trace.
+pub const TRACE_FILE: &str = "trace.jsonl";
 
 /// How often blocked loops re-check for shutdown/progress.
 const POLL: Duration = Duration::from_millis(20);
@@ -62,15 +71,75 @@ enum JobState {
     Interrupted,
 }
 
-#[derive(Debug)]
+/// Latest progress snapshot for one job, shared between the worker
+/// running its search and any number of `watch` subscribers. The
+/// worker only stores and notifies — it never waits on subscribers —
+/// so a slow or disconnected watcher cannot stall or perturb the
+/// search.
+#[derive(Default)]
+struct ProgressCell {
+    /// `(sequence number, latest snapshot)`; the sequence increments
+    /// once per stored snapshot so subscribers detect news cheaply.
+    latest: Mutex<(u64, Option<ProgressSnapshot>)>,
+}
+
+impl ProgressCell {
+    fn store(&self, snap: &ProgressSnapshot) {
+        let mut l = self.latest.lock().unwrap();
+        l.0 += 1;
+        l.1 = Some(snap.clone());
+    }
+
+    fn read(&self) -> (u64, Option<ProgressSnapshot>) {
+        self.latest.lock().unwrap().clone()
+    }
+}
+
+/// The per-job [`ProgressSink`] handed to the search: stores the
+/// snapshot in the job's cell and wakes every condvar waiter (watch
+/// streams, waiting submits).
+struct JobProgress {
+    cell: Arc<ProgressCell>,
+    inner: Arc<Inner>,
+}
+
+impl ProgressSink for JobProgress {
+    fn report(&self, snap: &ProgressSnapshot) {
+        self.cell.store(snap);
+        self.inner.cv.notify_all();
+    }
+}
+
+/// Opens (append mode) a job's `trace.jsonl` sink. Best-effort: a job
+/// whose trace file cannot be opened still runs, just untraced.
+fn job_trace_sink(dir: &std::path::Path) -> Option<Arc<JsonlSink>> {
+    JsonlSink::append(&dir.join(TRACE_FILE)).ok().map(Arc::new)
+}
+
+/// Routes this thread's trace records into the job's sink, tagging
+/// every record (in every destination, global sink included) with a
+/// `job` correlation field — the trace id is the job id.
+fn scoped_job(sink: Arc<JsonlSink>, id: u64) -> trace::ScopedSinkGuard {
+    trace::scoped(sink, vec![("job".to_string(), trace::FieldValue::U64(id))])
+}
+
 struct Job {
     spec: JobSpec,
     state: JobState,
     attempts: u32,
     dir: std::path::PathBuf,
+    /// Wall-clock admission (or replay) instant, for the queue-wait
+    /// histogram.
+    admitted: Instant,
+    /// Live progress broadcast cell (see [`ProgressCell`]).
+    progress: Arc<ProgressCell>,
+    /// Per-job JSONL trace sink (`trace.jsonl` in the job dir). `None`
+    /// when the file could not be opened — tracing is best-effort and
+    /// must never fail a job.
+    trace: Option<Arc<JsonlSink>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Table {
     jobs: BTreeMap<u64, Job>,
     queue: VecDeque<u64>,
@@ -93,10 +162,13 @@ struct Metrics {
     retries: Counter,
     replayed: Counter,
     cache_hits: Counter,
+    cache_misses: Counter,
     watchdog_stalls: Counter,
     queue_depth: Gauge,
     running: Gauge,
     drain_seconds: Gauge,
+    job_seconds: Histogram,
+    queue_wait_seconds: Histogram,
 }
 
 impl Metrics {
@@ -112,10 +184,13 @@ impl Metrics {
             retries: counter("magis_serve_retries"),
             replayed: counter("magis_serve_jobs_replayed"),
             cache_hits: counter("magis_serve_result_cache_hits"),
+            cache_misses: counter("magis_serve_result_cache_misses"),
             watchdog_stalls: counter("magis_serve_watchdog_stalls"),
             queue_depth: gauge("magis_serve_queue_depth"),
             running: gauge("magis_serve_running"),
             drain_seconds: gauge("magis_serve_drain_seconds"),
+            job_seconds: histogram("magis_serve_job_seconds"),
+            queue_wait_seconds: histogram("magis_serve_queue_wait_seconds"),
         }
     }
 }
@@ -188,17 +263,33 @@ impl Server {
         {
             let mut t = inner.table.lock().unwrap();
             for j in replayed {
+                let mut tsink = None;
                 let state = match j.settled {
                     Some(Ok(result)) => JobState::Done { result, cached: false },
                     Some(Err(error)) => JobState::Failed { error },
                     None => {
                         t.queue.push_back(j.id);
                         inner.m.replayed.inc();
+                        // The resumed job's trace continues in the same
+                        // file the previous daemon was writing.
+                        tsink = job_trace_sink(&j.dir);
+                        let _g = tsink.clone().map(|s| scoped_job(s, j.id));
                         magis_obs::event!("magis_serve", "replay", id = j.id);
                         JobState::Queued { not_before: Instant::now() }
                     }
                 };
-                t.jobs.insert(j.id, Job { spec: j.spec, state, attempts: 0, dir: j.dir });
+                t.jobs.insert(
+                    j.id,
+                    Job {
+                        spec: j.spec,
+                        state,
+                        attempts: 0,
+                        dir: j.dir,
+                        admitted: Instant::now(),
+                        progress: Arc::new(ProgressCell::default()),
+                        trace: tsink,
+                    },
+                );
             }
             inner.m.queue_depth.set(t.queue.len() as f64);
         }
@@ -274,11 +365,25 @@ impl Server {
                     while let Some(id) = t.queue.pop_front() {
                         if let Some(j) = t.jobs.get_mut(&id) {
                             j.state = JobState::Interrupted;
+                            let _g = j.trace.clone().map(|s| scoped_job(s, id));
+                            magis_obs::event!(
+                                "magis_serve",
+                                "drain_cancel",
+                                id = id,
+                                was = "queued"
+                            );
                         }
                     }
-                    for j in t.jobs.values() {
+                    for (&id, j) in t.jobs.iter() {
                         if let JobState::Running { token, .. } = &j.state {
                             token.cancel();
+                            let _g = j.trace.clone().map(|s| scoped_job(s, id));
+                            magis_obs::event!(
+                                "magis_serve",
+                                "drain_cancel",
+                                id = id,
+                                was = "running"
+                            );
                         }
                     }
                     inner.m.queue_depth.set(0.0);
@@ -293,7 +398,10 @@ impl Server {
             let _ = h.join();
         }
         inner.m.drain_seconds.set(t0.elapsed().as_secs_f64());
-        magis_obs::event!("magis_serve", "drained", seconds = t0.elapsed().as_secs_f64());
+        // Deliberately field-less: the wall time lives in the
+        // `magis_serve_drain_seconds` gauge, keeping the event's trace
+        // identity bit-identical run to run (determinism contract).
+        magis_obs::event!("magis_serve", "drained");
         Ok(())
     }
 }
@@ -329,9 +437,22 @@ fn admit(inner: &Inner, spec: JobSpec) -> Result<u64, Json> {
         Ok(d) => d,
         Err(e) => return Err(reply::err(500, &format!("journaling admission: {e}"))),
     };
+    let tsink = job_trace_sink(&dir);
+    {
+        let _g = tsink.clone().map(|s| scoped_job(s, id));
+        magis_obs::event!("magis_serve", "admitted", id = id, client = spec.client.clone());
+    }
     t.jobs.insert(
         id,
-        Job { spec, state: JobState::Queued { not_before: Instant::now() }, attempts: 0, dir },
+        Job {
+            spec,
+            state: JobState::Queued { not_before: Instant::now() },
+            attempts: 0,
+            dir,
+            admitted: Instant::now(),
+            progress: Arc::new(ProgressCell::default()),
+            trace: tsink,
+        },
     );
     t.queue.push_back(id);
     inner.m.accepted.inc();
@@ -341,7 +462,7 @@ fn admit(inner: &Inner, spec: JobSpec) -> Result<u64, Json> {
     Ok(id)
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let mut t = inner.table.lock().unwrap();
         if t.closed {
@@ -361,7 +482,7 @@ fn worker_loop(inner: &Inner) {
         };
         let id = t.queue.remove(pos).expect("position came from the queue");
         let token = CancelToken::new();
-        let (spec, dir) = {
+        let (spec, dir, cell, tsink, admitted) = {
             let j = t.jobs.get_mut(&id).expect("queued id is in the table");
             j.state = JobState::Running {
                 token: token.clone(),
@@ -369,12 +490,24 @@ fn worker_loop(inner: &Inner) {
                 last_progress: now,
                 stalled: false,
             };
-            (j.spec.clone(), j.dir.clone())
+            (j.spec.clone(), j.dir.clone(), j.progress.clone(), j.trace.clone(), j.admitted)
         };
         t.running += 1;
         inner.m.queue_depth.set(t.queue.len() as f64);
         inner.m.running.set(t.running as f64);
         drop(t);
+
+        let waited = admitted.elapsed();
+        inner.m.queue_wait_seconds.observe(waited.as_secs_f64());
+        {
+            let _g = tsink.clone().map(|s| scoped_job(s, id));
+            trace::span_with_dur(
+                "magis_serve",
+                "queue_wait",
+                waited,
+                vec![("id".to_string(), trace::FieldValue::U64(id))],
+            );
+        }
 
         // Cross-request cache: identical submissions that already
         // completed deterministically are served without a search.
@@ -385,7 +518,29 @@ fn worker_loop(inner: &Inner) {
                 Attempt::CacheHit(hit)
             }
             None => {
-                match catch_unwind(AssertUnwindSafe(|| run_job(&spec, &dir, token.clone()))) {
+                inner.m.cache_misses.inc();
+                let progress: Arc<dyn ProgressSink> =
+                    Arc::new(JobProgress { cell, inner: inner.clone() });
+                let run_t0 = Instant::now();
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    // The scoped guard lives inside the search thread:
+                    // every span/event the optimizer emits lands in the
+                    // job's trace.jsonl tagged `job = id`.
+                    let _g = tsink.clone().map(|s| scoped_job(s, id));
+                    run_job(&spec, &dir, token.clone(), Some(progress))
+                }));
+                let dur = run_t0.elapsed();
+                inner.m.job_seconds.observe(dur.as_secs_f64());
+                {
+                    let _g = tsink.clone().map(|s| scoped_job(s, id));
+                    trace::span_with_dur(
+                        "magis_serve",
+                        "run",
+                        dur,
+                        vec![("id".to_string(), trace::FieldValue::U64(id))],
+                    );
+                }
+                match attempt {
                     Ok(Ok(res)) if res.stop_reason == "cancelled" => Attempt::Cancelled,
                     Ok(Ok(res)) => Attempt::Finished(res),
                     Ok(Err(e)) => Attempt::Failed(e),
@@ -393,7 +548,7 @@ fn worker_loop(inner: &Inner) {
                 }
             }
         };
-        settle(inner, id, &dir, outcome);
+        settle(inner, id, &dir, outcome, tsink);
     }
 }
 
@@ -416,7 +571,17 @@ fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
 
 /// Applies one attempt's outcome: journal first, then the in-memory
 /// transition, then wake waiters.
-fn settle(inner: &Inner, id: u64, dir: &std::path::Path, outcome: Attempt) {
+fn settle(
+    inner: &Inner,
+    id: u64,
+    dir: &std::path::Path,
+    outcome: Attempt,
+    tsink: Option<Arc<JsonlSink>>,
+) {
+    // Every lifecycle event below is also routed (tagged `job = id`)
+    // into the job's trace.jsonl; dropping the guard flushes it, so a
+    // settled job's trace is complete on disk.
+    let _g = tsink.map(|s| scoped_job(s, id));
     // Terminal journal writes happen outside the table lock; the job
     // is still in `Running` state so no other worker can touch it.
     let state = match outcome {
@@ -456,6 +621,7 @@ fn settle(inner: &Inner, id: u64, dir: &std::path::Path, outcome: Attempt) {
             let mut t = inner.table.lock().unwrap();
             let job = t.jobs.get_mut(&id).expect("running id is in the table");
             job.attempts += 1;
+            let attempt = job.attempts as u64;
             if job.attempts <= inner.cfg.retry_cap {
                 let backoff = Duration::from_millis(
                     inner.cfg.backoff_base_ms.saturating_mul(1 << (job.attempts - 1).min(16)),
@@ -466,6 +632,13 @@ fn settle(inner: &Inner, id: u64, dir: &std::path::Path, outcome: Attempt) {
                 inner.m.retries.inc();
                 inner.m.queue_depth.set(t.queue.len() as f64);
                 inner.m.running.set(t.running as f64);
+                magis_obs::event!(
+                    "magis_serve",
+                    "retry",
+                    id = id,
+                    attempt = attempt,
+                    backoff_ms = backoff.as_millis() as u64
+                );
                 magis_obs::obs_warn!(
                     "magis_serve",
                     "job {id} attempt failed ({e}); retrying in {backoff:?}"
@@ -477,6 +650,7 @@ fn settle(inner: &Inner, id: u64, dir: &std::path::Path, outcome: Attempt) {
             drop(t);
             let _ = journal::record_failure(dir, &e);
             inner.m.failed.inc();
+            magis_obs::event!("magis_serve", "job_failed", id = id);
             magis_obs::obs_warn!("magis_serve", "job {id} failed permanently: {e}");
             JobState::Failed { error: e }
         }
@@ -638,6 +812,45 @@ fn handle_conn(stream: TcpStream, inner: &Inner) {
                     }
                 }
             }
+            "watch" => {
+                // Mid-flight attach: ack with the current state, then
+                // stream the same progress/done frames a waiting submit
+                // gets. Any number of watchers may subscribe; each gets
+                // its own frame stream off the job's progress cell.
+                match req.get("id").and_then(Json::as_u64) {
+                    None => {
+                        let _ = send(&mut out, &reply::err(400, "watch needs an 'id'"));
+                    }
+                    Some(id) => {
+                        let known = inner.table.lock().unwrap().jobs.contains_key(&id);
+                        if !known {
+                            let _ =
+                                send(&mut out, &reply::err(404, &format!("no such job {id}")));
+                            continue;
+                        }
+                        let ack = reply::ok(vec![
+                            ("id".to_string(), Json::UInt(id)),
+                            ("watching".into(), Json::Bool(true)),
+                        ]);
+                        if send(&mut out, &ack).is_err() {
+                            return;
+                        }
+                        if !stream_until_done(inner, id, &mut out) {
+                            return;
+                        }
+                    }
+                }
+            }
+            "metrics" => {
+                // Prometheus text exposition of the whole process
+                // registry (`magis_serve_*` plus any search metrics
+                // registered by jobs run in-process).
+                let text = magis_obs::metrics::default_registry().render();
+                let r = reply::ok(vec![("metrics".to_string(), Json::Str(text))]);
+                if send(&mut out, &r).is_err() {
+                    return;
+                }
+            }
             other => {
                 let _ = send(&mut out, &reply::err(400, &format!("unknown cmd '{other}'")));
             }
@@ -674,13 +887,72 @@ fn status_reply(inner: &Inner, id: u64) -> Json {
     reply::ok(extra)
 }
 
+/// Renders one search-progress snapshot as a `progress` frame. The
+/// snapshot fields are the deterministic expansion-boundary values from
+/// [`ProgressSnapshot`]; `best_latency_bits` carries the exact float
+/// bits so clients can compare incumbents bit-exactly.
+fn snapshot_frame(id: u64, seq: u64, snap: &ProgressSnapshot, started: Instant) -> Json {
+    let mut f = vec![
+        ("event".to_string(), Json::Str("progress".into())),
+        ("id".into(), Json::UInt(id)),
+        ("state".into(), Json::Str("running".into())),
+        ("seq".into(), Json::UInt(seq)),
+        ("phase".into(), Json::Str(snap.phase.into())),
+        ("expansion".into(), Json::UInt(snap.expansion)),
+        ("evaluated".into(), Json::UInt(snap.evaluated)),
+        ("best_peak_bytes".into(), Json::UInt(snap.best_peak_bytes)),
+        ("best_latency".into(), Json::Float(snap.best_latency)),
+        (
+            "best_latency_bits".into(),
+            Json::Str(format!("{:016x}", snap.best_latency.to_bits())),
+        ),
+        ("frontier".into(), Json::UInt(snap.frontier_size)),
+        ("pareto".into(), Json::UInt(snap.pareto_size)),
+        ("eval_cache_hits".into(), Json::UInt(snap.eval_cache_hits)),
+        ("elapsed_ms".into(), Json::UInt(started.elapsed().as_millis() as u64)),
+    ];
+    if let Some(p) = snap.best_planned_peak_bytes {
+        f.push(("best_planned_peak_bytes".into(), Json::UInt(p)));
+    }
+    Json::Obj(f)
+}
+
 /// Streams `progress` events while the job runs and one final `done`
 /// event. Returns `false` when the client went away.
+///
+/// Progress comes from two sources: whenever the job's
+/// [`ProgressCell`] holds a newer search snapshot a full
+/// [`snapshot_frame`] goes out immediately, and while there is no
+/// search news (job still queued, search between expansions) a
+/// heartbeat frame with the eval-beat counter goes out every
+/// [`PROGRESS_EVERY`].
 fn stream_until_done(inner: &Inner, id: u64, out: &mut TcpStream) -> bool {
     let started = Instant::now();
     let mut last_sent = Instant::now();
+    let mut last_seq = 0u64;
+    let cell = {
+        let t = inner.table.lock().unwrap();
+        t.jobs.get(&id).map(|j| j.progress.clone())
+    };
     let mut t = inner.table.lock().unwrap();
     loop {
+        // Flush any unseen search snapshot first, so the final `done`
+        // event never beats the job's last progress frame to the wire.
+        let news = cell
+            .as_ref()
+            .map(|c| c.read())
+            .filter(|(seq, snap)| *seq > last_seq && snap.is_some());
+        if let Some((seq, Some(snap))) = news {
+            last_seq = seq;
+            last_sent = Instant::now();
+            let frame = snapshot_frame(id, seq, &snap, started);
+            drop(t);
+            if send(out, &frame).is_err() {
+                return false;
+            }
+            t = inner.table.lock().unwrap();
+            continue;
+        }
         let final_event = match t.jobs.get(&id).map(|j| &j.state) {
             Some(JobState::Done { result, cached }) => Some(Json::Obj(vec![
                 ("event".to_string(), Json::Str("done".into())),

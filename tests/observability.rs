@@ -102,6 +102,134 @@ fn count_metrics_and_trace_set_identical_across_threads() {
     assert_eq!(serial.res.stats.evaluated, parallel.res.stats.evaluated);
 }
 
+/// The service extends the determinism contract across its worker
+/// pool: the same job set run under pools of 1 and 4 workers produces
+/// bit-identical count metrics (counters + histogram counts) and the
+/// same trace identity multiset — only wall-time measurements differ.
+#[test]
+fn serve_counts_and_trace_set_identical_across_worker_pools() {
+    use magis::serve::{Client, JobSpec, ServeConfig, Server};
+
+    struct ServeCapture {
+        counters: BTreeMap<String, u64>,
+        histogram_counts: BTreeMap<String, u64>,
+        identities: Vec<String>,
+        results: Vec<String>,
+    }
+
+    fn serve_run(workers: usize) -> ServeCapture {
+        let dir = std::env::temp_dir()
+            .join(format!("magis_obs_pool{workers}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        default_registry().reset();
+        let sink = Arc::new(BufferSink::new());
+        trace::install(sink.clone());
+
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            state_dir: dir.clone(),
+            workers,
+            result_cache: 0,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let handle = server.handle().expect("handle");
+        let join = std::thread::spawn(move || server.run());
+
+        // Three distinct deterministic jobs (candidate-cap stops), all
+        // in flight at once so a 4-worker pool actually overlaps them.
+        let mut c = Client::connect(handle.addr()).expect("connect");
+        let ids: Vec<u64> = [24usize, 32, 40]
+            .iter()
+            .map(|&cap| {
+                let spec = JobSpec {
+                    workload: Some("unet".into()),
+                    scale: 0.15,
+                    max_candidates: Some(cap),
+                    budget_ms: 3_600_000,
+                    threads: 1,
+                    ..JobSpec::default()
+                };
+                c.submit_nowait(&spec).expect("submit")
+            })
+            .collect();
+        let mut results = Vec::new();
+        for id in ids {
+            loop {
+                let st = c.status(id).expect("status");
+                match st.get("state").and_then(magis::obs::json::Json::as_str) {
+                    Some("done") => {
+                        let r = magis::serve::JobResult::from_json(
+                            st.get("result").expect("result"),
+                        )
+                        .expect("result parses");
+                        results.push(r.identity_key());
+                        break;
+                    }
+                    Some("failed") | Some("interrupted") => {
+                        panic!("job {id} settled badly: {}", st.render())
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        }
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        trace::uninstall();
+
+        let mut identities: Vec<String> =
+            sink.take().iter().map(TraceEvent::identity).collect();
+        identities.sort();
+        let snap = default_registry().snapshot();
+        let _ = std::fs::remove_dir_all(&dir);
+        ServeCapture {
+            counters: snap.counters,
+            histogram_counts: snap
+                .histograms
+                .iter()
+                .map(|(k, &(n, _))| (k.clone(), n))
+                .collect(),
+            identities,
+            results,
+        }
+    }
+
+    let _g = obs_lock();
+    let single = serve_run(1);
+    let pooled = serve_run(4);
+
+    // Count metrics: every counter (serve + core, labeled included)
+    // and every histogram count is bit-identical.
+    assert_eq!(single.counters, pooled.counters);
+    assert_eq!(single.histogram_counts, pooled.histogram_counts);
+    assert_eq!(single.counters["magis_serve_jobs_accepted"], 3);
+    assert_eq!(single.counters["magis_serve_jobs_completed"], 3);
+    assert_eq!(single.counters["magis_serve_result_cache_misses"], 3);
+    assert_eq!(single.histogram_counts["magis_serve_job_seconds"], 3);
+    assert_eq!(single.histogram_counts["magis_serve_queue_wait_seconds"], 3);
+
+    // Trace identity multiset: same supervision events (admitted /
+    // queue_wait / run / job_done, each tagged job = id) and the same
+    // per-job search records, regardless of pool size.
+    assert_eq!(single.identities, pooled.identities);
+    for prefix in [
+        "event:magis_serve/admitted[",
+        "span:magis_serve/queue_wait[",
+        "span:magis_serve/run[",
+        "event:magis_serve/job_done[",
+        "event:magis_serve/drained",
+        "span:magis_core/expansion[",
+    ] {
+        assert!(
+            single.identities.iter().any(|id| id.starts_with(prefix)),
+            "missing trace records with prefix {prefix}"
+        );
+    }
+
+    // And the job results themselves are bit-identical.
+    assert_eq!(single.results, pooled.results);
+}
+
 #[test]
 fn trace_events_round_trip_through_jsonl() {
     let _g = obs_lock();

@@ -334,7 +334,7 @@ fn kill_dash_nine_restart_resumes_bit_identical() {
     let ref_dir = scratch("kill9_ref");
     std::fs::create_dir_all(&ref_dir).unwrap();
     let reference =
-        run_job(&spec, &ref_dir, CancelToken::new()).expect("uninterrupted reference run");
+        run_job(&spec, &ref_dir, CancelToken::new(), None).expect("uninterrupted reference run");
     assert!(!reference.resumed);
     assert_eq!(
         resumed.identity_key(),
