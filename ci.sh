@@ -35,6 +35,13 @@ run env RUST_TEST_THREADS=4 cargo test -q --test fault_injection
 run cargo test -q --test checkpoint_resume
 run cargo test -q --test robustness_properties
 
+# Search drivers: the greedy refactor must stay bit-identical to the
+# pre-SearchDriver incumbents, and MCTS must hold the same
+# thread-count-independence and kill/resume trajectory-exactness
+# contract — under both test-runner scheduling regimes.
+run env RUST_TEST_THREADS=1 cargo test -q -p magis-core --test driver_search
+run cargo test -q -p magis-core --test driver_search
+
 # Service supervision: deadlines return best-so-far, full queues shed
 # load, same-job-twice bit-identity, drain journaling, and kill -9 +
 # restart resuming bit-identical to an uninterrupted run.
@@ -83,6 +90,14 @@ run ./target/release/magis optimize --workload unet --scale 0.1 \
     --budget-ms 2000 --objective planned --paranoia all
 if ./target/release/magis optimize --workload unet --objective wishful 2>/dev/null; then
     echo "unknown objective was not rejected"; exit 1
+fi
+
+# Driver CLI smoke: an MCTS search runs end to end under the planned
+# objective, and an unknown strategy is rejected with usage exit 2.
+run ./target/release/magis optimize --workload unet --scale 0.1 \
+    --budget-ms 2000 --driver mcts --objective planned
+if ./target/release/magis optimize --workload unet --driver quantum 2>/dev/null; then
+    echo "unknown driver was not rejected"; exit 1
 fi
 
 # Crash-recovery smoke: hard-kill a checkpointing CLI search mid-budget,

@@ -16,6 +16,14 @@
 //! the column tracks the cost of delta memory planning (best-fit
 //! offset assignment per candidate) on top of delta profiling.
 //!
+//! A second **drivers** table runs the search-strategy head-to-head:
+//! greedy best-first (Algorithm 3) vs MCTS over the identical M-Rule
+//! substrate, on every fig09–16 workload, steering on the `planned`
+//! memory objective under the same eval cap. Columns are candidates
+//! per second and the best planned peak each driver found, plus the
+//! MCTS/greedy peak ratio — the acceptance bar is MCTS within 5% of
+//! greedy (or better) on most models.
+//!
 //! A final **service** column measures end-to-end requests per second
 //! through an in-process `magis-serve` daemon: concurrent clients
 //! submit short capped jobs over the line protocol (result cache off,
@@ -28,6 +36,7 @@
 //! changes — see EXPERIMENTS.md for how to regenerate and read it).
 
 use magis_bench::{print_table, ExpOpts};
+use magis_core::driver::DriverKind;
 use magis_core::optimizer::{optimize, Objective, OptimizerConfig, OptimizerStats};
 use magis_core::state::{EvalContext, EvalMode, MState};
 use magis_models::Workload;
@@ -44,6 +53,12 @@ const MAX_EVALS: usize = 240;
 /// supervision overhead is actually visible next to the search).
 const SERVICE_REQUESTS: usize = 8;
 const SERVICE_EVALS: usize = 40;
+
+/// Eval cap for the greedy-vs-MCTS head-to-head (per driver, per
+/// model): enough for both strategies to find real reductions on
+/// every fig09–16 workload, small enough to keep the whole sweep in
+/// bench time.
+const DRIVER_EVALS: usize = 160;
 
 struct ModeRun {
     cands_per_sec: f64,
@@ -78,6 +93,41 @@ fn run_mode(
     let res = optimize(g.clone(), &cfg);
     let elapsed = t0.elapsed().as_secs_f64();
     ModeRun { cands_per_sec: res.stats.evaluated as f64 / elapsed.max(1e-9), stats: res.stats }
+}
+
+struct DriverRun {
+    cands_per_sec: f64,
+    best_peak: u64,
+}
+
+/// One leg of the drivers head-to-head: minimize the allocator-planned
+/// peak (`--objective planned`) under a 10% latency leash, single
+/// thread (both drivers are thread-count independent; serial keeps the
+/// throughput column honest), deterministic stop at [`DRIVER_EVALS`].
+fn run_driver(
+    g: &magis_graph::graph::Graph,
+    driver: DriverKind,
+    backend: &Backend,
+    opts: &ExpOpts,
+) -> DriverRun {
+    let ctx = EvalContext::for_backend(backend);
+    let init = MState::initial(g.clone(), &ctx);
+    let mut cfg = OptimizerConfig::new(Objective::MinMemory {
+        lat_limit: init.eval.latency * 1.10,
+    })
+    .with_budget(opts.budget)
+    .with_max_evals(DRIVER_EVALS)
+    .with_threads(1)
+    .with_driver(driver);
+    cfg.ctx = ctx;
+    cfg.ctx.mem_objective = MemObjective::Planned;
+    let t0 = Instant::now();
+    let res = optimize(g.clone(), &cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+    DriverRun {
+        cands_per_sec: res.stats.evaluated as f64 / elapsed.max(1e-9),
+        best_peak: res.best.cost().0,
+    }
 }
 
 /// End-to-end service throughput: an in-process daemon, `workers`
@@ -213,10 +263,81 @@ fn main() {
     ];
     print_table("Candidate-evaluation throughput: incremental vs full", &header, &rows);
     opts.write_csv("eval_throughput.csv", &header, &rows);
+
+    // Search-strategy head-to-head: greedy vs MCTS on every fig09–16
+    // workload, planned objective, same eval cap per driver. Scales
+    // mirror each model's bench-time sweet spot (the transformer pair
+    // runs smaller: their graphs are deep even at low scale).
+    let driver_models = [
+        (Workload::ResNet50, 0.1),
+        (Workload::BertBase, 0.1),
+        (Workload::VitBase, 0.1),
+        (Workload::UNet, 0.15),
+        (Workload::UNetPP, 0.1),
+        (Workload::GptNeo13B, 0.05),
+        (Workload::Btlm3B, 0.05),
+    ];
+    let mut drows = Vec::new();
+    let mut json_drivers = Vec::new();
+    let mut within = 0usize;
+    for (w, rel) in driver_models {
+        let scale = rel * (opts.scale / 0.5).min(2.0);
+        let g = w.build(scale).graph;
+        let greedy = run_driver(&g, DriverKind::Greedy, default_backend, &opts);
+        let mcts = run_driver(&g, DriverKind::Mcts, default_backend, &opts);
+        let ratio = mcts.best_peak as f64 / greedy.best_peak.max(1) as f64;
+        let ok = ratio <= 1.05;
+        within += usize::from(ok);
+        drows.push(vec![
+            w.label().to_string(),
+            format!("{scale:.3}"),
+            format!("{:.1}", greedy.cands_per_sec),
+            format!("{:.1}", mcts.cands_per_sec),
+            format!("{}", greedy.best_peak),
+            format!("{}", mcts.best_peak),
+            format!("{ratio:.3}{}", if ok { "" } else { " !" }),
+        ]);
+        json_drivers.push(format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"scale\": {:.4}, ",
+                "\"greedy_cands_per_sec\": {:.2}, \"mcts_cands_per_sec\": {:.2}, ",
+                "\"greedy_best_peak\": {}, \"mcts_best_peak\": {}, ",
+                "\"mcts_over_greedy_peak\": {:.4}, \"within_5pct\": {}}}"
+            ),
+            w.label(),
+            scale,
+            greedy.cands_per_sec,
+            mcts.cands_per_sec,
+            greedy.best_peak,
+            mcts.best_peak,
+            ratio,
+            ok,
+        ));
+        println!("  {} drivers done (mcts/greedy peak {ratio:.3})", w.label());
+    }
+    let dheader = [
+        "model",
+        "scale",
+        "greedy c/s",
+        "mcts c/s",
+        "greedy peak",
+        "mcts peak",
+        "mcts/greedy",
+    ];
+    print_table("Search drivers head-to-head: greedy vs MCTS (planned peak)", &dheader, &drows);
+    opts.write_csv("eval_drivers.csv", &dheader, &drows);
+    println!("  {within}/{} models with MCTS within 5% of greedy", driver_models.len());
+
     let json = format!(
-        "{{\n  \"bench\": \"eval_throughput\",\n  \"max_evals\": {},\n  \"models\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"bench\": \"eval_throughput\",\n  \"max_evals\": {},\n",
+            "  \"models\": [\n{}\n  ],\n",
+            "  \"driver_evals\": {},\n  \"drivers\": [\n{}\n  ]\n}}\n"
+        ),
         MAX_EVALS,
-        json_models.join(",\n")
+        json_models.join(",\n"),
+        DRIVER_EVALS,
+        json_drivers.join(",\n")
     );
     std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
     println!("  -> wrote BENCH_eval.json");

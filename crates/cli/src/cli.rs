@@ -7,6 +7,7 @@ use magis_core::checkpoint::SearchCheckpoint;
 use magis_core::codegen::generate_pytorch;
 use magis_core::fission::apply_full;
 use magis_core::budget::SearchBudget;
+use magis_core::driver::DriverKind;
 use magis_core::optimizer::{
     self, try_optimize, CheckpointPolicy, Objective, OptimizeResult, OptimizerConfig,
     ParanoiaLevel,
@@ -32,6 +33,7 @@ USAGE:
                  [--wall-limit-ms N] [--max-candidates N]
                  [--backend NAME] [--calibrate FILE]
                  [--objective liveness|planned]
+                 [--driver greedy|mcts]
                  [--paranoia off|incumbent|all]
                  [--eval incremental|full] [--eval-cache N]
                  [--checkpoint FILE] [--checkpoint-every N]
@@ -49,6 +51,7 @@ USAGE:
   magis submit   --addr HOST:PORT | --port-file FILE
                  --workload NAME [--scale F] [--mode memory|latency]
                  [--limit F] [--objective liveness|planned]
+                 [--driver greedy|mcts]
                  [--backend NAME] [--budget-ms N] [--wall-limit-ms N]
                  [--max-candidates N] [--threads N] [--client NAME]
                  [--wait true|false]
@@ -103,6 +106,14 @@ OPTIONS (optimize):
                   every candidate and reports the fragmentation ratio
                   in the summary; results stay bit-identical for every
                   --threads value.
+  --driver D      search strategy: greedy (default, the paper's
+                  Algorithm 3 best-first queue) | mcts (seeded Monte
+                  Carlo tree search over rewrite sequences — UCT
+                  selection, RNG rollouts through the incremental
+                  evaluator). Both are bit-identical for every
+                  --threads value; checkpoints are driver-tagged, so
+                  --resume restores the checkpoint's engine and
+                  ignores this flag.
   --paranoia L    invariant enforcement: off | incumbent (default) |
                   all. `incumbent` cross-checks the incremental
                   evaluation of a would-be incumbent against a full
@@ -390,10 +401,17 @@ fn search_config(
             CliError::Usage(format!("--paranoia expects off|incumbent|all, got '{v}'"))
         })?,
     };
+    let driver = match flags.get("driver") {
+        None => DriverKind::default(),
+        Some(v) => DriverKind::parse(v).ok_or_else(|| {
+            CliError::Usage(format!("--driver expects greedy|mcts, got '{v}'"))
+        })?,
+    };
     let mut cfg = OptimizerConfig::new(objective)
         .with_budget(Duration::from_millis(budget as u64))
         .with_threads(threads)
-        .with_paranoia(paranoia);
+        .with_paranoia(paranoia)
+        .with_driver(driver);
     cfg.ctx = EvalContext::for_backend(backend);
     cfg.ctx.mem_objective = match flags.get("objective") {
         None => MemObjective::default(),
@@ -514,6 +532,7 @@ fn print_summary(seed_cost: (u64, f64), res: &OptimizeResult) {
     );
     row("stop reason", s.stop_reason.to_string());
     row("resumed", (if s.resumed { "yes" } else { "no" }).to_string());
+    row("driver", s.driver.to_string());
     row("threads", s.threads.to_string());
     row("expanded / evaluated", format!("{} / {}", s.expanded, s.evaluated));
     row("candidates generated", format!("{}  ({} duplicates filtered)", s.candidates, s.filtered));
@@ -724,6 +743,12 @@ fn job_spec(flags: &HashMap<String, String>) -> Result<magis_serve::JobSpec, Cli
         spec.eval_cache = Some(usize_flag(flags, "eval-cache", 0)?);
     }
     spec.checkpoint_every = usize_flag(flags, "checkpoint-every", spec.checkpoint_every)?.max(1);
+    if let Some(v) = flags.get("driver") {
+        DriverKind::parse(v).ok_or_else(|| {
+            CliError::Usage(format!("--driver expects greedy|mcts, got '{v}'"))
+        })?;
+        spec.strategy = Some(v.clone());
+    }
     if let Some(c) = flags.get("client") {
         spec.client = c.clone();
     }

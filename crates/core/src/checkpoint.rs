@@ -24,11 +24,20 @@
 //! keep the legacy best-effort resume: the incumbent is re-seeded and
 //! the search re-explores from there.
 //!
+//! Since v4 a checkpoint is **driver-tagged**: a `driver` line right
+//! after the header names the search engine that wrote it (`greedy` or
+//! `mcts`), and an MCTS checkpoint additionally stores the tree
+//! metadata (parent/visit/reward per node, plus the RNG state) beside
+//! the frontier, whose entries then carry the node states. Resume
+//! restores the checkpoint's engine regardless of the caller's
+//! configured driver. v1–v3 checkpoints decode as `greedy`.
+//!
 //! The optimizer's configuration (objective, budget, thread count,
 //! rule set) is deliberately **not** stored: the resuming caller's
 //! config is authoritative, so a checkpoint can be resumed under a
 //! different budget or thread count without surgery.
 
+use crate::driver::DriverKind;
 use crate::ftree::{FTree, FTreeNode};
 use crate::fission::FissionSpec;
 use crate::state::{EvalContext, EvalError, MState};
@@ -40,7 +49,10 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-const CKPT_HEADER: &str = "magis-checkpoint v3";
+const CKPT_HEADER: &str = "magis-checkpoint v4";
+/// v3: no `driver` line and no MCTS tree section (decodes as the
+/// greedy driver).
+const CKPT_HEADER_V3: &str = "magis-checkpoint v3";
 /// v2: no `next_seq` / `frontier` sections (resumes with an empty
 /// frontier, i.e. the legacy incumbent-reseed path).
 const CKPT_HEADER_V2: &str = "magis-checkpoint v2";
@@ -153,6 +165,36 @@ pub struct FrontierEntry {
     pub eval_record: String,
 }
 
+/// Per-node MCTS tree metadata stored beside a frontier entry (v4).
+/// The entry at the same position in the frontier carries the node's
+/// state; this struct carries everything else the tree needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MctsNodeMeta {
+    /// Arena index of the parent node; `None` for the root.
+    pub parent: Option<u64>,
+    /// The candidate index (within the parent's sorted batch) that
+    /// produced this node — the UCT tie-break key.
+    pub cand_index: u64,
+    /// Visit count accumulated by backpropagation.
+    pub visits: u64,
+    /// Total reward accumulated by backpropagation.
+    pub reward_sum: f64,
+    /// Whether the node's candidate batch has been expanded.
+    pub expanded: bool,
+}
+
+/// MCTS engine state stored in a v4 frontier-bearing checkpoint: the
+/// driver's RNG state plus one [`MctsNodeMeta`] per frontier entry (in
+/// arena order). Restoring it resumes the tree — and the rollout RNG
+/// stream — exactly where the checkpoint left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MctsCheckpoint {
+    /// Raw RNG state ([`magis_util::rng::SmallRng::state`]).
+    pub rng_state: u64,
+    /// Tree metadata, index-aligned with the checkpoint's frontier.
+    pub nodes: Vec<MctsNodeMeta>,
+}
+
 /// A serializable snapshot of the M-Optimizer's search state.
 #[derive(Debug, Clone)]
 pub struct SearchCheckpoint {
@@ -186,6 +228,12 @@ pub struct SearchCheckpoint {
     /// checkpoint policy doesn't request frontier capture). Non-empty
     /// frontiers make resume trajectory-exact.
     pub frontier: Vec<FrontierEntry>,
+    /// The search engine that wrote this checkpoint (v4; legacy
+    /// checkpoints decode as [`DriverKind::Greedy`]). Resume restores
+    /// this engine, not the caller's configured one.
+    pub driver: DriverKind,
+    /// MCTS tree metadata (v4, MCTS frontier checkpoints only).
+    pub mcts: Option<MctsCheckpoint>,
 }
 
 fn f64_hex(x: f64) -> String {
@@ -459,9 +507,16 @@ impl SearchCheckpoint {
     /// Captures the serializable parts of an incumbent state. Search
     /// bookkeeping (pareto, seen, quarantine, counters) is filled in by
     /// the optimizer.
+    ///
+    /// A stale F-Tree is stored as empty: a `tree_stale` state's tree
+    /// is discarded and rebuilt by analysis before any expansion, and
+    /// an inherited stale tree may dangle (a TASO rewrite can remove
+    /// base nodes its spec sets still reference), which would fail the
+    /// restore-time validation for a tree that never gets used.
     pub fn snapshot_state(best: &MState) -> (Vec<usize>, Vec<FTreeNode>, String, String) {
         let order: Vec<usize> = best.eval.order.iter().map(|v| v.index()).collect();
-        let nodes: Vec<FTreeNode> = best.ftree.nodes().to_vec();
+        let nodes: Vec<FTreeNode> =
+            if best.tree_stale { Vec::new() } else { best.ftree.nodes().to_vec() };
         (order, nodes, io::to_record(&best.base), io::to_record(&best.eval.graph))
     }
 
@@ -470,6 +525,7 @@ impl SearchCheckpoint {
         let mut out = String::new();
         out.push_str(CKPT_HEADER);
         out.push('\n');
+        out.push_str(&format!("driver {}\n", self.driver.as_str()));
         out.push_str(&format!("rng {:016x}\n", self.rng_seed));
         out.push_str(&format!(
             "seed_cost {} {}\n",
@@ -526,6 +582,22 @@ impl SearchCheckpoint {
             encode_graph(&mut out, "base-graph", &e.base_record);
             encode_graph(&mut out, "eval-graph", &e.eval_record);
         }
+        if let Some(m) = &self.mcts {
+            out.push_str(&format!("mcts {} {:016x}\n", m.nodes.len(), m.rng_state));
+            for n in &m.nodes {
+                let parent = match n.parent {
+                    Some(p) => p.to_string(),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(
+                    "m {parent} {} {} {} {}\n",
+                    n.cand_index,
+                    n.visits,
+                    f64_hex(n.reward_sum),
+                    if n.expanded { 1 } else { 0 }
+                ));
+            }
+        }
         encode_graph(&mut out, "base-graph", &self.base_record);
         encode_graph(&mut out, "eval-graph", &self.eval_record);
         out.push_str(CKPT_FOOTER);
@@ -546,13 +618,28 @@ impl SearchCheckpoint {
         let header = next_line(&lines, &mut ln)?;
         let v1 = header.trim() == CKPT_HEADER_V1;
         let v2 = header.trim() == CKPT_HEADER_V2;
-        if !v1 && !v2 && header.trim() != CKPT_HEADER {
+        let v3 = header.trim() == CKPT_HEADER_V3;
+        if !v1 && !v2 && !v3 && header.trim() != CKPT_HEADER {
             return Err(CheckpointError::Parse {
                 line: 1,
                 msg: format!("bad header '{header}' (expected '{CKPT_HEADER}')"),
             });
         }
+        // v1/v2: no next_seq/frontier sections at all.
         let legacy = v1 || v2;
+        // v1/v2/v3: no driver line, no MCTS section — greedy by
+        // construction.
+        let pre_v4 = legacy || v3;
+
+        let driver = if pre_v4 {
+            DriverKind::Greedy
+        } else {
+            let t = expect_kv(next_line(&lines, &mut ln)?, ln, "driver", 1)?;
+            DriverKind::parse(&t[0]).ok_or_else(|| CheckpointError::Parse {
+                line: ln,
+                msg: format!("unknown driver '{}'", t[0]),
+            })?
+        };
 
         let t = expect_kv(next_line(&lines, &mut ln)?, ln, "rng", 1)?;
         let rng_seed = parse_hex_u64(&t[0], ln, "rng seed")?;
@@ -624,8 +711,8 @@ impl SearchCheckpoint {
         let best_order = decode_order(&lines, &mut ln)?;
         let ftree_nodes = decode_ftree(&lines, &mut ln)?;
 
-        let (next_seq, frontier) = if legacy {
-            (0, Vec::new())
+        let (next_seq, frontier, mcts) = if legacy {
+            (0, Vec::new(), None)
         } else {
             let t = expect_kv(next_line(&lines, &mut ln)?, ln, "next_seq", 1)?;
             let next_seq = parse_u64(&t[0], ln, "next_seq")?;
@@ -658,7 +745,39 @@ impl SearchCheckpoint {
                     eval_record,
                 });
             }
-            (next_seq, frontier)
+            // v4: an optional MCTS tree section follows the frontier.
+            let mcts = if !pre_v4 && lines.get(ln).is_some_and(|l| l.starts_with("mcts ")) {
+                let t = expect_kv(next_line(&lines, &mut ln)?, ln, "mcts", 2)?;
+                let nn = parse_usize(&t[0], ln, "mcts node count")?;
+                let rng_state = parse_hex_u64(&t[1], ln, "mcts rng state")?;
+                let mut nodes = Vec::with_capacity(nn);
+                for _ in 0..nn {
+                    let t = expect_kv(next_line(&lines, &mut ln)?, ln, "m", 5)?;
+                    let parent = if t[0] == "-" {
+                        None
+                    } else {
+                        Some(parse_u64(&t[0], ln, "mcts parent")?)
+                    };
+                    let cand_index = parse_u64(&t[1], ln, "mcts cand_index")?;
+                    let visits = parse_u64(&t[2], ln, "mcts visits")?;
+                    let reward_sum = parse_f64_hex(&t[3], ln, "mcts reward")?;
+                    let expanded = match t[4].as_str() {
+                        "0" => false,
+                        "1" => true,
+                        other => {
+                            return Err(CheckpointError::Parse {
+                                line: ln,
+                                msg: format!("bad mcts expanded flag '{other}'"),
+                            })
+                        }
+                    };
+                    nodes.push(MctsNodeMeta { parent, cand_index, visits, reward_sum, expanded });
+                }
+                Some(MctsCheckpoint { rng_state, nodes })
+            } else {
+                None
+            };
+            (next_seq, frontier, mcts)
         };
 
         let base_record = decode_graph("base-graph", &lines, &mut ln)?;
@@ -686,6 +805,8 @@ impl SearchCheckpoint {
             eval_record,
             next_seq,
             frontier,
+            driver,
+            mcts,
         })
     }
 
@@ -794,6 +915,8 @@ mod tests {
             eval_record,
             next_seq: 0,
             frontier: Vec::new(),
+            driver: DriverKind::Greedy,
+            mcts: None,
         }
     }
 
@@ -875,9 +998,10 @@ mod tests {
         let mut c = checkpoint_of(&s);
         c.counters.checkpoints_written = 5;
         c.counters.checkpoint_failures = 1;
-        // Rewrite the v3 text down to the v1 format: old header, 8-field
-        // counters line, no next_seq/frontier sections.
-        let v3 = c.encode();
+        // Rewrite the v4 text down to the v1 format: old header, no
+        // driver line, 8-field counters line, no next_seq/frontier
+        // sections.
+        let v4 = c.encode();
         let v1_counters = format!(
             "counters {} {} {} {} {} {} {} {}",
             c.counters.expanded,
@@ -889,11 +1013,11 @@ mod tests {
             c.counters.invariant_rejections,
             c.counters.quarantined_candidates
         );
-        let v1_text: String = v3
+        let v1_text: String = v4
             .lines()
-            .filter(|l| *l != "next_seq 0" && *l != "frontier 0")
+            .filter(|l| *l != "next_seq 0" && *l != "frontier 0" && *l != "driver greedy")
             .map(|l| {
-                if l == "magis-checkpoint v3" {
+                if l == "magis-checkpoint v4" {
                     "magis-checkpoint v1".to_string()
                 } else if l.starts_with("counters ") {
                     v1_counters.clone()
@@ -911,22 +1035,24 @@ mod tests {
         assert_eq!(d.counters.checkpoint_failures, 0);
         assert_eq!(d.seen, c.seen);
         assert!(d.frontier.is_empty(), "legacy checkpoints resume frontier-free");
-        // And a v1 checkpoint re-encodes as v3.
-        assert!(d.encode().starts_with("magis-checkpoint v3\n"));
+        assert_eq!(d.driver, DriverKind::Greedy, "legacy checkpoints decode as greedy");
+        assert!(d.mcts.is_none());
+        // And a v1 checkpoint re-encodes as v4.
+        assert!(d.encode().starts_with("magis-checkpoint v4\n"));
     }
 
     #[test]
     fn v2_checkpoints_still_decode() {
         let s = small_state();
         let c = checkpoint_of(&s);
-        // v2 is v3 minus the next_seq/frontier sections, under the old
-        // header.
+        // v2 is v4 minus the driver line and next_seq/frontier
+        // sections, under the old header.
         let v2_text: String = c
             .encode()
             .lines()
-            .filter(|l| *l != "next_seq 0" && *l != "frontier 0")
+            .filter(|l| *l != "next_seq 0" && *l != "frontier 0" && *l != "driver greedy")
             .map(|l| {
-                if l == "magis-checkpoint v3" {
+                if l == "magis-checkpoint v4" {
                     "magis-checkpoint v2".to_string()
                 } else {
                     l.to_string()
@@ -941,7 +1067,76 @@ mod tests {
         assert_eq!(d.best_order, c.best_order);
         assert!(d.frontier.is_empty());
         assert_eq!(d.next_seq, 0);
-        assert!(d.encode().starts_with("magis-checkpoint v3\n"));
+        assert!(d.encode().starts_with("magis-checkpoint v4\n"));
+    }
+
+    #[test]
+    fn v3_checkpoints_still_decode() {
+        let ctx = EvalContext::default();
+        let s = small_state();
+        let mut c = checkpoint_of(&s);
+        c.next_seq = 3;
+        c.frontier = vec![frontier_entry_of(&s, 1, false)];
+        // v3 is v4 minus the driver line, under the old header; the
+        // next_seq/frontier sections are present.
+        let v3_text: String = c
+            .encode()
+            .lines()
+            .filter(|l| *l != "driver greedy")
+            .map(|l| {
+                if l == "magis-checkpoint v4" {
+                    "magis-checkpoint v3".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let d = SearchCheckpoint::decode(&v3_text).unwrap();
+        assert_eq!(d.driver, DriverKind::Greedy, "v3 checkpoints decode as greedy");
+        assert!(d.mcts.is_none());
+        assert_eq!(d.next_seq, 3);
+        assert_eq!(d.frontier.len(), 1, "v3 frontiers still restore exactly");
+        assert_eq!(d.restore_frontier(&ctx).unwrap().len(), 1);
+        assert!(d.encode().starts_with("magis-checkpoint v4\n"));
+    }
+
+    #[test]
+    fn mcts_checkpoints_round_trip() {
+        let s = small_state();
+        let mut c = checkpoint_of(&s);
+        c.driver = DriverKind::Mcts;
+        c.next_seq = 2;
+        c.frontier = vec![frontier_entry_of(&s, 0, false), frontier_entry_of(&s, 1, false)];
+        c.mcts = Some(MctsCheckpoint {
+            rng_state: 0xdead_beef_0bad_cafe,
+            nodes: vec![
+                MctsNodeMeta {
+                    parent: None,
+                    cand_index: 0,
+                    visits: 7,
+                    reward_sum: 1.25,
+                    expanded: true,
+                },
+                MctsNodeMeta {
+                    parent: Some(0),
+                    cand_index: 3,
+                    visits: 2,
+                    reward_sum: 0.5,
+                    expanded: false,
+                },
+            ],
+        });
+        let text = c.encode();
+        let d = SearchCheckpoint::decode(&text).unwrap();
+        assert_eq!(d.driver, DriverKind::Mcts);
+        assert_eq!(d.mcts, c.mcts);
+        assert_eq!(d.encode(), text, "MCTS re-encode is byte-identical");
+        // A corrupt driver tag is rejected.
+        assert!(SearchCheckpoint::decode(&text.replacen("driver mcts", "driver dfs", 1)).is_err());
+        // A corrupt tree line is rejected.
+        assert!(SearchCheckpoint::decode(&text.replacen("m - 0 7", "m - x 7", 1)).is_err());
     }
 
     #[test]
@@ -949,7 +1144,7 @@ mod tests {
         let s = small_state();
         let text = checkpoint_of(&s).encode();
         // Bad header (no known version).
-        assert!(SearchCheckpoint::decode(&text.replacen("v3", "v9", 1)).is_err());
+        assert!(SearchCheckpoint::decode(&text.replacen("v4", "v9", 1)).is_err());
         // Truncation (drop the footer and graph tail).
         let cut = &text[..text.len() / 2];
         assert!(SearchCheckpoint::decode(cut).is_err());

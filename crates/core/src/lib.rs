@@ -11,7 +11,9 @@
 //! * [`rules`] — the unified M-Rules: scheduling-based rules (§5.2)
 //!   and TASO-style rules,
 //! * [`state`] — M-States and their simulator evaluation (§3),
-//! * [`optimizer`] — the M-Optimizer search, Algorithm 3 (§6),
+//! * [`optimizer`] — the M-Optimizer search engine, Algorithm 3 (§6),
+//! * [`driver`] — pluggable search strategies over the engine
+//!   (greedy best-first and MCTS),
 //! * [`pareto`] — dual-objective front bookkeeping (Fig. 11),
 //! * [`codegen`] — the PyTorch code-generation backend (§7.1).
 //!
@@ -42,6 +44,7 @@ pub mod budget;
 pub mod checkpoint;
 pub mod codegen;
 pub mod dgraph;
+pub mod driver;
 pub mod eval_cache;
 pub mod fission;
 pub mod ftree;
@@ -51,7 +54,11 @@ pub mod rules;
 pub mod state;
 
 pub use budget::{CancelToken, SearchBudget};
-pub use checkpoint::{CheckpointCounters, CheckpointError, FrontierEntry, SearchCheckpoint};
+pub use checkpoint::{
+    CheckpointCounters, CheckpointError, FrontierEntry, MctsCheckpoint, MctsNodeMeta,
+    SearchCheckpoint,
+};
+pub use driver::{DriverFrontier, DriverKind, SearchDriver, StepOutcome};
 pub use eval_cache::EvalCache;
 pub use fission::FissionSpec;
 pub use ftree::{FTree, FTreeMutation};

@@ -75,7 +75,10 @@
 //!   killed search from its last checkpoint.
 
 use crate::budget::{CancelToken, SearchBudget};
-use crate::checkpoint::{CheckpointCounters, CheckpointError, FrontierEntry, SearchCheckpoint};
+use crate::checkpoint::{
+    CheckpointCounters, CheckpointError, MctsCheckpoint, SearchCheckpoint,
+};
+use crate::driver::{DriverFrontier, DriverKind, GreedyDriver, MctsDriver, SearchDriver, StepOutcome};
 use crate::eval_cache::EvalCache;
 use crate::pareto::ParetoSet;
 use crate::rules::{self, RuleConfig, Transform};
@@ -90,7 +93,7 @@ use magis_util::fault::{FaultPlan, FaultSite};
 use magis_util::parallel;
 use magis_util::sync::ShardedSet;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
@@ -201,7 +204,7 @@ pub enum Objective {
 impl Objective {
     /// Lexicographic key: smaller is better (`BetterThan`, Algorithm 3
     /// line 1, and its symmetric counterpart).
-    fn key(&self, mem: u64, lat: f64) -> (f64, f64) {
+    pub(crate) fn key(&self, mem: u64, lat: f64) -> (f64, f64) {
         match *self {
             Objective::MinLatency { mem_limit } => (mem.max(mem_limit) as f64, lat),
             Objective::MinMemory { lat_limit } => (lat.max(lat_limit), mem as f64),
@@ -209,7 +212,7 @@ impl Objective {
     }
 
     /// `BetterThan(a, b, δ)`: is `a` better than `δ`-relaxed `b`?
-    fn better_than(&self, a: (u64, f64), b: (u64, f64), delta: f64) -> bool {
+    pub(crate) fn better_than(&self, a: (u64, f64), b: (u64, f64), delta: f64) -> bool {
         let ka = self.key(a.0, a.1);
         let kb = match *self {
             Objective::MinLatency { mem_limit } => {
@@ -506,6 +509,11 @@ pub struct OptimizerConfig {
     /// delivered at every expansion boundary and once after the final
     /// polish. `None` reports nothing.
     pub progress: Option<ProgressHook>,
+    /// Which search strategy drives the optimizer (default
+    /// [`DriverKind::Greedy`], the paper's Algorithm 3). Checkpoints
+    /// are tagged with the driver; [`resume`] restores the engine
+    /// named by the checkpoint, not this field.
+    pub driver: DriverKind,
 }
 
 impl OptimizerConfig {
@@ -530,6 +538,7 @@ impl OptimizerConfig {
             search_budget: SearchBudget::UNLIMITED,
             cancel: None,
             progress: None,
+            driver: DriverKind::default(),
         }
     }
 
@@ -599,6 +608,12 @@ impl OptimizerConfig {
         self.progress = Some(ProgressHook(sink));
         self
     }
+
+    /// Selects the search strategy (see [`DriverKind`]).
+    pub fn with_driver(mut self, driver: DriverKind) -> Self {
+        self.driver = driver;
+        self
+    }
 }
 
 /// Per-phase time accounting (Fig. 15) plus hardening counters.
@@ -621,6 +636,9 @@ pub struct OptimizerStats {
     pub eval_wall_time: Duration,
     /// Worker threads the search was configured with.
     pub threads: usize,
+    /// Which [`SearchDriver`] strategy ran the search (resumed runs
+    /// report the checkpoint's driver, which wins over the config).
+    pub driver: DriverKind,
     /// States popped from the queue.
     pub expanded: usize,
     /// Candidate transforms generated.
@@ -694,10 +712,13 @@ pub struct OptimizeResult {
     pub timeline: SearchTimeline,
 }
 
-struct QueueEntry {
-    key: (f64, f64),
-    seq: usize,
-    state: MState,
+/// One entry on the greedy best-first priority queue: ordered by the
+/// objective key, then by sequence number (insertion order) so the pop
+/// sequence is total and deterministic.
+pub(crate) struct QueueEntry {
+    pub(crate) key: (f64, f64),
+    pub(crate) seq: usize,
+    pub(crate) state: MState,
 }
 
 impl PartialEq for QueueEntry {
@@ -978,17 +999,23 @@ struct SearchSeed {
     seen: Vec<u64>,
     quarantine: Vec<(u8, u32)>,
     resumed: bool,
-    /// Restored priority-queue entries `(seq, state)` from a
-    /// frontier-bearing (v3) checkpoint. Non-empty switches resume to
-    /// trajectory-exact mode: the queue and seen-set come back
-    /// verbatim and the incumbent is not re-pushed.
+    /// Restored driver-frontier entries `(seq, state)` from a
+    /// frontier-bearing checkpoint (queue entries for greedy, tree
+    /// nodes for MCTS). Non-empty switches resume to trajectory-exact
+    /// mode: the driver state and seen-set come back verbatim and the
+    /// incumbent is not re-pushed.
     frontier: Vec<(u64, MState)>,
     /// The sequence counter to continue from in trajectory-exact mode.
     next_seq: u64,
+    /// Which driver produced the checkpoint (fresh searches: the
+    /// config's choice).
+    driver: DriverKind,
+    /// MCTS tree metadata from a frontier-bearing MCTS checkpoint.
+    mcts: Option<MctsCheckpoint>,
 }
 
 impl SearchSeed {
-    fn fresh(seed_cost: (u64, f64)) -> Self {
+    fn fresh(seed_cost: (u64, f64), driver: DriverKind) -> Self {
         SearchSeed {
             seed_cost,
             counters: CheckpointCounters::default(),
@@ -998,6 +1025,8 @@ impl SearchSeed {
             resumed: false,
             frontier: Vec::new(),
             next_seq: 0,
+            driver,
+            mcts: None,
         }
     }
 }
@@ -1017,7 +1046,7 @@ pub fn optimize(g: Graph, cfg: &OptimizerConfig) -> OptimizeResult {
 pub fn try_optimize(g: Graph, cfg: &OptimizerConfig) -> Result<OptimizeResult, EvalError> {
     let mut init = MState::try_initial(g, &cfg.ctx)?;
     analyze(&mut init, cfg);
-    let seed = SearchSeed::fresh(init.cost());
+    let seed = SearchSeed::fresh(init.cost(), cfg.driver);
     Ok(run_search(init, seed, cfg))
 }
 
@@ -1034,6 +1063,25 @@ pub fn try_optimize(g: Graph, cfg: &OptimizerConfig) -> Result<OptimizeResult, E
 /// (bad record, invalid schedule, defective re-simulated costs).
 pub fn resume(ckpt: &SearchCheckpoint, cfg: &OptimizerConfig) -> Result<OptimizeResult, CheckpointError> {
     let best = ckpt.restore_state(&cfg.ctx)?;
+    let frontier = ckpt.restore_frontier(&cfg.ctx)?;
+    // An MCTS frontier is a tree: the metadata must pair one-to-one
+    // with the restored states (dense node ids, in-range parent links)
+    // or the driver cannot be rebuilt.
+    if ckpt.driver == DriverKind::Mcts && !frontier.is_empty() {
+        let ok = ckpt.mcts.as_ref().is_some_and(|m| {
+            m.nodes.len() == frontier.len()
+                && frontier.iter().enumerate().all(|(i, (sq, _))| *sq == i as u64)
+                && m.nodes.iter().enumerate().all(|(i, n)| {
+                    n.parent.map_or(i == 0, |p| (p as usize) < m.nodes.len() && p as usize != i)
+                })
+        });
+        if !ok {
+            return Err(CheckpointError::Parse {
+                line: 0,
+                msg: "mcts tree metadata does not match the frontier".to_string(),
+            });
+        }
+    }
     let seed = SearchSeed {
         seed_cost: ckpt.seed_cost,
         counters: ckpt.counters,
@@ -1041,8 +1089,10 @@ pub fn resume(ckpt: &SearchCheckpoint, cfg: &OptimizerConfig) -> Result<Optimize
         seen: ckpt.seen.clone(),
         quarantine: ckpt.quarantine.clone(),
         resumed: true,
-        frontier: ckpt.restore_frontier(&cfg.ctx)?,
+        frontier,
         next_seq: ckpt.next_seq,
+        driver: ckpt.driver,
+        mcts: ckpt.mcts.clone(),
     };
     Ok(run_search(best, seed, cfg))
 }
@@ -1057,35 +1107,17 @@ fn write_checkpoint(
     seen: &ShardedSet,
     quarantine: &Quarantine,
     stats: &OptimizerStats,
-    frontier: Option<(&BinaryHeap<QueueEntry>, usize)>,
+    driver: DriverKind,
+    frontier: Option<DriverFrontier>,
 ) -> Result<(), CheckpointError> {
     let (best_order, ftree_nodes, base_record, eval_record) =
         SearchCheckpoint::snapshot_state(best);
-    // Frontier capture: serialize every queued entry, sorted by
-    // sequence number (BinaryHeap iteration order is unspecified; the
-    // sort makes the checkpoint bytes a pure function of the search
-    // state).
-    let (next_seq, frontier) = match frontier {
-        Some((queue, seq)) => {
-            let mut entries: Vec<FrontierEntry> = queue
-                .iter()
-                .map(|e| {
-                    let (order, ftree_nodes, base_record, eval_record) =
-                        SearchCheckpoint::snapshot_state(&e.state);
-                    FrontierEntry {
-                        seq: e.seq as u64,
-                        tree_stale: e.state.tree_stale,
-                        order,
-                        ftree_nodes,
-                        base_record,
-                        eval_record,
-                    }
-                })
-                .collect();
-            entries.sort_by_key(|e| e.seq);
-            (seq as u64, entries)
-        }
-        None => (0, Vec::new()),
+    // Frontier capture: the driver serialized its complete strategy
+    // state (queue entries or tree nodes + metadata) into the
+    // snapshot; non-frontier checkpoints persist the incumbent only.
+    let (next_seq, frontier, mcts) = match frontier {
+        Some(f) => (f.next_seq, f.entries, f.mcts),
+        None => (0, Vec::new(), None),
     };
     let ckpt = SearchCheckpoint {
         rng_seed,
@@ -1112,6 +1144,8 @@ fn write_checkpoint(
         eval_record,
         next_seq,
         frontier,
+        driver,
+        mcts,
     };
     ckpt.write_to(&policy.path)
 }
@@ -1138,13 +1172,550 @@ fn strike_family(quarantine: &mut Quarantine, cache: &mut EvalCache, family: u8)
     purged
 }
 
+/// The strategy-agnostic search machinery handed to a
+/// [`crate::driver::SearchDriver`]: deterministic candidate generation
+/// and parallel evaluation, incumbent/Pareto/timeline bookkeeping,
+/// quarantine, the evaluation cache, stop probes, progress reporting,
+/// and checkpoint cadence. One engine lives for the duration of one
+/// [`optimize`] / [`resume`] call; the driver calls
+/// [`Engine::admit_pop`] (greedy dedup only), [`Engine::begin`],
+/// [`Engine::evaluate`], and [`Engine::boundary`] for every expansion,
+/// and the engine guarantees the determinism, sandboxing, and
+/// observability contracts are identical for every strategy.
+pub struct Engine<'a> {
+    cfg: &'a OptimizerConfig,
+    start: Instant,
+    threads: usize,
+    eval_cap: usize,
+    candidate_limit: usize,
+    seed_cost: (u64, f64),
+    driver_kind: DriverKind,
+    stats: OptimizerStats,
+    timeline: SearchTimeline,
+    pareto: ParetoSet,
+    history: Vec<ProgressPoint>,
+    best: MState,
+    seen: ShardedSet,
+    quarantine: Quarantine,
+    eval_cache: EvalCache,
+    evals_at_last_ckpt: usize,
+    stop: Option<StopReason>,
+    /// Start of the current expansion, for the wall-clock histogram
+    /// and trace span emitted at the boundary.
+    exp_t0: Instant,
+    last_candidates: usize,
+    last_merged: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// Cooperative stop probe shared by the loop head and the fan-out
+    /// workers: cancellation, then the hard deadline, then the soft
+    /// budget (the returned reason reflects that priority).
+    fn probe_stop(cfg: &OptimizerConfig, start: Instant) -> Option<StopReason> {
+        if cfg.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopReason::Cancelled);
+        }
+        let elapsed = start.elapsed();
+        if cfg.search_budget.wall_limit.is_some_and(|w| elapsed > w) {
+            return Some(StopReason::Deadline);
+        }
+        if elapsed > cfg.budget {
+            return Some(StopReason::BudgetExpired);
+        }
+        None
+    }
+
+    /// Loop-head stop check: wall-clock probes first, then the
+    /// evaluation caps. Records the stop reason for the post-loop
+    /// accounting and returns `true` when the search must end.
+    fn should_stop(&mut self) -> bool {
+        if let Some(reason) = Self::probe_stop(self.cfg, self.start) {
+            self.stop = Some(reason);
+            return true;
+        }
+        if self.stats.evaluated >= self.eval_cap || self.stats.evaluated >= self.candidate_limit {
+            self.stop = Some(StopReason::EvalCapReached);
+            return true;
+        }
+        false
+    }
+
+    /// The active objective (drivers score and order states with it).
+    pub fn objective(&self) -> Objective {
+        self.cfg.objective
+    }
+
+    /// The seed state's `(peak, latency)` cost — the baseline for
+    /// relative rewards.
+    pub fn seed_cost(&self) -> (u64, f64) {
+        self.seed_cost
+    }
+
+    /// Hashes a popped state and inserts it into the seen-set.
+    /// Returns `false` (counting a filtered duplicate) when the state
+    /// was already expanded — the greedy driver skips such pops
+    /// without an expansion boundary. Drivers whose frontier never
+    /// revisits states (MCTS) do not call this.
+    pub fn admit_pop(&mut self, state: &MState) -> bool {
+        let t0 = Instant::now();
+        let h = graph_hash(&state.eval.graph);
+        self.stats.hash_time += t0.elapsed();
+        if !self.seen.insert(h) {
+            self.stats.filtered += 1;
+            core_obs().filtered.inc();
+            return false;
+        }
+        true
+    }
+
+    /// Begins an expansion of `state`: counts it, beats the heartbeat,
+    /// re-runs the F-Tree analysis if the state is stale, then
+    /// generates the candidate batch — quarantine-filtered and sorted
+    /// by [`Transform::sort_key`] so the fan-out order (and therefore
+    /// the whole trajectory) is a pure function of the state.
+    pub fn begin(&mut self, state: &mut MState) -> Vec<Transform> {
+        let obs = core_obs();
+        self.stats.expanded += 1;
+        obs.expansions.inc();
+        if let Some(tok) = &self.cfg.cancel {
+            tok.beat();
+        }
+        self.exp_t0 = Instant::now();
+        if state.tree_stale {
+            analyze(state, self.cfg);
+        }
+
+        let t0 = Instant::now();
+        let mut candidates = rules::generate(state, &self.cfg.rules);
+        // Quarantined rule families stop being explored entirely.
+        let before = candidates.len();
+        candidates.retain(|t| !self.quarantine.is_quarantined(t.sort_key().0));
+        let dropped = before - candidates.len();
+        self.stats.quarantined_candidates += dropped;
+        obs.quarantined_candidates.add(dropped as u64);
+        // Fix the batch order before the fan-out: the merge in
+        // `evaluate` consumes results in this order, making the
+        // trajectory independent of thread count and generation order.
+        candidates.sort_by_key(Transform::sort_key);
+        self.stats.trans_time += t0.elapsed();
+        self.stats.candidates += candidates.len();
+        obs.candidates.add(candidates.len() as u64);
+        for t in &candidates {
+            self.timeline.family_mut(rules::family_name(t.sort_key().0)).proposed += 1;
+        }
+        self.last_candidates = candidates.len();
+        candidates
+    }
+
+    /// Evaluates candidates of `state` and merges the outcomes in
+    /// candidate order on this thread — incumbent updates, Pareto
+    /// inserts, cache bookkeeping, quarantine strikes, and all metrics
+    /// happen here, exactly as in the pre-driver monolithic loop.
+    ///
+    /// `only` evaluates a single candidate inline (MCTS rollouts);
+    /// `None` fans the whole batch out across the configured worker
+    /// threads. `dedup` rejects children whose graph hash is already
+    /// in the seen-set (greedy); MCTS passes `false` because
+    /// transpositions are legitimate tree branches.
+    ///
+    /// For every successfully evaluated child the `retain` callback
+    /// decides whether the driver keeps it (queue push / tree node):
+    /// it receives the candidate index, the child (by value), its
+    /// cost, and the incumbent cost *after* any incumbent update from
+    /// this child. Returning `true` records an accept (metrics, trace
+    /// span, timeline); `false` records a `dominated` reject.
+    ///
+    /// Returns the number of merged (evaluated) candidates.
+    pub fn evaluate(
+        &mut self,
+        state: &MState,
+        candidates: &[Transform],
+        only: Option<usize>,
+        dedup: bool,
+        retain: &mut dyn FnMut(usize, MState, (u64, f64), (u64, f64)) -> bool,
+    ) -> usize {
+        let obs = core_obs();
+        let exp_no_u64 = self.stats.expanded as u64;
+        let cfg = self.cfg;
+        let start = self.start;
+        // How many evaluations may still be merged under the cap
+        // (saturating: an MCTS rollout chain may overshoot the cap
+        // within one driver step before the loop head stops it).
+        let remaining = self.eval_cap.saturating_sub(self.stats.evaluated);
+        // Injection keys depend only on (expansion, candidate index):
+        // identical across thread counts and across reruns.
+        let plan = cfg.fault_plan.as_ref();
+        let fault_for = |i: usize| plan.map(|p| (p, (exp_no_u64 << 20) | (i as u64 & 0xfffff)));
+        let stop_now = move || Self::probe_stop(cfg, start);
+
+        let t_wall = Instant::now();
+        // The cache is frozen (shared borrow) for the whole fan-out:
+        // workers see identical contents regardless of thread count or
+        // completion order; insertions happen below, at the merge.
+        let eval_cache = &self.eval_cache;
+        let outcomes: Vec<(usize, CandOutcome)> = if let Some(i) = only {
+            // Single-candidate path (rollouts): always inline on the
+            // driver thread, whatever the thread count.
+            let o = if stop_now().is_some() || remaining == 0 {
+                CandOutcome::Skipped
+            } else {
+                evaluate_candidate(state, &candidates[i], &cfg.ctx, eval_cache, fault_for(i), cfg.paranoia)
+            };
+            vec![(i, o)]
+        } else if self.threads > 1 {
+            parallel::par_map(self.threads, candidates, |i, t| {
+                if stop_now().is_some() {
+                    CandOutcome::Skipped
+                } else {
+                    evaluate_candidate(state, t, &cfg.ctx, eval_cache, fault_for(i), cfg.paranoia)
+                }
+            })
+            .into_iter()
+            .enumerate()
+            .collect()
+        } else {
+            // Inline path: identical semantics, but the eval cap can
+            // stop work early instead of discarding results at merge.
+            let mut out = Vec::with_capacity(candidates.len());
+            let mut done = 0usize;
+            for (i, t) in candidates.iter().enumerate() {
+                if stop_now().is_some() || done >= remaining {
+                    out.push(CandOutcome::Skipped);
+                    break;
+                }
+                let o = evaluate_candidate(state, t, &cfg.ctx, eval_cache, fault_for(i), cfg.paranoia);
+                if matches!(o, CandOutcome::Evaluated { .. }) {
+                    done += 1;
+                }
+                out.push(o);
+            }
+            out.into_iter().enumerate().collect()
+        };
+        self.stats.eval_wall_time += t_wall.elapsed();
+
+        // Deterministic merge: consume outcomes in candidate order on
+        // this thread only. Incumbent updates, retain decisions,
+        // quarantine strikes, the eval cap — and every metric, trace
+        // record, and timeline entry — all happen here.
+        let parent_cost = state.cost();
+        let mut merged = 0usize;
+        for (i, o) in outcomes {
+            if matches!(o, CandOutcome::Skipped) {
+                break;
+            }
+            if merged >= remaining {
+                // Workers may over-evaluate past the cap; the merge
+                // discards the excess — of *every* outcome kind, so
+                // counters and quarantine strikes match `threads == 1`,
+                // where post-cap candidates never run at all.
+                break;
+            }
+            let family = candidates[i].sort_key().0;
+            let fam_name = rules::family_name(family);
+            // Re-attributes the worker-measured phase durations as a
+            // merge-thread span, keeping the record set deterministic.
+            let eval_span = |outcome: &'static str, dur: Duration| {
+                if magis_obs::trace::enabled() {
+                    magis_obs::trace::span_with_dur(
+                        "magis_core",
+                        "candidate_eval",
+                        dur,
+                        magis_obs::fields!(
+                            expansion = exp_no_u64,
+                            candidate = i,
+                            family = fam_name,
+                            outcome = outcome,
+                        ),
+                    );
+                }
+            };
+            let timeline = &mut self.timeline;
+            let mut reject = |reason: &'static str, dur: Duration| {
+                outcome_counter(family, reason).inc();
+                eval_span(reason, dur);
+                magis_obs::event!(
+                    "magis_core",
+                    "reject",
+                    expansion = exp_no_u64,
+                    candidate = i,
+                    family = fam_name,
+                    reason = reason,
+                );
+                let f = timeline.family_mut(fam_name);
+                f.rejected += 1;
+                f.eval_time_us += dur.as_micros() as u64;
+            };
+            match o {
+                CandOutcome::Skipped => unreachable!("handled above"),
+                CandOutcome::Failed { trans, sched_sim } => {
+                    self.stats.trans_time += trans;
+                    self.stats.sched_sim_time += sched_sim;
+                    reject("apply-failed", trans + sched_sim);
+                }
+                CandOutcome::Panicked { trans } => {
+                    self.stats.trans_time += trans;
+                    self.stats.panicked += 1;
+                    obs.panicked.inc();
+                    reject("panicked", trans);
+                    let purged = strike_family(&mut self.quarantine, &mut self.eval_cache, family);
+                    self.stats.eval_cache_purged += purged;
+                    obs.eval_cache_purged.add(purged as u64);
+                }
+                CandOutcome::BadCost { trans, sched_sim } => {
+                    self.stats.trans_time += trans;
+                    self.stats.sched_sim_time += sched_sim;
+                    self.stats.cost_rejections += 1;
+                    obs.cost_rejections.inc();
+                    reject("bad-cost", trans + sched_sim);
+                }
+                CandOutcome::Invalid { trans, sched_sim } => {
+                    self.stats.trans_time += trans;
+                    self.stats.sched_sim_time += sched_sim;
+                    self.stats.invariant_rejections += 1;
+                    obs.invariant_rejections.inc();
+                    reject("invalid", trans + sched_sim);
+                    let purged = strike_family(&mut self.quarantine, &mut self.eval_cache, family);
+                    self.stats.eval_cache_purged += purged;
+                    obs.eval_cache_purged.add(purged as u64);
+                }
+                CandOutcome::Evaluated { child, hash, cache_hit, tainted, trans, sched_sim, hash_t } => {
+                    self.stats.trans_time += trans;
+                    self.stats.sched_sim_time += sched_sim;
+                    self.stats.hash_time += hash_t;
+                    merged += 1;
+                    self.stats.evaluated += 1;
+                    obs.evaluated.inc();
+                    if let Some(tok) = &cfg.cancel {
+                        tok.beat();
+                    }
+                    let eval_dur = trans + sched_sim + hash_t;
+
+                    // Cache accounting + insertion happen here — on the
+                    // merge thread, in candidate order — so the cache's
+                    // contents and counters are deterministic.
+                    if cache_hit {
+                        self.stats.eval_cache_hits += 1;
+                        obs.eval_cache_hits.inc();
+                        // LRU refresh: recency only ever advances here,
+                        // on the merge thread in candidate order, so
+                        // eviction stays bit-identical across thread
+                        // counts. No-op if a strike purged the entry
+                        // earlier in this merge pass.
+                        self.eval_cache.touch(hash, cfg.ctx.mem_objective);
+                        magis_obs::event!(
+                            "magis_core",
+                            "eval_cache_hit",
+                            expansion = exp_no_u64,
+                            candidate = i,
+                            family = fam_name,
+                        );
+                    } else {
+                        self.stats.eval_cache_misses += 1;
+                        obs.eval_cache_misses.inc();
+                        // Per-candidate instrumentation is suppressed in
+                        // the evaluation sandbox; re-attribute the
+                        // incremental-scheduling counters here (merge
+                        // thread, candidate order -> deterministic).
+                        if let Some(inc) = child.eval.inc {
+                            obs.incremental_evals.inc();
+                            if inc.carried_won {
+                                obs.incremental_carried_wins.inc();
+                            }
+                            obs.incremental_window.observe(inc.window as f64);
+                        }
+                        // Tainted children (post-eval fault injections)
+                        // and quarantined families are never cached.
+                        if !tainted && !self.quarantine.is_quarantined(family) {
+                            let evicted = self.eval_cache.insert(
+                                hash,
+                                (*child).clone(),
+                                family,
+                                cfg.ctx.mem_objective,
+                            );
+                            self.stats.eval_cache_evictions += evicted;
+                            obs.eval_cache_evictions.add(evicted as u64);
+                        }
+                    }
+
+                    // Cheap duplicate pre-filter before the retain
+                    // decision (greedy only: MCTS treats transpositions
+                    // as legitimate tree branches).
+                    if dedup && self.seen.contains(hash) {
+                        self.stats.filtered += 1;
+                        obs.filtered.inc();
+                        reject("duplicate", eval_dur);
+                        continue;
+                    }
+
+                    let cost = child.cost();
+                    let leads = cfg.objective.better_than(cost, self.best.cost(), 1.0);
+                    // Invariant gate: a state may only become the
+                    // incumbent after its graph, schedule, and memory
+                    // accounting re-validate. A violator is dropped
+                    // entirely (not queued, not on the frontier) and
+                    // strikes its rule family.
+                    if leads
+                        && cfg.paranoia == ParanoiaLevel::Incumbent
+                        && check_invariants(&child, &cfg.ctx).is_err()
+                    {
+                        self.stats.invariant_rejections += 1;
+                        obs.invariant_rejections.inc();
+                        reject("invalid", eval_dur);
+                        let purged = strike_family(&mut self.quarantine, &mut self.eval_cache, family);
+                        self.stats.eval_cache_purged += purged;
+                        obs.eval_cache_purged.add(purged as u64);
+                        continue;
+                    }
+                    self.pareto.insert(cost.0, cost.1);
+                    if leads {
+                        self.best = (*child).clone();
+                        self.history.push(ProgressPoint {
+                            elapsed: start.elapsed().as_secs_f64(),
+                            peak_bytes: cost.0,
+                            latency: cost.1,
+                        });
+                        obs.incumbent_improvements.inc();
+                        magis_obs::event!(
+                            "magis_core",
+                            "incumbent",
+                            expansion = exp_no_u64,
+                            peak_bytes = cost.0,
+                            latency = cost.1,
+                        );
+                    }
+                    // The driver decides retention; the incumbent cost
+                    // it sees reflects any update from this very child
+                    // (the greedy δ-test reads the incumbent as updated
+                    // mid-batch, exactly like Algorithm 3).
+                    let best_cost = self.best.cost();
+                    if retain(i, *child, cost, best_cost) {
+                        obs.queue_pushes.inc();
+                        outcome_counter(family, "accept").inc();
+                        eval_span("accept", eval_dur);
+                        magis_obs::event!(
+                            "magis_core",
+                            "accept",
+                            expansion = exp_no_u64,
+                            candidate = i,
+                            family = fam_name,
+                            peak_bytes = cost.0,
+                            latency = cost.1,
+                        );
+                        let f = self.timeline.family_mut(fam_name);
+                        f.accepted += 1;
+                        f.mem_delta_bytes += cost.0 as i64 - parent_cost.0 as i64;
+                        f.lat_delta += cost.1 - parent_cost.1;
+                        f.eval_time_us += eval_dur.as_micros() as u64;
+                    } else {
+                        // Evaluated but not retained by the driver
+                        // (dominated by the δ-relaxed incumbent).
+                        reject("dominated", eval_dur);
+                    }
+                }
+            }
+        }
+        self.last_merged = merged;
+        merged
+    }
+
+    /// Expansion-boundary bookkeeping: timeline point + Pareto record,
+    /// gauges, the expansion histogram and trace span, the progress
+    /// snapshot, and the periodic checkpoint (calling `snapshot` for
+    /// the driver's frontier when the policy captures one). Drivers
+    /// call this exactly once per completed step.
+    pub fn boundary(&mut self, frontier_size: u64, snapshot: &mut dyn FnMut() -> DriverFrontier) {
+        let obs = core_obs();
+        let exp_no_u64 = self.stats.expanded as u64;
+        let front = self.pareto.front();
+        self.timeline.record_pareto(exp_no_u64, front.clone());
+        self.timeline.record_point(TimelinePoint {
+            expansion: exp_no_u64,
+            evaluated: self.stats.evaluated as u64,
+            best_peak_bytes: self.best.eval.peak_bytes,
+            best_latency: self.best.eval.latency,
+            frontier_size,
+            pareto_size: front.len() as u64,
+            elapsed_us: self.start.elapsed().as_micros() as u64,
+        });
+        obs.best_peak_bytes.set(self.best.eval.peak_bytes as f64);
+        obs.best_latency.set(self.best.eval.latency);
+        obs.frontier_size.set(frontier_size as f64);
+        obs.eval_cache_size.set(self.eval_cache.len() as f64);
+        obs.expansion_seconds.observe_duration(self.exp_t0.elapsed());
+        if let Some(hook) = &self.cfg.progress {
+            // Reported after the whole batch merged, on the merge
+            // thread, outside any suppression gate — snapshot contents
+            // are deterministic (see the determinism contract).
+            hook.0.report(&ProgressSnapshot {
+                expansion: exp_no_u64,
+                evaluated: self.stats.evaluated as u64,
+                best_peak_bytes: self.best.eval.peak_bytes,
+                best_planned_peak_bytes: self.best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
+                best_latency: self.best.eval.latency,
+                frontier_size,
+                pareto_size: front.len() as u64,
+                eval_cache_hits: self.stats.eval_cache_hits as u64,
+                phase: "search",
+            });
+        }
+        if magis_obs::trace::enabled() {
+            magis_obs::trace::span_with_dur(
+                "magis_core",
+                "expansion",
+                self.exp_t0.elapsed(),
+                magis_obs::fields!(
+                    expansion = exp_no_u64,
+                    candidates = self.last_candidates,
+                    merged = self.last_merged,
+                    frontier = frontier_size,
+                ),
+            );
+        }
+
+        if let Some(policy) = &self.cfg.checkpoint {
+            if self.stats.evaluated - self.evals_at_last_ckpt >= policy.every_evals {
+                self.evals_at_last_ckpt = self.stats.evaluated;
+                let frontier = if policy.frontier { Some(snapshot()) } else { None };
+                let ok = write_checkpoint(
+                    policy,
+                    &self.best,
+                    self.seed_cost,
+                    self.cfg.seed,
+                    &self.pareto,
+                    &self.seen,
+                    &self.quarantine,
+                    &self.stats,
+                    self.driver_kind,
+                    frontier,
+                )
+                .is_ok();
+                if ok {
+                    self.stats.checkpoints_written += 1;
+                    obs.checkpoints_written.inc();
+                } else {
+                    // Non-fatal: a full disk must not kill the search.
+                    self.stats.checkpoint_failures += 1;
+                    obs.checkpoint_failures.inc();
+                }
+                magis_obs::event!(
+                    "magis_core",
+                    "checkpoint",
+                    expansion = exp_no_u64,
+                    ok = ok,
+                );
+            }
+        }
+    }
+}
+
 fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> OptimizeResult {
     let start = Instant::now();
     let threads = cfg.threads.max(1);
     let obs = core_obs();
     obs.searches.inc();
-    let mut stats = OptimizerStats {
+    let stats = OptimizerStats {
         threads,
+        driver: seed.driver,
         resumed: seed.resumed,
         expanded: seed.counters.expanded as usize,
         candidates: seed.counters.candidates as usize,
@@ -1180,7 +1751,7 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
             evaluated = c.evaluated,
         );
     }
-    let mut timeline = SearchTimeline::new();
+    let timeline = SearchTimeline::new();
     let mut pareto = ParetoSet::new();
     for (m, l) in seed.pareto {
         pareto.insert(m, l);
@@ -1195,11 +1766,11 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         latency: init_lat,
     });
 
-    let mut best = init.clone();
+    let best = init.clone();
     // Trajectory-exact resume: a frontier-bearing checkpoint restores
-    // the queue, seen-set, and sequence counter verbatim — the
-    // incumbent is NOT re-pushed (its hash stays in the seen-set, as
-    // it was already expanded when the checkpoint was written).
+    // the driver frontier, seen-set, and sequence counter verbatim —
+    // the incumbent is NOT re-pushed (its hash stays in the seen-set,
+    // as it was already expanded when the checkpoint was written).
     let exact_resume = !seed.frontier.is_empty();
     // Written only between fan-outs (at pops), read-only during a
     // batch; sharded so workers could share it without contention.
@@ -1225,470 +1796,92 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     quarantine.load(&seed.quarantine);
     // Not restored on resume: checkpoints don't persist the cache, so
     // a resumed search starts cold (the first duplicate re-primes it).
-    let mut eval_cache = EvalCache::new(cfg.eval_cache);
+    let eval_cache = EvalCache::new(cfg.eval_cache);
 
-    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
-    let mut seq;
-    if exact_resume {
-        // Re-pushing the checkpointed entry set reproduces the
-        // original pop order exactly: `QueueEntry`'s ordering is total
-        // (objective key, then sequence number), so the heap's pop
-        // sequence is a pure function of its contents.
-        for (sq, state) in seed.frontier {
-            let (m, l) = state.cost();
-            queue.push(QueueEntry {
-                key: cfg.objective.key(m, l),
-                seq: sq as usize,
-                state,
-            });
-        }
-        seq = seed.next_seq as usize;
-    } else {
-        seq = 0;
-        queue.push(QueueEntry { key: cfg.objective.key(init_peak, init_lat), seq, state: init });
-    }
-
-    // The legacy `max_evals` knob truncates evaluation batches
-    // mid-expansion. The `SearchBudget` candidate limit deliberately
-    // does NOT: it is checked only at expansion boundaries (below, at
-    // the loop head), so every expansion merges atomically and the
-    // evaluated count may overshoot the limit by one expansion's
-    // batch. That boundary-only semantics is what makes the limit the
-    // bit-exact kill/resume knob — a run stopped at limit k and
-    // resumed to limit n passes through exactly the same boundary
-    // states as an uninterrupted run to n, whereas a mid-expansion
-    // truncation would discard sibling candidates that the
-    // uninterrupted run evaluates.
-    let eval_cap = cfg.max_evals;
-    let candidate_limit = cfg.search_budget.candidate_limit.unwrap_or(usize::MAX);
-    // Cooperative stop probe shared by the loop head and the fan-out
-    // workers: cancellation, then the hard deadline, then the soft
-    // budget (the returned reason reflects that priority).
-    let stop_now = || -> Option<StopReason> {
-        if cfg.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-            return Some(StopReason::Cancelled);
-        }
-        let elapsed = start.elapsed();
-        if cfg.search_budget.wall_limit.is_some_and(|w| elapsed > w) {
-            return Some(StopReason::Deadline);
-        }
-        if elapsed > cfg.budget {
-            return Some(StopReason::BudgetExpired);
-        }
-        None
+    // The driver owns the strategy state (greedy queue or MCTS tree);
+    // everything else — evaluation, bookkeeping, observability,
+    // checkpointing — lives on the engine below.
+    let mut driver: Box<dyn SearchDriver> = match seed.driver {
+        DriverKind::Greedy => Box::new(GreedyDriver::new(
+            cfg,
+            init,
+            seed.frontier,
+            seed.next_seq,
+            exact_resume,
+        )),
+        DriverKind::Mcts => match (&seed.mcts, exact_resume) {
+            // Trajectory-exact resume: tree topology, statistics, and
+            // RNG state come back verbatim.
+            (Some(meta), true) => Box::new(MctsDriver::resume(seed.frontier, meta)),
+            // Fresh search (or legacy non-frontier resume): a new tree
+            // rooted at the incumbent, RNG reseeded from the config.
+            _ => Box::new(MctsDriver::new(cfg, init)),
+        },
     };
 
-    let mut evals_at_last_ckpt = stats.evaluated;
-    let mut stop = None;
+    let evals_at_last_ckpt = stats.evaluated;
+    let mut engine = Engine {
+        cfg,
+        start,
+        threads,
+        // The legacy `max_evals` knob truncates evaluation batches
+        // mid-expansion. The `SearchBudget` candidate limit
+        // deliberately does NOT: it is checked only at expansion
+        // boundaries (in `should_stop`), so every expansion merges
+        // atomically and the evaluated count may overshoot the limit
+        // by one expansion's batch. That boundary-only semantics is
+        // what makes the limit the bit-exact kill/resume knob — a run
+        // stopped at limit k and resumed to limit n passes through
+        // exactly the same boundary states as an uninterrupted run to
+        // n, whereas a mid-expansion truncation would discard sibling
+        // candidates that the uninterrupted run evaluates.
+        eval_cap: cfg.max_evals,
+        candidate_limit: cfg.search_budget.candidate_limit.unwrap_or(usize::MAX),
+        seed_cost: seed.seed_cost,
+        driver_kind: seed.driver,
+        stats,
+        timeline,
+        pareto,
+        history,
+        best,
+        seen,
+        quarantine,
+        eval_cache,
+        evals_at_last_ckpt,
+        stop: None,
+        exp_t0: start,
+        last_candidates: 0,
+        last_merged: 0,
+    };
 
     loop {
-        // Checked *before* the pop: a deadline/budget/cap stop leaves
-        // the would-be entry in the queue, so a frontier checkpoint
-        // written at the stop captures the complete resumable frontier.
-        if let Some(reason) = stop_now() {
-            stop = Some(reason);
+        // Checked *before* the driver steps: a deadline/budget/cap
+        // stop leaves the driver's frontier intact, so a checkpoint
+        // written at the stop captures the complete resumable state.
+        if engine.should_stop() {
             break;
         }
-        if stats.evaluated >= eval_cap || stats.evaluated >= candidate_limit {
-            stop = Some(StopReason::EvalCapReached);
+        if driver.step(&mut engine) == StepOutcome::Exhausted {
             break;
         }
-        let Some(entry) = queue.pop() else { break };
-        let mut state = entry.state;
-        let t0 = Instant::now();
-        let h = graph_hash(&state.eval.graph);
-        stats.hash_time += t0.elapsed();
-        if !seen.insert(h) {
-            stats.filtered += 1;
-            obs.filtered.inc();
-            continue;
-        }
-        stats.expanded += 1;
-        obs.expansions.inc();
-        if let Some(tok) = &cfg.cancel {
-            tok.beat();
-        }
-        let exp_t0 = Instant::now();
-        let exp_no_u64 = stats.expanded as u64;
-        if state.tree_stale {
-            analyze(&mut state, cfg);
-        }
-
-        let t0 = Instant::now();
-        let mut candidates = rules::generate(&state, &cfg.rules);
-        // Quarantined rule families stop being explored entirely.
-        let before = candidates.len();
-        candidates.retain(|t| !quarantine.is_quarantined(t.sort_key().0));
-        let dropped = before - candidates.len();
-        stats.quarantined_candidates += dropped;
-        obs.quarantined_candidates.add(dropped as u64);
-        // Fix the batch order before the fan-out: the merge below
-        // consumes results in this order, making the trajectory
-        // independent of thread count and generation order.
-        candidates.sort_by_key(Transform::sort_key);
-        stats.trans_time += t0.elapsed();
-        stats.candidates += candidates.len();
-        obs.candidates.add(candidates.len() as u64);
-        for t in &candidates {
-            timeline.family_mut(rules::family_name(t.sort_key().0)).proposed += 1;
-        }
-
-        // How many evaluations may still be merged under the cap.
-        let remaining = eval_cap - stats.evaluated;
-        // Injection keys depend only on (expansion, candidate index):
-        // identical across thread counts and across reruns.
-        let plan = cfg.fault_plan.as_ref();
-        let fault_for =
-            |i: usize| plan.map(|p| (p, (exp_no_u64 << 20) | (i as u64 & 0xfffff)));
-
-        let t_wall = Instant::now();
-        // The cache is frozen (shared borrow) for the whole fan-out:
-        // workers see identical contents regardless of thread count or
-        // completion order; insertions happen below, at the merge.
-        let outcomes: Vec<CandOutcome> = if threads > 1 {
-            parallel::par_map(threads, &candidates, |i, t| {
-                if stop_now().is_some() {
-                    CandOutcome::Skipped
-                } else {
-                    evaluate_candidate(&state, t, &cfg.ctx, &eval_cache, fault_for(i), cfg.paranoia)
-                }
-            })
-        } else {
-            // Inline path: identical semantics, but the eval cap can
-            // stop work early instead of discarding results at merge.
-            let mut out = Vec::with_capacity(candidates.len());
-            let mut done = 0usize;
-            for (i, t) in candidates.iter().enumerate() {
-                if stop_now().is_some() || done >= remaining {
-                    out.push(CandOutcome::Skipped);
-                    break;
-                }
-                let o =
-                    evaluate_candidate(&state, t, &cfg.ctx, &eval_cache, fault_for(i), cfg.paranoia);
-                if matches!(o, CandOutcome::Evaluated { .. }) {
-                    done += 1;
-                }
-                out.push(o);
-            }
-            out
-        };
-        stats.eval_wall_time += t_wall.elapsed();
-
-        // Deterministic merge: consume outcomes in candidate order on
-        // this thread only. Sequence numbers, incumbent updates,
-        // quarantine strikes, the eval cap — and every metric, trace
-        // record, and timeline entry — all happen here.
-        let parent_cost = state.cost();
-        let mut merged = 0usize;
-        for (i, o) in outcomes.into_iter().enumerate() {
-            if matches!(o, CandOutcome::Skipped) {
-                break;
-            }
-            if merged >= remaining {
-                // Workers may over-evaluate past the cap; the merge
-                // discards the excess — of *every* outcome kind, so
-                // counters and quarantine strikes match `threads == 1`,
-                // where post-cap candidates never run at all.
-                break;
-            }
-            let family = candidates[i].sort_key().0;
-            let fam_name = rules::family_name(family);
-            // Re-attributes the worker-measured phase durations as a
-            // merge-thread span, keeping the record set deterministic.
-            let eval_span = |outcome: &'static str, dur: Duration| {
-                if magis_obs::trace::enabled() {
-                    magis_obs::trace::span_with_dur(
-                        "magis_core",
-                        "candidate_eval",
-                        dur,
-                        magis_obs::fields!(
-                            expansion = exp_no_u64,
-                            candidate = i,
-                            family = fam_name,
-                            outcome = outcome,
-                        ),
-                    );
-                }
-            };
-            let mut reject = |reason: &'static str, dur: Duration| {
-                outcome_counter(family, reason).inc();
-                eval_span(reason, dur);
-                magis_obs::event!(
-                    "magis_core",
-                    "reject",
-                    expansion = exp_no_u64,
-                    candidate = i,
-                    family = fam_name,
-                    reason = reason,
-                );
-                let f = timeline.family_mut(fam_name);
-                f.rejected += 1;
-                f.eval_time_us += dur.as_micros() as u64;
-            };
-            match o {
-                CandOutcome::Skipped => unreachable!("handled above"),
-                CandOutcome::Failed { trans, sched_sim } => {
-                    stats.trans_time += trans;
-                    stats.sched_sim_time += sched_sim;
-                    reject("apply-failed", trans + sched_sim);
-                }
-                CandOutcome::Panicked { trans } => {
-                    stats.trans_time += trans;
-                    stats.panicked += 1;
-                    obs.panicked.inc();
-                    reject("panicked", trans);
-                    let purged = strike_family(&mut quarantine, &mut eval_cache, family);
-                    stats.eval_cache_purged += purged;
-                    obs.eval_cache_purged.add(purged as u64);
-                }
-                CandOutcome::BadCost { trans, sched_sim } => {
-                    stats.trans_time += trans;
-                    stats.sched_sim_time += sched_sim;
-                    stats.cost_rejections += 1;
-                    obs.cost_rejections.inc();
-                    reject("bad-cost", trans + sched_sim);
-                }
-                CandOutcome::Invalid { trans, sched_sim } => {
-                    stats.trans_time += trans;
-                    stats.sched_sim_time += sched_sim;
-                    stats.invariant_rejections += 1;
-                    obs.invariant_rejections.inc();
-                    reject("invalid", trans + sched_sim);
-                    let purged = strike_family(&mut quarantine, &mut eval_cache, family);
-                    stats.eval_cache_purged += purged;
-                    obs.eval_cache_purged.add(purged as u64);
-                }
-                CandOutcome::Evaluated { child, hash, cache_hit, tainted, trans, sched_sim, hash_t } => {
-                    stats.trans_time += trans;
-                    stats.sched_sim_time += sched_sim;
-                    stats.hash_time += hash_t;
-                    merged += 1;
-                    stats.evaluated += 1;
-                    obs.evaluated.inc();
-                    if let Some(tok) = &cfg.cancel {
-                        tok.beat();
-                    }
-                    let eval_dur = trans + sched_sim + hash_t;
-
-                    // Cache accounting + insertion happen here — on the
-                    // merge thread, in candidate order — so the cache's
-                    // contents and counters are deterministic.
-                    if cache_hit {
-                        stats.eval_cache_hits += 1;
-                        obs.eval_cache_hits.inc();
-                        // LRU refresh: recency only ever advances here,
-                        // on the merge thread in candidate order, so
-                        // eviction stays bit-identical across thread
-                        // counts. No-op if a strike purged the entry
-                        // earlier in this merge pass.
-                        eval_cache.touch(hash, cfg.ctx.mem_objective);
-                        magis_obs::event!(
-                            "magis_core",
-                            "eval_cache_hit",
-                            expansion = exp_no_u64,
-                            candidate = i,
-                            family = fam_name,
-                        );
-                    } else {
-                        stats.eval_cache_misses += 1;
-                        obs.eval_cache_misses.inc();
-                        // Per-candidate instrumentation is suppressed in
-                        // the evaluation sandbox; re-attribute the
-                        // incremental-scheduling counters here (merge
-                        // thread, candidate order -> deterministic).
-                        if let Some(inc) = child.eval.inc {
-                            obs.incremental_evals.inc();
-                            if inc.carried_won {
-                                obs.incremental_carried_wins.inc();
-                            }
-                            obs.incremental_window.observe(inc.window as f64);
-                        }
-                        // Tainted children (post-eval fault injections)
-                        // and quarantined families are never cached.
-                        if !tainted && !quarantine.is_quarantined(family) {
-                            let evicted = eval_cache.insert(
-                                hash,
-                                (*child).clone(),
-                                family,
-                                cfg.ctx.mem_objective,
-                            );
-                            stats.eval_cache_evictions += evicted;
-                            obs.eval_cache_evictions.add(evicted as u64);
-                        }
-                    }
-
-                    // Cheap duplicate pre-filter before pushing.
-                    if seen.contains(hash) {
-                        stats.filtered += 1;
-                        obs.filtered.inc();
-                        reject("duplicate", eval_dur);
-                        continue;
-                    }
-
-                    let cost = child.cost();
-                    let leads = cfg.objective.better_than(cost, best.cost(), 1.0);
-                    // Invariant gate: a state may only become the
-                    // incumbent after its graph, schedule, and memory
-                    // accounting re-validate. A violator is dropped
-                    // entirely (not queued, not on the frontier) and
-                    // strikes its rule family.
-                    if leads
-                        && cfg.paranoia == ParanoiaLevel::Incumbent
-                        && check_invariants(&child, &cfg.ctx).is_err()
-                    {
-                        stats.invariant_rejections += 1;
-                        obs.invariant_rejections.inc();
-                        reject("invalid", eval_dur);
-                        let purged = strike_family(&mut quarantine, &mut eval_cache, family);
-                        stats.eval_cache_purged += purged;
-                        obs.eval_cache_purged.add(purged as u64);
-                        continue;
-                    }
-                    pareto.insert(cost.0, cost.1);
-                    if leads {
-                        best = (*child).clone();
-                        history.push(ProgressPoint {
-                            elapsed: start.elapsed().as_secs_f64(),
-                            peak_bytes: cost.0,
-                            latency: cost.1,
-                        });
-                        obs.incumbent_improvements.inc();
-                        magis_obs::event!(
-                            "magis_core",
-                            "incumbent",
-                            expansion = exp_no_u64,
-                            peak_bytes = cost.0,
-                            latency = cost.1,
-                        );
-                    }
-                    if cfg.objective.better_than(cost, best.cost(), cfg.delta) {
-                        seq += 1;
-                        queue.push(QueueEntry {
-                            key: cfg.objective.key(cost.0, cost.1),
-                            seq,
-                            state: *child,
-                        });
-                        obs.queue_pushes.inc();
-                        outcome_counter(family, "accept").inc();
-                        eval_span("accept", eval_dur);
-                        magis_obs::event!(
-                            "magis_core",
-                            "accept",
-                            expansion = exp_no_u64,
-                            candidate = i,
-                            family = fam_name,
-                            peak_bytes = cost.0,
-                            latency = cost.1,
-                        );
-                        let f = timeline.family_mut(fam_name);
-                        f.accepted += 1;
-                        f.mem_delta_bytes += cost.0 as i64 - parent_cost.0 as i64;
-                        f.lat_delta += cost.1 - parent_cost.1;
-                        f.eval_time_us += eval_dur.as_micros() as u64;
-                    } else {
-                        // Evaluated but dominated by the δ-relaxed
-                        // incumbent: not queued.
-                        reject("dominated", eval_dur);
-                    }
-                }
-            }
-        }
-
-        let front = pareto.front();
-        timeline.record_pareto(exp_no_u64, front.clone());
-        timeline.record_point(TimelinePoint {
-            expansion: exp_no_u64,
-            evaluated: stats.evaluated as u64,
-            best_peak_bytes: best.eval.peak_bytes,
-            best_latency: best.eval.latency,
-            frontier_size: queue.len() as u64,
-            pareto_size: front.len() as u64,
-            elapsed_us: start.elapsed().as_micros() as u64,
-        });
-        obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
-        obs.best_latency.set(best.eval.latency);
-        obs.frontier_size.set(queue.len() as f64);
-        obs.eval_cache_size.set(eval_cache.len() as f64);
-        obs.expansion_seconds.observe_duration(exp_t0.elapsed());
-        if let Some(hook) = &cfg.progress {
-            // Reported after the whole batch merged, on the merge
-            // thread, outside any suppression gate — snapshot contents
-            // are deterministic (see the determinism contract).
-            hook.0.report(&ProgressSnapshot {
-                expansion: exp_no_u64,
-                evaluated: stats.evaluated as u64,
-                best_peak_bytes: best.eval.peak_bytes,
-                best_planned_peak_bytes: best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
-                best_latency: best.eval.latency,
-                frontier_size: queue.len() as u64,
-                pareto_size: front.len() as u64,
-                eval_cache_hits: stats.eval_cache_hits as u64,
-                phase: "search",
-            });
-        }
-        if magis_obs::trace::enabled() {
-            magis_obs::trace::span_with_dur(
-                "magis_core",
-                "expansion",
-                exp_t0.elapsed(),
-                magis_obs::fields!(
-                    expansion = exp_no_u64,
-                    candidates = candidates.len(),
-                    merged = merged,
-                    frontier = queue.len(),
-                ),
-            );
-        }
-
-        if let Some(policy) = &cfg.checkpoint {
-            if stats.evaluated - evals_at_last_ckpt >= policy.every_evals {
-                evals_at_last_ckpt = stats.evaluated;
-                let ok = write_checkpoint(
-                    policy,
-                    &best,
-                    seed.seed_cost,
-                    cfg.seed,
-                    &pareto,
-                    &seen,
-                    &quarantine,
-                    &stats,
-                    policy.frontier.then_some((&queue, seq)),
-                )
-                .is_ok();
-                if ok {
-                    stats.checkpoints_written += 1;
-                    obs.checkpoints_written.inc();
-                } else {
-                    // Non-fatal: a full disk must not kill the search.
-                    stats.checkpoint_failures += 1;
-                    obs.checkpoint_failures.inc();
-                }
-                magis_obs::event!(
-                    "magis_core",
-                    "checkpoint",
-                    expansion = exp_no_u64,
-                    ok = ok,
-                );
-            }
-        }
-
     }
-    stats.stop_reason = stop.unwrap_or_else(|| {
-        // The queue ran dry. If rule families were quarantined along
-        // the way, faults shrank the reachable space: report a fault
-        // storm. (Quarantined candidate *filtering* may never have
-        // happened — a total storm kills every child before a second
-        // expansion — so the family list, not the filter counter, is
-        // the signal.)
-        if quarantine.quarantined_families().is_empty() {
+
+    engine.stats.stop_reason = engine.stop.unwrap_or_else(|| {
+        // The frontier ran dry. If rule families were quarantined
+        // along the way, faults shrank the reachable space: report a
+        // fault storm. (Quarantined candidate *filtering* may never
+        // have happened — a total storm kills every child before a
+        // second expansion — so the family list, not the filter
+        // counter, is the signal.)
+        if engine.quarantine.quarantined_families().is_empty() {
             StopReason::QueueExhausted
         } else {
             StopReason::FaultStorm
         }
     });
 
-    stats.quarantine_strikes = quarantine.entries();
-    stats.quarantined_families = quarantine.quarantined_families();
+    engine.stats.quarantine_strikes = engine.quarantine.entries();
+    engine.stats.quarantined_families = engine.quarantine.quarantined_families();
 
     // Frontier checkpoints are exact in-flight snapshots: the final one
     // is written *before* the polish below, and the resumed run
@@ -1700,21 +1893,22 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
         let policy = cfg.checkpoint.as_ref().expect("frontier_mode implies a policy");
         let ok = write_checkpoint(
             policy,
-            &best,
-            seed.seed_cost,
+            &engine.best,
+            engine.seed_cost,
             cfg.seed,
-            &pareto,
-            &seen,
-            &quarantine,
-            &stats,
-            Some((&queue, seq)),
+            &engine.pareto,
+            &engine.seen,
+            &engine.quarantine,
+            &engine.stats,
+            engine.driver_kind,
+            Some(driver.frontier_snapshot()),
         )
         .is_ok();
         if ok {
-            stats.checkpoints_written += 1;
+            engine.stats.checkpoints_written += 1;
             obs.checkpoints_written.inc();
         } else {
-            stats.checkpoint_failures += 1;
+            engine.stats.checkpoint_failures += 1;
             obs.checkpoint_failures.inc();
         }
         magis_obs::event!("magis_core", "checkpoint", ok = ok, at = "final",);
@@ -1722,33 +1916,34 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
 
     // Final polish: reschedule the incumbent with the full-quality beam
     // and keep whichever is better.
-    let polished = best.rescheduled(&cfg.ctx);
-    if cfg.objective.better_than(polished.cost(), best.cost(), 1.0)
+    let polished = engine.best.rescheduled(&cfg.ctx);
+    if cfg.objective.better_than(polished.cost(), engine.best.cost(), 1.0)
         && (cfg.paranoia == ParanoiaLevel::Off || check_invariants(&polished, &cfg.ctx).is_ok())
     {
         let (p_peak, p_lat) = polished.cost();
-        pareto.insert(p_peak, p_lat);
-        best = polished;
+        engine.pareto.insert(p_peak, p_lat);
+        engine.best = polished;
     }
     if !frontier_mode {
         if let Some(policy) = &cfg.checkpoint {
             let ok = write_checkpoint(
                 policy,
-                &best,
-                seed.seed_cost,
+                &engine.best,
+                engine.seed_cost,
                 cfg.seed,
-                &pareto,
-                &seen,
-                &quarantine,
-                &stats,
+                &engine.pareto,
+                &engine.seen,
+                &engine.quarantine,
+                &engine.stats,
+                engine.driver_kind,
                 None,
             )
             .is_ok();
             if ok {
-                stats.checkpoints_written += 1;
+                engine.stats.checkpoints_written += 1;
                 obs.checkpoints_written.inc();
             } else {
-                stats.checkpoint_failures += 1;
+                engine.stats.checkpoint_failures += 1;
                 obs.checkpoint_failures.inc();
             }
             magis_obs::event!("magis_core", "checkpoint", ok = ok, at = "final",);
@@ -1757,35 +1952,42 @@ fn run_search(init: MState, seed: SearchSeed, cfg: &OptimizerConfig) -> Optimize
     magis_obs::event!(
         "magis_core",
         "stop",
-        reason = stats.stop_reason.to_string(),
-        expanded = stats.expanded,
-        evaluated = stats.evaluated,
+        reason = engine.stats.stop_reason.to_string(),
+        expanded = engine.stats.expanded,
+        evaluated = engine.stats.evaluated,
     );
-    obs.best_peak_bytes.set(best.eval.peak_bytes as f64);
-    obs.best_latency.set(best.eval.latency);
+    obs.best_peak_bytes.set(engine.best.eval.peak_bytes as f64);
+    obs.best_latency.set(engine.best.eval.latency);
     if let Some(hook) = &cfg.progress {
         // Terminal snapshot: the post-polish incumbent. Deterministic
         // like every other snapshot — the polish itself is.
         hook.0.report(&ProgressSnapshot {
-            expansion: stats.expanded as u64,
-            evaluated: stats.evaluated as u64,
-            best_peak_bytes: best.eval.peak_bytes,
-            best_planned_peak_bytes: best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
-            best_latency: best.eval.latency,
-            frontier_size: queue.len() as u64,
-            pareto_size: pareto.front().len() as u64,
-            eval_cache_hits: stats.eval_cache_hits as u64,
+            expansion: engine.stats.expanded as u64,
+            evaluated: engine.stats.evaluated as u64,
+            best_peak_bytes: engine.best.eval.peak_bytes,
+            best_planned_peak_bytes: engine.best.eval.plan.as_ref().map(|p| p.planned_peak_bytes),
+            best_latency: engine.best.eval.latency,
+            frontier_size: driver.frontier_len(),
+            pareto_size: engine.pareto.front().len() as u64,
+            eval_cache_hits: engine.stats.eval_cache_hits as u64,
             phase: "done",
         });
     }
-    timeline.memory_profile = memory_profile(&best.eval.graph, &best.eval.order).step_bytes;
+    engine.timeline.memory_profile =
+        memory_profile(&engine.best.eval.graph, &engine.best.eval.order).step_bytes;
     // Planner outcome for the timeline: the winning state's allocator
     // high-water mark and fragmentation overhead (zeros = planner off).
-    if let Some(plan) = &best.eval.plan {
-        timeline.planned_peak_bytes = plan.planned_peak_bytes;
-        timeline.fragmentation_ratio = plan.fragmentation_ratio();
+    if let Some(plan) = &engine.best.eval.plan {
+        engine.timeline.planned_peak_bytes = plan.planned_peak_bytes;
+        engine.timeline.fragmentation_ratio = plan.fragmentation_ratio();
     }
-    OptimizeResult { best, pareto, history, stats, timeline }
+    OptimizeResult {
+        best: engine.best,
+        pareto: engine.pareto,
+        history: engine.history,
+        stats: engine.stats,
+        timeline: engine.timeline,
+    }
 }
 
 fn analyze(state: &mut MState, cfg: &OptimizerConfig) {
@@ -1823,6 +2025,7 @@ mod tests {
     use magis_graph::builder::GraphBuilder;
     use magis_graph::grad::{append_backward, TrainOptions};
     use magis_graph::tensor::DType;
+    use std::collections::BinaryHeap;
 
     fn train_mlp(depth: usize) -> Graph {
         let mut b = GraphBuilder::new(DType::F32);

@@ -12,6 +12,7 @@ use crate::journal::CKPT_FILE;
 use crate::protocol::{fnv1a, JobResult, JobSpec};
 use magis_core::budget::{CancelToken, SearchBudget};
 use magis_core::checkpoint::SearchCheckpoint;
+use magis_core::driver::DriverKind;
 use magis_core::optimizer::{
     self, try_optimize, CheckpointPolicy, Objective, OptimizeResult, OptimizerConfig,
     ProgressSink,
@@ -72,9 +73,19 @@ fn config_for(
     if let Some(n) = spec.max_candidates {
         budget = budget.with_candidate_limit(n);
     }
+    // The strategy string was validated at the protocol boundary
+    // (`JobSpec::from_json` rejects unknown names); unset means the
+    // optimizer default. Crash-recovery resumes ignore this: the
+    // checkpoint is driver-tagged and restores its own engine.
+    let driver = spec
+        .strategy
+        .as_deref()
+        .and_then(DriverKind::parse)
+        .unwrap_or_default();
     let mut cfg = OptimizerConfig::new(objective)
         .with_budget(Duration::from_millis(spec.budget_ms))
         .with_threads(spec.threads)
+        .with_driver(driver)
         .with_search_budget(budget)
         .with_cancel(token)
         .with_checkpoint(

@@ -29,6 +29,7 @@
 //! between expansions, heartbeat frames carry the eval-beat count from
 //! the search's [`CancelToken`](magis_core::CancelToken).
 
+use magis_core::driver::DriverKind;
 use magis_obs::json::Json;
 use magis_sim::MemObjective;
 
@@ -79,6 +80,10 @@ pub struct JobSpec {
     pub eval_cache: Option<usize>,
     /// Checkpoint cadence in merged evaluations.
     pub checkpoint_every: usize,
+    /// Search strategy (`greedy` / `mcts`); `None` = the optimizer's
+    /// default (greedy). Omitted from the canonical rendering when
+    /// unset so existing cache keys and journal entries stay stable.
+    pub strategy: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -98,6 +103,7 @@ impl Default for JobSpec {
             threads: 1,
             eval_cache: None,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            strategy: None,
         }
     }
 }
@@ -142,6 +148,9 @@ impl JobSpec {
             o.push(("eval_cache".into(), Json::UInt(c as u64)));
         }
         o.push(("checkpoint_every".into(), Json::UInt(self.checkpoint_every as u64)));
+        if let Some(st) = &self.strategy {
+            o.push(("strategy".into(), Json::Str(st.clone())));
+        }
         Json::Obj(o)
     }
 
@@ -195,6 +204,13 @@ impl JobSpec {
         if let Some(v) = get("checkpoint_every") {
             s.checkpoint_every =
                 (v.as_u64().ok_or("checkpoint_every must be an integer")? as usize).max(1);
+        }
+        if let Some(v) = get("strategy") {
+            let name = v.as_str().ok_or("strategy must be a string")?;
+            if DriverKind::parse(name).is_none() {
+                return Err(format!("unknown strategy '{name}' (expected greedy|mcts)"));
+            }
+            s.strategy = Some(name.to_string());
         }
         if s.workload.is_none() && s.graph.is_none() {
             return Err("a job needs either 'workload' or 'graph'".into());
@@ -419,6 +435,26 @@ mod tests {
     fn spec_requires_a_model() {
         let j = Json::parse("{\"mode\":\"memory\"}").unwrap();
         assert!(JobSpec::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn strategy_field_round_trips_and_keys_the_cache() {
+        // Unset strategy is omitted from the canonical rendering, so
+        // cache keys and journal entries written before the field
+        // existed stay valid.
+        let a = spec();
+        assert!(!a.to_json().render().contains("strategy"));
+        let mut b = spec();
+        b.strategy = Some("mcts".into());
+        let j = b.to_json();
+        assert!(j.render().contains("\"strategy\":\"mcts\""));
+        let parsed = JobSpec::from_json(&Json::parse(&j.render()).unwrap()).unwrap();
+        assert_eq!(parsed, b);
+        // Different strategies are different cached results.
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Unknown strategies are rejected at the protocol boundary.
+        let bad = j.render().replacen("mcts", "quantum", 1);
+        assert!(JobSpec::from_json(&Json::parse(&bad).unwrap()).is_err());
     }
 
     #[test]
