@@ -53,6 +53,16 @@ run cargo test -q --test serve_robustness
 run cargo test -q --test observability
 run cargo test -q --test serve_observability
 
+# Copy-on-write graph representation: CoW clones must be
+# observationally identical to deep copies (WL hash, canonical record,
+# full evaluation, randomized rewrite lineages), snapshots must stay
+# frozen while descendants mutate, and the structural clone-cost guard
+# must hold — a one-node rewrite of a 1k-node graph unshares the same
+# page count as on a 2k-node graph (cost tracks the delta, not the
+# untouched-node count).
+run env RUST_TEST_THREADS=1 cargo test -q --test cow_graph
+run cargo test -q --test cow_graph
+
 # Incremental evaluation: every delta-scheduled / delta-profiled /
 # cache-served candidate must be bit-identical to a from-scratch
 # re-evaluation (paranoid cross-check on the bench workloads), and the

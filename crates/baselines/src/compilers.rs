@@ -10,6 +10,7 @@
 //! remains. This is the dominant effect of Relay/Triton fusion on the
 //! modelled workloads.
 
+use magis_graph::GraphView;
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::OpKind;

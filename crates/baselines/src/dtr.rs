@@ -11,6 +11,7 @@
 //! behaviour under very tight budgets ("DTR's processes … take too
 //! long with a 40% memory limit") both emerge from this loop.
 
+use magis_graph::GraphView;
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_sim::memory::device_bytes;

@@ -7,6 +7,7 @@
 //! gradient accumulation across micro-batches keeps one weight-grad
 //! buffer resident for the whole step, which is added to the peak.
 
+use magis_graph::GraphView;
 use crate::{pofo, BaselineResult};
 use magis_graph::grad::TrainingGraph;
 use magis_sim::NodeCost;

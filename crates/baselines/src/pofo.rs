@@ -22,6 +22,7 @@
 //! applied as real `Store`/`Load` pairs or recompute clones and
 //! measured by the shared simulator.
 
+use magis_graph::{GraphTxn, GraphView};
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
 use magis_sched::{place_swaps, stabilize_order};
@@ -134,24 +135,28 @@ pub fn run<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> Base
         // Apply the eviction: the whole late cluster reads the
         // reloaded/recomputed copy.
         if plan.offload {
-            let Ok(st) = g2.add(magis_graph::OpKind::Store, &[plan.tensor]) else { continue };
-            let Ok(ld) = g2.add(magis_graph::OpKind::Load, &[st]) else { continue };
+            let mut txn = GraphTxn::begin(&g2);
+            let Ok(st) = txn.add(magis_graph::OpKind::Store, &[plan.tensor]) else { continue };
+            let Ok(ld) = txn.add(magis_graph::OpKind::Load, &[st]) else { continue };
             for &u in &plan.late_users {
-                g2.replace_input(u, plan.tensor, ld);
+                txn.replace_input(u, plan.tensor, ld);
             }
+            g2 = txn.commit().0;
             let at = desired.iter().position(|&v| v == first_late).expect("user scheduled");
             desired.insert(at, ld);
             let pat = desired.iter().position(|&v| v == plan.tensor).expect("producer scheduled");
             desired.insert(pat + 1, st);
         } else {
             let node = g2.node(plan.tensor).clone();
-            let Ok(clone) = g2.add_with_meta(node.op.clone(), node.inputs(), node.meta.clone())
+            let mut txn = GraphTxn::begin(&g2);
+            let Ok(clone) = txn.add_with_meta(node.op.clone(), node.inputs(), node.meta.clone())
             else {
                 continue;
             };
             for &u in &plan.late_users {
-                g2.replace_input(u, plan.tensor, clone);
+                txn.replace_input(u, plan.tensor, clone);
             }
+            g2 = txn.commit().0;
             let at = desired.iter().position(|&v| v == first_late).expect("user scheduled");
             desired.insert(at, clone);
         }

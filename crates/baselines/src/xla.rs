@@ -7,6 +7,7 @@
 //! recomputation extends its operands' lifetimes, creating new hot
 //! spots that demand further recomputation.
 
+use magis_graph::{GraphTxn, GraphView};
 use crate::compilers::fused_latency;
 use crate::BaselineResult;
 use magis_graph::graph::{Graph, NodeId};
@@ -87,7 +88,8 @@ pub fn run<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> Base
         let Some((v, far, _)) = pick else { break };
         tried[v.index()] = true;
         let node = g.node(v).clone();
-        let Ok(clone) = g.add_with_meta(node.op.clone(), node.inputs(), node.meta.clone())
+        let mut txn = GraphTxn::begin(&g);
+        let Ok(clone) = txn.add_with_meta(node.op.clone(), node.inputs(), node.meta.clone())
         else {
             break;
         };
@@ -96,8 +98,9 @@ pub fn run<C: NodeCost + ?Sized>(g: &Graph, budget: Option<u64>, cm: &C) -> Base
             .min_by_key(|u| pos[u.index()])
             .expect("nonempty cluster");
         for &u in &far {
-            g.replace_input(u, v, clone);
+            txn.replace_input(u, v, clone);
         }
+        g = txn.commit().0;
         remats += 1;
         // Desired position: clone right before its earliest user.
         let mut desired: Vec<NodeId> = Vec::with_capacity(order.len() + 1);

@@ -9,6 +9,7 @@ use magis_util::{criterion_group, criterion_main};
 use magis_core::dgraph::DimGraph;
 use magis_core::ftree::FTree;
 use magis_graph::algo::{graph_hash, topo_order, DomTree, Reachability};
+use magis_graph::GraphView;
 use magis_models::Workload;
 use magis_sim::memory_profile;
 use std::collections::BTreeSet;

@@ -9,6 +9,7 @@ use magis_core::state::{EvalContext, MState};
 use magis_models::random_dnn::{random_dnn, RandomDnnConfig};
 use magis_sched::{full_schedule, incremental_schedule, IntervalParams, SchedConfig};
 use std::hint::black_box;
+use magis_graph::GraphView;
 
 fn bench_incremental_vs_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("reschedule_after_transform");

@@ -12,6 +12,7 @@ use magis_models::Workload;
 use magis_util::bench::{black_box, BenchmarkId, Criterion};
 use magis_util::{criterion_group, criterion_main};
 use std::time::Duration;
+use magis_graph::GraphView;
 
 fn bench_parallel_search(c: &mut Criterion) {
     let tg = Workload::BertBase.build(0.1);

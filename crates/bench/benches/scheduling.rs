@@ -8,6 +8,7 @@ use magis_models::random_dnn::{random_dnn, RandomDnnConfig};
 use magis_sched::{dp_schedule, full_schedule, stabilize_order, SchedConfig, SchedTask};
 use std::collections::BTreeSet;
 use std::hint::black_box;
+use magis_graph::GraphView;
 
 fn bench_dp_beam_widths(c: &mut Criterion) {
     let g = random_dnn(&RandomDnnConfig { cells: 3, ..RandomDnnConfig::default() }, 7);

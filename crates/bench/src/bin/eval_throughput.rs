@@ -95,6 +95,35 @@ fn run_mode(
     ModeRun { cands_per_sec: res.stats.evaluated as f64 / elapsed.max(1e-9), stats: res.stats }
 }
 
+/// Work count for the CoW-materialization column: applies per model,
+/// cycling over the state's candidate transforms.
+const COW_APPLIES: usize = 4000;
+
+/// Pure graph-materialization throughput of the copy-on-write layer:
+/// how many candidate base graphs per second `rules::apply` can
+/// clone-and-rewrite off a fixed parent state — no scheduling, no
+/// simulation. This isolates the tentpole property of the paged
+/// representation (clone is an `Arc` bump; a rewrite unshares only the
+/// pages it touches), so regressions in clone cost show up here even
+/// when the evaluation pipeline hides them.
+fn run_cow(g: &magis_graph::graph::Graph) -> f64 {
+    use magis_core::rules::{self, RuleConfig};
+    let state = MState::initial(g.clone(), &EvalContext::default());
+    let cands = rules::generate(&state, &RuleConfig::default());
+    if cands.is_empty() {
+        return 0.0;
+    }
+    let t0 = Instant::now();
+    let mut made = 0usize;
+    for i in 0..COW_APPLIES {
+        if let Ok(a) = rules::apply(&state, &cands[i % cands.len()]) {
+            std::hint::black_box(&a.base);
+            made += 1;
+        }
+    }
+    made as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
 struct DriverRun {
     cands_per_sec: f64,
     best_peak: u64,
@@ -206,6 +235,7 @@ fn main() {
         let inc_alt = run_mode(&g, EvalMode::Incremental, lv, alt_backend, 1, &opts);
         let inc_planned =
             run_mode(&g, EvalMode::Incremental, MemObjective::Planned, default_backend, 1, &opts);
+        let cow_cps = run_cow(&g);
         let serve_rps = run_service(serve_name, scale, mt_threads);
         let speedup = inc.cands_per_sec / full.cands_per_sec.max(1e-9);
         rows.push(vec![
@@ -217,6 +247,7 @@ fn main() {
             format!("{:.1}", inc_mt.cands_per_sec),
             format!("{:.1}", inc_alt.cands_per_sec),
             format!("{:.1}", inc_planned.cands_per_sec),
+            format!("{:.0}", cow_cps),
             format!("{:.2}", serve_rps),
             format!("{:.2}x", speedup),
             format!("{}", inc.stats.eval_cache_hits),
@@ -227,6 +258,7 @@ fn main() {
                 "\"full_cands_per_sec\": {:.2}, \"incremental_cands_per_sec\": {:.2}, ",
                 "\"incremental_mt_cands_per_sec\": {:.2}, \"mt_threads\": {}, ",
                 "\"a100_cands_per_sec\": {:.2}, \"planned_cands_per_sec\": {:.2}, ",
+                "\"cow_cands_per_sec\": {:.2}, ",
                 "\"serve_requests_per_sec\": {:.3}, \"serve_requests\": {}, ",
                 "\"serve_evals_per_request\": {}, ",
                 "\"speedup\": {:.3}, \"eval_cache_hits\": {}}}"
@@ -240,6 +272,7 @@ fn main() {
             mt_threads,
             inc_alt.cands_per_sec,
             inc_planned.cands_per_sec,
+            cow_cps,
             serve_rps,
             SERVICE_REQUESTS,
             SERVICE_EVALS,
@@ -257,6 +290,7 @@ fn main() {
         "inc-mt c/s",
         "a100 c/s",
         "planned c/s",
+        "cow c/s",
         "serve req/s",
         "speedup",
         "cache hits",

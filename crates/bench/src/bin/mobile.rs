@@ -7,6 +7,7 @@
 //! swapping relatively costlier, so the optimizer leans further on
 //! fission and re-materialization.
 
+use magis_graph::GraphView;
 use magis_bench::{print_table, ExpOpts};
 use magis_core::optimizer::{optimize, Objective, OptimizerConfig};
 use magis_core::state::{EvalContext, MState};

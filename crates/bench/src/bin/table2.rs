@@ -3,6 +3,7 @@
 //! footprints, anchor peak memory and latency on the simulated
 //! RTX 3090).
 
+use magis_graph::GraphView;
 use magis_bench::{anchor, gib, print_table, ExpOpts};
 use magis_models::Workload;
 

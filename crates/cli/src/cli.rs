@@ -2,6 +2,7 @@
 //! Hand-rolled (no third-party argument parser): flags are
 //! `--name value` pairs after a subcommand.
 
+use magis_graph::GraphView;
 use magis_baselines::BaselineKind;
 use magis_core::checkpoint::SearchCheckpoint;
 use magis_core::codegen::generate_pytorch;

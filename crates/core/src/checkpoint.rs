@@ -37,6 +37,7 @@
 //! config is authoritative, so a checkpoint can be resumed under a
 //! different budget or thread count without surgery.
 
+use magis_graph::GraphView;
 use crate::driver::DriverKind;
 use crate::ftree::{FTree, FTreeNode};
 use crate::fission::FissionSpec;

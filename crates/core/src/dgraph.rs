@@ -11,6 +11,7 @@
 //! dimensions" (batch, heads, sequence, …) that a fission
 //! transformation can split along.
 
+use magis_graph::GraphView;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::DimLink;
 use std::collections::{BTreeMap, BTreeSet};

@@ -23,6 +23,7 @@
 use magis_graph::algo::topo::topo_order_of;
 use magis_graph::algo::{is_convex, is_weakly_connected};
 use magis_graph::graph::{Graph, NodeId};
+use magis_graph::{GraphTxn, GraphView};
 use magis_graph::op::{DimLink, MergeKind, OpKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -117,7 +118,7 @@ impl FissionSpec {
     /// # Errors
     ///
     /// Returns the first violated F-Trans constraint.
-    pub fn validate(&self, g: &Graph) -> Result<(), FissionError> {
+    pub fn validate<G: GraphView>(&self, g: &G) -> Result<(), FissionError> {
         if self.set.is_empty()
             || self.dims.len() != self.set.len()
             || !self.dims.keys().all(|v| self.set.contains(v))
@@ -206,9 +207,9 @@ impl FissionSpec {
     ///
     /// Returns [`FissionError::AmbiguousInputSlice`] when consumers
     /// disagree.
-    pub fn input_slice_axes(
+    pub fn input_slice_axes<G: GraphView>(
         &self,
-        g: &Graph,
+        g: &G,
     ) -> Result<BTreeMap<NodeId, Option<usize>>, FissionError> {
         let mut out: BTreeMap<NodeId, Option<usize>> = BTreeMap::new();
         for &v in &self.set {
@@ -248,7 +249,7 @@ impl FissionSpec {
     }
 
     /// Region outputs: nodes of `S` read from outside or terminal.
-    pub fn outputs(&self, g: &Graph) -> Vec<NodeId> {
+    pub fn outputs<G: GraphView>(&self, g: &G) -> Vec<NodeId> {
         g.set_outputs(&self.set).into_iter().collect()
     }
 
@@ -256,7 +257,7 @@ impl FissionSpec {
     /// (extension E1): the sum over region operators of the overlap
     /// their windows need at part boundaries. Zero for batch/head
     /// splits; `Σ (k−1)` for chains of stride-1 convolutions.
-    pub fn region_halo(&self, g: &Graph) -> u64 {
+    pub fn region_halo<G: GraphView>(&self, g: &G) -> u64 {
         let mut total = 0u64;
         for (&v, &d) in &self.dims {
             if d <= 0 {
@@ -284,17 +285,18 @@ impl FissionSpec {
     }
 }
 
-/// Applies the representative-part overlay of `spec` to `g` in place.
+/// Applies the representative-part overlay of `spec` to the graph
+/// under transaction `g`.
 ///
 /// Must be called on a validated spec with `parts ≥ 2`. Composes with
-/// itself: a nested (child) region can be overlaid afterwards, further
-/// scaling the shared nodes.
+/// itself: a nested (child) region can be overlaid in the same
+/// transaction afterwards, further scaling the shared nodes.
 ///
 /// # Errors
 ///
 /// Returns a [`FissionError`] if the spec does not validate against
-/// the current graph.
-pub fn apply_overlay(g: &mut Graph, spec: &FissionSpec) -> Result<OverlayInfo, FissionError> {
+/// the transaction's current graph.
+pub fn apply_overlay(g: &mut GraphTxn, spec: &FissionSpec) -> Result<OverlayInfo, FissionError> {
     if spec.parts < 2 {
         return Err(FissionError::TrivialParts);
     }
@@ -399,7 +401,7 @@ pub fn apply_full(g: &Graph, spec: &FissionSpec) -> Result<Graph, FissionError> 
     let n = spec.parts;
     let slice_axes = spec.input_slice_axes(g)?;
     let outputs = spec.outputs(g);
-    let mut out = g.clone();
+    let mut out = GraphTxn::begin(g);
     let region_order = topo_order_of(g, &spec.set);
 
     // Per-part clones of the region.
@@ -483,7 +485,7 @@ pub fn apply_full(g: &Graph, spec: &FissionSpec) -> Result<Graph, FissionError> 
         // merges; originals now have no users.
         out.remove(v).expect("region node no longer used");
     }
-    Ok(out)
+    Ok(out.commit().0)
 }
 
 #[cfg(test)]
@@ -530,8 +532,9 @@ mod tests {
     #[test]
     fn overlay_scales_shapes_and_repeats() {
         let (g0, spec) = mlp_segment();
-        let mut g = g0.clone();
-        let info = apply_overlay(&mut g, &spec).unwrap();
+        let mut txn = GraphTxn::begin(&g0);
+        let info = apply_overlay(&mut txn, &spec).unwrap();
+        let g = txn.commit().0;
         g.validate().unwrap();
         assert_eq!(info.slices.len(), 1);
         assert_eq!(info.merges.len(), 1, "only y is an output");
@@ -549,8 +552,9 @@ mod tests {
         let (g0, spec) = mlp_segment();
         let cm = CostModel::default();
         let base = evaluate(&g0, &topo_order(&g0), &cm);
-        let mut g = g0.clone();
-        apply_overlay(&mut g, &spec).unwrap();
+        let mut txn = GraphTxn::begin(&g0);
+        apply_overlay(&mut txn, &spec).unwrap();
+        let g = txn.commit().0;
         let ev = evaluate(&g, &topo_order(&g), &cm);
         assert!(
             ev.peak_bytes < base.peak_bytes,
@@ -565,8 +569,9 @@ mod tests {
     fn full_materialization_matches_overlay_costs() {
         let (g0, spec) = mlp_segment();
         let cm = CostModel::default();
-        let mut overlay = g0.clone();
-        apply_overlay(&mut overlay, &spec).unwrap();
+        let mut txn = GraphTxn::begin(&g0);
+        apply_overlay(&mut txn, &spec).unwrap();
+        let overlay = txn.commit().0;
         let full = apply_full(&g0, &spec).unwrap();
         full.validate().unwrap();
         let ev_o = evaluate(&overlay, &topo_order(&overlay), &cm);
@@ -592,8 +597,9 @@ mod tests {
         let dims: BTreeMap<NodeId, i32> = [(dw, -1)].into_iter().collect();
         let spec = FissionSpec { set, dims, parts: 2 };
         spec.validate(&g0).unwrap();
-        let mut g = g0.clone();
-        let info = apply_overlay(&mut g, &spec).unwrap();
+        let mut txn = GraphTxn::begin(&g0);
+        let info = apply_overlay(&mut txn, &spec).unwrap();
+        let g = txn.commit().0;
         let m = info.merges[0];
         assert!(matches!(g.node(m).op, OpKind::Merge { kind: MergeKind::Sum, .. }));
         // dw keeps its full shape (partial sums are full-sized).
@@ -673,20 +679,21 @@ mod tests {
     #[test]
     fn nested_overlay_composes() {
         let (g0, spec) = mlp_segment();
-        let mut g = g0.clone();
-        apply_overlay(&mut g, &spec).unwrap();
+        let mut txn = GraphTxn::begin(&g0);
+        apply_overlay(&mut txn, &spec).unwrap();
         // Child region: just the relu, split 2 further ways.
         let relu = *spec
             .set
             .iter()
-            .find(|&&v| matches!(g.node(v).op, OpKind::Unary(_)))
+            .find(|&&v| matches!(txn.node(v).op, OpKind::Unary(_)))
             .unwrap();
         let child = FissionSpec {
             set: [relu].into_iter().collect(),
             dims: [(relu, 1)].into_iter().collect(),
             parts: 2,
         };
-        apply_overlay(&mut g, &child).unwrap();
+        apply_overlay(&mut txn, &child).unwrap();
+        let g = txn.commit().0;
         assert_eq!(g.node(relu).cost_repeat, 8, "4 x 2 nested parts");
         assert_eq!(g.node(relu).meta.shape.dim(0), 8, "64 / 4 / 2");
         g.validate().unwrap();

@@ -9,6 +9,7 @@
 //! the inputs that must stay resident, stratified into `L` score
 //! intervals so the tree offers both coarse and fine fission choices.
 
+use magis_graph::GraphView;
 use crate::dgraph::{component_dims, DimGraph};
 use crate::fission::FissionSpec;
 use magis_graph::algo::dominator::DomTree;
@@ -49,26 +50,43 @@ fn dominant_entry_region(
     g: &Graph,
     comp: &BTreeSet<NodeId>,
 ) -> Option<BTreeSet<NodeId>> {
+    // Dense membership marks; raw neighbour slices (duplicates are
+    // harmless for both the entry test and the reach DFS).
+    let mut in_comp = vec![false; g.capacity()];
+    for &v in comp {
+        in_comp[v.index()] = true;
+    }
     let entries: Vec<NodeId> = comp
         .iter()
         .copied()
-        .filter(|&v| g.pre_all(v).iter().all(|p| !comp.contains(p)))
+        .filter(|&v| {
+            let n = g.node(v);
+            n.inputs().iter().chain(n.keepalive()).all(|p| !in_comp[p.index()])
+        })
         .collect();
-    let reach = |e: NodeId| -> BTreeSet<NodeId> {
-        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    let mut seen = vec![false; g.capacity()];
+    let mut best: Option<BTreeSet<NodeId>> = None;
+    for e in entries {
+        seen.fill(false);
+        let mut out: BTreeSet<NodeId> = BTreeSet::new();
         let mut stack = vec![e];
+        seen[e.index()] = true;
         while let Some(v) = stack.pop() {
-            if seen.insert(v) {
-                for s in g.suc(v) {
-                    if comp.contains(&s) {
-                        stack.push(s);
-                    }
+            out.insert(v);
+            for &s in g.node(v).succs() {
+                if in_comp[s.index()] && !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
                 }
             }
         }
-        seen
-    };
-    entries.into_iter().map(reach).max_by_key(BTreeSet::len)
+        // `max_by_key` keeps the *last* maximum among ties; entries are
+        // visited in the same (sorted) order, so `>=` replicates it.
+        if best.as_ref().is_none_or(|b| out.len() >= b.len()) {
+            best = Some(out);
+        }
+    }
+    best
 }
 
 /// A mutation of one F-Tree node (§5.1).
@@ -93,6 +111,15 @@ impl FTree {
     pub fn build(g: &Graph, hotspots: &BTreeSet<NodeId>, l: usize) -> Self {
         let dg = DimGraph::build(g);
         let mut candidates: Vec<(BTreeSet<NodeId>, BTreeMap<NodeId, i32>, usize)> = Vec::new();
+        // Dense hot-spot marks and epoch-stamped scratch tables shared
+        // across components (score loop below).
+        let mut hot = vec![false; g.capacity()];
+        for &h in hotspots {
+            hot[h.index()] = true;
+        }
+        let mut in_region = vec![0u32; g.capacity()];
+        let mut pred_mark = vec![0u32; g.capacity()];
+        let mut epoch = 0u32;
         for comp in dg.components() {
             // G' := sub-graph of G induced from the component's nodes.
             let comp_nodes: BTreeSet<NodeId> = comp.iter().map(|&(v, _)| v).collect();
@@ -113,23 +140,46 @@ impl FTree {
                 continue;
             }
             let t = DomTree::compute(g, &comp_nodes);
-            // Scores per Eq. (3)/(4) with n = 2.
+            // Scores per Eq. (3)/(4) with n = 2. Descendant sets are
+            // computed once per node here and reused by the
+            // stratification loop below (each walk allocates a fresh
+            // set, so repeating it per interval is pure waste).
+            // The region-input sum replicates `g.set_inputs(&region)`
+            // exactly — unique out-of-region preds, summed in ascending
+            // id order (f64 addition order matters for bit-identity) —
+            // using epoch-stamped dense marks instead of tree sets.
             let sizes = |v: NodeId| g.node(v).size_bytes() as f64;
             let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
+            let mut desc: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
             for v in t.nodes() {
                 let region = t.descendants(v);
+                let region = desc.entry(v).or_insert(region);
                 if region.is_empty() {
                     continue;
                 }
+                epoch += 1;
+                for &w in region.iter() {
+                    in_region[w.index()] = epoch;
+                }
                 let heat: f64 = region
                     .iter()
-                    .filter(|w| hotspots.contains(w))
+                    .filter(|w| hot[w.index()])
                     .map(|&w| sizes(w))
                     .sum();
-                let inputs: f64 = g
-                    .set_inputs(&region)
+                let mut preds: Vec<NodeId> = Vec::new();
+                for &w in region.iter() {
+                    let nd = g.node(w);
+                    for &p in nd.inputs().iter().chain(nd.keepalive()) {
+                        if in_region[p.index()] != epoch && pred_mark[p.index()] != epoch {
+                            pred_mark[p.index()] = epoch;
+                            preds.push(p);
+                        }
+                    }
+                }
+                preds.sort_unstable();
+                let inputs: f64 = preds
                     .iter()
-                    .filter(|u| !hotspots.contains(u))
+                    .filter(|u| !hot[u.index()])
                     .map(|&u| sizes(u))
                     .sum();
                 scores.insert(v, 0.5 * heat - inputs);
@@ -153,13 +203,14 @@ impl FTree {
                     .map(|(&v, _)| v)
                     .collect();
                 for &vdom in &v_i {
-                    if t.descendants(vdom).iter().any(|d| v_i.contains(d)) {
+                    let region = &desc[&vdom];
+                    if region.iter().any(|d| v_i.contains(d)) {
                         continue;
                     }
-                    let s = t.descendants(vdom);
-                    if s.is_empty() {
+                    if region.is_empty() {
                         continue;
                     }
+                    let s = region.clone();
                     let Some(dims) = component_dims(&comp, &s) else { continue };
                     let spec = FissionSpec { set: s.clone(), dims, parts: 1 };
                     // "if f is valid": structural validation with the

@@ -6,6 +6,7 @@
 //! (§1): after any rule application the scheduler only has to re-order
 //! for memory, never to decide *what* to recompute or swap.
 
+use magis_graph::{GraphTxn, GraphView};
 use super::{outside_enabled_regions, Applied, ApplyError, RuleConfig, Transform};
 use crate::state::MState;
 use magis_graph::graph::NodeId;
@@ -146,86 +147,90 @@ fn late_cluster(state: &MState, producer: NodeId, user: NodeId) -> Vec<NodeId> {
 /// Applies the re-materialization rule: the late user cluster switches
 /// to a recomputed clone of the producer.
 pub fn apply_remat(state: &MState, producer: NodeId, user: NodeId) -> Result<Applied, ApplyError> {
-    let mut base = state.base.clone();
-    if !base.contains(producer) || !base.contains(user) {
+    let mut txn = GraphTxn::begin(&state.base);
+    if !txn.contains(producer) || !txn.contains(user) {
         return Err(ApplyError("stale remat target".into()));
     }
-    if !base.pre(user).contains(&producer) {
+    if !txn.pre(user).contains(&producer) {
         return Err(ApplyError("user no longer consumes producer".into()));
     }
     let group = late_cluster(state, producer, user);
-    if group.len() >= base.suc(producer).len() {
+    if group.len() >= txn.suc(producer).len() {
         return Err(ApplyError("remat would orphan the producer".into()));
     }
-    let node = base.node(producer).clone();
-    let clone = base
+    let node = txn.node(producer).clone();
+    let clone = txn
         .add_with_meta(node.op.clone(), node.inputs(), node.meta.clone())
         .map_err(|e| ApplyError(e.to_string()))?;
-    base.set_name(clone, "remat");
+    txn.set_name(clone, "remat");
     let mut mutated: BTreeSet<NodeId> = [producer].into_iter().collect();
     for u in group {
-        base.replace_input(u, producer, clone);
+        txn.replace_input(u, producer, clone);
         mutated.insert(u);
     }
+    let (base, _) = txn.commit();
     Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 
 /// Applies the de-re-materialization rule.
 pub fn apply_deremat(state: &MState, keep: NodeId, drop: NodeId) -> Result<Applied, ApplyError> {
-    let mut base = state.base.clone();
-    if !base.contains(keep) || !base.contains(drop) || keep == drop {
+    let mut txn = GraphTxn::begin(&state.base);
+    if !txn.contains(keep) || !txn.contains(drop) || keep == drop {
         return Err(ApplyError("stale deremat target".into()));
     }
-    if base.node(keep).op != base.node(drop).op || base.pre(keep) != base.pre(drop) {
+    if txn.node(keep).op != txn.node(drop).op || txn.pre(keep) != txn.pre(drop) {
         return Err(ApplyError("nodes are no longer duplicates".into()));
     }
     let mutated: BTreeSet<NodeId> =
-        [keep, drop].into_iter().chain(base.suc(drop)).collect();
-    base.redirect_uses(drop, keep);
-    base.remove(drop).map_err(|e| ApplyError(e.to_string()))?;
+        [keep, drop].into_iter().chain(txn.suc(drop)).collect();
+    txn.redirect_uses(drop, keep);
+    txn.remove(drop).map_err(|e| ApplyError(e.to_string()))?;
+    let (base, _) = txn.commit();
     Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 
 /// Applies the swapping rule: the late user cluster reads the tensor
 /// back through a `Store`/`Load` pair.
 pub fn apply_swap(state: &MState, producer: NodeId, user: NodeId) -> Result<Applied, ApplyError> {
-    let mut base = state.base.clone();
-    if !base.contains(producer) || !base.contains(user) {
+    let mut txn = GraphTxn::begin(&state.base);
+    if !txn.contains(producer) || !txn.contains(user) {
         return Err(ApplyError("stale swap target".into()));
     }
-    if !base.pre(user).contains(&producer) {
+    if !txn.pre(user).contains(&producer) {
         return Err(ApplyError("user no longer consumes producer".into()));
     }
     let group = late_cluster(state, producer, user);
-    let st = base.add(OpKind::Store, &[producer]).map_err(|e| ApplyError(e.to_string()))?;
-    let ld = base.add(OpKind::Load, &[st]).map_err(|e| ApplyError(e.to_string()))?;
+    let st = txn.add(OpKind::Store, &[producer]).map_err(|e| ApplyError(e.to_string()))?;
+    let ld = txn.add(OpKind::Load, &[st]).map_err(|e| ApplyError(e.to_string()))?;
     let mut mutated: BTreeSet<NodeId> = [producer].into_iter().collect();
     for u in group {
-        base.replace_input(u, producer, ld);
+        txn.replace_input(u, producer, ld);
         mutated.insert(u);
     }
+    let (base, _) = txn.commit();
     Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 
 /// Applies the de-swapping rule: `A -> Store -> Load -> B` becomes
 /// `A -> B`.
 pub fn apply_deswap(state: &MState, load: NodeId) -> Result<Applied, ApplyError> {
-    let mut base = state.base.clone();
-    if !base.contains(load) || !matches!(base.node(load).op, OpKind::Load) {
+    let mut txn = GraphTxn::begin(&state.base);
+    if !txn.contains(load) || !matches!(txn.node(load).op, OpKind::Load) {
         return Err(ApplyError("stale deswap target".into()));
     }
-    let store = base.pre(load)[0];
-    if !matches!(base.node(store).op, OpKind::Store) {
+    let store = txn.pre(load)[0];
+    if !matches!(txn.node(store).op, OpKind::Store) {
         return Err(ApplyError("load without store".into()));
     }
-    let producer = base.pre(store)[0];
+    let producer = txn.pre(store)[0];
     let mutated: BTreeSet<NodeId> =
-        [producer, store, load].into_iter().chain(base.suc(load)).collect();
-    base.redirect_uses(load, producer);
-    base.remove(load).map_err(|e| ApplyError(e.to_string()))?;
-    if base.use_count(store) == 0 {
-        base.remove(store).map_err(|e| ApplyError(e.to_string()))?;
+        [producer, store, load].into_iter().chain(txn.suc(load)).collect();
+    txn.redirect_uses(load, producer);
+    txn.remove(load).map_err(|e| ApplyError(e.to_string()))?;
+    if txn.use_count(store) == 0 {
+        txn.remove(store).map_err(|e| ApplyError(e.to_string()))?;
     }
+    let (base, _) = txn.commit();
     Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 

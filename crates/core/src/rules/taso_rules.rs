@@ -11,6 +11,7 @@
 //! * **I-Trans** — algebraic enablers; here, re-association of `Add`
 //!   chains, which exposes new aggregation and fission sites.
 
+use magis_graph::{GraphTxn, GraphView};
 use super::{outside_enabled_regions, Applied, ApplyError, RuleConfig, Transform};
 use crate::state::MState;
 use magis_graph::graph::{Graph, NodeId};
@@ -144,7 +145,7 @@ pub fn apply(state: &MState, t: &TasoTransform) -> Result<Applied, ApplyError> {
 /// them (TASO rewrites parameters at compile time, paying no runtime
 /// concat). Otherwise an explicit `Concat` node is emitted.
 fn combine_weights(
-    g: &mut magis_graph::Graph,
+    g: &mut GraphTxn,
     wa: NodeId,
     wb: NodeId,
     axis: usize,
@@ -164,8 +165,8 @@ fn combine_weights(
 }
 
 fn merge_matmuls(state: &MState, a: NodeId, b: NodeId) -> Result<Applied, ApplyError> {
-    let mut g = state.base.clone();
-    if !g.contains(a) || !g.contains(b) || !mergeable_matmuls(&g, a, b) {
+    let mut g = GraphTxn::begin(&state.base);
+    if !g.contains(a) || !g.contains(b) || !mergeable_matmuls(&state.base, a, b) {
         return Err(ApplyError("stale matmul merge".into()));
     }
     let x = g.pre(a)[0];
@@ -190,12 +191,13 @@ fn merge_matmuls(state: &MState, a: NodeId, b: NodeId) -> Result<Applied, ApplyE
             let _ = g.remove(w);
         }
     }
-    Ok(Applied { base: g, ftree: state.ftree.clone(), mutated, tree_stale: true })
+    let (base, _) = g.commit();
+    Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 
 fn merge_convs(state: &MState, a: NodeId, b: NodeId) -> Result<Applied, ApplyError> {
-    let mut g = state.base.clone();
-    if !g.contains(a) || !g.contains(b) || !mergeable_convs(&g, a, b) {
+    let mut g = GraphTxn::begin(&state.base);
+    if !g.contains(a) || !g.contains(b) || !mergeable_convs(&state.base, a, b) {
         return Err(ApplyError("stale conv merge".into()));
     }
     let attrs = match g.node(a).op {
@@ -222,11 +224,12 @@ fn merge_convs(state: &MState, a: NodeId, b: NodeId) -> Result<Applied, ApplyErr
             let _ = g.remove(w);
         }
     }
-    Ok(Applied { base: g, ftree: state.ftree.clone(), mutated, tree_stale: true })
+    let (base, _) = g.commit();
+    Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 
 fn rotate_add(state: &MState, top: NodeId) -> Result<Applied, ApplyError> {
-    let mut g = state.base.clone();
+    let mut g = GraphTxn::begin(&state.base);
     if !g.contains(top) || !matches!(g.node(top).op, OpKind::Binary(BinaryKind::Add)) {
         return Err(ApplyError("stale add rotation".into()));
     }
@@ -243,7 +246,8 @@ fn rotate_add(state: &MState, top: NodeId) -> Result<Applied, ApplyError> {
     g.redirect_uses(top, abc);
     g.remove(top).map_err(err)?;
     g.remove(inner).map_err(err)?;
-    Ok(Applied { base: g, ftree: state.ftree.clone(), mutated, tree_stale: true })
+    let (base, _) = g.commit();
+    Ok(Applied { base, ftree: state.ftree.clone(), mutated, tree_stale: true })
 }
 
 fn err(e: magis_graph::GraphError) -> ApplyError {

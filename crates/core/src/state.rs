@@ -14,12 +14,14 @@
 //!    strategy for asynchronous swapping).
 //! 4. **Simulate** — two-stream latency + step-level memory profile.
 
+use magis_graph::GraphView;
 use crate::fission::apply_overlay;
 use crate::ftree::FTree;
 use crate::rules::{Applied, ApplyError};
 use magis_graph::graph::{Graph, NodeId};
+use magis_graph::algo::reach::Reachability;
 use magis_sched::{
-    full_schedule, incremental_schedule_profiled, IntervalParams, SchedConfig,
+    full_schedule, incremental_schedule_cached, IntervalParams, SchedConfig,
 };
 pub use magis_sched::schedule::place_swaps;
 use magis_sim::{
@@ -184,9 +186,20 @@ pub struct Eval {
     /// optimizer re-attributes these at the merge as the
     /// `magis_core_incremental_*` metrics.
     pub inc: Option<IncrementalEvalInfo>,
+    /// Lazily-computed reachability of `graph`, shared (via `Arc`)
+    /// across clones. Every candidate derived from this state needs it
+    /// for the reschedule-interval computation, so it is computed at
+    /// most once per state instead of once per candidate.
+    reach: Arc<std::sync::OnceLock<Reachability>>,
 }
 
 impl Eval {
+    /// Reachability of [`Eval::graph`], computed on first use and
+    /// cached for the state's lifetime.
+    pub fn reachability(&self) -> &Reachability {
+        self.reach.get_or_init(|| Reachability::compute(&self.graph))
+    }
+
     /// The peak-memory figure the active objective scores this state
     /// by: the allocator-planned high-water mark when the planning
     /// stage ran, the liveness peak otherwise.
@@ -346,6 +359,7 @@ impl MState {
             lifetimes,
             plan,
             inc: None,
+            reach: Arc::default(),
         };
         Ok(MState { base, ftree, eval, tree_stale: true })
     }
@@ -357,11 +371,11 @@ impl MState {
 ///
 /// Propagates overlay validation failures.
 pub fn build_overlay_graph(base: &Graph, ftree: &FTree) -> Result<Graph, ApplyError> {
-    let mut g = base.clone();
+    let mut txn = magis_graph::GraphTxn::begin(base);
     for i in ftree.enabled_order() {
-        apply_overlay(&mut g, &ftree.node(i).spec).map_err(|e| ApplyError(e.to_string()))?;
+        apply_overlay(&mut txn, &ftree.node(i).spec).map_err(|e| ApplyError(e.to_string()))?;
     }
-    Ok(g)
+    Ok(txn.commit().0)
 }
 
 /// Restricts simulator hot-spots and schedule positions to base-graph
@@ -421,7 +435,7 @@ pub(crate) fn evaluate_overlay(
         Some(p) => {
             let s_old: BTreeSet<NodeId> =
                 mutated.iter().copied().filter(|v| p.eval.graph.contains(*v)).collect();
-            let inc = incremental_schedule_profiled(
+            let inc = incremental_schedule_cached(
                 &p.eval.graph,
                 &g,
                 &s_old,
@@ -430,6 +444,7 @@ pub(crate) fn evaluate_overlay(
                 if planned { p.eval.plan.as_ref() } else { None },
                 &ctx.sched_incremental,
                 &ctx.interval,
+                Some(p.eval.reachability()),
             )?;
             let info =
                 IncrementalEvalInfo { window: inc.window, carried_won: inc.carried_won };
@@ -495,6 +510,7 @@ pub(crate) fn evaluate_overlay(
         lifetimes,
         plan,
         inc: inc_info,
+        reach: Arc::default(),
     })
 }
 
@@ -635,14 +651,15 @@ mod tests {
             cur = b.gelu(cur);
         }
         let g0 = b.finish();
-        let mut g = g0.clone();
         use magis_graph::op::OpKind;
-        let st = g.add(OpKind::Store, &[a]).unwrap();
-        let ld = g.add(OpKind::Load, &[st]).unwrap();
+        let mut txn = magis_graph::GraphTxn::begin(&g0);
+        let st = txn.add(OpKind::Store, &[a]).unwrap();
+        let ld = txn.add(OpKind::Load, &[st]).unwrap();
         let last = cur;
-        let fin = g
+        let fin = txn
             .add(OpKind::Binary(magis_graph::op::BinaryKind::Add), &[last, ld])
             .unwrap();
+        let g = txn.commit().0;
         let order = magis_graph::algo::topo_order(&g);
         let placed = place_swaps(&g, &order, &CostModel::default());
         assert!(magis_graph::algo::is_topo_order(&g, &placed));

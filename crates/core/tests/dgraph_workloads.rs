@@ -3,6 +3,7 @@
 //! of its nodes (the precondition for the paper's headline fissions),
 //! and the F-Tree must find candidates on each.
 
+use magis_graph::GraphView;
 use magis_core::dgraph::DimGraph;
 use magis_core::state::{EvalContext, MState};
 use magis_models::Workload;

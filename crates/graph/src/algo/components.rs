@@ -1,23 +1,38 @@
 //! Weakly connected components of node subsets.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use std::collections::BTreeSet;
 
 /// Splits `set` into weakly connected components of the induced
 /// sub-graph (edges with both endpoints inside `set`, direction
 /// ignored). Components are returned in ascending order of their
 /// smallest node id; each component is sorted.
-pub fn weakly_connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<BTreeSet<NodeId>> {
-    let mut remaining: BTreeSet<NodeId> = set.clone();
+pub fn weakly_connected_components<G: GraphView>(
+    g: &G,
+    set: &BTreeSet<NodeId>,
+) -> Vec<BTreeSet<NodeId>> {
+    // Dense membership flags keyed by slot: the flood fill then walks
+    // raw neighbour slices with no per-node set lookups or sorting.
+    let mut remaining = vec![false; g.capacity()];
+    for &v in set {
+        remaining[v.index()] = true;
+    }
     let mut components = Vec::new();
-    while let Some(&seed) = remaining.iter().next() {
+    let mut stack = Vec::new();
+    for &seed in set {
+        if !remaining[seed.index()] {
+            continue;
+        }
+        remaining[seed.index()] = false;
         let mut comp = BTreeSet::new();
-        let mut stack = vec![seed];
-        remaining.remove(&seed);
+        stack.push(seed);
         while let Some(v) = stack.pop() {
             comp.insert(v);
-            for u in g.pre_all(v).into_iter().chain(g.suc(v)) {
-                if remaining.remove(&u) {
+            let n = g.node(v);
+            for &u in n.inputs().iter().chain(n.keepalive()).chain(n.succs()) {
+                if remaining[u.index()] {
+                    remaining[u.index()] = false;
                     stack.push(u);
                 }
             }
@@ -29,7 +44,7 @@ pub fn weakly_connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<BTr
 
 /// Whether the sub-graph induced by `set` is weakly connected
 /// (constraint (1) of F-Trans validity, §4.2).
-pub fn is_weakly_connected(g: &Graph, set: &BTreeSet<NodeId>) -> bool {
+pub fn is_weakly_connected<G: GraphView>(g: &G, set: &BTreeSet<NodeId>) -> bool {
     if set.is_empty() {
         return false;
     }
@@ -39,6 +54,7 @@ pub fn is_weakly_connected(g: &Graph, set: &BTreeSet<NodeId>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::op::{InputKind, OpKind, UnaryKind};
     use crate::tensor::{DType, TensorMeta};
 

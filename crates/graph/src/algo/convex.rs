@@ -4,7 +4,8 @@
 //! re-enters it: equivalently, `G.inps(S) ∩ ⋃_{v∈G.outs(S)} G.des(v) = ∅`.
 
 use super::bitset::BitSet;
-use crate::graph::{Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use std::collections::BTreeSet;
 
 /// Tests whether the sub-graph induced by `set` is convex.
@@ -12,7 +13,7 @@ use std::collections::BTreeSet;
 /// Runs a forward search from every edge that exits `set`; if the search
 /// re-enters `set`, some outside node sits on a path between two members
 /// and the set is not convex.
-pub fn is_convex(g: &Graph, set: &BTreeSet<NodeId>) -> bool {
+pub fn is_convex<G: GraphView>(g: &G, set: &BTreeSet<NodeId>) -> bool {
     let mut seen = BitSet::new(g.capacity());
     let mut stack: Vec<NodeId> = Vec::new();
     for &v in set {
@@ -40,6 +41,7 @@ pub fn is_convex(g: &Graph, set: &BTreeSet<NodeId>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
     use crate::tensor::{DType, TensorMeta};
 

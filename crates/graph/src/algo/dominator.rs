@@ -7,7 +7,8 @@
 //! of a DAG).
 
 use super::topo::topo_order_of;
-use crate::graph::{Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The dominator tree `T(G')` of an induced sub-graph.
@@ -27,11 +28,12 @@ impl DomTree {
     ///
     /// Entry nodes (no predecessor inside `set`) hang off the virtual
     /// root.
-    pub fn compute(g: &Graph, set: &BTreeSet<NodeId>) -> Self {
+    pub fn compute<G: GraphView>(g: &G, set: &BTreeSet<NodeId>) -> Self {
         let order = topo_order_of(g, set); // RPO of a DAG
-        let mut rpo_pos: BTreeMap<NodeId, usize> = BTreeMap::new();
+        // Dense slot→RPO-position table (usize::MAX = outside `set`).
+        let mut rpo_pos = vec![usize::MAX; g.capacity()];
         for (i, &v) in order.iter().enumerate() {
-            rpo_pos.insert(v, i);
+            rpo_pos[v.index()] = i;
         }
         // Dense arrays over RPO positions; usize::MAX is "virtual root",
         // usize::MAX-1 is "undefined".
@@ -40,12 +42,22 @@ impl DomTree {
         let n = order.len();
         let mut idom = vec![UNDEF; n];
 
+        // Raw predecessor slices: duplicate entries (a pred reached
+        // through both a data edge and a keepalive edge) are harmless —
+        // the CHK fixpoint intersects idempotently and converges to the
+        // unique dominator assignment regardless of pred multiplicity
+        // or order.
         let preds: Vec<Vec<usize>> = order
             .iter()
             .map(|&v| {
-                g.pre_all(v)
-                    .into_iter()
-                    .filter_map(|p| rpo_pos.get(&p).copied())
+                let node = g.node(v);
+                node.inputs()
+                    .iter()
+                    .chain(node.keepalive())
+                    .filter_map(|p| {
+                        let i = rpo_pos[p.index()];
+                        (i != usize::MAX).then_some(i)
+                    })
                     .collect()
             })
             .collect();
@@ -172,6 +184,7 @@ impl DomTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
     use crate::tensor::{DType, TensorMeta};
 

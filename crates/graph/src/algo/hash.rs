@@ -8,11 +8,12 @@
 //! hash of the (order-insensitive) wrapping sum of node digests.
 
 use super::topo::topo_order;
-use crate::graph::{Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-fn node_label(g: &Graph, v: NodeId) -> u64 {
+fn node_label<G: GraphView>(g: &G, v: NodeId) -> u64 {
     let mut h = DefaultHasher::new();
     let n = g.node(v);
     n.op.hash(&mut h);
@@ -28,7 +29,7 @@ fn node_label(g: &Graph, v: NodeId) -> u64 {
 /// directly and one produced by a rewrite-and-undo sequence) hash
 /// equal; graphs with different structure, shapes, attributes or
 /// fission multipliers hash differently with overwhelming probability.
-pub fn graph_hash(g: &Graph) -> u64 {
+pub fn graph_hash<G: GraphView>(g: &G) -> u64 {
     let order = topo_order(g);
     let mut digest = vec![0u64; g.capacity()];
     let mut sum: u64 = 0;
@@ -59,6 +60,7 @@ pub fn graph_hash(g: &Graph) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
     use crate::tensor::{DType, TensorMeta};
 

@@ -6,7 +6,8 @@
 
 use super::bitset::BitSet;
 use super::topo::topo_order;
-use crate::graph::{Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 
 /// Precomputed transitive reachability over a graph snapshot.
 #[derive(Debug, Clone)]
@@ -21,25 +22,26 @@ impl Reachability {
     /// Computes ancestor and descendant bitsets for every live node.
     ///
     /// Runs in `O(V · E / 64)` via DP over a topological order.
-    pub fn compute(g: &Graph) -> Self {
+    pub fn compute<G: GraphView>(g: &G) -> Self {
         let cap = g.capacity();
         let order = topo_order(g);
         let mut anc = vec![BitSet::new(cap); cap];
         let mut des = vec![BitSet::new(cap); cap];
+        // Raw neighbour slices throughout: unions are idempotent, so
+        // per-edge duplicates cannot change the result.
         for &v in &order {
             // anc(v) = union over preds p of anc(p) ∪ {p}
-            let preds = g.pre_all(v);
+            let n = g.node(v);
             let mut a = BitSet::new(cap);
-            for p in preds {
+            for &p in n.inputs().iter().chain(n.keepalive()) {
                 a.union_with(&anc[p.index()]);
                 a.insert(p.index());
             }
             anc[v.index()] = a;
         }
         for &v in order.iter().rev() {
-            let succs = g.suc(v);
             let mut d = BitSet::new(cap);
-            for s in succs {
+            for &s in g.node(v).succs() {
                 d.union_with(&des[s.index()]);
                 d.insert(s.index());
             }
@@ -83,7 +85,7 @@ impl Reachability {
 }
 
 /// Ancestors of `v` computed on demand (no precomputation), as node ids.
-pub fn ancestors_of(g: &Graph, v: NodeId) -> Vec<NodeId> {
+pub fn ancestors_of<G: GraphView>(g: &G, v: NodeId) -> Vec<NodeId> {
     let mut seen = BitSet::new(g.capacity());
     let mut stack = g.pre_all(v);
     let mut out = Vec::new();
@@ -100,7 +102,7 @@ pub fn ancestors_of(g: &Graph, v: NodeId) -> Vec<NodeId> {
 }
 
 /// Descendants of `v` computed on demand, as node ids.
-pub fn descendants_of(g: &Graph, v: NodeId) -> Vec<NodeId> {
+pub fn descendants_of<G: GraphView>(g: &G, v: NodeId) -> Vec<NodeId> {
     let mut seen = BitSet::new(g.capacity());
     let mut stack = g.suc(v);
     let mut out = Vec::new();
@@ -119,6 +121,7 @@ pub fn descendants_of(g: &Graph, v: NodeId) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
     use crate::tensor::{DType, TensorMeta};
 

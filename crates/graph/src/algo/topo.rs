@@ -1,34 +1,35 @@
 //! Topological orders over computation graphs and node subsets.
+//!
+//! Generic over [`GraphView`] so schedulers can run on a
+//! [`Graph`](crate::graph::Graph) or a
+//! mid-transaction [`GraphTxn`](crate::txn::GraphTxn) alike.
 
-use crate::graph::{Graph, NodeId};
-use std::collections::{BTreeSet, BinaryHeap};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Deterministic topological order of all live nodes (Kahn's algorithm
 /// with a min-id tie-break).
 ///
 /// If the graph has a cycle the returned order is shorter than
-/// [`Graph::len`]; [`Graph::validate`] relies on this.
-pub fn topo_order(g: &Graph) -> Vec<NodeId> {
+/// [`GraphView::len`]; [`Graph::validate`](crate::graph::Graph::validate)
+/// relies on this.
+pub fn topo_order<G: GraphView>(g: &G) -> Vec<NodeId> {
     let mut indeg = vec![0usize; g.capacity()];
     for v in g.node_ids() {
         let n = g.node(v);
         indeg[v.index()] = n.inputs().len() + n.keepalive().len();
     }
-    let mut heap: BinaryHeap<Reverse<NodeId>> = g
-        .node_ids()
-        .filter(|v| indeg[v.index()] == 0)
-        .map(Reverse)
-        .collect();
+    let mut heap: BinaryHeap<Reverse<NodeId>> =
+        g.node_ids().filter(|v| indeg[v.index()] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(g.len());
     while let Some(Reverse(v)) = heap.pop() {
         order.push(v);
-        for s in g.suc(v) {
-            // `suc` deduplicates; account for multiplicity explicitly.
-            let n = g.node(s);
-            let mult = n.inputs().iter().filter(|&&x| x == v).count()
-                + n.keepalive().iter().filter(|&&x| x == v).count();
-            indeg[s.index()] -= mult;
+        // Raw successor list: one entry per edge, so each occurrence
+        // decrements the in-degree exactly once.
+        for &s in g.node(v).succs() {
+            indeg[s.index()] -= 1;
             if indeg[s.index()] == 0 {
                 heap.push(Reverse(s));
             }
@@ -39,35 +40,34 @@ pub fn topo_order(g: &Graph) -> Vec<NodeId> {
 
 /// Topological order of the sub-graph induced by `set` (edges with both
 /// endpoints in `set`).
-pub fn topo_order_of(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+pub fn topo_order_of<G: GraphView>(g: &G, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    // Dense membership + in-degree tables keyed by slot, so the edge
+    // scans below avoid per-edge set lookups. In-degree is offset by 1
+    // to double as the membership flag (0 = outside `set`).
     let mut indeg = vec![0usize; g.capacity()];
     for &v in set {
-        indeg[v.index()] = g
-            .node(v)
+        indeg[v.index()] = 1;
+    }
+    for &v in set {
+        let n = g.node(v);
+        indeg[v.index()] += n
             .inputs()
             .iter()
-            .chain(g.node(v).keepalive())
-            .filter(|p| set.contains(p))
+            .chain(n.keepalive())
+            .filter(|p| indeg[p.index()] != 0)
             .count();
     }
-    let mut heap: BinaryHeap<Reverse<NodeId>> = set
-        .iter()
-        .copied()
-        .filter(|v| indeg[v.index()] == 0)
-        .map(Reverse)
-        .collect();
+    let mut heap: BinaryHeap<Reverse<NodeId>> =
+        set.iter().copied().filter(|v| indeg[v.index()] == 1).map(Reverse).collect();
     let mut order = Vec::with_capacity(set.len());
     while let Some(Reverse(v)) = heap.pop() {
         order.push(v);
-        for s in g.suc(v) {
-            if !set.contains(&s) {
+        for &s in g.node(v).succs() {
+            if indeg[s.index()] == 0 {
                 continue;
             }
-            let n = g.node(s);
-            let mult = n.inputs().iter().filter(|&&x| x == v).count()
-                + n.keepalive().iter().filter(|&&x| x == v).count();
-            indeg[s.index()] -= mult;
-            if indeg[s.index()] == 0 {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 1 {
                 heap.push(Reverse(s));
             }
         }
@@ -77,7 +77,7 @@ pub fn topo_order_of(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
 
 /// Checks that `order` is a valid topological order of all of `g`'s
 /// live nodes: a permutation where every edge points forward.
-pub fn is_topo_order(g: &Graph, order: &[NodeId]) -> bool {
+pub fn is_topo_order<G: GraphView>(g: &G, order: &[NodeId]) -> bool {
     if order.len() != g.len() {
         return false;
     }
@@ -102,6 +102,7 @@ pub fn is_topo_order(g: &Graph, order: &[NodeId]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::op::{BinaryKind, InputKind, OpKind, UnaryKind};
     use crate::tensor::{DType, TensorMeta};
 

@@ -7,6 +7,7 @@
 //! ```
 //! use magis_graph::builder::GraphBuilder;
 //! use magis_graph::tensor::DType;
+//! use magis_graph::view::GraphView;
 //!
 //! let mut b = GraphBuilder::new(DType::F32);
 //! let x = b.input([32, 128], "x");
@@ -18,6 +19,7 @@
 //! ```
 
 use crate::graph::{Graph, NodeId};
+use crate::view::GraphView;
 use crate::op::{
     BinaryKind, Conv2dAttrs, InputKind, MergeKind, OpKind, Pool2dAttrs, PoolKind, ReduceKind,
     UnaryKind,
@@ -234,7 +236,7 @@ impl GraphBuilder {
         self.relu(c)
     }
 
-    /// Names the most recently relevant node (sugar over [`Graph::set_name`]).
+    /// Names the most recently relevant node (sugar over `Graph::set_name`).
     pub fn name(&mut self, id: NodeId, name: &str) -> NodeId {
         self.g.set_name(id, name);
         id

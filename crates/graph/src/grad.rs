@@ -10,6 +10,7 @@
 //! lifetime across the whole step.
 
 use crate::graph::{Graph, GraphError, NodeId};
+use crate::view::GraphView;
 use crate::op::{BinaryKind, OpKind, ReduceKind, UnaryGradKind, UnaryKind};
 use crate::tensor::Shape;
 use std::collections::{BTreeSet, HashMap};

@@ -1,15 +1,35 @@
 //! The computation graph: a DAG of operators over tensors.
 //!
-//! Nodes live in an arena with tombstoned removal so that [`NodeId`]s
-//! stay stable across the graph rewrites the optimizer performs
+//! Nodes live in a persistent, copy-on-write arena: slots are grouped
+//! into fixed-size pages, each page behind an [`Arc`], and the page
+//! table itself behind another [`Arc`]. Cloning a [`Graph`] is O(1) —
+//! it bumps one reference count — and the first write to a page after a
+//! clone copies only that page (structural sharing). [`NodeId`]s stay
+//! stable across the graph rewrites the optimizer performs
 //! (re-materialization adds nodes, de-re-materialization removes them,
-//! fission overlays both). Cloning a [`Graph`] is cheap enough to copy
-//! per search state.
+//! fission overlays both), so a candidate graph shares every untouched
+//! page with its parent.
+//!
+//! Removed slots are tombstoned and deterministically reused: a slot
+//! freed by a committed [`GraphTxn`](crate::txn::GraphTxn) returns to a
+//! free list (smallest slot first) and the next added node takes it, so
+//! long rewrite chains no longer grow [`Graph::capacity`] without
+//! bound. Slots freed *inside* a transaction only become reusable after
+//! the transaction commits, so within one rewrite an id never refers to
+//! two different nodes — the invariant every parent-vs-child delta
+//! comparison in the incremental pipeline relies on.
+//!
+//! Reads go through the [`GraphView`] trait;
+//! mutation from outside this crate goes through
+//! [`GraphTxn`](crate::txn::GraphTxn). The direct mutators on [`Graph`]
+//! are `pub(crate)` plumbing for the builder, autodiff, and the
+//! transaction layer.
 
 use crate::op::{InputKind, OpError, OpKind};
 use crate::tensor::TensorMeta;
-use std::collections::BTreeSet;
+use crate::view::GraphView;
 use std::fmt;
+use std::sync::Arc;
 
 /// Stable identifier of a node within one [`Graph`] (and its clones).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -17,7 +37,7 @@ pub struct NodeId(u32);
 
 impl NodeId {
     /// Arena slot of the node; dense enough for bitsets sized by
-    /// [`Graph::capacity`].
+    /// [`Graph::capacity`](crate::view::GraphView::capacity).
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -129,12 +149,41 @@ impl From<OpError> for GraphError {
     }
 }
 
+/// log2 of the page size: 32 slots per page. Small enough that a
+/// rewrite touching a handful of nodes copies a handful of pages; big
+/// enough that the page table stays short.
+const PAGE_BITS: usize = 5;
+/// Slots per page.
+pub(crate) const PAGE_LEN: usize = 1 << PAGE_BITS;
+const PAGE_MASK: usize = PAGE_LEN - 1;
+
+/// One page of node slots. The inner `Arc<Node>` makes copying a page
+/// on first write O(page) reference bumps plus one deep node copy per
+/// node actually mutated.
+type Page = Vec<Option<Arc<Node>>>;
+
 /// A DNN computation graph (`G` in the paper; see Table 1 for the
 /// notation this API mirrors).
+///
+/// Cloning is O(1): clones share all node pages copy-on-write. Reads go
+/// through [`GraphView`]; mutation from other crates goes through
+/// [`GraphTxn`](crate::txn::GraphTxn).
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
-    nodes: Vec<Option<Node>>,
+    /// Page table, shared structurally between clones.
+    pages: Arc<Vec<Arc<Page>>>,
+    /// Slot watermark: one greater than the largest slot ever used.
+    slots: usize,
+    /// Number of live nodes.
     alive: usize,
+    /// Reusable tombstoned slots, sorted descending so `pop` yields the
+    /// smallest. Always exactly the tombstones of a committed graph — a
+    /// pure function of the occupied slot set, which keeps checkpoint
+    /// kill/resume trajectory-exact.
+    free: Vec<u32>,
+    /// Slots freed since the last [`Graph::seal_frees`]; not reusable
+    /// yet (a transaction must never reuse a slot it freed itself).
+    pending_free: Vec<u32>,
 }
 
 impl Graph {
@@ -143,57 +192,45 @@ impl Graph {
         Graph::default()
     }
 
-    /// Number of live nodes (`|V(G)|`).
+    /// Direct slot read: `Some` for live nodes, `None` for tombstones
+    /// and out-of-range slots. The [`GraphView`] primitive.
     #[inline]
-    pub fn len(&self) -> usize {
+    pub(crate) fn slot_raw(&self, i: usize) -> Option<&Node> {
+        match self.pages.get(i >> PAGE_BITS) {
+            Some(page) => match page.get(i & PAGE_MASK) {
+                Some(Some(node)) => Some(node),
+                _ => None,
+            },
+            None => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len_raw(&self) -> usize {
         self.alive
     }
 
-    /// Whether the graph has no nodes.
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.alive == 0
+    pub(crate) fn capacity_raw(&self) -> usize {
+        self.slots
     }
 
-    /// Arena capacity: one greater than the largest `NodeId::index` ever
-    /// allocated. Size bitsets with this.
-    #[inline]
-    pub fn capacity(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Whether `id` refers to a live node.
-    #[inline]
-    pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).is_some_and(Option::is_some)
-    }
-
-    /// Borrows a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not a live node of this graph.
-    #[inline]
-    pub fn node(&self, id: NodeId) -> &Node {
-        self.nodes[id.index()].as_ref().expect("live node")
+    /// Mutable access to a page, copying it first if shared.
+    fn page_mut(&mut self, pi: usize) -> &mut Page {
+        let pages = Arc::make_mut(&mut self.pages);
+        Arc::make_mut(&mut pages[pi])
     }
 
     /// Mutably borrows a node (op/meta/name only; use the rewiring
     /// methods to change edges).
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes[id.index()].as_mut().expect("live node")
-    }
-
-    /// Iterates live node ids in arena order.
-    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+        let i = id.index();
+        let slot = self.page_mut(i >> PAGE_BITS)[i & PAGE_MASK].as_mut().expect("live node");
+        Arc::make_mut(slot)
     }
 
     /// Adds a graph input node with explicit tensor metadata.
-    pub fn add_input(&mut self, kind: InputKind, meta: TensorMeta, name: &str) -> NodeId {
+    pub(crate) fn add_input(&mut self, kind: InputKind, meta: TensorMeta, name: &str) -> NodeId {
         self.push(Node {
             op: OpKind::Input(kind),
             meta,
@@ -211,7 +248,7 @@ impl Graph {
     /// # Errors
     ///
     /// Returns an error if an input id is dead or shape inference fails.
-    pub fn add(&mut self, op: OpKind, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+    pub(crate) fn add(&mut self, op: OpKind, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
         let metas = self.collect_metas(inputs)?;
         let meta = op.infer(&metas)?;
         Ok(self.add_unchecked(op, inputs, meta))
@@ -223,7 +260,7 @@ impl Graph {
     /// # Errors
     ///
     /// Returns an error if an input id is dead.
-    pub fn add_with_meta(
+    pub(crate) fn add_with_meta(
         &mut self,
         op: OpKind,
         inputs: &[NodeId],
@@ -264,26 +301,43 @@ impl Graph {
     }
 
     fn push(&mut self, node: Node) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(node));
+        let i = match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                debug_assert!(self.slot_raw(i).is_none(), "free slot must be a tombstone");
+                self.page_mut(i >> PAGE_BITS)[i & PAGE_MASK] = Some(Arc::new(node));
+                i
+            }
+            None => {
+                let i = self.slots;
+                let pages = Arc::make_mut(&mut self.pages);
+                if (i >> PAGE_BITS) == pages.len() {
+                    pages.push(Arc::new(Vec::with_capacity(PAGE_LEN)));
+                }
+                let last = pages.len() - 1;
+                Arc::make_mut(&mut pages[last]).push(Some(Arc::new(node)));
+                self.slots += 1;
+                i
+            }
+        };
         self.alive += 1;
-        id
+        NodeId(i as u32)
     }
 
     /// Sets a node's display name (builder sugar).
-    pub fn set_name(&mut self, id: NodeId, name: &str) {
+    pub(crate) fn set_name(&mut self, id: NodeId, name: &str) {
         self.node_mut(id).name = name.to_string();
     }
 
     /// Overwrites a node's output metadata. Used by the fission overlay
     /// to scale the shapes of a split region's representative part —
     /// downstream consumers must be scaled consistently by the caller.
-    pub fn set_meta(&mut self, id: NodeId, meta: TensorMeta) {
+    pub(crate) fn set_meta(&mut self, id: NodeId, meta: TensorMeta) {
         self.node_mut(id).meta = meta;
     }
 
     /// Sets the fission cost-repeat multiplier of a node.
-    pub fn set_cost_repeat(&mut self, id: NodeId, repeat: u64) {
+    pub(crate) fn set_cost_repeat(&mut self, id: NodeId, repeat: u64) {
         assert!(repeat >= 1, "cost repeat must be at least 1");
         self.node_mut(id).cost_repeat = repeat;
     }
@@ -293,7 +347,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `anchor` is not a live node.
-    pub fn set_alloc_with(&mut self, id: NodeId, anchor: NodeId) {
+    pub(crate) fn set_alloc_with(&mut self, id: NodeId, anchor: NodeId) {
         assert!(self.contains(anchor), "alloc anchor must be live");
         self.node_mut(id).alloc_with = Some(anchor);
     }
@@ -303,7 +357,7 @@ impl Graph {
     /// # Errors
     ///
     /// Returns an error if either endpoint is dead.
-    pub fn add_keepalive(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+    pub(crate) fn add_keepalive(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
         if !self.contains(from) {
             return Err(GraphError::MissingNode(from));
         }
@@ -315,77 +369,13 @@ impl Graph {
         Ok(())
     }
 
-    /// Data predecessors of `v` with multiplicity (`G.pre(v)` as a list).
-    #[inline]
-    pub fn pre(&self, v: NodeId) -> &[NodeId] {
-        self.node(v).inputs()
-    }
-
-    /// All predecessors of `v` (data + keepalive), deduplicated and sorted.
-    pub fn pre_all(&self, v: NodeId) -> Vec<NodeId> {
-        let n = self.node(v);
-        let mut set: BTreeSet<NodeId> = n.inputs.iter().copied().collect();
-        set.extend(n.keepalive.iter().copied());
-        set.into_iter().collect()
-    }
-
-    /// Successors of `v` (`G.suc(v)`), deduplicated and sorted.
-    pub fn suc(&self, v: NodeId) -> Vec<NodeId> {
-        let set: BTreeSet<NodeId> = self.node(v).succs.iter().copied().collect();
-        set.into_iter().collect()
-    }
-
-    /// Number of uses of `v`'s output (with multiplicity).
-    #[inline]
-    pub fn use_count(&self, v: NodeId) -> usize {
-        self.node(v).succs.len()
-    }
-
-    /// Graph inputs (`inps(G)`): nodes without predecessors.
-    pub fn graph_inputs(&self) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&v| self.node(v).inputs.is_empty() && self.node(v).keepalive.is_empty())
-            .collect()
-    }
-
-    /// Graph outputs (`outs(G)`): nodes without successors.
-    pub fn graph_outputs(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.node(v).succs.is_empty()).collect()
-    }
-
-    /// `G.inps(S)`: nodes outside `S` consumed by `S`.
-    pub fn set_inputs(&self, s: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
-        for &v in s {
-            for p in self.pre_all(v) {
-                if !s.contains(&p) {
-                    out.insert(p);
-                }
-            }
-        }
-        out
-    }
-
-    /// `G.outs(S)`: nodes of `S` whose output is used outside `S` (or is
-    /// a graph output).
-    pub fn set_outputs(&self, s: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
-        for &v in s {
-            let succs = self.suc(v);
-            if succs.is_empty() || succs.iter().any(|u| !s.contains(u)) {
-                out.insert(v);
-            }
-        }
-        out
-    }
-
     /// Replaces every use of `old` as an input of `user` with `new`
     /// (data and keepalive edges), maintaining reverse edges.
     ///
     /// # Panics
     ///
     /// Panics if `user` does not actually use `old`, or ids are dead.
-    pub fn replace_input(&mut self, user: NodeId, old: NodeId, new: NodeId) {
+    pub(crate) fn replace_input(&mut self, user: NodeId, old: NodeId, new: NodeId) {
         assert!(self.contains(new), "replacement node must be live");
         let mut replaced = 0usize;
         {
@@ -417,7 +407,7 @@ impl Graph {
 
     /// Redirects *all* uses of `old` to `new`. `old` keeps its own inputs
     /// and can then be removed with [`Graph::remove`].
-    pub fn redirect_uses(&mut self, old: NodeId, new: NodeId) {
+    pub(crate) fn redirect_uses(&mut self, old: NodeId, new: NodeId) {
         let users: Vec<NodeId> = self.suc(old);
         for user in users {
             if user != new {
@@ -426,13 +416,15 @@ impl Graph {
         }
     }
 
-    /// Removes a node that has no remaining users.
+    /// Removes a node that has no remaining users. The slot is
+    /// tombstoned; it becomes reusable at the next [`Graph::seal_frees`]
+    /// (transaction commit), never earlier.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::HasUsers`] if the node still has successors,
     /// or [`GraphError::MissingNode`] if already removed.
-    pub fn remove(&mut self, id: NodeId) -> Result<(), GraphError> {
+    pub(crate) fn remove(&mut self, id: NodeId) -> Result<(), GraphError> {
         if !self.contains(id) {
             return Err(GraphError::MissingNode(id));
         }
@@ -440,10 +432,13 @@ impl Graph {
         if users > 0 {
             return Err(GraphError::HasUsers(id, users));
         }
-        let node = self.nodes[id.index()].take().expect("checked live");
+        let i = id.index();
+        let node = self.page_mut(i >> PAGE_BITS)[i & PAGE_MASK].take().expect("checked live");
         self.alive -= 1;
+        self.pending_free.push(id.0);
         for p in node.inputs.iter().chain(node.keepalive.iter()) {
-            if let Some(pn) = self.nodes[p.index()].as_mut() {
+            if self.contains(*p) {
+                let pn = self.node_mut(*p);
                 if let Some(pos) = pn.succs.iter().position(|&s| s == id) {
                     pn.succs.swap_remove(pos);
                 }
@@ -452,13 +447,36 @@ impl Graph {
         Ok(())
     }
 
-    /// Total bytes of all live node outputs (a loose upper bound used by
-    /// heuristics; aliases excluded).
-    pub fn total_bytes(&self) -> u64 {
-        self.node_ids()
-            .filter(|&v| !self.node(v).op.is_alias())
-            .map(|v| self.node(v).size_bytes())
-            .sum()
+    /// Makes slots freed since the last seal reusable. Called by
+    /// [`GraphTxn::commit`](crate::txn::GraphTxn::commit) and
+    /// [`Graph::restore`]; after sealing, the free list is exactly the
+    /// tombstone set in descending order.
+    pub(crate) fn seal_frees(&mut self) {
+        if self.pending_free.is_empty() {
+            return;
+        }
+        self.free.append(&mut self.pending_free);
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    /// Number of slots currently reusable (sealed tombstones). Test and
+    /// diagnostics hook for the slot-reuse contract.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of node pages backing this graph.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of pages physically shared (same allocation) with
+    /// `other`. Two clones share all pages until one writes; a rewrite
+    /// touching `k` nodes unshares at most `k` pages. The CoW
+    /// clone-cost guard in CI asserts on this — a structural property —
+    /// instead of wall-clock time.
+    pub fn shared_pages_with(&self, other: &Graph) -> usize {
+        self.pages.iter().zip(other.pages.iter()).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
     }
 
     /// Validates structural invariants: edge symmetry, acyclicity, shape
@@ -516,32 +534,46 @@ impl Graph {
     /// tombstone, so restored [`NodeId`]s match the serialized ones
     /// exactly. Successor lists are recomputed (data edges first in
     /// slot order, then keepalive edges, matching construction order),
-    /// and the result is checked with [`Graph::validate`] so a
-    /// corrupted serialization cannot produce a structurally invalid
-    /// graph.
+    /// the free list is rebuilt from the tombstones (a restored graph
+    /// is a committed state, so every tombstone is reusable), and the
+    /// result is checked with [`Graph::validate`] so a corrupted
+    /// serialization cannot produce a structurally invalid graph.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::MissingNode`] if an edge references a
     /// tombstoned slot, or any error [`Graph::validate`] reports.
     pub fn restore(slots: Vec<Option<NodeRecord>>) -> Result<Graph, GraphError> {
-        let nodes: Vec<Option<Node>> = slots
-            .into_iter()
-            .map(|s| {
-                s.map(|r| Node {
-                    op: r.op,
-                    meta: r.meta,
-                    name: r.name,
-                    inputs: r.inputs,
-                    keepalive: r.keepalive,
-                    succs: Vec::new(),
-                    cost_repeat: r.cost_repeat,
-                    alloc_with: r.alloc_with,
-                })
-            })
-            .collect();
-        let alive = nodes.iter().filter(|n| n.is_some()).count();
-        let mut g = Graph { nodes, alive };
+        let mut g = Graph::new();
+        for rec in &slots {
+            match rec {
+                Some(r) => {
+                    g.push(Node {
+                        op: r.op.clone(),
+                        meta: r.meta.clone(),
+                        name: r.name.clone(),
+                        inputs: r.inputs.clone(),
+                        keepalive: r.keepalive.clone(),
+                        succs: Vec::new(),
+                        cost_repeat: r.cost_repeat,
+                        alloc_with: r.alloc_with,
+                    });
+                }
+                None => {
+                    // Materialize the tombstone at this slot.
+                    let i = g.slots;
+                    let pages = Arc::make_mut(&mut g.pages);
+                    if (i >> PAGE_BITS) == pages.len() {
+                        pages.push(Arc::new(Vec::with_capacity(PAGE_LEN)));
+                    }
+                    let last = pages.len() - 1;
+                    Arc::make_mut(&mut pages[last]).push(None);
+                    g.slots += 1;
+                    g.pending_free.push(i as u32);
+                }
+            }
+        }
+        g.seal_frees();
         let ids: Vec<NodeId> = g.node_ids().collect();
         for &v in &ids {
             for i in 0..g.node(v).inputs.len() {
@@ -600,6 +632,7 @@ pub struct NodeRecord {
 mod tests {
     use super::*;
     use crate::op::{BinaryKind, UnaryKind};
+    use std::collections::BTreeSet;
     use crate::tensor::DType;
 
     fn meta(dims: &[u64]) -> TensorMeta {
@@ -722,5 +755,43 @@ mod tests {
         g2.set_name(a, "renamed");
         assert_eq!(g.node(a).name, "");
         assert_eq!(g2.node(a).name, "renamed");
+    }
+
+    #[test]
+    fn clone_shares_pages_until_write() {
+        let (g, _x, a, _b, _c) = diamond();
+        let mut g2 = g.clone();
+        assert_eq!(g.shared_pages_with(&g2), g.page_count());
+        g2.set_name(a, "renamed");
+        // One page diverged, the rest still shared (single-page graph
+        // here, so zero remain shared).
+        assert!(g2.shared_pages_with(&g) < g.page_count() || g.page_count() == 0);
+    }
+
+    #[test]
+    fn removed_slot_not_reused_before_seal() {
+        let (mut g, x, _a, _b, c) = diamond();
+        g.remove(c).unwrap();
+        let cap = g.capacity();
+        let y = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        // Unsealed: the fresh node takes a new slot, not c's.
+        assert_eq!(y.index(), cap);
+        assert_eq!(g.free_slots(), 0);
+    }
+
+    #[test]
+    fn sealed_slot_reused_smallest_first() {
+        let (mut g, x, a, _b, c) = diamond();
+        g.remove(c).unwrap();
+        g.remove(a).unwrap();
+        g.seal_frees();
+        assert_eq!(g.free_slots(), 2);
+        let cap = g.capacity();
+        let y = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        assert_eq!(y, a, "smallest freed slot reused first");
+        let z = g.add(OpKind::Unary(UnaryKind::Gelu), &[x]).unwrap();
+        assert_eq!(z, c);
+        assert_eq!(g.capacity(), cap, "no growth while free slots exist");
+        g.validate().unwrap();
     }
 }

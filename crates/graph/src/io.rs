@@ -7,6 +7,7 @@
 //! allocation anchors exactly.
 
 use crate::graph::{Graph, GraphError, NodeId, NodeRecord};
+use crate::view::GraphView;
 use crate::op::{
     BinaryKind, Conv2dAttrs, InputKind, MergeKind, OpKind, Pool2dAttrs, PoolKind, ReduceKind,
     UnaryGradKind, UnaryKind,

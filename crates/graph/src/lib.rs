@@ -33,8 +33,12 @@ pub mod graph;
 pub mod io;
 pub mod op;
 pub mod tensor;
+pub mod txn;
+pub mod view;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, GraphError, Node, NodeId};
 pub use op::{DimLink, OpError, OpKind};
 pub use tensor::{DType, Shape, TensorMeta};
+pub use txn::{GraphDelta, GraphTxn};
+pub use view::{GraphView, NodeIds};

@@ -92,6 +92,7 @@ pub fn bert(cfg: &BertConfig) -> TrainingGraph {
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
 
     #[test]

@@ -100,6 +100,7 @@ pub fn gpt(cfg: &GptConfig) -> TrainingGraph {
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
 
     #[test]

@@ -8,6 +8,7 @@
 //! quickstarts.
 //!
 //! ```
+//! use magis_graph::GraphView;
 //! use magis_models::Workload;
 //!
 //! // A heavily scaled-down BERT for quick experiments.

@@ -105,6 +105,7 @@ fn cell(
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
 
     #[test]

@@ -7,6 +7,7 @@
 //! bookkeeping is irrelevant to memory/latency structure, while the
 //! parameter tensors, activations, and their gradients are preserved.
 
+use magis_graph::GraphView;
 use crate::configs::scaled;
 use magis_graph::builder::GraphBuilder;
 use magis_graph::grad::{append_backward, TrainOptions, TrainingGraph};

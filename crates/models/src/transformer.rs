@@ -98,6 +98,7 @@ pub fn embed_tokens(
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
     use magis_graph::tensor::DType;
 

@@ -97,6 +97,7 @@ pub fn unet(cfg: &UNetConfig) -> TrainingGraph {
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
 
     #[test]

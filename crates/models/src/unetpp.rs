@@ -96,6 +96,7 @@ pub fn unetpp(cfg: &UNetPPConfig) -> TrainingGraph {
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
 
     #[test]

@@ -104,6 +104,7 @@ pub fn vit(cfg: &VitConfig) -> TrainingGraph {
 
 #[cfg(test)]
 mod tests {
+    use magis_graph::GraphView;
     use super::*;
 
     #[test]

@@ -3,6 +3,7 @@
 //! tolerance our simplifications allow — no biases, norm params as
 //! scale/shift pairs).
 
+use magis_graph::GraphView;
 use magis_models::Workload;
 
 fn param_count(w: Workload) -> f64 {

@@ -41,22 +41,30 @@ impl SchedConfig {
     }
 }
 
-#[derive(Clone)]
-struct State {
+/// A surviving DP state: its executed-set key plus running memory
+/// figures. The schedule itself is *not* stored per state — each state
+/// records only the arena index of its `(parent, last-node)` link, and
+/// the winning order is reconstructed by walking parents at the end.
+/// This keeps a transition O(degree) instead of O(window).
+struct LevelState {
     executed: Vec<u64>,
-    order: Vec<u32>,
     mem: u64,
     peak: u64,
-    indeg: Vec<u16>,
+    /// Index into the parent-link arena (`u32::MAX` for the root).
+    link: u32,
 }
 
-impl State {
-    fn contains(&self, i: usize) -> bool {
-        (self.executed[i / 64] >> (i % 64)) & 1 == 1
-    }
-    fn insert(&mut self, i: usize) {
-        self.executed[i / 64] |= 1 << (i % 64);
-    }
+/// Candidate value inside a level's dedup map, before truncation.
+struct Cand {
+    peak: u64,
+    mem: u64,
+    parent: u32,
+    last: u32,
+}
+
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
 }
 
 /// Result of [`dp_schedule`].
@@ -82,98 +90,294 @@ pub fn dp_schedule(task: &SchedTask<'_>, cfg: &SchedConfig) -> DpResult {
     let start = std::time::Instant::now();
     let mut span = magis_obs::span!("magis_sched", "dp_schedule", window = n);
     let width = cfg.effective_width(n);
-    let words = n.div_ceil(64);
-    let indeg0: Vec<u16> = task.preds.iter().map(|p| p.len() as u16).collect();
-    let init = State {
-        executed: vec![0; words],
-        order: Vec::new(),
-        mem: task.base,
-        peak: task.base,
-        indeg: indeg0,
+    // Windows of ≤256 nodes — every incremental reschedule and most
+    // whole-model windows at bench scale — run on fixed-width bitset
+    // fast paths whose keys live on the stack; larger windows fall back
+    // to word-vector keys below.
+    let fixed = match n {
+        0..=64 => Some(dp_fixed::<1>(task, width)),
+        65..=128 => Some(dp_fixed::<2>(task, width)),
+        129..=192 => Some(dp_fixed::<3>(task, width)),
+        193..=256 => Some(dp_fixed::<4>(task, width)),
+        _ => None,
     };
-    let mut level: Vec<State> = vec![init];
+    if let Some((order, peak, expanded)) = fixed {
+        span.record("states_expanded", expanded);
+        span.record("peak_bytes", peak);
+        record_obs(expanded, start);
+        return DpResult { order, peak, states_expanded: expanded };
+    }
+    let words = n.div_ceil(64);
+    // Parent-link arena: one `(parent, last)` entry per state that
+    // survives a level's truncation.
+    let mut arena: Vec<(u32, u32)> = Vec::new();
+    let mut level: Vec<LevelState> =
+        vec![LevelState { executed: vec![0; words], mem: task.base, peak: task.base, link: u32::MAX }];
+    let mut scratch = vec![0u64; words];
     let mut expanded = 0usize;
     for _ in 0..n {
         // Keyed by the executed bitset. A BTreeMap (not HashMap) so
         // that level iteration order — and therefore beam truncation
         // and final tie-breaks among equal-(peak, mem) states — is
         // deterministic across runs, processes, and thread counts.
-        let mut next: BTreeMap<Vec<u64>, State> = BTreeMap::new();
+        let mut next: BTreeMap<Vec<u64>, Cand> = BTreeMap::new();
         for st in &level {
             for v in 0..n {
-                if st.indeg[v] != 0 || st.contains(v) {
+                if bit(&st.executed, v)
+                    || !task.preds[v].iter().all(|&p| bit(&st.executed, p))
+                {
                     continue;
                 }
                 expanded += 1;
-                let mut ns = st.clone();
-                ns.insert(v);
-                ns.order.push(v as u32);
+                // Probe with a scratch key: the key Vec is only cloned
+                // when the state is genuinely new.
+                scratch.copy_from_slice(&st.executed);
+                scratch[v / 64] |= 1 << (v % 64);
+                let mut mem = st.mem;
                 for &ri in &task.allocs[v] {
-                    ns.mem += task.roots[ri].bytes;
+                    mem += task.roots[ri].bytes;
                 }
-                ns.peak = ns.peak.max(ns.mem);
+                let peak = st.peak.max(mem);
                 // Free roots whose final user just executed.
                 for &ri in &task.uses[v] {
                     let r = &task.roots[ri];
-                    if r.freeable && r.users.iter().all(|&u| ns.contains(u)) {
-                        ns.mem -= r.bytes;
+                    if r.freeable && r.users.iter().all(|&u| bit(&scratch, u)) {
+                        mem -= r.bytes;
                     }
                 }
-                // A freeable root with no window users (write-only) frees
-                // immediately after its own execution completes... such
-                // roots have users == [] but freeable == false (terminal)
-                // so nothing to do here.
-                for &s in &task.succs[v] {
-                    ns.indeg[s] -= 1;
-                }
-                match next.get_mut(&ns.executed) {
+                match next.get_mut(&scratch[..]) {
                     Some(prev) => {
-                        if (ns.peak, ns.mem) < (prev.peak, prev.mem) {
-                            *prev = ns;
+                        if (peak, mem) < (prev.peak, prev.mem) {
+                            *prev = Cand { peak, mem, parent: st.link, last: v as u32 };
                         }
                     }
                     None => {
-                        next.insert(ns.executed.clone(), ns);
+                        next.insert(
+                            scratch.clone(),
+                            Cand { peak, mem, parent: st.link, last: v as u32 },
+                        );
                     }
                 }
             }
         }
-        let mut states: Vec<State> = next.into_values().collect();
+        let mut states: Vec<(Vec<u64>, Cand)> = next.into_iter().collect();
         if states.len() > width {
-            states.sort_by_key(|s| (s.peak, s.mem));
+            states.sort_by_key(|(_, c)| (c.peak, c.mem));
             states.truncate(width);
         }
         debug_assert!(!states.is_empty(), "DAG window must always have a ready node");
-        level = states;
+        level = states
+            .into_iter()
+            .map(|(executed, c)| {
+                let link = arena.len() as u32;
+                arena.push((c.parent, c.last));
+                LevelState { executed, mem: c.mem, peak: c.peak, link }
+            })
+            .collect();
     }
     let best = level
-        .into_iter()
+        .iter()
         .min_by_key(|s| (s.peak, s.mem))
         .expect("at least one complete schedule");
+    // Reconstruct the winning order by walking the parent chain.
+    let mut order = Vec::with_capacity(n);
+    let mut cur = best.link;
+    while cur != u32::MAX {
+        let (parent, last) = arena[cur as usize];
+        order.push(last as usize);
+        cur = parent;
+    }
+    order.reverse();
     span.record("states_expanded", expanded);
     span.record("peak_bytes", best.peak);
-    {
-        use std::sync::OnceLock;
-        struct DpObs {
-            runs: magis_obs::metrics::Counter,
-            states: magis_obs::metrics::Counter,
-            seconds: magis_obs::metrics::Histogram,
+    record_obs(expanded, start);
+    DpResult { order, peak: best.peak, states_expanded: expanded }
+}
+
+fn record_obs(expanded: usize, start: std::time::Instant) {
+    use std::sync::OnceLock;
+    struct DpObs {
+        runs: magis_obs::metrics::Counter,
+        states: magis_obs::metrics::Counter,
+        seconds: magis_obs::metrics::Histogram,
+    }
+    static OBS: OnceLock<DpObs> = OnceLock::new();
+    let obs = OBS.get_or_init(|| DpObs {
+        runs: magis_obs::metrics::counter("magis_sched_dp_runs"),
+        states: magis_obs::metrics::counter("magis_sched_dp_states_expanded"),
+        seconds: magis_obs::metrics::histogram("magis_sched_dp_seconds"),
+    });
+    obs.runs.inc();
+    obs.states.add(expanded as u64);
+    obs.seconds.observe_duration(start.elapsed());
+}
+
+/// A stack-allocated executed-set key of `W` 64-bit words with the
+/// same bit layout as the general path's word vectors (bit `i` lives
+/// in word `i / 64`). The derived lexicographic `Ord` over the array
+/// therefore equals the `BTreeMap<Vec<u64>, _>` key order, so
+/// truncation and tie-breaks visit states in the same order on both
+/// paths.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key<const W: usize>([u64; W]);
+
+impl<const W: usize> Key<W> {
+    const ZERO: Key<W> = Key([0; W]);
+
+    #[inline]
+    fn with_bit(mut self, i: usize) -> Self {
+        self.0[i / 64] |= 1 << (i % 64);
+        self
+    }
+
+    #[inline]
+    fn or(mut self, other: &Key<W>) -> Self {
+        for w in 0..W {
+            self.0[w] |= other.0[w];
         }
-        static OBS: OnceLock<DpObs> = OnceLock::new();
-        let obs = OBS.get_or_init(|| DpObs {
-            runs: magis_obs::metrics::counter("magis_sched_dp_runs"),
-            states: magis_obs::metrics::counter("magis_sched_dp_states_expanded"),
-            seconds: magis_obs::metrics::histogram("magis_sched_dp_seconds"),
-        });
-        obs.runs.inc();
-        obs.states.add(expanded as u64);
-        obs.seconds.observe_duration(start.elapsed());
+        self
     }
-    DpResult {
-        order: best.order.into_iter().map(|x| x as usize).collect(),
-        peak: best.peak,
-        states_expanded: expanded,
+
+    #[inline]
+    fn clear_bit(mut self, i: usize) -> Self {
+        self.0[i / 64] &= !(1 << (i % 64));
+        self
     }
+
+    /// Whether every bit of `other` is set in `self`.
+    #[inline]
+    fn contains(&self, other: &Key<W>) -> bool {
+        (0..W).all(|w| self.0[w] & other.0[w] == other.0[w])
+    }
+}
+
+/// Fast path of [`dp_schedule`] for windows of up to `64·W` nodes: the
+/// executed-set key is a fixed word array, readiness and root-freeing
+/// become mask tests, and level dedup never heap-allocates a key.
+/// Transition rule, truncation, and every tie-break are identical to
+/// the general path.
+fn dp_fixed<const W: usize>(task: &SchedTask<'_>, width: usize) -> (Vec<usize>, u64, usize) {
+    let n = task.len();
+    debug_assert!(n <= 64 * W);
+    let node_mask: Vec<Key<W>> = (0..n).map(|i| Key::ZERO.with_bit(i)).collect();
+    let pred_mask: Vec<Key<W>> = (0..n)
+        .map(|v| task.preds[v].iter().fold(Key::ZERO, |m, &p| m.with_bit(p)))
+        .collect();
+    let root_users: Vec<Key<W>> = task
+        .roots
+        .iter()
+        .map(|r| r.users.iter().fold(Key::ZERO, |m, &u| m.with_bit(u)))
+        .collect();
+    struct FixedState<const W: usize> {
+        executed: Key<W>,
+        /// Nodes whose predecessors are all executed, not yet run.
+        /// Pure function of `executed`, carried incrementally so a
+        /// transition costs O(out-degree) instead of an O(n) scan.
+        ready: Key<W>,
+        mem: u64,
+        peak: u64,
+        link: u32,
+    }
+    struct FixedCand<const W: usize> {
+        ready: Key<W>,
+        peak: u64,
+        mem: u64,
+        parent: u32,
+        last: u32,
+    }
+    let ready0 = (0..n)
+        .filter(|&v| pred_mask[v] == Key::ZERO)
+        .fold(Key::ZERO, |m: Key<W>, v| m.with_bit(v));
+    let mut arena: Vec<(u32, u32)> = Vec::new();
+    let mut level = vec![FixedState {
+        executed: Key::ZERO,
+        ready: ready0,
+        mem: task.base,
+        peak: task.base,
+        link: u32::MAX,
+    }];
+    let mut expanded = 0usize;
+    let mut trans: Vec<(Key<W>, FixedCand<W>)> = Vec::new();
+    for _ in 0..n {
+        // Collect every transition flat, then dedup by a stable sort
+        // on the key: cheaper than a keyed map, with the identical
+        // outcome — ascending-key order, and among transitions to the
+        // same executed set the first-generated one wins (peak, mem)
+        // ties, exactly the map's insert-then-strict-less rule.
+        trans.clear();
+        for st in &level {
+            // Iterate ready bits in ascending node order (natural
+            // packing: low words, low bits first).
+            for w in 0..W {
+                let mut bits = st.ready.0[w];
+                while bits != 0 {
+                    let v = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    expanded += 1;
+                    let key = st.executed.with_bit(v);
+                    let mut ready = st.ready.clear_bit(v);
+                    for &s in &task.succs[v] {
+                        if key.contains(&pred_mask[s]) {
+                            ready = ready.or(&node_mask[s]);
+                        }
+                    }
+                    let mut mem = st.mem;
+                    for &ri in &task.allocs[v] {
+                        mem += task.roots[ri].bytes;
+                    }
+                    let peak = st.peak.max(mem);
+                    for &ri in &task.uses[v] {
+                        let r = &task.roots[ri];
+                        if r.freeable && key.contains(&root_users[ri]) {
+                            mem -= r.bytes;
+                        }
+                    }
+                    trans.push((
+                        key,
+                        FixedCand { ready, peak, mem, parent: st.link, last: v as u32 },
+                    ));
+                }
+            }
+        }
+        trans.sort_by_key(|&(key, _)| key);
+        let mut states: Vec<(Key<W>, FixedCand<W>)> = Vec::with_capacity(trans.len());
+        for (key, c) in trans.drain(..) {
+            match states.last_mut() {
+                Some((k, best)) if *k == key => {
+                    if (c.peak, c.mem) < (best.peak, best.mem) {
+                        *best = c;
+                    }
+                }
+                _ => states.push((key, c)),
+            }
+        }
+        if states.len() > width {
+            states.sort_by_key(|(_, c)| (c.peak, c.mem));
+            states.truncate(width);
+        }
+        debug_assert!(!states.is_empty(), "DAG window must always have a ready node");
+        level = states
+            .into_iter()
+            .map(|(executed, c)| {
+                let link = arena.len() as u32;
+                arena.push((c.parent, c.last));
+                FixedState { executed, ready: c.ready, mem: c.mem, peak: c.peak, link }
+            })
+            .collect();
+    }
+    let best = level
+        .iter()
+        .min_by_key(|s| (s.peak, s.mem))
+        .expect("at least one complete schedule");
+    let mut order = Vec::with_capacity(n);
+    let mut cur = best.link;
+    while cur != u32::MAX {
+        let (parent, last) = arena[cur as usize];
+        order.push(last as usize);
+        cur = parent;
+    }
+    order.reverse();
+    (order, best.peak, expanded)
 }
 
 #[cfg(test)]

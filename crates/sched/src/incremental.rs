@@ -7,6 +7,7 @@
 //! near-optimal — then the window is partitioned and re-ordered with
 //! the memory-DP, and the pieces are merged back into the old schedule.
 
+use magis_graph::GraphView;
 use crate::dp::{dp_schedule, SchedConfig};
 use crate::partition::partition;
 use crate::schedule::stabilize_order;
@@ -45,6 +46,21 @@ pub fn reschedule_interval(
     psi_old: &[NodeId],
     params: &IntervalParams,
 ) -> Option<(usize, usize)> {
+    reschedule_interval_cached(g_old, s_old, psi_old, params, None)
+}
+
+/// [`reschedule_interval`] with an optional precomputed reachability of
+/// `g_old`. A parent state's reachability is identical for every
+/// candidate derived from it, so the search computes it once and hands
+/// it to each evaluation instead of paying `Reachability::compute` per
+/// candidate.
+pub fn reschedule_interval_cached(
+    g_old: &Graph,
+    s_old: &BTreeSet<NodeId>,
+    psi_old: &[NodeId],
+    params: &IntervalParams,
+    reach: Option<&Reachability>,
+) -> Option<(usize, usize)> {
     let idxs: Vec<usize> = psi_old
         .iter()
         .enumerate()
@@ -52,7 +68,14 @@ pub fn reschedule_interval(
         .map(|(i, _)| i)
         .collect();
     let (&lo, &hi) = (idxs.first()?, idxs.last()?);
-    let reach = Reachability::compute(g_old);
+    let computed;
+    let reach = match reach {
+        Some(r) => r,
+        None => {
+            computed = Reachability::compute(g_old);
+            &computed
+        }
+    };
     let nw = |i: usize| reach.narrow_waist(psi_old[i]);
     let extend = |mut i: usize, dir: i64| -> usize {
         let mut best = usize::MAX;
@@ -78,6 +101,29 @@ pub fn reschedule_interval(
     let beg = extend(lo, -1);
     let end = extend(hi, 1);
     Some((beg, end + 1))
+}
+
+fn record_inc_obs(carried_won: bool, window: usize, start: std::time::Instant) {
+    use std::sync::OnceLock;
+    struct IncObs {
+        runs: magis_obs::metrics::Counter,
+        carried: magis_obs::metrics::Counter,
+        seconds: magis_obs::metrics::Histogram,
+        window: magis_obs::metrics::Histogram,
+    }
+    static OBS: OnceLock<IncObs> = OnceLock::new();
+    let obs = OBS.get_or_init(|| IncObs {
+        runs: magis_obs::metrics::counter("magis_sched_incremental_runs"),
+        carried: magis_obs::metrics::counter("magis_sched_incremental_carried_wins"),
+        seconds: magis_obs::metrics::histogram("magis_sched_incremental_seconds"),
+        window: magis_obs::metrics::histogram("magis_sched_incremental_window"),
+    });
+    obs.runs.inc();
+    if carried_won {
+        obs.carried.inc();
+    }
+    obs.window.observe(window as f64);
+    obs.seconds.observe_duration(start.elapsed());
 }
 
 /// Result of [`incremental_schedule_profiled`]: the chosen order plus
@@ -162,9 +208,36 @@ pub fn incremental_schedule_profiled(
     cfg: &SchedConfig,
     params: &IntervalParams,
 ) -> Result<IncrementalSchedule, CostError> {
+    incremental_schedule_cached(
+        g_old,
+        g_new,
+        s_old,
+        psi_old,
+        parent_lifetimes,
+        parent_plan,
+        cfg,
+        params,
+        None,
+    )
+}
+
+/// [`incremental_schedule_profiled`] with an optional precomputed
+/// reachability of `g_old` (see [`reschedule_interval_cached`]).
+#[allow(clippy::too_many_arguments)]
+pub fn incremental_schedule_cached(
+    g_old: &Graph,
+    g_new: &Graph,
+    s_old: &BTreeSet<NodeId>,
+    psi_old: &[NodeId],
+    parent_lifetimes: Option<&Lifetimes>,
+    parent_plan: Option<&MemoryPlan>,
+    cfg: &SchedConfig,
+    params: &IntervalParams,
+    reach_old: Option<&Reachability>,
+) -> Result<IncrementalSchedule, CostError> {
     let start = std::time::Instant::now();
     let mut span = magis_obs::span!("magis_sched", "incremental_schedule", nodes = g_new.len());
-    let (beg, end) = match reschedule_interval(g_old, s_old, psi_old, params) {
+    let (beg, end) = match reschedule_interval_cached(g_old, s_old, psi_old, params, reach_old) {
         Some(r) => r,
         // Pure additions: reschedule only the new nodes, appended where
         // their dependencies allow.
@@ -199,12 +272,28 @@ pub fn incremental_schedule_profiled(
         Some(lt) => magis_sim::memory_profile_delta(g_new, order, g_old, psi_old, lt, s_old),
         None => magis_sim::memory_profile_lifetimes(g_new, order),
     };
-    let (new_prof, new_lt) = profile_of(&rescheduled)?;
-    let (old_prof, old_lt) = profile_of(&carried)?;
     let plan_of = |order: &[NodeId], lt: &Lifetimes| match parent_plan {
         Some(pp) => magis_sim::memory_plan_delta(g_new, order, lt, pp).map(Some),
         None => Ok(None),
     };
+    let (new_prof, new_lt) = profile_of(&rescheduled)?;
+    if carried == rescheduled {
+        // Identical orders: both sides of the guard would profile and
+        // plan to identical results and the strict > below is false.
+        // Skip the redundant half outright.
+        let new_plan = plan_of(&rescheduled, &new_lt)?;
+        span.record("carried_won", false);
+        record_inc_obs(false, window, start);
+        return Ok(IncrementalSchedule {
+            order: rescheduled,
+            profile: new_prof,
+            lifetimes: new_lt,
+            plan: new_plan,
+            window,
+            carried_won: false,
+        });
+    }
+    let (old_prof, old_lt) = profile_of(&carried)?;
     let new_plan = plan_of(&rescheduled, &new_lt)?;
     let old_plan = plan_of(&carried, &old_lt)?;
     let carried_won = match (&new_plan, &old_plan) {
@@ -215,28 +304,7 @@ pub fn incremental_schedule_profiled(
         _ => new_prof.peak_bytes > old_prof.peak_bytes,
     };
     span.record("carried_won", carried_won);
-    {
-        use std::sync::OnceLock;
-        struct IncObs {
-            runs: magis_obs::metrics::Counter,
-            carried: magis_obs::metrics::Counter,
-            seconds: magis_obs::metrics::Histogram,
-            window: magis_obs::metrics::Histogram,
-        }
-        static OBS: OnceLock<IncObs> = OnceLock::new();
-        let obs = OBS.get_or_init(|| IncObs {
-            runs: magis_obs::metrics::counter("magis_sched_incremental_runs"),
-            carried: magis_obs::metrics::counter("magis_sched_incremental_carried_wins"),
-            seconds: magis_obs::metrics::histogram("magis_sched_incremental_seconds"),
-            window: magis_obs::metrics::histogram("magis_sched_incremental_window"),
-        });
-        obs.runs.inc();
-        if carried_won {
-            obs.carried.inc();
-        }
-        obs.window.observe(window as f64);
-        obs.seconds.observe_duration(start.elapsed());
-    }
+    record_inc_obs(carried_won, window, start);
     Ok(if carried_won {
         IncrementalSchedule {
             order: carried,
@@ -292,12 +360,13 @@ mod tests {
         let g_old = chain_graph(20);
         let psi_old = topo_order(&g_old);
         // Mutate: re-materialize node 10's op (add a parallel recompute).
-        let mut g_new = g_old.clone();
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
         let target = psi_old[10];
-        let input = g_new.pre(target)[0];
-        let clone = g_new.add(OpKind::Unary(UnaryKind::Relu), &[input]).unwrap();
-        let user = g_new.suc(target)[0];
-        g_new.replace_input(user, target, clone);
+        let input = txn.pre(target)[0];
+        let clone = txn.add(OpKind::Unary(UnaryKind::Relu), &[input]).unwrap();
+        let user = txn.suc(target)[0];
+        txn.replace_input(user, target, clone);
+        let g_new = txn.commit().0;
         g_new.validate().unwrap();
 
         let s_old: BTreeSet<NodeId> = [target, user].into_iter().collect();
@@ -325,9 +394,10 @@ mod tests {
         let g_old = b.finish();
         let psi_old = topo_order(&g_old);
 
-        let mut g_new = g_old.clone();
-        g_new.redirect_uses(dup, a);
-        g_new.remove(dup).unwrap();
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
+        txn.redirect_uses(dup, a);
+        txn.remove(dup).unwrap();
+        let g_new = txn.commit().0;
         let s_old: BTreeSet<NodeId> = [dup, u2].into_iter().collect();
         let psi_new = incremental_schedule(
             &g_old,

@@ -15,6 +15,7 @@
 //! ```
 //! use magis_graph::builder::GraphBuilder;
 //! use magis_graph::tensor::DType;
+//! use magis_graph::GraphView;
 //! use magis_sched::{full_schedule, SchedConfig};
 //!
 //! let mut b = GraphBuilder::new(DType::F32);
@@ -38,7 +39,8 @@ pub mod validate;
 
 pub use dp::{dp_schedule, DpResult, SchedConfig};
 pub use incremental::{
-    incremental_schedule, incremental_schedule_profiled, reschedule_interval,
+    incremental_schedule, incremental_schedule_cached, incremental_schedule_profiled,
+    reschedule_interval, reschedule_interval_cached,
     IncrementalSchedule, IntervalParams,
 };
 pub use partition::partition;

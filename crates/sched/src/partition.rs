@@ -5,6 +5,7 @@
 //! them, so cutting the window there splits it into pieces that can be
 //! scheduled independently with bounded loss (§6.1 of the paper).
 
+use magis_graph::GraphView;
 use magis_graph::algo::reach::Reachability;
 use magis_graph::algo::topo::topo_order_of;
 use magis_graph::algo::weakly_connected_components;
@@ -31,7 +32,7 @@ pub fn partition(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<Vec<NodeId>> {
         }
         // Narrow-waist values restricted to the component: build a
         // component-local reachability by counting anc/des inside it.
-        let nw = component_narrow_waists(g, &comp, &order);
+        let nw = component_narrow_waists(g, &order);
         let mut cur = Vec::new();
         for (i, &v) in order.iter().enumerate() {
             cur.push(v);
@@ -47,34 +48,39 @@ pub fn partition(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<Vec<NodeId>> {
     pieces
 }
 
-/// Narrow-waist value of every node of `comp` (aligned with `order`),
-/// counting only ancestors/descendants inside the component.
-fn component_narrow_waists(g: &Graph, comp: &BTreeSet<NodeId>, order: &[NodeId]) -> Vec<usize> {
+/// Narrow-waist value of every node of the component (aligned with
+/// `order`), counting only ancestors/descendants inside it.
+fn component_narrow_waists(g: &Graph, order: &[NodeId]) -> Vec<usize> {
     let n = order.len();
-    let mut pos = std::collections::BTreeMap::new();
+    // Dense slot→position table: doubles as the membership test, so
+    // the bitset merges below walk raw neighbour slices directly.
+    let mut pos = vec![usize::MAX; g.capacity()];
     for (i, &v) in order.iter().enumerate() {
-        pos.insert(v, i);
+        pos[v.index()] = i;
     }
     let words = n.div_ceil(64);
     let mut anc = vec![vec![0u64; words]; n];
     let mut des = vec![vec![0u64; words]; n];
     for (i, &v) in order.iter().enumerate() {
-        for p in g.pre_all(v) {
-            if let Some(&pi) = pos.get(&p) {
-                let (head, tail) = anc.split_at_mut(i);
-                for (w, pw) in tail[0].iter_mut().zip(head[pi].iter()) {
-                    *w |= pw;
-                }
-                anc[i][pi / 64] |= 1 << (pi % 64);
+        let node = g.node(v);
+        for &p in node.inputs().iter().chain(node.keepalive()) {
+            let pi = pos[p.index()];
+            if pi == usize::MAX {
+                continue;
             }
+            let (head, tail) = anc.split_at_mut(i);
+            for (w, pw) in tail[0].iter_mut().zip(head[pi].iter()) {
+                *w |= pw;
+            }
+            anc[i][pi / 64] |= 1 << (pi % 64);
         }
     }
     for (i, &v) in order.iter().enumerate().rev() {
-        for s in g.suc(v) {
-            if !comp.contains(&s) {
+        for &s in g.node(v).succs() {
+            let si = pos[s.index()];
+            if si == usize::MAX {
                 continue;
             }
-            let si = pos[&s];
             let (head, tail) = des.split_at_mut(si);
             for (w, sw) in head[i].iter_mut().zip(tail[0].iter()) {
                 *w |= sw;

@@ -1,5 +1,6 @@
 //! Full-graph scheduling and order stabilization.
 
+use magis_graph::GraphView;
 use crate::dp::{dp_schedule, SchedConfig};
 use crate::partition::partition;
 use crate::task::SchedTask;
@@ -37,11 +38,10 @@ pub fn stabilize_order(g: &Graph, desired: &[NodeId]) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(g.len());
     while let Some(Reverse((_, v))) = heap.pop() {
         out.push(v);
-        for s in g.suc(v) {
-            let n = g.node(s);
-            let mult = n.inputs().iter().filter(|&&x| x == v).count()
-                + n.keepalive().iter().filter(|&&x| x == v).count();
-            indeg[s.index()] -= mult;
+        // Raw successor list: one entry per edge, so each occurrence
+        // decrements the in-degree exactly once.
+        for &s in g.node(v).succs() {
+            indeg[s.index()] -= 1;
             if indeg[s.index()] == 0 {
                 heap.push(Reverse((rank(s), s)));
             }

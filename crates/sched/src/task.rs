@@ -6,6 +6,7 @@
 //! index space so the DP/beam schedulers can evaluate memory deltas in
 //! O(degree) per transition.
 
+use magis_graph::GraphView;
 use magis_graph::algo::topo::topo_order_of;
 use magis_graph::graph::{Graph, NodeId};
 use magis_sim::memory::{device_bytes, storage_root};
@@ -62,16 +63,26 @@ impl<'g> SchedTask<'g> {
     /// readers outside `set` are never freed inside the window.
     pub fn subset(g: &'g Graph, set: &BTreeSet<NodeId>) -> Self {
         let nodes: Vec<NodeId> = set.iter().copied().collect();
-        let mut local: BTreeMap<NodeId, usize> = BTreeMap::new();
+        // Dense slot→local-index table (usize::MAX = outside the
+        // window): membership tests and index mapping in one probe.
+        let mut local = vec![usize::MAX; g.capacity()];
         for (i, &v) in nodes.iter().enumerate() {
-            local.insert(v, i);
+            local[v.index()] = i;
         }
         let n = nodes.len();
         let mut preds = vec![Vec::new(); n];
         let mut succs = vec![Vec::new(); n];
         for (i, &v) in nodes.iter().enumerate() {
-            let mut ps: Vec<usize> =
-                g.pre_all(v).into_iter().filter_map(|p| local.get(&p).copied()).collect();
+            let node = g.node(v);
+            let mut ps: Vec<usize> = node
+                .inputs()
+                .iter()
+                .chain(node.keepalive())
+                .filter_map(|p| {
+                    let li = local[p.index()];
+                    (li != usize::MAX).then_some(li)
+                })
+                .collect();
             ps.sort_unstable();
             ps.dedup();
             for &p in &ps {
@@ -81,12 +92,24 @@ impl<'g> SchedTask<'g> {
         }
 
         // Gather relevant storage roots: roots of window nodes plus
-        // roots read by window nodes.
+        // roots read by window nodes. Alias-chain walks are memoized
+        // per slot — a root is queried once per incident edge.
+        let mut root_memo: Vec<u32> = vec![u32::MAX; g.capacity()];
+        let mut root_of = |v: NodeId| -> NodeId {
+            let cached = root_memo[v.index()];
+            if cached != u32::MAX {
+                return NodeId::from_index(cached as usize);
+            }
+            let r = storage_root(g, v);
+            root_memo[v.index()] = r.index() as u32;
+            r
+        };
         let mut root_ids: BTreeSet<NodeId> = BTreeSet::new();
         for &v in &nodes {
-            root_ids.insert(storage_root(g, v));
-            for p in g.pre_all(v) {
-                root_ids.insert(storage_root(g, p));
+            root_ids.insert(root_of(v));
+            let node = g.node(v);
+            for &p in node.inputs().iter().chain(node.keepalive()) {
+                root_ids.insert(root_of(p));
             }
         }
 
@@ -105,9 +128,11 @@ impl<'g> SchedTask<'g> {
             let mut user_nodes: BTreeSet<NodeId> = BTreeSet::new();
             let mut alias_stack = vec![rid];
             while let Some(a) = alias_stack.pop() {
-                for s in g.suc(a) {
-                    user_nodes.insert(s);
-                    if g.node(s).op.is_alias() && storage_root(g, s) == rid {
+                for &s in g.node(a).succs() {
+                    if user_nodes.insert(s)
+                        && g.node(s).op.is_alias()
+                        && root_of(s) == rid
+                    {
                         alias_stack.push(s);
                     }
                 }
@@ -116,9 +141,11 @@ impl<'g> SchedTask<'g> {
             let mut users: Vec<usize> = Vec::new();
             let mut outside_user = false;
             for u in &user_nodes {
-                match local.get(u) {
-                    Some(&i) => users.push(i),
-                    None => outside_user = true,
+                let li = local[u.index()];
+                if li != usize::MAX {
+                    users.push(li);
+                } else {
+                    outside_user = true;
                 }
             }
             let freeable = !terminal && !outside_user;
@@ -127,7 +154,8 @@ impl<'g> SchedTask<'g> {
             let alloc_at = if g.node(rid).op.is_input() {
                 None // inputs resident from the start
             } else {
-                local.get(&anchor).copied()
+                let li = local[anchor.index()];
+                (li != usize::MAX).then_some(li)
             };
             if alloc_at.is_none() {
                 base += bytes;

@@ -9,6 +9,7 @@
 //! corrupted rewrite or a scheduler bug is rejected with a typed error
 //! instead of silently poisoning the search frontier.
 
+use magis_graph::GraphView;
 use magis_graph::graph::{Graph, NodeId};
 
 /// Why a schedule is invalid for a given graph.
@@ -193,8 +194,9 @@ mod tests {
         let x = b.input([32], "x");
         let a = b.relu(x);
         let c = b.gelu(x);
-        let mut g = b.finish();
-        g.add_keepalive(a, c).unwrap();
+        let mut txn = magis_graph::GraphTxn::begin(&b.finish());
+        txn.add_keepalive(a, c).unwrap();
+        let g = txn.commit().0;
         // a before c satisfies the keepalive; c before a violates it.
         assert_eq!(validate_schedule(&g, &[x, a, c]), Ok(()));
         assert!(matches!(

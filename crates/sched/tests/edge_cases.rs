@@ -3,6 +3,7 @@
 
 use magis_graph::builder::GraphBuilder;
 use magis_graph::graph::NodeId;
+use magis_graph::GraphView;
 use magis_graph::op::MergeKind;
 use magis_graph::tensor::DType;
 use magis_sched::{dp_schedule, full_schedule, SchedConfig, SchedTask};
@@ -29,8 +30,9 @@ fn window_with_anchored_allocation() {
     let x = b.input([256], "x");
     let a = b.relu(x);
     let m = b.merge(a, MergeKind::Concat, 0, 4);
-    let mut g = b.finish();
-    g.set_alloc_with(m, a);
+    let mut txn = magis_graph::GraphTxn::begin(&b.finish());
+    txn.set_alloc_with(m, a);
+    let g = txn.commit().0;
     let task = SchedTask::whole_graph(&g);
     let res = dp_schedule(&task, &SchedConfig::default());
     let ids = task.to_node_ids(&res.order);
@@ -45,10 +47,10 @@ fn keepalive_constrains_order() {
     let a = b.relu(x);
     let c = b.gelu(x);
     let g = {
-        let mut g = b.finish();
+        let mut txn = magis_graph::GraphTxn::begin(&b.finish());
         // c must run after a even though no data flows.
-        g.add_keepalive(a, c).unwrap();
-        g
+        txn.add_keepalive(a, c).unwrap();
+        txn.commit().0
     };
     let order = full_schedule(&g, &SchedConfig::default());
     let pa = order.iter().position(|&v| v == a).unwrap();
@@ -150,10 +152,11 @@ fn rewrite_touching_graph_source() {
     let g_old = chain_graph();
     let src = g_old.node_ids().find(|&v| g_old.pre(v).is_empty()).expect("source");
     let user = g_old.suc(src)[0];
-    let mut g_new = g_old.clone();
+    let mut txn = magis_graph::GraphTxn::begin(&g_old);
     let inserted =
-        g_new.add(OpKind::Unary(UnaryKind::Relu), &[src]).expect("insert after source");
-    g_new.replace_input(user, src, inserted);
+        txn.add(OpKind::Unary(UnaryKind::Relu), &[src]).expect("insert after source");
+    txn.replace_input(user, src, inserted);
+    let g_new = txn.commit().0;
     g_new.validate().expect("valid mutation");
     let s_old: BTreeSet<NodeId> = [src, user].into_iter().collect();
     check_incremental(&g_old, &g_new, &s_old);
@@ -166,8 +169,9 @@ fn rewrite_touching_graph_sink() {
     // node must be placed after everything it depends on.
     let g_old = chain_graph();
     let sink = g_old.node_ids().find(|&v| g_old.suc(v).is_empty()).expect("sink");
-    let mut g_new = g_old.clone();
-    g_new.add(OpKind::Unary(UnaryKind::Tanh), &[sink]).expect("append after sink");
+    let mut txn = magis_graph::GraphTxn::begin(&g_old);
+    txn.add(OpKind::Unary(UnaryKind::Tanh), &[sink]).expect("append after sink");
+    let g_new = txn.commit().0;
     g_new.validate().expect("valid mutation");
     let s_old: BTreeSet<NodeId> = [sink].into_iter().collect();
     check_incremental(&g_old, &g_new, &s_old);
@@ -207,18 +211,19 @@ fn fission_style_split_of_peak_region() {
     let src = g_old.pre(v)[0];
     let user = g_old.suc(v)[0];
     let n = g_old.node(v).meta.shape.dims()[0];
-    let mut g_new = g_old.clone();
+    let mut txn = magis_graph::GraphTxn::begin(&g_old);
     let half = n / 2;
-    let s0 = g_new
+    let s0 = txn
         .add(OpKind::Slice { axis: 0, start: 0, len: half }, &[src])
         .expect("first half");
-    let s1 = g_new
+    let s1 = txn
         .add(OpKind::Slice { axis: 0, start: half, len: n - half }, &[src])
         .expect("second half");
-    let r0 = g_new.add(g_old.node(v).op.clone(), &[s0]).expect("part 0");
-    let r1 = g_new.add(g_old.node(v).op.clone(), &[s1]).expect("part 1");
-    let cat = g_new.add(OpKind::Concat { axis: 0 }, &[r0, r1]).expect("stitch");
-    g_new.replace_input(user, v, cat);
+    let r0 = txn.add(g_old.node(v).op.clone(), &[s0]).expect("part 0");
+    let r1 = txn.add(g_old.node(v).op.clone(), &[s1]).expect("part 1");
+    let cat = txn.add(OpKind::Concat { axis: 0 }, &[r0, r1]).expect("stitch");
+    txn.replace_input(user, v, cat);
+    let g_new = txn.commit().0;
     g_new.validate().expect("valid split");
     let s_old: BTreeSet<NodeId> = [src, v, user].into_iter().collect();
     check_incremental(&g_old, &g_new, &s_old);

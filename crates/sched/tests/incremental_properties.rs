@@ -7,6 +7,7 @@
 //! 2. the windowed re-ordering's peak memory stays within a small
 //!    factor of rerunning the full scheduler from scratch.
 
+use magis_graph::GraphView;
 use magis_graph::algo::{is_topo_order, topo_order};
 use magis_graph::graph::{Graph, NodeId};
 use magis_models::{random_dnn, RandomDnnConfig};
@@ -31,11 +32,12 @@ fn remat_mutation(g: &Graph, pick: usize) -> Option<(Graph, BTreeSet<NodeId>)> {
         .filter(|&v| !g.pre(v).is_empty() && !g.suc(v).is_empty())
         .collect();
     let v = *cands.get(pick % cands.len())?;
-    let mut g_new = g.clone();
+    let mut txn = magis_graph::GraphTxn::begin(g);
     let inputs = g.node(v).inputs().to_vec();
-    let clone = g_new.add(g.node(v).op.clone(), &inputs).ok()?;
+    let clone = txn.add(g.node(v).op.clone(), &inputs).ok()?;
     let user = g.suc(v)[0];
-    g_new.replace_input(user, v, clone);
+    txn.replace_input(user, v, clone);
+    let g_new = txn.commit().0;
     g_new.validate().ok()?;
     Some((g_new, [v, user].into_iter().collect()))
 }

@@ -11,6 +11,7 @@
 //! * swap traffic costs PCIe time but can overlap compute,
 //! * re-materialization re-pays exactly the producer's compute time.
 
+use magis_graph::GraphView;
 use crate::backend::Backend;
 use crate::device::DeviceSpec;
 use magis_graph::graph::{Graph, NodeId};
@@ -334,10 +335,12 @@ mod tests {
         let mut b = GraphBuilder::new(DType::F32);
         let x = b.input([128, 128], "x");
         let r = b.relu(x);
-        let mut g = b.finish();
+        let g = b.finish();
         let m = CostModel::default();
         let one = m.node_latency(&g, r);
-        g.set_cost_repeat(r, 3);
+        let mut txn = magis_graph::GraphTxn::begin(&g);
+        txn.set_cost_repeat(r, 3);
+        let g = txn.commit().0;
         assert!((m.node_latency(&g, r) - 3.0 * one).abs() < 1e-15);
     }
 }

@@ -34,6 +34,7 @@
 //! A root is recomputed from the graph iff one of its involved nodes
 //! is dirty; all others re-base their parent entry.
 
+use magis_graph::GraphView;
 use crate::cost::CostError;
 use crate::memory::{
     check_coverage, compute_lifetimes, position_table, sweep, Endpoint, Lifetimes, MemoryProfile,
@@ -123,14 +124,18 @@ pub fn memory_profile_delta(
     let cap = g.capacity();
     let mut dirty_root = vec![false; cap];
     for &d in &dirty_nodes {
+        // Raw predecessor slices: setting a dirty flag is idempotent,
+        // so per-edge duplicates are harmless.
         if g.contains(d) {
             dirty_root[storage_root(g, d).index()] = true;
-            for p in g.pre_all(d) {
+            let n = g.node(d);
+            for &p in n.inputs().iter().chain(n.keepalive()) {
                 dirty_root[storage_root(g, p).index()] = true;
             }
         }
         if g_old.contains(d) {
-            for p in g_old.pre_all(d) {
+            let n = g_old.node(d);
+            for &p in n.inputs().iter().chain(n.keepalive()) {
                 if g.contains(p) {
                     dirty_root[storage_root(g, p).index()] = true;
                 }
@@ -257,12 +262,13 @@ mod tests {
         let order_old = topo_order(&g_old);
         let (_, lt) = memory_profile_lifetimes(&g_old, &order_old).unwrap();
         // Insert a recompute twin of node 8 feeding node 9's slot.
-        let mut g = g_old.clone();
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
         let target = order_old[8];
-        let input = g.pre(target)[0];
-        let clone = g.add(OpKind::Unary(UnaryKind::Relu), &[input]).unwrap();
-        let user = g.suc(target)[0];
-        g.replace_input(user, target, clone);
+        let input = txn.pre(target)[0];
+        let clone = txn.add(OpKind::Unary(UnaryKind::Relu), &[input]).unwrap();
+        let user = txn.suc(target)[0];
+        txn.replace_input(user, target, clone);
+        let g = txn.commit().0;
         let order = topo_order(&g);
         let touched: BTreeSet<NodeId> = [target, user].into_iter().collect();
         assert_matches_full(&g, &order, &g_old, &order_old, &lt, &touched);
@@ -280,9 +286,10 @@ mod tests {
         let g_old = b.finish();
         let order_old = topo_order(&g_old);
         let (_, lt) = memory_profile_lifetimes(&g_old, &order_old).unwrap();
-        let mut g = g_old.clone();
-        g.redirect_uses(dup, a);
-        g.remove(dup).unwrap();
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
+        txn.redirect_uses(dup, a);
+        txn.remove(dup).unwrap();
+        let g = txn.commit().0;
         let order = topo_order(&g);
         let touched: BTreeSet<NodeId> = [dup, u2].into_iter().collect();
         assert_matches_full(&g, &order, &g_old, &order_old, &lt, &touched);
@@ -301,9 +308,10 @@ mod tests {
         let g_old = b.finish();
         let order_old = vec![x, a, c, d, e];
         let (_, lt) = memory_profile_lifetimes(&g_old, &order_old).unwrap();
-        let mut g = g_old.clone();
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
         // e now reads `a` instead of `c`: c's storage is freed earlier.
-        g.replace_input(e, c, a);
+        txn.replace_input(e, c, a);
+        let g = txn.commit().0;
         let order = order_old.clone();
         let touched: BTreeSet<NodeId> = [e].into_iter().collect();
         assert_matches_full(&g, &order, &g_old, &order_old, &lt, &touched);
@@ -315,24 +323,26 @@ mod tests {
 
     #[test]
     fn swap_pair_insertion_matches_full() {
-        let mut g_old = Graph::new();
         use magis_graph::op::{BinaryKind, InputKind};
         use magis_graph::tensor::TensorMeta;
+        let mut bld = magis_graph::GraphTxn::begin(&Graph::new());
         let meta = TensorMeta::new([256], DType::F32);
-        let x = g_old.add_input(InputKind::Activation, meta, "x");
-        let a = g_old.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let x = bld.add_input(InputKind::Activation, meta, "x");
+        let a = bld.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
         let mut cur = x;
         for _ in 0..6 {
-            cur = g_old.add(OpKind::Unary(UnaryKind::Gelu), &[cur]).unwrap();
+            cur = bld.add(OpKind::Unary(UnaryKind::Gelu), &[cur]).unwrap();
         }
-        let j = g_old.add(OpKind::Binary(BinaryKind::Add), &[a, cur]).unwrap();
+        let j = bld.add(OpKind::Binary(BinaryKind::Add), &[a, cur]).unwrap();
+        let g_old = bld.commit().0;
         let order_old = topo_order(&g_old);
         let (_, lt) = memory_profile_lifetimes(&g_old, &order_old).unwrap();
         // Swap `a` out and back in before its distant consumer.
-        let mut g = g_old.clone();
-        let st = g.add(OpKind::Store, &[a]).unwrap();
-        let ld = g.add(OpKind::Load, &[st]).unwrap();
-        g.replace_input(j, a, ld);
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
+        let st = txn.add(OpKind::Store, &[a]).unwrap();
+        let ld = txn.add(OpKind::Load, &[st]).unwrap();
+        txn.replace_input(j, a, ld);
+        let g = txn.commit().0;
         let order = topo_order(&g);
         let touched: BTreeSet<NodeId> = [a, j].into_iter().collect();
         assert_matches_full(&g, &order, &g_old, &order_old, &lt, &touched);
@@ -349,9 +359,10 @@ mod tests {
         let (_, lt) = memory_profile_lifetimes(&g_old, &order_old).unwrap();
         // Reshape view of `a` consumed late: extends a's lifetime via
         // the alias chain.
-        let mut g = g_old.clone();
-        let r = g.add(OpKind::Reshape { shape: vec![16, 16].into() }, &[a]).unwrap();
-        let _z = g.add(OpKind::Unary(UnaryKind::Gelu), &[r]).unwrap();
+        let mut txn = magis_graph::GraphTxn::begin(&g_old);
+        let r = txn.add(OpKind::Reshape { shape: vec![16, 16].into() }, &[a]).unwrap();
+        let _z = txn.add(OpKind::Unary(UnaryKind::Gelu), &[r]).unwrap();
+        let g = txn.commit().0;
         let order = topo_order(&g);
         let touched: BTreeSet<NodeId> = [a].into_iter().collect();
         assert_matches_full(&g, &order, &g_old, &order_old, &lt, &touched);

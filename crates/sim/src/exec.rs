@@ -4,9 +4,9 @@
 //! latency (Fig. 2 of the paper) — a swap only costs wall-clock time
 //! when a consumer has to wait for it.
 
+use magis_graph::GraphView;
 use crate::cost::NodeCost;
 use magis_graph::graph::{Graph, NodeId};
-use std::collections::HashMap;
 
 /// Result of [`simulate`].
 #[derive(Debug, Clone)]
@@ -50,8 +50,33 @@ impl ExecTimeline {
 ///
 /// Panics if `order` doesn't cover the graph.
 pub fn simulate<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> ExecTimeline {
+    match simulate_inner(g, order, |v| Ok::<f64, std::convert::Infallible>(cm.node_latency(g, v)))
+    {
+        Ok(t) => t,
+        Err(never) => match never {},
+    }
+}
+
+/// [`simulate`] with each per-node latency validated on the fly
+/// (NaN / infinite / negative rejected with the offending node
+/// attributed) — one cost-source probe per node instead of the
+/// validate-then-simulate double pass.
+pub fn simulate_checked<C: NodeCost + ?Sized>(
+    g: &Graph,
+    order: &[NodeId],
+    cm: &C,
+) -> Result<ExecTimeline, crate::cost::CostError> {
+    simulate_inner(g, order, |v| cm.node_latency_checked(g, v))
+}
+
+fn simulate_inner<E>(
+    g: &Graph,
+    order: &[NodeId],
+    mut latency: impl FnMut(NodeId) -> Result<f64, E>,
+) -> Result<ExecTimeline, E> {
     assert_eq!(order.len(), g.len(), "schedule must cover the graph");
-    let mut finish_at: HashMap<NodeId, f64> = HashMap::with_capacity(order.len());
+    // Dense finish-time table indexed by slot; unexecuted deps read 0.
+    let mut finish_at = vec![0.0f64; g.capacity()];
     let mut finish = Vec::with_capacity(order.len());
     let mut t_compute = 0.0f64;
     let mut t_xfer = 0.0f64;
@@ -63,9 +88,9 @@ pub fn simulate<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> Ex
             .inputs()
             .iter()
             .chain(n.keepalive())
-            .map(|d| finish_at.get(d).copied().unwrap_or(0.0))
+            .map(|d| finish_at[d.index()])
             .fold(0.0f64, f64::max);
-        let dur = cm.node_latency(g, v);
+        let dur = latency(v)?;
         let end = if n.op.is_swap() {
             let start = t_xfer.max(deps_ready);
             t_xfer = start + dur;
@@ -77,10 +102,10 @@ pub fn simulate<C: NodeCost + ?Sized>(g: &Graph, order: &[NodeId], cm: &C) -> Ex
             compute_busy += dur;
             t_compute
         };
-        finish_at.insert(v, end);
+        finish_at[v.index()] = end;
         finish.push(end);
     }
-    ExecTimeline { total: t_compute.max(t_xfer), finish, compute_busy, xfer_busy }
+    Ok(ExecTimeline { total: t_compute.max(t_xfer), finish, compute_busy, xfer_busy })
 }
 
 /// [`simulate`] under its old concrete-source name.
@@ -130,7 +155,7 @@ mod tests {
 
     /// x -> a; store(a); long compute chain; load; add.
     fn swap_graph(chain: usize) -> (Graph, Vec<NodeId>) {
-        let mut g = Graph::new();
+        let mut g = magis_graph::GraphTxn::begin(&Graph::new());
         let x = g.add_input(InputKind::Activation, big_meta(), "x");
         let a = g.add(OpKind::Unary(UnaryKind::Gelu), &[x]).unwrap();
         let st = g.add(OpKind::Store, &[a]).unwrap();
@@ -144,7 +169,7 @@ mod tests {
         let c = g.add(OpKind::Binary(BinaryKind::Add), &[cur, ld]).unwrap();
         order.push(ld);
         order.push(c);
-        (g, order)
+        (g.commit().0, order)
     }
 
     #[test]
@@ -170,10 +195,11 @@ mod tests {
     #[test]
     fn no_swap_means_serial_sum() {
         let cm = CostModel::default();
-        let mut g = Graph::new();
-        let x = g.add_input(InputKind::Activation, big_meta(), "x");
-        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
-        let b = g.add(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let mut txn = magis_graph::GraphTxn::begin(&Graph::new());
+        let x = txn.add_input(InputKind::Activation, big_meta(), "x");
+        let a = txn.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b = txn.add(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let g = txn.commit().0;
         let order = vec![x, a, b];
         let t = simulate(&g, &order, &cm);
         assert!((t.total - cm.graph_latency(&g)).abs() < 1e-12);

@@ -44,7 +44,7 @@ pub use delta::memory_profile_delta;
 pub use device::DeviceSpec;
 #[allow(deprecated)]
 pub use exec::simulate_with;
-pub use exec::{memory_timeline, simulate, simulate_latency, ExecTimeline};
+pub use exec::{memory_timeline, simulate, simulate_checked, simulate_latency, ExecTimeline};
 pub use memory::{
     memory_profile, memory_profile_checked, memory_profile_lifetimes, storage_root, Lifetimes,
     MemoryProfile,
@@ -54,6 +54,7 @@ pub use plan::{
 };
 pub use profile::{OpCost, PerfCache, UncachedCost};
 
+use magis_graph::GraphView;
 use magis_graph::graph::{Graph, NodeId};
 use std::sync::OnceLock;
 
@@ -214,13 +215,11 @@ pub fn evaluate_with_plan<C: NodeCost + ?Sized>(
     memory: MemoryProfile,
     plan: Option<&MemoryPlan>,
 ) -> Result<Evaluation, CostError> {
-    // Per-node latency check so a defect is attributed to the node
-    // that produced it rather than to the aggregate.
-    for &v in order {
-        cm.node_latency_checked(g, v)?;
-    }
+    // Latencies are validated inline as the simulation consumes them,
+    // so a defect is attributed to the node that produced it without a
+    // separate whole-schedule pass over the cost source.
     count_backend_eval(cm.backend_name());
-    let timeline = exec::simulate(g, order, cm);
+    let timeline = exec::simulate_checked(g, order, cm)?;
     if !timeline.total.is_finite() {
         return Err(CostError::NonFiniteLatency { node: None, value: timeline.total });
     }

@@ -16,6 +16,7 @@
 //!   across sequential parts and must be counted for the whole region
 //!   (Fig. 2 (d)/(e)).
 
+use magis_graph::GraphView;
 use crate::cost::CostError;
 use magis_graph::graph::{Graph, NodeId};
 use magis_graph::op::OpKind;
@@ -225,8 +226,12 @@ impl Lifetimes {
                 free_step = pos[v.index()];
                 free_ep = Endpoint::At(v);
             }
+            // Raw successor list (may repeat a node once per edge):
+            // the updates below are strict-inequality accumulations
+            // over unique schedule positions, so duplicates and
+            // ordering cannot change the outcome.
             let mut has_succ = false;
-            for s in g.suc(v) {
+            for &s in g.node(v).succs() {
                 has_succ = true;
                 if pos[s.index()] > free_step {
                     free_step = pos[s.index()];
@@ -297,7 +302,9 @@ pub(crate) fn compute_lifetimes(g: &Graph, order: &[NodeId], pos: &[usize]) -> L
             free_step[r] = pos[v.index()];
             lt.free[r] = Endpoint::At(v);
         }
-        for s in g.suc(v) {
+        // Raw successor list: strict-inequality max over unique
+        // positions, so per-edge duplicates cannot change the result.
+        for &s in g.node(v).succs() {
             if pos[s.index()] > free_step[r] && !terminal[r] {
                 free_step[r] = pos[s.index()];
                 lt.free[r] = Endpoint::At(s);
@@ -481,16 +488,17 @@ mod tests {
 
     #[test]
     fn store_frees_device_memory_until_load() {
-        let mut g = Graph::new();
+        let mut txn = magis_graph::GraphTxn::begin(&Graph::new());
         let meta = TensorMeta::new([256], DType::F32);
-        let x = g.add_input(InputKind::Activation, meta.clone(), "x");
-        let a = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
-        let st = g.add(OpKind::Store, &[a]).unwrap();
+        let x = txn.add_input(InputKind::Activation, meta.clone(), "x");
+        let a = txn.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let st = txn.add(OpKind::Store, &[a]).unwrap();
         // Long stretch of unrelated work.
-        let b1 = g.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
-        let b2 = g.add(OpKind::Unary(UnaryKind::Relu), &[b1]).unwrap();
-        let ld = g.add(OpKind::Load, &[st]).unwrap();
-        let c = g.add(OpKind::Binary(magis_graph::op::BinaryKind::Add), &[b2, ld]).unwrap();
+        let b1 = txn.add(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let b2 = txn.add(OpKind::Unary(UnaryKind::Relu), &[b1]).unwrap();
+        let ld = txn.add(OpKind::Load, &[st]).unwrap();
+        let c = txn.add(OpKind::Binary(magis_graph::op::BinaryKind::Add), &[b2, ld]).unwrap();
+        let g = txn.commit().0;
         let order = vec![x, a, st, b1, b2, ld, c];
         let p = memory_profile(&g, &order);
         // During b2 (step 4): device holds b1 and b2 — `a` was stored
@@ -508,8 +516,9 @@ mod tests {
         let x = bld.input([256], "x");
         let a = bld.relu(x); // region head (the representative part)
         let m = bld.merge(a, MergeKind::Concat, 0, 4);
-        let mut g = bld.finish();
-        g.set_alloc_with(m, a);
+        let mut txn = magis_graph::GraphTxn::begin(&bld.finish());
+        txn.set_alloc_with(m, a);
+        let g = txn.commit().0;
         let order = vec![x, a, m];
         let p = memory_profile(&g, &order);
         // During a (step 1): x (1K) + a (1K) + merge output (4K) = 6 KiB.

@@ -8,6 +8,7 @@
 //! usually the analytic [`CostModel`] for some registry backend, which
 //! plays the role of the profiler.
 
+use magis_graph::GraphView;
 use crate::backend::Backend;
 use crate::cost::CostModel;
 use crate::device::DeviceSpec;

@@ -1,6 +1,7 @@
 //! Property tests of the simulator: cost-model monotonicity and
 //! memory-profile invariants over random schedules.
 
+use magis_graph::GraphView;
 use magis_graph::builder::GraphBuilder;
 use magis_graph::op::{Conv2dAttrs, OpKind};
 use magis_graph::tensor::{DType, TensorMeta};

@@ -10,6 +10,7 @@
 //! cargo run --release --example fit_llm_on_device
 //! ```
 
+use magis_graph::GraphView;
 use magis::baselines::BaselineKind;
 use magis::prelude::*;
 use std::time::Duration;

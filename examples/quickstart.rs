@@ -4,6 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use magis_graph::GraphView;
 use magis::prelude::*;
 use std::time::Duration;
 

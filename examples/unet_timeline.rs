@@ -6,6 +6,7 @@
 //! cargo run --release --example unet_timeline
 //! ```
 
+use magis_graph::GraphView;
 use magis::prelude::*;
 use magis::sim::memory_timeline;
 use std::time::Duration;

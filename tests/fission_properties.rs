@@ -8,6 +8,7 @@ use magis::core::dgraph::{component_dims, DimGraph};
 use magis::core::fission::{apply_full, apply_overlay, FissionSpec};
 use magis::prelude::*;
 use magis_graph::algo::{topo_order, weakly_connected_components};
+use magis_graph::{GraphTxn, GraphView};
 use magis_util::prop::prelude::*;
 use std::collections::BTreeSet;
 
@@ -74,8 +75,9 @@ proptest! {
         prop_assert!(!specs.is_empty(), "training MLPs always have fissionable regions");
         for spec in specs.iter().take(4) {
             // Overlay path.
-            let mut ov = g.clone();
-            apply_overlay(&mut ov, spec).expect("validated spec overlays");
+            let mut txn = GraphTxn::begin(&g);
+            apply_overlay(&mut txn, spec).expect("validated spec overlays");
+            let ov = txn.commit().0;
             ov.validate().expect("overlay graph well-formed");
             // Full materialization path.
             let full = apply_full(&g, spec).expect("validated spec materializes");
@@ -107,8 +109,9 @@ proptest! {
         let g = build_mlp(1 << batch_exp, 64, 3);
         let specs = valid_specs(&g, parts);
         for spec in specs.iter().take(4) {
-            let mut ov = g.clone();
-            apply_overlay(&mut ov, spec).expect("overlay");
+            let mut txn = GraphTxn::begin(&g);
+            apply_overlay(&mut txn, spec).expect("overlay");
+            let ov = txn.commit().0;
             for (&v, &d) in &spec.dims {
                 let before = g.node(v).meta.size_bytes();
                 let after = ov.node(v).meta.size_bytes();
@@ -136,9 +139,10 @@ fn nested_specs_compose_on_training_graph() {
             .map(|(_, b)| (a.clone(), b.clone()))
     });
     if let Some((outer, inner)) = pair {
-        let mut gg = g.clone();
-        apply_overlay(&mut gg, &outer).expect("outer overlay");
-        if apply_overlay(&mut gg, &inner).is_ok() {
+        let mut txn = GraphTxn::begin(&g);
+        apply_overlay(&mut txn, &outer).expect("outer overlay");
+        if apply_overlay(&mut txn, &inner).is_ok() {
+            let gg = txn.commit().0;
             gg.validate().expect("nested overlay well-formed");
             for &v in &inner.set {
                 assert_eq!(gg.node(v).cost_repeat, 4, "2 x 2 nested parts");

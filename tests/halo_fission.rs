@@ -8,6 +8,7 @@ use magis::core::dgraph::{component_dims, DimGraph};
 use magis::core::fission::{apply_overlay, FissionSpec};
 use magis::prelude::*;
 use magis_graph::algo::topo_order;
+use magis_graph::{GraphTxn, GraphView};
 use std::collections::BTreeSet;
 
 /// A stride-1 conv chain (one U-Net double-conv block plus one more).
@@ -68,8 +69,9 @@ fn h_split_overlay_annotates_halo_and_scales_interiors() {
     let cm = CostModel::default();
     let base = evaluate(&g, &topo_order(&g), &cm);
     let spec = h_spec(&g, &convs, 4);
-    let mut ov = g.clone();
-    let info = apply_overlay(&mut ov, &spec).unwrap();
+    let mut txn = GraphTxn::begin(&g);
+    let info = apply_overlay(&mut txn, &spec).unwrap();
+    let ov = txn.commit().0;
     ov.validate().unwrap();
     // The input part-slice carries the halo annotation.
     let ps = info.slices[0];
@@ -94,8 +96,9 @@ fn h_split_pays_off_with_long_lifetimes_only() {
     // Plain chain: fission is counterproductive (honest negative).
     let (g, convs) = conv_chain();
     let base = evaluate(&g, &topo_order(&g), &cm);
-    let mut ov = g.clone();
-    apply_overlay(&mut ov, &h_spec(&g, &convs, 4)).unwrap();
+    let mut txn = GraphTxn::begin(&g);
+    apply_overlay(&mut txn, &h_spec(&g, &convs, 4)).unwrap();
+    let ov = txn.commit().0;
     let ev = evaluate(&ov, &topo_order(&ov), &cm);
     assert!(
         ev.peak_bytes >= base.peak_bytes,
@@ -126,8 +129,9 @@ fn h_split_pays_off_with_long_lifetimes_only() {
     let base = evaluate(&g, &topo_order(&g), &cm);
     let spec = h_spec(&g, &acts, 4);
     spec.validate(&g).unwrap();
-    let mut ov = g.clone();
-    apply_overlay(&mut ov, &spec).unwrap();
+    let mut txn = GraphTxn::begin(&g);
+    apply_overlay(&mut txn, &spec).unwrap();
+    let ov = txn.commit().0;
     ov.validate().unwrap();
     let ev = evaluate(&ov, &topo_order(&ov), &cm);
     assert!(

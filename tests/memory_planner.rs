@@ -146,11 +146,11 @@ fn insert_relu_twin(g: &Graph, rng: &mut SmallRng) -> Option<Graph> {
     let v = interior[rng.gen_range(0..interior.len())];
     let users = g.suc(v);
     let user = users[rng.gen_range(0..users.len())];
-    let mut g_new = g.clone();
-    let inserted = g_new.add(OpKind::Unary(UnaryKind::Relu), &[v]).ok()?;
-    g_new.replace_input(user, v, inserted);
-    g_new.validate().ok()?;
-    Some(g_new)
+    let mut txn = GraphTxn::begin(g);
+    let inserted = txn.add(OpKind::Unary(UnaryKind::Relu), &[v]).ok()?;
+    txn.replace_input(user, v, inserted);
+    txn.validate().ok()?;
+    Some(txn.commit().0)
 }
 
 /// Splits a random interior node's computation into two sliced halves
@@ -174,15 +174,15 @@ fn split_node(g: &Graph, rng: &mut SmallRng) -> Option<Graph> {
     let user = g.suc(v)[0];
     let n = g.node(v).meta.shape.dims()[0];
     let half = n / 2;
-    let mut g_new = g.clone();
-    let s0 = g_new.add(OpKind::Slice { axis: 0, start: 0, len: half }, &[src]).ok()?;
-    let s1 = g_new.add(OpKind::Slice { axis: 0, start: half, len: n - half }, &[src]).ok()?;
-    let r0 = g_new.add(g.node(v).op.clone(), &[s0]).ok()?;
-    let r1 = g_new.add(g.node(v).op.clone(), &[s1]).ok()?;
-    let cat = g_new.add(OpKind::Concat { axis: 0 }, &[r0, r1]).ok()?;
-    g_new.replace_input(user, v, cat);
-    g_new.validate().ok()?;
-    Some(g_new)
+    let mut txn = GraphTxn::begin(g);
+    let s0 = txn.add(OpKind::Slice { axis: 0, start: 0, len: half }, &[src]).ok()?;
+    let s1 = txn.add(OpKind::Slice { axis: 0, start: half, len: n - half }, &[src]).ok()?;
+    let r0 = txn.add(g.node(v).op.clone(), &[s0]).ok()?;
+    let r1 = txn.add(g.node(v).op.clone(), &[s1]).ok()?;
+    let cat = txn.add(OpKind::Concat { axis: 0 }, &[r0, r1]).ok()?;
+    txn.replace_input(user, v, cat);
+    txn.validate().ok()?;
+    Some(txn.commit().0)
 }
 
 /// Asserts that planning `g_new` as a delta against `parent` is
